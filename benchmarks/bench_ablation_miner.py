@@ -1,0 +1,79 @@
+"""Ablation — the pattern miner recovers the generator's ground truth.
+
+The paper's workload methodology extracts pattern statistics from
+collected workflows and generates synthetic ones from those statistics.
+This ablation closes the loop: workflows generated from the Table I
+profiles are mined back (`repro.core.structured`), and the recovered
+pattern counts are compared against the generator's ground truth — per
+class, for loops and parallel regions (sequence runs fragment differently
+around splits/joins, so only their module coverage is checked).  The
+benchmarked operation is mining itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.structured import mine_structure
+from repro.workloads.classes import WORKFLOW_CLASSES
+from repro.workloads.generator import generate_workflows
+
+from .conftest import print_table
+
+
+@pytest.mark.parametrize("class_name", sorted(WORKFLOW_CLASSES))
+def test_miner_recovers_generator_census(benchmark, class_name):
+    workflow_class = WORKFLOW_CLASSES[class_name]
+    rng = random.Random(13)
+    batch = generate_workflows(workflow_class, 10, rng, target_size=25)
+
+    sample = batch[0].spec
+    report = benchmark(lambda: mine_structure(sample))
+    assert report.structured
+
+    rows = []
+    for generated in batch:
+        mined = mine_structure(generated.spec)
+        assert mined.structured, generated.spec.name
+        truth_loops = sum(1 for p in generated.patterns if p.kind == "loop")
+        truth_parallel = sum(
+            1 for p in generated.patterns
+            if p.kind in ("parallel_process", "parallel_input",
+                          "synchronization")
+        )
+        rows.append([
+            generated.spec.name,
+            truth_loops, len(mined.loops),
+            truth_parallel, len(mined.parallel_regions),
+        ])
+        # Loop recovery is exact; parallel regions may merge when adjacent
+        # (two branch joins collapsing into one region), so mined <= truth
+        # with equality in the common case.
+        assert len(mined.loops) == truth_loops
+        assert len(mined.parallel_regions) <= truth_parallel
+        assert sorted(mined.region.modules()) == sorted(generated.spec.modules)
+    print_table(
+        "Miner vs generator / %s" % class_name,
+        ["workflow", "loops (truth)", "loops (mined)",
+         "parallel (truth)", "parallel (mined)"],
+        rows,
+    )
+
+
+def test_miner_flags_the_paper_example(benchmark):
+    """The phylogenomic workflow is genuinely unstructured; the miner says
+    so while still extracting its loop."""
+    from repro.workloads.phylogenomic import phylogenomic_spec
+
+    spec = phylogenomic_spec()
+    report = benchmark(lambda: mine_structure(spec))
+    assert not report.structured
+    assert report.loops == [3]
+    print_table(
+        "Miner on the paper's Fig. 1 workflow",
+        ["structured", "irreducible kernel", "loop bodies"],
+        [[report.structured, ", ".join(report.leftover_nodes),
+          report.loops]],
+    )

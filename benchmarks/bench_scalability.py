@@ -1,0 +1,66 @@
+"""Section V-B "Scalability" — RelevUserViewBuilder on growing specs.
+
+The paper runs the algorithm on 1000 increasingly large randomised
+specifications (50-1000 nodes) and reports every execution under 80 ms.
+This benchmark times the builder at several sizes across that range (the
+paper's hardware constant differs; the claim to reproduce is that the
+per-execution cost stays in the tens of milliseconds and grows
+polynomially, not explosively).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.workloads.classes import CLASS2
+from repro.workloads.generator import generate_workflow, random_relevant
+
+from .conftest import print_table
+
+SIZES = [50, 100, 250, 500, 1000]
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scalability(benchmark, size):
+    """Time one build at each specification size."""
+    rng = random.Random(size)
+    generated = generate_workflow(CLASS2, rng, target_size=size)
+    relevant = random_relevant(generated.spec, 0.2, rng)
+
+    view = benchmark(lambda: build_user_view(generated.spec, relevant))
+
+    assert view.size() >= max(1, len(relevant))
+    mean_ms = benchmark.stats.stats.mean * 1000
+    _RESULTS[size] = (len(generated.spec), mean_ms)
+    benchmark.extra_info["modules"] = len(generated.spec)
+    print_table(
+        "Scalability @ %d nodes" % size,
+        ["modules", "relevant", "view size", "mean ms"],
+        [[len(generated.spec), len(relevant), view.size(), "%.2f" % mean_ms]],
+    )
+    # The paper's bound: each execution under 80 ms.  Allow generous slack
+    # for slower machines while still catching complexity regressions.
+    assert mean_ms < 2000
+
+
+def test_scalability_summary(benchmark):
+    """Aggregate view of the sweep (reprints all measured sizes)."""
+
+    def noop():
+        return sorted(_RESULTS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    rows = [
+        [size, _RESULTS[size][0], "%.2f" % _RESULTS[size][1]]
+        for size in sorted(_RESULTS)
+    ]
+    print_table(
+        "Scalability summary (paper: < 80 ms per execution up to 1000 nodes)",
+        ["target size", "modules", "mean ms"],
+        rows,
+    )

@@ -1,0 +1,77 @@
+"""Table I — classes of workflows.
+
+Regenerates the paper's workload-definition table: for each class, the
+realised pattern frequencies and sizes of the generated workflows, checked
+against the class profile, plus the statistics of the hand-built "real"
+corpus that stands in for Class 1's collected workflows.  The benchmarked
+operation is workflow generation itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+import pytest
+
+from repro.workloads.classes import WORKFLOW_CLASSES
+from repro.workloads.generator import generate_workflow, generate_workflows
+from repro.workloads.library import corpus_statistics
+
+from .conftest import print_table
+
+
+def _realised_frequencies(class_name: str, count: int, seed: int) -> Dict[str, float]:
+    rng = random.Random(seed)
+    census: Dict[str, int] = {}
+    total = 0
+    for generated in generate_workflows(WORKFLOW_CLASSES[class_name], count, rng):
+        for pattern in generated.patterns:
+            census[pattern.kind] = census.get(pattern.kind, 0) + 1
+            total += 1
+    return {kind: hits / total for kind, hits in census.items()}
+
+
+@pytest.mark.parametrize("class_name", sorted(WORKFLOW_CLASSES))
+def test_table1_row(benchmark, class_name):
+    """One Table I row: generate workflows of the class, report statistics."""
+    workflow_class = WORKFLOW_CLASSES[class_name]
+    rng = random.Random(1)
+
+    generated = benchmark(
+        lambda: generate_workflow(workflow_class, rng)
+    )
+    assert len(generated.spec) >= workflow_class.avg_size
+
+    frequencies = _realised_frequencies(class_name, count=30, seed=7)
+    rows = [
+        [kind,
+         "%.2f" % workflow_class.frequencies.get(kind, 0.0),
+         "%.2f" % frequencies.get(kind, 0.0)]
+        for kind in sorted(set(workflow_class.frequencies) | set(frequencies))
+    ]
+    print_table(
+        "Table I / %s (%s): pattern frequencies (target vs realised)"
+        % (class_name, workflow_class.description),
+        ["pattern", "target", "realised"],
+        rows,
+    )
+    # Every realised pattern kind must be allowed by the class profile.
+    assert set(frequencies) <= set(workflow_class.frequencies)
+    # Realised frequencies track the profile loosely (sampling noise aside).
+    for kind, target in workflow_class.frequencies.items():
+        assert abs(frequencies.get(kind, 0.0) - target) < 0.25
+    benchmark.extra_info["avg_size_target"] = workflow_class.avg_size
+
+
+def test_table1_class1_corpus(benchmark):
+    """Class 1's stand-in corpus matches the paper's headline statistics."""
+    stats = benchmark(corpus_statistics)
+    print_table(
+        "Table I / Class1 corpus (real-workflow stand-in)",
+        ["workflows", "avg_size", "max_size", "with_loops"],
+        [[stats["workflows"], "%.1f" % stats["avg_size"],
+          stats["max_size"], stats["with_loops"]]],
+    )
+    # The paper reports ~12-node averages for the collected workflows.
+    assert 8 <= stats["avg_size"] <= 16

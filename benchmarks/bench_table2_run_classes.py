@@ -1,0 +1,78 @@
+"""Table II — classes of runs.
+
+Regenerates the run-class table: for each kind (small/medium/large) the
+realised run statistics — steps, edges, data objects, user inputs, loop
+iterations — against the class's parameter ranges and node/edge caps.  The
+benchmarked operation is run simulation at that kind's parameters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.classes import CLASS4, RUN_CLASSES
+from repro.workloads.generator import generate_workflow
+from repro.workloads.runs import generate_run, generate_runs, run_statistics
+
+from .conftest import N_RUNS, print_table
+
+
+@pytest.fixture(scope="module")
+def loopy_spec():
+    """A Class 4 (loop-heavy) spec — the kind that stresses run size."""
+    rng = random.Random(11)
+    return generate_workflow(CLASS4, rng, target_size=20).spec
+
+
+@pytest.mark.parametrize("kind", ["small", "medium", "large"])
+def test_table2_row(benchmark, loopy_spec, kind):
+    """One Table II row: simulate runs of one kind, report statistics."""
+    run_class = RUN_CLASSES[kind]
+    rng = random.Random(23)
+
+    result = benchmark(lambda: generate_run(loopy_spec, run_class, rng))
+    assert result.run.num_steps() <= run_class.max_nodes
+    assert result.run.num_edges() <= run_class.max_edges
+
+    batch = generate_runs(loopy_spec, run_class, max(N_RUNS, 3), random.Random(5))
+    stats = run_statistics(batch)
+    print_table(
+        "Table II / %s runs" % kind,
+        ["metric", "value", "class bound"],
+        [
+            ["avg steps", "%.1f" % stats["avg_steps"], "<= %d" % run_class.max_nodes],
+            ["avg edges", "%.1f" % stats["avg_edges"], "<= %d" % run_class.max_edges],
+            ["avg data objects", "%.1f" % stats["avg_data"], "-"],
+            ["avg user inputs", "%.1f" % stats["avg_user_inputs"],
+             "range %s/input edge" % (run_class.user_input_range,)],
+            ["avg loop iterations", "%.1f" % stats["avg_loop_iterations"],
+             "range %s/loop" % (run_class.loop_iterations_range,)],
+            ["max steps", stats["max_steps"], "<= %d" % run_class.max_nodes],
+            ["max edges", stats["max_edges"], "<= %d" % run_class.max_edges],
+        ],
+    )
+    assert stats["max_steps"] <= run_class.max_nodes
+    assert stats["max_edges"] <= run_class.max_edges
+    benchmark.extra_info["avg_steps"] = stats["avg_steps"]
+
+
+def test_table2_kinds_are_ordered(benchmark, loopy_spec):
+    """Small < medium < large in realised run size — the point of Table II."""
+
+    def measure():
+        sizes = {}
+        for kind, run_class in RUN_CLASSES.items():
+            batch = generate_runs(loopy_spec, run_class, 3, random.Random(9))
+            sizes[kind] = run_statistics(batch)["avg_data"]
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Table II / kind ordering (avg data objects)",
+        ["small", "medium", "large"],
+        [["%.0f" % sizes["small"], "%.0f" % sizes["medium"],
+          "%.0f" % sizes["large"]]],
+    )
+    assert sizes["small"] < sizes["medium"] < sizes["large"]

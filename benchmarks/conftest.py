@@ -1,0 +1,125 @@
+"""Shared workload fixtures and reporting helpers for the benchmarks.
+
+The paper's evaluation (Section V) uses 10 workflows per class, 30 runs per
+kind — 3,600 runs in total.  That scale exists to exercise a disk-backed
+Oracle instance; the *shapes* it demonstrates (who wins, by what factor)
+appear already at a fraction of the volume, so these benchmarks default to
+a reduced workload and expose environment knobs to scale up:
+
+``ZOOM_BENCH_WORKFLOWS``  workflows per class (default 3; paper: 10)
+``ZOOM_BENCH_RUNS``       runs per workflow and kind (default 2; paper: 30)
+
+Each benchmark prints the rows of the table/figure it regenerates; compare
+them with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.core.view import UserView, admin_view, blackbox_view
+from repro.run.executor import SimulationResult
+from repro.workloads.classes import (
+    RUN_CLASSES,
+    WORKFLOW_CLASSES,
+    RunClass,
+    WorkflowClass,
+)
+from repro.workloads.generator import GeneratedWorkflow, generate_workflows
+from repro.workloads.runs import generate_run
+
+#: Workflows per class (paper: 10).
+N_WORKFLOWS = int(os.environ.get("ZOOM_BENCH_WORKFLOWS", "3"))
+
+#: Runs per workflow and run kind (paper: 30).
+N_RUNS = int(os.environ.get("ZOOM_BENCH_RUNS", "2"))
+
+#: Specs used for query experiments have ~20 nodes, as in the paper.
+QUERY_SPEC_SIZE = 20
+
+
+@dataclass
+class WorkloadItem:
+    """One workflow with its views and runs, ready for query benchmarks."""
+
+    generated: GeneratedWorkflow
+    ubio: UserView
+    uadmin: UserView
+    ublackbox: UserView
+    runs: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+
+
+@dataclass
+class Workload:
+    """The full evaluation workload: items per workflow class."""
+
+    items: Dict[str, List[WorkloadItem]]
+
+    def all_items(self) -> List[Tuple[str, WorkloadItem]]:
+        return [
+            (class_name, item)
+            for class_name, class_items in sorted(self.items.items())
+            for item in class_items
+        ]
+
+
+def _build_workload() -> Workload:
+    rng = random.Random(20080407)  # ICDE 2008
+    items: Dict[str, List[WorkloadItem]] = {}
+    for class_name, workflow_class in sorted(WORKFLOW_CLASSES.items()):
+        class_items: List[WorkloadItem] = []
+        for generated in generate_workflows(
+            workflow_class, N_WORKFLOWS, rng, target_size=QUERY_SPEC_SIZE
+        ):
+            item = WorkloadItem(
+                generated=generated,
+                ubio=build_user_view(
+                    generated.spec, generated.suggested_relevant, name="UBio"
+                ),
+                uadmin=admin_view(generated.spec),
+                ublackbox=blackbox_view(generated.spec),
+            )
+            for run_name, run_class in RUN_CLASSES.items():
+                item.runs[run_name] = [
+                    generate_run(
+                        generated.spec,
+                        run_class,
+                        rng,
+                        run_id="%s-%s-r%d" % (generated.spec.name, run_name, i),
+                    )
+                    for i in range(1, N_RUNS + 1)
+                ]
+            class_items.append(item)
+        items[class_name] = class_items
+    return Workload(items=items)
+
+
+@pytest.fixture(scope="session")
+def workload() -> Workload:
+    """Generated specs, views and runs shared by all query benchmarks."""
+    return _build_workload()
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return random.Random(42)
+
+
+def print_table(title: str, header: List[str], rows: List[List[object]]) -> None:
+    """Render one paper-style table to stdout."""
+    print("\n== %s ==" % title)
+    widths = [
+        max(len(str(header[col])), *(len(str(row[col])) for row in rows))
+        for col in range(len(header))
+    ] if rows else [len(h) for h in header]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,159 @@
+"""ZOOM*UserViews reproduction.
+
+A from-scratch implementation of *Querying and Managing Provenance through
+User Views in Scientific Workflows* (Biton, Cohen-Boulakia, Davidson, Hara
+— ICDE 2008): workflow specifications and runs, user views as partitions,
+the ``RelevUserViewBuilder`` algorithm with its formal property checkers, a
+provenance warehouse with recursive deep-provenance queries, composite
+(virtual) executions, and the interactive ZOOM layer.
+
+Quickstart::
+
+    from repro import (
+        WorkflowSpec, build_user_view, simulate,
+        InMemoryWarehouse, Session,
+    )
+
+    spec = WorkflowSpec(["A", "B", "C"],
+                        [("input", "A"), ("A", "B"), ("B", "C"), ("C", "output")])
+    view = build_user_view(spec, relevant={"B"})
+    result = simulate(spec)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(result.run, spec_id)
+    session = Session(warehouse, spec_id)
+    session.set_relevant({"B"})
+    answer = session.final_output_provenance(run_id)
+"""
+
+from .core import (
+    INPUT,
+    OUTPUT,
+    CompositeRun,
+    CompositeStep,
+    HiddenDataError,
+    NrPathIndex,
+    RelevUserViewBuilder,
+    SpecificationError,
+    UserView,
+    ViewError,
+    WorkflowSpec,
+    ZoomError,
+    admin_view,
+    blackbox_view,
+    build_user_view,
+    check_view,
+    is_complete,
+    is_minimal,
+    is_structured,
+    is_well_formed,
+    linear_spec,
+    local_search_minimize,
+    migrate_view,
+    mine_structure,
+    minimum_view,
+    preserves_dataflow,
+    satisfies_all,
+    spec_diff,
+    view_from_partition,
+)
+from .provenance import (
+    ProvenanceReasoner,
+    ProvenanceResult,
+    ProvenanceRow,
+    ReexecutionPlanner,
+    ReverseProvenanceResult,
+    deep_provenance,
+    derivation_paths,
+    diff_runs,
+    export_opm,
+    immediate_provenance,
+    reverse_provenance,
+    shortest_derivation,
+)
+from .run import (
+    EventLog,
+    ExecutionParams,
+    SimulationResult,
+    WorkflowRun,
+    log_from_run,
+    read_trace,
+    replay,
+    run_from_log,
+    runs_equivalent,
+    simulate,
+    write_trace,
+)
+from .warehouse import (
+    InMemoryWarehouse,
+    ProvenanceWarehouse,
+    SqliteWarehouse,
+    load_warehouse,
+    save_warehouse,
+)
+from .zoom import GuardedWarehouse, Session, ViewPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositeRun",
+    "CompositeStep",
+    "EventLog",
+    "ExecutionParams",
+    "GuardedWarehouse",
+    "HiddenDataError",
+    "INPUT",
+    "InMemoryWarehouse",
+    "NrPathIndex",
+    "OUTPUT",
+    "ProvenanceReasoner",
+    "ProvenanceResult",
+    "ProvenanceRow",
+    "ProvenanceWarehouse",
+    "ReexecutionPlanner",
+    "RelevUserViewBuilder",
+    "ReverseProvenanceResult",
+    "Session",
+    "SimulationResult",
+    "SpecificationError",
+    "SqliteWarehouse",
+    "UserView",
+    "ViewError",
+    "ViewPolicy",
+    "WorkflowRun",
+    "WorkflowSpec",
+    "ZoomError",
+    "admin_view",
+    "blackbox_view",
+    "build_user_view",
+    "check_view",
+    "deep_provenance",
+    "derivation_paths",
+    "diff_runs",
+    "export_opm",
+    "immediate_provenance",
+    "is_complete",
+    "is_minimal",
+    "is_structured",
+    "is_well_formed",
+    "linear_spec",
+    "load_warehouse",
+    "local_search_minimize",
+    "log_from_run",
+    "migrate_view",
+    "mine_structure",
+    "minimum_view",
+    "preserves_dataflow",
+    "read_trace",
+    "replay",
+    "reverse_provenance",
+    "run_from_log",
+    "runs_equivalent",
+    "satisfies_all",
+    "save_warehouse",
+    "shortest_derivation",
+    "simulate",
+    "spec_diff",
+    "view_from_partition",
+    "write_trace",
+]

@@ -1,0 +1,120 @@
+"""Core model: specifications, user views, properties, view construction.
+
+This package implements the paper's primary contribution (Sections II-III):
+the workflow-specification model, user views as partitions, the nr-path
+machinery, the three properties of a good user view, the
+``RelevUserViewBuilder`` algorithm, composite executions and the exact
+minimum-view baseline.
+"""
+
+from .builder import RelevUserViewBuilder, build_user_view
+from .composite import CompositeRun, CompositeStep
+from .evolution import (
+    MigrationResult,
+    SpecDiff,
+    affected_composites,
+    migrate_relevant,
+    migrate_view,
+    spec_diff,
+)
+from .hierarchy import composite_subspec, refine_composite, zoom_path
+from .errors import (
+    ExecutionError,
+    HiddenDataError,
+    LoopNestingError,
+    PartitionError,
+    QueryError,
+    RunError,
+    SpecificationError,
+    UnknownEntityError,
+    ViewError,
+    WarehouseError,
+    ZoomError,
+)
+from .minimum import gap_example, minimum_view, minimum_view_size
+from .optimize import local_search_minimize, optimality_gap
+from .paths import NrPathIndex, has_nr_path, nr_reachable
+from .properties import (
+    ViewReport,
+    check_view,
+    introduces_loop,
+    is_complete,
+    is_minimal,
+    is_well_formed,
+    preserves_dataflow,
+    relevant_composites_connected,
+    satisfies_all,
+)
+from .spec import ENDPOINTS, INPUT, OUTPUT, WorkflowSpec, linear_spec
+from .structured import (
+    LoopRegion,
+    ModuleRegion,
+    ParallelRegion,
+    Region,
+    SeriesRegion,
+    StructureReport,
+    is_structured,
+    mine_structure,
+)
+from .view import UserView, admin_view, blackbox_view, view_from_partition
+
+__all__ = [
+    "CompositeRun",
+    "CompositeStep",
+    "ENDPOINTS",
+    "ExecutionError",
+    "HiddenDataError",
+    "INPUT",
+    "LoopNestingError",
+    "MigrationResult",
+    "LoopRegion",
+    "ModuleRegion",
+    "NrPathIndex",
+    "OUTPUT",
+    "ParallelRegion",
+    "Region",
+    "SeriesRegion",
+    "StructureReport",
+    "PartitionError",
+    "QueryError",
+    "RelevUserViewBuilder",
+    "RunError",
+    "SpecDiff",
+    "SpecificationError",
+    "UnknownEntityError",
+    "UserView",
+    "ViewError",
+    "ViewReport",
+    "WarehouseError",
+    "WorkflowSpec",
+    "ZoomError",
+    "affected_composites",
+    "admin_view",
+    "blackbox_view",
+    "build_user_view",
+    "check_view",
+    "composite_subspec",
+    "gap_example",
+    "refine_composite",
+    "zoom_path",
+    "has_nr_path",
+    "local_search_minimize",
+    "optimality_gap",
+    "introduces_loop",
+    "is_complete",
+    "is_minimal",
+    "is_structured",
+    "is_well_formed",
+    "linear_spec",
+    "migrate_relevant",
+    "migrate_view",
+    "mine_structure",
+    "minimum_view",
+    "minimum_view_size",
+    "nr_reachable",
+    "preserves_dataflow",
+    "relevant_composites_connected",
+    "satisfies_all",
+    "spec_diff",
+    "view_from_partition",
+]

@@ -1,0 +1,195 @@
+"""RelevUserViewBuilder — the paper's view-construction algorithm (Fig. 5).
+
+Given a workflow specification ``G_w`` and a set of relevant modules ``R``,
+the algorithm produces a user view that is well-formed (Property 1),
+preserves dataflow (Property 2), is complete w.r.t. dataflow (Property 3)
+and is minimal — no two of its composites can be merged without breaking the
+first three properties (Theorem 1).  It runs in ``O(|N|^2 + |E|)`` time.
+
+The three steps, verbatim from the paper:
+
+1. *Create relevant composite modules.*  For each relevant module ``r``, a
+   composite ``C(r)`` collects the non-relevant modules whose only relevant
+   nr-successor is ``r`` (``in(r)``) and, among the still-unmarked ones,
+   those whose only relevant nr-predecessor is ``r`` (``out(r)``).
+2. *Create non-relevant composite modules.*  Remaining modules are grouped
+   by their ``(rpred, rsucc)`` signature.
+3. *Make the view minimal.*  Pairs of non-relevant composites are merged
+   whenever the merge cannot manufacture an nr-path that does not exist in
+   the original specification: every exit point of the merged set must see
+   the full merged ``rpred`` and every entry point the full merged
+   ``rsucc``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .errors import ViewError
+from .paths import NrPathIndex
+from .spec import WorkflowSpec
+from .view import UserView
+
+
+class RelevUserViewBuilder:
+    """Builds a good user view from a specification and relevant modules.
+
+    Instances are single-use: construct with the inputs, call :meth:`build`.
+    Intermediate artefacts (``in_sets``, ``out_sets``, the pre-merge
+    non-relevant groups) remain inspectable afterwards, which the white-box
+    tests rely on.
+
+    Parameters
+    ----------
+    spec:
+        The workflow specification.
+    relevant:
+        The set of relevant module labels (may be empty — the result is
+        then a single all-hiding composite, the UBlackBox limit; may be all
+        modules — the result is then UAdmin).
+    """
+
+    def __init__(self, spec: WorkflowSpec, relevant: Iterable[str]) -> None:
+        self.spec = spec
+        self.relevant: FrozenSet[str] = frozenset(relevant)
+        unknown = self.relevant - spec.modules
+        if unknown:
+            raise ViewError(
+                "relevant modules not in specification: %s" % sorted(unknown)
+            )
+        self.index = NrPathIndex(spec.graph, self.relevant)
+        self.in_sets: Dict[str, Set[str]] = {}
+        self.out_sets: Dict[str, Set[str]] = {}
+        self.initial_groups: List[FrozenSet[str]] = []
+        self._built: Optional[UserView] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def build(self, name: str = "UView") -> UserView:
+        """Run the three steps and return the resulting user view."""
+        if self._built is None:
+            relevant_parts = self._step1_relevant_composites()
+            groups = self._step2_group_nonrelevant()
+            self.initial_groups = [frozenset(g) for g in groups]
+            merged = self._step3_merge(groups)
+            self._built = self._assemble(relevant_parts, merged, name)
+        return self._built
+
+    # ------------------------------------------------------------------
+    # Step 1 — relevant composites
+    # ------------------------------------------------------------------
+
+    def _step1_relevant_composites(self) -> Dict[str, Set[str]]:
+        nonrelevant = self.spec.modules - self.relevant
+        marked: Set[str] = set()
+        for r in sorted(self.relevant):
+            in_r = {
+                n
+                for n in nonrelevant
+                if n not in marked and self.index.rsucc(n) == {r}
+            }
+            marked |= in_r
+            self.in_sets[r] = in_r
+        for r in sorted(self.relevant):
+            out_r = {
+                n
+                for n in nonrelevant
+                if n not in marked and self.index.rpred(n) == {r}
+            }
+            marked |= out_r
+            self.out_sets[r] = out_r
+        return {
+            r: self.in_sets[r] | self.out_sets[r] | {r}
+            for r in sorted(self.relevant)
+        }
+
+    # ------------------------------------------------------------------
+    # Step 2 — group remaining modules by (rpred, rsucc) signature
+    # ------------------------------------------------------------------
+
+    def _step2_group_nonrelevant(self) -> List[Set[str]]:
+        taken: Set[str] = set(self.relevant)
+        for r in self.relevant:
+            taken |= self.in_sets[r]
+            taken |= self.out_sets[r]
+        groups: Dict[Tuple[FrozenSet[str], FrozenSet[str]], Set[str]] = {}
+        for n in sorted(self.spec.modules - taken):
+            signature = (self.index.rpred(n), self.index.rsucc(n))
+            groups.setdefault(signature, set()).add(n)
+        # Deterministic ordering by smallest member label.
+        return sorted(groups.values(), key=lambda g: min(g))
+
+    # ------------------------------------------------------------------
+    # Step 3 — merge non-relevant composites while safe
+    # ------------------------------------------------------------------
+
+    def _mergeable(self, first: Set[str], second: Set[str]) -> bool:
+        """Line 23 of Fig. 5: the merge manufactures no new nr-path.
+
+        ``V-`` (entry points) are members with an incoming edge from outside
+        the merged set; ``V+`` (exit points) members with an outgoing edge
+        to the outside.  The merge is safe iff every exit point already sees
+        the merged set's full ``rpred`` and every entry point its full
+        ``rsucc`` — then any path through the blob was already possible.
+        """
+        merged = first | second
+        graph = self.spec.graph
+        rpred_m = self.index.rpredm(merged)
+        rsucc_m = self.index.rsuccm(merged)
+        for n in merged:
+            has_outside_in = any(p not in merged for p in graph.predecessors(n))
+            if has_outside_in and self.index.rsucc(n) != rsucc_m:
+                return False
+            has_outside_out = any(s not in merged for s in graph.successors(n))
+            if has_outside_out and self.index.rpred(n) != rpred_m:
+                return False
+        return True
+
+    def _step3_merge(self, groups: List[Set[str]]) -> List[Set[str]]:
+        changed = True
+        while changed:
+            changed = False
+            n_groups = len(groups)
+            for i in range(n_groups):
+                if changed:
+                    break
+                for j in range(i + 1, n_groups):
+                    if self._mergeable(groups[i], groups[j]):
+                        merged = groups[i] | groups[j]
+                        groups = [
+                            g for k, g in enumerate(groups) if k not in (i, j)
+                        ]
+                        groups.append(merged)
+                        groups.sort(key=lambda g: min(g))
+                        changed = True
+                        break
+        return groups
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        relevant_parts: Dict[str, Set[str]],
+        nonrelevant_parts: Sequence[Set[str]],
+        name: str,
+    ) -> UserView:
+        composites: Dict[str, Set[str]] = {}
+        for r, members in relevant_parts.items():
+            comp_name = r if members == {r} else "C[%s]" % r
+            composites[comp_name] = members
+        for idx, members in enumerate(
+            sorted(nonrelevant_parts, key=lambda g: min(g)), start=1
+        ):
+            composites["N%d" % idx] = set(members)
+        return UserView(self.spec, composites, name=name)
+
+
+def build_user_view(
+    spec: WorkflowSpec, relevant: Iterable[str], name: str = "UView"
+) -> UserView:
+    """One-shot convenience wrapper around :class:`RelevUserViewBuilder`."""
+    return RelevUserViewBuilder(spec, relevant).build(name=name)

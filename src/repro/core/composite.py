@@ -1,0 +1,242 @@
+"""Composite executions: virtual steps induced by a user view (Section II).
+
+The execution of consecutive steps belonging to the same composite module
+forms a *virtual execution* of that composite (the dotted boxes S11-S13 of
+the paper's Fig. 2).  Given a run and a user view, each composite's virtual
+executions are the weakly connected components of the run graph restricted
+to the steps of that composite: steps of the same composite separated by an
+external step (e.g. the two alignment iterations around the rectification
+step in Mary's view) form distinct virtual executions, while directly
+chained ones merge.
+
+A :class:`CompositeRun` materialises the induced run: virtual steps, the
+data passed between them, and — crucially for provenance — the data that
+became *hidden* because it flows only between members of the same virtual
+execution.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+from ..run.run import WorkflowRun
+from .errors import RunError
+from .spec import INPUT, OUTPUT
+from .view import UserView
+
+_STEP_NUM = re.compile(r"(\d+)$")
+
+
+def _step_sort_key(step_id: str) -> Tuple[int, str]:
+    """Natural ordering for ``S1, S2, ..., S10`` style identifiers."""
+    match = _STEP_NUM.search(step_id)
+    return (int(match.group(1)) if match else -1, step_id)
+
+
+@dataclass(frozen=True)
+class CompositeStep:
+    """One virtual execution of a composite module."""
+
+    step_id: str
+    composite: str
+    members: FrozenSet[str]
+
+    @property
+    def is_virtual(self) -> bool:
+        """Whether this groups more than one underlying step."""
+        return len(self.members) > 1
+
+    def __str__(self) -> str:
+        return "%s:%s" % (self.step_id, self.composite)
+
+
+class CompositeRun:
+    """The run induced by a user view: virtual steps and visible dataflow.
+
+    Parameters
+    ----------
+    run:
+        The (validated) workflow run.
+    view:
+        A user view of the run's specification.
+
+    Notes
+    -----
+    Virtual steps that contain a single underlying step keep that step's
+    identifier; genuine groups are named ``<composite>.<k>`` with ``k``
+    numbering the composite's executions in step order.
+    """
+
+    def __init__(self, run: WorkflowRun, view: UserView) -> None:
+        if view.spec != run.spec:
+            raise RunError("view and run refer to different specifications")
+        self.run = run
+        self.view = view
+        self._group_of: Dict[str, str] = {INPUT: INPUT, OUTPUT: OUTPUT}
+        self._steps: Dict[str, CompositeStep] = {}
+        self._build_groups()
+        self._graph = nx.DiGraph()
+        self._hidden: Set[str] = set()
+        self._build_graph()
+
+    # ------------------------------------------------------------------
+    # Group construction
+    # ------------------------------------------------------------------
+
+    def _build_groups(self) -> None:
+        by_composite: Dict[str, List[str]] = {}
+        for step in self.run.steps():
+            composite = self.view.composite_of(step.module)
+            by_composite.setdefault(composite, []).append(step.step_id)
+        undirected = self.run.graph.to_undirected(as_view=True)
+        for composite in sorted(by_composite):
+            member_ids = by_composite[composite]
+            sub = undirected.subgraph(member_ids)
+            components = sorted(
+                (sorted(component, key=_step_sort_key)
+                 for component in nx.connected_components(sub)),
+                key=lambda c: _step_sort_key(c[0]),
+            )
+            for index, component in enumerate(components, start=1):
+                if len(component) == 1:
+                    step_id = component[0]
+                elif len(components) == 1:
+                    step_id = "%s.1" % composite
+                else:
+                    step_id = "%s.%d" % (composite, index)
+                cstep = CompositeStep(
+                    step_id=step_id,
+                    composite=composite,
+                    members=frozenset(component),
+                )
+                self._steps[step_id] = cstep
+                for member in component:
+                    self._group_of[member] = step_id
+
+    def _build_graph(self) -> None:
+        self._graph.add_nodes_from([INPUT, OUTPUT])
+        self._graph.add_nodes_from(self._steps)
+        internal_only: Dict[str, bool] = {}
+        for src, dst, data_ids in self.run.edges():
+            gsrc = self._group_of[src]
+            gdst = self._group_of[dst]
+            internal = gsrc == gdst
+            for data_id in data_ids:
+                internal_only[data_id] = internal_only.get(data_id, True) and internal
+            if internal:
+                continue
+            if self._graph.has_edge(gsrc, gdst):
+                self._graph.edges[gsrc, gdst]["data"].update(data_ids)
+            else:
+                self._graph.add_edge(gsrc, gdst, data=set(data_ids))
+        self._hidden = {d for d, internal in internal_only.items() if internal}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The induced run graph over virtual steps (treat as read-only)."""
+        return self._graph
+
+    def composite_steps(self) -> List[CompositeStep]:
+        """All virtual steps, ordered by identifier."""
+        return [self._steps[s] for s in sorted(self._steps, key=_step_sort_key)]
+
+    def composite_step(self, step_id: str) -> CompositeStep:
+        """Look up one virtual step."""
+        try:
+            return self._steps[step_id]
+        except KeyError:
+            raise RunError("unknown composite step %r" % step_id) from None
+
+    def group_of(self, step_id: str) -> str:
+        """The virtual step containing an underlying step."""
+        try:
+            return self._group_of[step_id]
+        except KeyError:
+            raise RunError("unknown step %r" % step_id) from None
+
+    def executions_of(self, composite: str) -> List[CompositeStep]:
+        """All virtual executions of one composite module, in step order."""
+        return [
+            c for c in self.composite_steps() if c.composite == composite
+        ]
+
+    def num_composite_steps(self) -> int:
+        """Number of virtual steps in the induced run."""
+        return len(self._steps)
+
+    def is_acyclic(self) -> bool:
+        """Whether the induced run graph is a DAG.
+
+        Views satisfying Properties 1-3 never create cycles at the run
+        level; arbitrary hand-built partitions can.
+        """
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    # ------------------------------------------------------------------
+    # Data visibility
+    # ------------------------------------------------------------------
+
+    def hidden_data(self) -> FrozenSet[str]:
+        """Data passed only between steps inside one virtual execution."""
+        return frozenset(self._hidden)
+
+    def visible_data(self) -> Set[str]:
+        """Data observable under this view."""
+        return self.run.data_ids() - self._hidden
+
+    def is_visible(self, data_id: str) -> bool:
+        """Whether a data object is observable under this view."""
+        if data_id not in self.run.data_ids():
+            raise RunError("unknown data id %r" % data_id)
+        return data_id not in self._hidden
+
+    def producer(self, data_id: str) -> str:
+        """The virtual step (or ``input``) that produced a data object."""
+        return self._group_of[self.run.producer(data_id)]
+
+    def inputs_of(self, cstep_id: str) -> Set[str]:
+        """Data entering a virtual step from outside it."""
+        self._require(cstep_id)
+        inputs: Set[str] = set()
+        for _src, _dst, payload in self._graph.in_edges(cstep_id, data="data"):
+            inputs |= payload
+        return inputs
+
+    def outputs_of(self, cstep_id: str) -> Set[str]:
+        """Data leaving a virtual step."""
+        self._require(cstep_id)
+        outputs: Set[str] = set()
+        for _src, _dst, payload in self._graph.out_edges(cstep_id, data="data"):
+            outputs |= payload
+        return outputs
+
+    def edge_data(self, src: str, dst: str) -> FrozenSet[str]:
+        """Data carried by one induced edge."""
+        try:
+            return frozenset(self._graph.edges[src, dst]["data"])
+        except KeyError:
+            raise RunError("no induced edge (%r, %r)" % (src, dst)) from None
+
+    def edges(self) -> Iterator[Tuple[str, str, FrozenSet[str]]]:
+        """Iterate induced ``(src, dst, data_ids)`` triples."""
+        for src, dst, payload in self._graph.edges(data="data"):
+            yield src, dst, frozenset(payload)
+
+    def _require(self, node: str) -> None:
+        if node not in self._graph:
+            raise RunError("unknown composite-run node %r" % node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "CompositeRun(run=%r, view=%r, composite_steps=%d)" % (
+            self.run.run_id,
+            self.view.name,
+            len(self._steps),
+        )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ZOOM reproduction.
+
+All library errors derive from :class:`ZoomError` so applications can catch a
+single base class.  The hierarchy mirrors the layers of the system: model
+construction, view construction, execution, warehouse access and querying.
+"""
+
+from __future__ import annotations
+
+
+class ZoomError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecificationError(ZoomError):
+    """A workflow specification violates the model of Section II.
+
+    Raised when a graph is not a legal workflow specification: missing
+    ``input``/``output`` nodes, a node not on any ``input``-to-``output``
+    path, duplicate module labels, or edges touching reserved node names.
+    """
+
+
+class ViewError(ZoomError):
+    """A user view is malformed (not a partition, unknown modules, ...)."""
+
+
+class PartitionError(ViewError):
+    """A user view is not a partition of the specification's modules."""
+
+
+class RunError(ZoomError):
+    """A workflow run graph is malformed or inconsistent with its spec."""
+
+
+class ExecutionError(ZoomError):
+    """The execution simulator cannot run the given specification."""
+
+
+class LoopNestingError(ExecutionError):
+    """The simulator only supports non-nested (disjoint) loops.
+
+    The synthetic workload generator never produces nested loops, matching
+    the structured workflows of the paper's corpus; a specification with
+    nested back edges is rejected explicitly rather than mis-executed.
+    """
+
+
+class WarehouseError(ZoomError):
+    """A provenance-warehouse operation failed."""
+
+
+class UnknownEntityError(WarehouseError):
+    """A referenced spec/run/view/step/data id is not in the warehouse."""
+
+
+class QueryError(ZoomError):
+    """A provenance query is invalid (e.g. asks about hidden data)."""
+
+
+class HiddenDataError(QueryError):
+    """The queried data object is internal to a composite execution.
+
+    Under a user view, data passed between steps inside the same composite
+    execution is not visible (Section II, "Composite executions"); queries
+    naming such data are rejected with this error rather than answered with
+    information the view is meant to hide.
+    """

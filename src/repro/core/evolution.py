@@ -1,0 +1,145 @@
+"""Workflow evolution: spec diffs and view migration across versions.
+
+Scientific workflows are "rapidly evolving" (the paper's related work):
+modules get added, renamed and rewired between versions.  Two practical
+questions follow for a provenance system built on user views:
+
+* *what changed* between two versions of a specification
+  (:func:`spec_diff`), and
+* *what happens to a user's view* — the relevant set a biologist curated
+  for version 1 should carry over to version 2 without re-flagging
+  everything (:func:`migrate_relevant` / :func:`migrate_view`).
+
+Migration keeps the surviving relevant modules (optionally following a
+rename mapping) and rebuilds the view with ``RelevUserViewBuilder`` on the
+new specification, so the result is again well-formed, dataflow-preserving,
+complete and minimal by Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .builder import build_user_view
+from .spec import WorkflowSpec
+from .view import UserView
+
+
+@dataclass(frozen=True)
+class SpecDiff:
+    """Structural difference between two specification versions."""
+
+    added_modules: FrozenSet[str]
+    removed_modules: FrozenSet[str]
+    added_edges: FrozenSet[Tuple[str, str]]
+    removed_edges: FrozenSet[Tuple[str, str]]
+
+    def is_empty(self) -> bool:
+        """Whether the two versions are structurally identical."""
+        return not (
+            self.added_modules
+            or self.removed_modules
+            or self.added_edges
+            or self.removed_edges
+        )
+
+    def summary(self) -> Dict[str, List]:
+        """Compact JSON-friendly description."""
+        return {
+            "added_modules": sorted(self.added_modules),
+            "removed_modules": sorted(self.removed_modules),
+            "added_edges": sorted(self.added_edges),
+            "removed_edges": sorted(self.removed_edges),
+        }
+
+
+def spec_diff(old: WorkflowSpec, new: WorkflowSpec) -> SpecDiff:
+    """Modules and edges added/removed between two versions."""
+    old_edges = set(old.edges())
+    new_edges = set(new.edges())
+    return SpecDiff(
+        added_modules=frozenset(new.modules - old.modules),
+        removed_modules=frozenset(old.modules - new.modules),
+        added_edges=frozenset(new_edges - old_edges),
+        removed_edges=frozenset(old_edges - new_edges),
+    )
+
+
+@dataclass
+class MigrationResult:
+    """Outcome of carrying a relevant set to a new specification version."""
+
+    view: UserView
+    kept: FrozenSet[str]
+    dropped: FrozenSet[str]
+    renamed: Dict[str, str] = field(default_factory=dict)
+
+    def clean(self) -> bool:
+        """Whether every previously relevant module survived."""
+        return not self.dropped
+
+
+def migrate_relevant(
+    relevant: Iterable[str],
+    new_spec: WorkflowSpec,
+    renames: Optional[Mapping[str, str]] = None,
+) -> Tuple[FrozenSet[str], FrozenSet[str], Dict[str, str]]:
+    """Split a relevant set into (surviving, dropped, renames applied).
+
+    ``renames`` maps old module names to new ones (e.g. ``run_alignment``
+    became ``run_msa``); unmapped modules survive iff the new spec still
+    has them.
+    """
+    renames = dict(renames or {})
+    kept: Set[str] = set()
+    dropped: Set[str] = set()
+    applied: Dict[str, str] = {}
+    for module in relevant:
+        target = renames.get(module, module)
+        if target in new_spec.modules:
+            kept.add(target)
+            if target != module:
+                applied[module] = target
+        else:
+            dropped.add(module)
+    return frozenset(kept), frozenset(dropped), applied
+
+
+def migrate_view(
+    old_relevant: Iterable[str],
+    new_spec: WorkflowSpec,
+    renames: Optional[Mapping[str, str]] = None,
+    name: str = "UMigrated",
+) -> MigrationResult:
+    """Rebuild a user's view against a new specification version.
+
+    The surviving relevant modules drive ``RelevUserViewBuilder`` on the
+    new spec; the result records which modules were dropped so the UI can
+    tell the user their view lost (or renamed) anchors.
+    """
+    kept, dropped, applied = migrate_relevant(old_relevant, new_spec, renames)
+    view = build_user_view(new_spec, kept, name=name)
+    return MigrationResult(
+        view=view, kept=kept, dropped=dropped, renamed=applied
+    )
+
+
+def affected_composites(
+    view: UserView, diff: SpecDiff
+) -> FrozenSet[str]:
+    """Composites of an *old-spec* view touched by a version change.
+
+    A composite is affected when it loses a member or when an
+    added/removed edge has an endpoint inside it — the set a cache layer
+    must invalidate when the workflow definition is updated.
+    """
+    touched: Set[str] = set()
+    for module in diff.removed_modules:
+        if module in view.spec.modules:
+            touched.add(view.composite_of(module))
+    for src, dst in diff.added_edges | diff.removed_edges:
+        for endpoint in (src, dst):
+            if endpoint in view.spec.modules:
+                touched.add(view.composite_of(endpoint))
+    return frozenset(touched)

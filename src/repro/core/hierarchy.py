@@ -1,0 +1,121 @@
+"""Hierarchical views: refining a composite by zooming into it.
+
+The paper's conclusion sketches how user views compose with existing
+composite-module mechanisms: "by viewing each composite module as itself
+being a workflow and marking relevant atomic modules contained within it".
+This module implements that zoom-in:
+
+* :func:`composite_subspec` extracts one composite's members as a
+  standalone two-terminal workflow (outside producers collapse to
+  ``input``, outside consumers to ``output``);
+* :func:`refine_composite` runs ``RelevUserViewBuilder`` *inside* the
+  composite and splices the resulting sub-composites back into the outer
+  view.
+
+The canonical demonstration (pinned by tests): starting from Joe's view of
+the phylogenomic workflow and flagging the rectification module M5 inside
+his alignment composite M10 yields exactly Mary's view — hierarchical
+refinement recovers what building from scratch with the larger relevant
+set would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .builder import build_user_view
+from .errors import ViewError
+from .spec import INPUT, OUTPUT, WorkflowSpec
+from .view import UserView
+
+
+def composite_subspec(view: UserView, composite: str) -> WorkflowSpec:
+    """The sub-workflow a composite module stands for.
+
+    Members keep their labels and internal edges; every member fed from
+    outside the composite hangs off the sub-workflow's ``input`` and every
+    member feeding the outside reaches its ``output``.  The result is a
+    valid specification (each member of a composite built from a run- or
+    dataflow-connected grouping lies on an input-output path).
+    """
+    members = view.members(composite)
+    outer = view.spec.graph
+    edges: List[Tuple[str, str]] = []
+    entries: Set[str] = set()
+    exits: Set[str] = set()
+    for module in sorted(members):
+        for pred in outer.predecessors(module):
+            if pred in members:
+                edges.append((pred, module))
+            else:
+                entries.add(module)
+        for succ in outer.successors(module):
+            if succ not in members:
+                exits.add(module)
+    edges.extend((INPUT, module) for module in sorted(entries))
+    edges.extend((module, OUTPUT) for module in sorted(exits))
+    return WorkflowSpec(
+        sorted(members), edges, name="%s/%s" % (view.spec.name, composite)
+    )
+
+
+def refine_composite(
+    view: UserView,
+    composite: str,
+    relevant_within: Iterable[str],
+    name: Optional[str] = None,
+) -> UserView:
+    """Split one composite by flagging relevant modules inside it.
+
+    The composite's members are treated as their own workflow
+    (:func:`composite_subspec`); ``RelevUserViewBuilder`` partitions them
+    around ``relevant_within``; the sub-composites replace the original
+    composite in the outer view.  Sub-composite names are prefixed with
+    the original composite's name when they would collide.
+
+    Raises :class:`ViewError` when ``relevant_within`` is not a subset of
+    the composite's members.
+    """
+    members = view.members(composite)
+    relevant = frozenset(relevant_within)
+    outside = relevant - members
+    if outside:
+        raise ViewError(
+            "modules %s are not inside composite %r"
+            % (sorted(outside), composite)
+        )
+    subspec = composite_subspec(view, composite)
+    subview = build_user_view(subspec, relevant)
+    composites: Dict[str, Set[str]] = {
+        existing: set(view.members(existing))
+        for existing in view.composites
+        if existing != composite
+    }
+    for sub_name in subview.composites:
+        target = sub_name
+        if target in composites:
+            target = "%s.%s" % (composite, sub_name)
+        while target in composites:  # pragma: no cover - double collision
+            target = "_" + target
+        composites[target] = set(subview.members(sub_name))
+    return UserView(
+        view.spec, composites, name=name or "%s+%s" % (view.name, composite)
+    )
+
+
+def zoom_path(
+    spec: WorkflowSpec,
+    steps: Iterable[Tuple[str, FrozenSet[str]]],
+    initial_relevant: Iterable[str],
+    name: str = "UZoomed",
+) -> UserView:
+    """Apply a sequence of refinements: build, then zoom repeatedly.
+
+    ``steps`` is a list of ``(composite name, relevant inside it)`` pairs
+    applied in order to the view built from ``initial_relevant`` — the
+    programmatic form of a user drilling down level by level.
+    """
+    view = build_user_view(spec, initial_relevant, name=name)
+    for composite, relevant_within in steps:
+        view = refine_composite(view, composite, relevant_within, name=name)
+    return view

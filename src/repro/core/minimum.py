@@ -1,0 +1,188 @@
+"""Exhaustive search for a *minimum* user view (the paper's open problem).
+
+``RelevUserViewBuilder`` guarantees a *minimal* view — no two composites can
+be merged — but not a *minimum* one (smallest possible size); Fig. 7 of the
+paper exhibits a workflow where the algorithm returns size 5 while size 4 is
+achievable.  Whether a polynomial algorithm for the minimum exists is left
+open.
+
+This module provides a branch-and-bound exact solver over set partitions,
+usable on small specifications (≈ a dozen modules).  It serves two roles in
+the reproduction:
+
+* a ground-truth baseline for the ``ablation_minimum`` benchmark, measuring
+  how far the polynomial algorithm's view size is from optimal, and
+* an independent oracle in tests that the builder's output is never
+  *smaller* than the true minimum and always within the observed gap.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .errors import ViewError
+from .properties import satisfies_all
+from .spec import WorkflowSpec
+from .view import UserView, view_from_partition
+
+#: Default cap on the number of modules the exact solver will accept.
+DEFAULT_MAX_MODULES = 12
+
+
+def gap_example() -> Tuple[WorkflowSpec, FrozenSet[str]]:
+    """A concrete Fig. 7-style instance: minimal is not minimum.
+
+    ``RelevUserViewBuilder`` groups the same-signature modules ``a`` and
+    ``b`` into one composite and gets stuck at size 6 (provably minimal —
+    no pairwise merge helps), while the true minimum of size 5 splits the
+    pair: ``a`` joins ``x`` and ``b`` joins ``y``, exactly the paper's
+    observation that the minimum "does not combine modules with same
+    rpred/rsucc".  Used by tests and the ``ablation_minimum`` benchmark.
+    """
+    from .spec import INPUT, OUTPUT
+
+    spec = WorkflowSpec(
+        ["r1", "r2", "r3", "x", "y", "a", "b"],
+        [
+            (INPUT, "x"),
+            (INPUT, "y"),
+            ("x", "a"),
+            ("x", "r3"),
+            ("y", "b"),
+            ("y", OUTPUT),
+            ("a", "r1"),
+            ("a", "r2"),
+            ("b", "r1"),
+            ("b", "r2"),
+            ("r1", OUTPUT),
+            ("r2", OUTPUT),
+            ("r3", OUTPUT),
+        ],
+        name="fig7-gap",
+    )
+    return spec, frozenset({"r1", "r2", "r3"})
+
+
+def minimum_view(
+    spec: WorkflowSpec,
+    relevant: Iterable[str],
+    max_modules: int = DEFAULT_MAX_MODULES,
+    name: str = "UMin",
+) -> UserView:
+    """Find a user view of minimum size satisfying Properties 1-3.
+
+    Parameters
+    ----------
+    spec:
+        The workflow specification (at most ``max_modules`` modules).
+    relevant:
+        The relevant module set.
+    max_modules:
+        Safety cap — partition enumeration is exponential, so larger
+        specifications are rejected rather than silently hanging.
+
+    Returns
+    -------
+    UserView
+        A minimum-size view satisfying Properties 1-3.  The admin view
+        (every module alone) always satisfies them, so a solution exists.
+
+    Raises
+    ------
+    ViewError
+        If the specification exceeds ``max_modules``.
+    """
+    rel = frozenset(relevant)
+    unknown = rel - spec.modules
+    if unknown:
+        raise ViewError("relevant modules not in specification: %s" % sorted(unknown))
+    modules = sorted(spec.modules)
+    if len(modules) > max_modules:
+        raise ViewError(
+            "exact minimum search limited to %d modules (got %d)"
+            % (max_modules, len(modules))
+        )
+    # Place relevant modules first: they are pairwise forced into distinct
+    # blocks (Property 1), which tightens the branch-and-bound lower bound.
+    ordered = sorted(rel) + [m for m in modules if m not in rel]
+    searcher = _PartitionSearch(spec, rel, ordered)
+    best = searcher.run()
+    assert best is not None  # admin view always qualifies
+    return view_from_partition(spec, best, name=name)
+
+
+def minimum_view_size(
+    spec: WorkflowSpec,
+    relevant: Iterable[str],
+    max_modules: int = DEFAULT_MAX_MODULES,
+) -> int:
+    """Size of the minimum view — convenience for benchmarks and tests."""
+    return minimum_view(spec, relevant, max_modules=max_modules).size()
+
+
+class _PartitionSearch:
+    """Branch-and-bound enumeration of well-formed partitions.
+
+    Items are assigned one at a time either to an existing block (if that
+    keeps at most one relevant module per block) or to a fresh block.
+    Branches whose block count already reaches the best known size are cut;
+    complete partitions are validated with the full property oracle.
+    """
+
+    def __init__(
+        self, spec: WorkflowSpec, relevant: FrozenSet[str], ordered: Sequence[str]
+    ) -> None:
+        self.spec = spec
+        self.relevant = relevant
+        self.ordered = list(ordered)
+        self.best_size: int = len(ordered) + 1
+        self.best: Optional[List[Set[str]]] = None
+        self.lower_bound = max(1, len(relevant))
+
+    def run(self) -> Optional[List[Set[str]]]:
+        self._assign(0, [], 0)
+        return self.best
+
+    def _assign(self, idx: int, blocks: List[Set[str]], relevant_blocks: int) -> None:
+        if self.best_size == self.lower_bound:
+            return  # cannot do better than the lower bound
+        if idx == len(self.ordered):
+            self._consider(blocks)
+            return
+        item = self.ordered[idx]
+        item_relevant = item in self.relevant
+        remaining_relevant = sum(
+            1 for m in self.ordered[idx:] if m in self.relevant
+        )
+        # Bound: final size is at least current blocks plus the relevant
+        # modules still to place that cannot share existing relevant-free
+        # blocks... conservatively, plus those that will each need a block
+        # beyond the relevant-capacity of existing blocks.
+        free_capacity = len(blocks) - relevant_blocks
+        extra_needed = max(0, remaining_relevant - free_capacity)
+        if len(blocks) + extra_needed >= self.best_size:
+            return
+        for block in blocks:
+            if item_relevant and block & self.relevant:
+                continue  # Property 1 would be violated
+            block.add(item)
+            self._assign(
+                idx + 1, blocks, relevant_blocks + (1 if item_relevant else 0)
+            )
+            block.discard(item)
+        if len(blocks) + 1 < self.best_size:
+            blocks.append({item})
+            self._assign(
+                idx + 1, blocks, relevant_blocks + (1 if item_relevant else 0)
+            )
+            blocks.pop()
+
+    def _consider(self, blocks: List[Set[str]]) -> None:
+        if len(blocks) >= self.best_size:
+            return
+        candidate = view_from_partition(
+            self.spec, [set(b) for b in blocks], name="candidate"
+        )
+        if satisfies_all(candidate, self.relevant):
+            self.best_size = len(blocks)
+            self.best = [set(b) for b in blocks]

@@ -1,0 +1,168 @@
+"""nr-path machinery (Section III of the paper).
+
+An *nr-path* between two nodes is a path whose **intermediate** nodes contain
+no relevant module.  The endpoints themselves may be relevant.  The paper's
+algorithm and properties are all phrased in terms of four derived functions:
+
+``rpred(n)``
+    relevant modules (or ``input``) from which ``n`` is reachable by an
+    nr-path,
+``rsucc(n)``
+    relevant modules (or ``output``) reachable from ``n`` by an nr-path,
+``rpredm(M)`` / ``rsuccm(M)``
+    unions of the above over a set of nodes ``M``.
+
+These are computed for *all* nodes at once by one forward traversal per
+source in ``R ∪ {input}`` and one backward traversal per sink in
+``R ∪ {output}``, stopping at relevant nodes; total cost is
+``O(|R| * |E|)``, well within the paper's ``O(|N|^2 + |E|)`` bound.
+
+The functions here operate on any :class:`networkx.DiGraph`, so they can be
+applied both to a workflow specification and to an induced view graph (whose
+"relevant" nodes are the composites containing a relevant module).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Set, Tuple
+
+import networkx as nx
+
+from .spec import INPUT, OUTPUT
+
+
+def _spread(
+    graph: nx.DiGraph,
+    source: str,
+    relevant: AbstractSet[str],
+    forward: bool,
+) -> Set[str]:
+    """Nodes reachable from ``source`` via nr-paths, in one direction.
+
+    Traverses edges (forward or backward), never *expanding* a relevant node
+    — relevant nodes are recorded as reachable endpoints but their own
+    neighbours are not explored through them.  The source itself is not
+    included unless reachable by a (non-empty) nr-path cycle.
+    """
+    neighbours = graph.successors if forward else graph.predecessors
+    reached: Set[str] = set()
+    queue = deque([source])
+    expanded: Set[str] = {source}
+    while queue:
+        node = queue.popleft()
+        for nxt in neighbours(node):
+            if nxt not in reached:
+                reached.add(nxt)
+                if nxt not in relevant and nxt not in expanded:
+                    expanded.add(nxt)
+                    queue.append(nxt)
+    return reached
+
+
+class NrPathIndex:
+    """Precomputed rpred/rsucc tables for one (graph, relevant-set) pair.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph; must contain ``input`` and ``output`` nodes.
+    relevant:
+        The set of relevant nodes (subset of the graph's ordinary nodes).
+    """
+
+    def __init__(self, graph: nx.DiGraph, relevant: Iterable[str]) -> None:
+        self._graph = graph
+        self.relevant: FrozenSet[str] = frozenset(relevant)
+        unknown = self.relevant - set(graph.nodes)
+        if unknown:
+            raise ValueError("relevant nodes not in graph: %s" % sorted(unknown))
+        # Relevant nodes block traversal in both directions; input/output are
+        # natural endpoints and need no special blocking (input has no
+        # in-edges, output no out-edges).
+        blockers = self.relevant
+        self._rpred: Dict[str, Set[str]] = {n: set() for n in graph.nodes}
+        self._rsucc: Dict[str, Set[str]] = {n: set() for n in graph.nodes}
+        for src in sorted(self.relevant | {INPUT}):
+            for node in _spread(graph, src, blockers, forward=True):
+                self._rpred[node].add(src)
+        for snk in sorted(self.relevant | {OUTPUT}):
+            for node in _spread(graph, snk, blockers, forward=False):
+                self._rsucc[node].add(snk)
+
+    # ------------------------------------------------------------------
+    # The paper's four functions
+    # ------------------------------------------------------------------
+
+    def rpred(self, node: str) -> FrozenSet[str]:
+        """Relevant predecessors of ``node`` connected by nr-paths."""
+        return frozenset(self._rpred[node])
+
+    def rsucc(self, node: str) -> FrozenSet[str]:
+        """Relevant successors of ``node`` connected by nr-paths."""
+        return frozenset(self._rsucc[node])
+
+    def rpredm(self, nodes: Iterable[str]) -> FrozenSet[str]:
+        """Union of :meth:`rpred` over a set of nodes."""
+        out: Set[str] = set()
+        for node in nodes:
+            out |= self._rpred[node]
+        return frozenset(out)
+
+    def rsuccm(self, nodes: Iterable[str]) -> FrozenSet[str]:
+        """Union of :meth:`rsucc` over a set of nodes."""
+        out: Set[str] = set()
+        for node in nodes:
+            out |= self._rsucc[node]
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Edge-level helpers used by the property checkers
+    # ------------------------------------------------------------------
+
+    def edge_sources(self, edge: Tuple[str, str]) -> FrozenSet[str]:
+        """Relevant endpoints from which an nr-path can enter ``edge``.
+
+        An nr-path from ``r`` passing *through* edge ``(u, v)`` requires an
+        nr-path from ``r`` to ``u`` in which ``u`` is not a blocking
+        intermediate.  If ``u`` is itself relevant (or ``input``) the only
+        possible source is ``u``; otherwise any member of ``rpred(u)``.
+        """
+        u, _v = edge
+        if u in self.relevant or u == INPUT:
+            return frozenset({u})
+        return self.rpred(u)
+
+    def edge_sinks(self, edge: Tuple[str, str]) -> FrozenSet[str]:
+        """Relevant endpoints an nr-path can reach after crossing ``edge``."""
+        _u, v = edge
+        if v in self.relevant or v == OUTPUT:
+            return frozenset({v})
+        return self.rsucc(v)
+
+    def edge_pairs(self, edge: Tuple[str, str]) -> FrozenSet[Tuple[str, str]]:
+        """All ``(r, r')`` pairs such that ``edge`` lies on an nr-path r→r'."""
+        sources = self.edge_sources(edge)
+        sinks = self.edge_sinks(edge)
+        return frozenset((r, s) for r in sources for s in sinks)
+
+    def has_nr_path(self, start: str, end: str) -> bool:
+        """Whether an nr-path (no relevant intermediates) connects two nodes."""
+        if self._graph.has_edge(start, end):
+            return True
+        return end in _spread(self._graph, start, self.relevant, forward=True)
+
+
+def nr_reachable(graph: nx.DiGraph, start: str, relevant: AbstractSet[str]) -> Set[str]:
+    """All nodes reachable from ``start`` via nr-paths in ``graph``.
+
+    Standalone convenience for callers that do not need a full index.
+    """
+    return _spread(graph, start, frozenset(relevant), forward=True)
+
+
+def has_nr_path(
+    graph: nx.DiGraph, start: str, end: str, relevant: AbstractSet[str]
+) -> bool:
+    """Whether ``graph`` contains an nr-path from ``start`` to ``end``."""
+    return end in nr_reachable(graph, start, relevant)

@@ -1,0 +1,292 @@
+"""Checkers for the paper's properties of a good user view (Section III).
+
+Given a specification ``G_w``, a set of relevant modules ``R`` and a user
+view ``U``, the paper defines:
+
+Property 1 (*well-formed*)
+    every composite module contains at most one relevant module;
+Property 2 (*preserves dataflow*)
+    every edge of ``G_w`` that induces an edge lying on an nr-path from
+    ``C(r)`` to ``C(r')`` in ``U(G_w)`` itself lies on an nr-path from ``r``
+    to ``r'`` in ``G_w`` — no dataflow between relevant modules is invented;
+Property 3 (*complete w.r.t. dataflow*)
+    conversely, every edge on an nr-path from ``r`` to ``r'`` in ``G_w``
+    whose induced edge exists in ``U(G_w)`` lies on an nr-path from ``C(r)``
+    to ``C(r')`` — no dataflow between relevant modules is lost;
+Minimality
+    no two composites can be merged into one while keeping Properties 1-3.
+
+The checkers below are *independent* of the construction algorithm, so they
+double as an oracle in property-based tests of
+:class:`repro.core.builder.RelevUserViewBuilder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .errors import ViewError
+from .paths import NrPathIndex
+from .spec import ENDPOINTS, INPUT, OUTPUT, WorkflowSpec
+from .view import UserView
+
+
+def _relevant_set(spec: WorkflowSpec, relevant: Iterable[str]) -> FrozenSet[str]:
+    rel = frozenset(relevant)
+    unknown = rel - spec.modules
+    if unknown:
+        raise ViewError("relevant modules not in specification: %s" % sorted(unknown))
+    return rel
+
+
+def is_well_formed(view: UserView, relevant: Iterable[str]) -> bool:
+    """Property 1: at most one relevant module per composite."""
+    rel = _relevant_set(view.spec, relevant)
+    for composite in view.composites:
+        if len(view.members(composite) & rel) > 1:
+            return False
+    return True
+
+
+def _composite_to_relevant(view: UserView, rel: FrozenSet[str]) -> Dict[str, str]:
+    """Map each relevant composite name to the single relevant module in it.
+
+    Requires Property 1; ``input``/``output`` map to themselves.
+    """
+    mapping: Dict[str, str] = {INPUT: INPUT, OUTPUT: OUTPUT}
+    for composite in view.composites:
+        hits = view.members(composite) & rel
+        if len(hits) > 1:
+            raise ViewError(
+                "view is not well-formed: composite %r contains %s"
+                % (composite, sorted(hits))
+            )
+        if hits:
+            mapping[composite] = next(iter(hits))
+    return mapping
+
+
+@dataclass
+class _PairTables:
+    """Shared machinery for Properties 2 and 3.
+
+    For each specification edge that survives into the view (its endpoints
+    live in distinct composites) we compare the set of relevant pairs whose
+    nr-paths the edge can serve, at the two levels:
+
+    * ``ground(e)`` — pairs ``(r, r')`` with ``e`` on an nr-path r→r' in G_w,
+    * ``lifted(e)`` — pairs from the induced edge in ``U(G_w)``, translated
+      back through ``C``.
+
+    Property 2 holds iff ``lifted(e) ⊆ ground(e)`` for every such edge;
+    Property 3 holds iff ``ground(e) ⊆ lifted(e)``.
+    """
+
+    view: UserView
+    relevant: FrozenSet[str]
+    spec_index: NrPathIndex = field(init=False)
+    view_index: NrPathIndex = field(init=False)
+    _to_relevant: Dict[str, str] = field(init=False)
+    _surviving: List[Tuple[str, str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        spec = self.view.spec
+        self.spec_index = NrPathIndex(spec.graph, self.relevant)
+        induced = self.view.induced_spec()
+        self._to_relevant = _composite_to_relevant(self.view, self.relevant)
+        relevant_composites = [
+            c for c in self._to_relevant if c not in ENDPOINTS
+        ]
+        self.view_index = NrPathIndex(induced.graph, relevant_composites)
+        self._surviving = [
+            (u, v)
+            for u, v in spec.edges()
+            if self.view.composite_of(u) != self.view.composite_of(v)
+        ]
+
+    def surviving_edges(self) -> List[Tuple[str, str]]:
+        return self._surviving
+
+    def ground_pairs(self, edge: Tuple[str, str]) -> FrozenSet[Tuple[str, str]]:
+        return self.spec_index.edge_pairs(edge)
+
+    def lifted_pairs(self, edge: Tuple[str, str]) -> FrozenSet[Tuple[str, str]]:
+        u, v = edge
+        view_edge = (self.view.composite_of(u), self.view.composite_of(v))
+        pairs = self.view_index.edge_pairs(view_edge)
+        return frozenset(
+            (self._to_relevant[a], self._to_relevant[b]) for a, b in pairs
+        )
+
+
+def preserves_dataflow(view: UserView, relevant: Iterable[str]) -> bool:
+    """Property 2: the view invents no dataflow between relevant modules."""
+    rel = _relevant_set(view.spec, relevant)
+    tables = _PairTables(view, rel)
+    for edge in tables.surviving_edges():
+        if not tables.lifted_pairs(edge) <= tables.ground_pairs(edge):
+            return False
+    return True
+
+
+def is_complete(view: UserView, relevant: Iterable[str]) -> bool:
+    """Property 3: the view loses no dataflow between relevant modules."""
+    rel = _relevant_set(view.spec, relevant)
+    tables = _PairTables(view, rel)
+    for edge in tables.surviving_edges():
+        if not tables.ground_pairs(edge) <= tables.lifted_pairs(edge):
+            return False
+    return True
+
+
+def satisfies_all(view: UserView, relevant: Iterable[str]) -> bool:
+    """Whether the view satisfies Properties 1, 2 and 3 together."""
+    rel = _relevant_set(view.spec, relevant)
+    if not is_well_formed(view, rel):
+        return False
+    tables = _PairTables(view, rel)
+    for edge in tables.surviving_edges():
+        if tables.ground_pairs(edge) != tables.lifted_pairs(edge):
+            return False
+    return True
+
+
+def is_minimal(view: UserView, relevant: Iterable[str]) -> bool:
+    """Whether no pair of composites can be merged while keeping P1-3.
+
+    This is the paper's minimality condition.  The check is quadratic in the
+    number of composites and re-validates each candidate merge with the full
+    property oracle, so it is intended for correctness testing and for the
+    minimum-view baseline, not for hot paths.
+    """
+    rel = _relevant_set(view.spec, relevant)
+    for first, second in combinations(sorted(view.composites), 2):
+        candidate = view.merge(first, second, merged_name="__merged__")
+        if satisfies_all(candidate, rel):
+            return False
+    return True
+
+
+def introduces_loop(view: UserView) -> bool:
+    """Whether ``U(G_w)`` contains a loop with no counterpart in ``G_w``.
+
+    A cycle among composites is *legitimate* when it is carried by
+    specification edges that themselves lie on cycles — i.e. edges inside a
+    non-trivial strongly connected component of ``G_w``.  Projecting only
+    those edges onto the composites yields the graph of genuine loops; any
+    non-trivial SCC of the induced graph that is not contained in a single
+    non-trivial SCC of that projection was manufactured by the grouping
+    (e.g. hiding a module together with one of its transitive consumers).
+    """
+    spec = view.spec
+    induced = view.induced_spec()
+    # Edges of G_w that participate in real cycles, projected to composites.
+    scc_of: Dict[str, int] = {}
+    for index, scc in enumerate(nx.strongly_connected_components(spec.graph)):
+        if len(scc) > 1:
+            for node in scc:
+                scc_of[node] = index
+    genuine = nx.DiGraph()
+    genuine.add_nodes_from(induced.graph.nodes)
+    for u, v in spec.edges():
+        if u in scc_of and scc_of[u] == scc_of.get(v):
+            cu, cv = view.composite_of(u), view.composite_of(v)
+            if cu != cv:
+                genuine.add_edge(cu, cv)
+    genuine_sccs = [
+        frozenset(scc)
+        for scc in nx.strongly_connected_components(genuine)
+        if len(scc) > 1
+    ]
+    for scc in nx.strongly_connected_components(induced.graph):
+        if len(scc) <= 1:
+            continue
+        if not any(scc <= genuine_scc for genuine_scc in genuine_sccs):
+            return True
+    return False
+
+
+def relevant_composites_connected(view: UserView, relevant: Iterable[str]) -> bool:
+    """Whether each relevant composite is weakly connected in ``G_w``.
+
+    The paper notes Properties 1-3 guarantee this for relevant composites
+    (not for non-relevant ones, where hiding parallel branches is allowed).
+    """
+    rel = _relevant_set(view.spec, relevant)
+    undirected = view.spec.graph.to_undirected(as_view=True)
+    for composite in view.composites:
+        members = view.members(composite)
+        if not members & rel or len(members) == 1:
+            continue
+        sub = undirected.subgraph(members)
+        if not nx.is_connected(sub):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class ViewReport:
+    """Aggregate verdict of all checks for one ``(spec, R, view)`` triple."""
+
+    well_formed: bool
+    preserves_dataflow: bool
+    complete: bool
+    minimal: Optional[bool]
+    introduces_loop: bool
+    relevant_connected: bool
+
+    @property
+    def good(self) -> bool:
+        """Whether the view meets every requirement the paper states."""
+        return (
+            self.well_formed
+            and self.preserves_dataflow
+            and self.complete
+            and (self.minimal is not False)
+            and not self.introduces_loop
+        )
+
+
+def check_view(
+    view: UserView, relevant: Iterable[str], check_minimality: bool = True
+) -> ViewReport:
+    """Run every property check and return a :class:`ViewReport`.
+
+    ``check_minimality=False`` skips the (quadratic, oracle-driven)
+    minimality test for large inputs; the report then carries ``None``.
+    """
+    rel = _relevant_set(view.spec, relevant)
+    well_formed = is_well_formed(view, rel)
+    if well_formed:
+        tables = _PairTables(view, rel)
+        p2 = True
+        p3 = True
+        for edge in tables.surviving_edges():
+            ground = tables.ground_pairs(edge)
+            lifted = tables.lifted_pairs(edge)
+            if not lifted <= ground:
+                p2 = False
+            if not ground <= lifted:
+                p3 = False
+            if not p2 and not p3:
+                break
+    else:
+        # Properties 2/3 are only defined for well-formed views (C(r) must
+        # identify a unique relevant module per composite).
+        p2 = False
+        p3 = False
+    minimal: Optional[bool] = None
+    if check_minimality and well_formed and p2 and p3:
+        minimal = is_minimal(view, rel)
+    return ViewReport(
+        well_formed=well_formed,
+        preserves_dataflow=p2,
+        complete=p3,
+        minimal=minimal,
+        introduces_loop=introduces_loop(view),
+        relevant_connected=relevant_composites_connected(view, rel),
+    )

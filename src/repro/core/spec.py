@@ -1,0 +1,310 @@
+"""Workflow specifications (Section II of the paper).
+
+A workflow specification is a directed graph ``G_w(N, E)`` whose nodes are
+uniquely-labelled modules, plus two special nodes ``input`` and ``output``
+that are respectively the unique source and sink of the graph.  Every node
+must lie on some path from ``input`` to ``output``.  Cycles among ordinary
+modules are allowed — they model loops in the experiment protocol and are
+unrolled at execution time.
+
+The module exposes :class:`WorkflowSpec`, an immutable-after-validation
+wrapper around a :class:`networkx.DiGraph` with the structural queries the
+rest of the system needs (successors, predecessors, reachability, back-edge
+detection for the execution simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+from .errors import SpecificationError
+
+#: Reserved label of the unique source node of every specification.
+INPUT = "input"
+
+#: Reserved label of the unique sink node of every specification.
+OUTPUT = "output"
+
+#: Both reserved endpoint labels, for membership tests.
+ENDPOINTS = frozenset({INPUT, OUTPUT})
+
+
+class WorkflowSpec:
+    """A validated workflow specification graph.
+
+    Parameters
+    ----------
+    modules:
+        Iterable of module labels (strings).  Labels must be unique and must
+        not use the reserved names ``"input"`` / ``"output"``.
+    edges:
+        Iterable of ``(src, dst)`` pairs.  Endpoints may be ``INPUT`` /
+        ``OUTPUT`` or module labels.
+    name:
+        Optional human-readable name for the specification.
+
+    Raises
+    ------
+    SpecificationError
+        If the graph violates the workflow-specification model.
+    """
+
+    def __init__(
+        self,
+        modules: Iterable[str],
+        edges: Iterable[Tuple[str, str]],
+        name: str = "workflow",
+    ) -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        module_list = list(modules)
+        self._validate_labels(module_list)
+        self._graph.add_nodes_from([INPUT, OUTPUT])
+        self._graph.add_nodes_from(module_list)
+        for src, dst in edges:
+            self._add_edge(src, dst)
+        self._validate_structure()
+        self._modules: FrozenSet[str] = frozenset(module_list)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_labels(module_list: List[str]) -> None:
+        seen: Set[str] = set()
+        for label in module_list:
+            if not isinstance(label, str) or not label:
+                raise SpecificationError(
+                    "module labels must be non-empty strings, got %r" % (label,)
+                )
+            if label in ENDPOINTS:
+                raise SpecificationError(
+                    "module label %r is reserved for the %s node" % (label, label)
+                )
+            if label in seen:
+                raise SpecificationError("duplicate module label %r" % label)
+            seen.add(label)
+
+    def _add_edge(self, src: str, dst: str) -> None:
+        for endpoint in (src, dst):
+            if endpoint not in self._graph:
+                raise SpecificationError(
+                    "edge (%r, %r) references unknown node %r" % (src, dst, endpoint)
+                )
+        if dst == INPUT:
+            raise SpecificationError("the input node cannot have incoming edges")
+        if src == OUTPUT:
+            raise SpecificationError("the output node cannot have outgoing edges")
+        if src == dst:
+            raise SpecificationError("self-loop on %r is not allowed" % src)
+        self._graph.add_edge(src, dst)
+
+    def _validate_structure(self) -> None:
+        if self._graph.number_of_nodes() == 2:
+            raise SpecificationError("a specification needs at least one module")
+        # Every node must lie on some input -> output path, i.e. be reachable
+        # from input and co-reachable from output.
+        reach_from_input = set(nx.descendants(self._graph, INPUT)) | {INPUT}
+        reach_to_output = set(nx.ancestors(self._graph, OUTPUT)) | {OUTPUT}
+        for node in self._graph.nodes:
+            if node not in reach_from_input:
+                raise SpecificationError(
+                    "node %r is not reachable from the input node" % node
+                )
+            if node not in reach_to_output:
+                raise SpecificationError(
+                    "node %r cannot reach the output node" % node
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def modules(self) -> FrozenSet[str]:
+        """The set of module labels (excluding ``input``/``output``)."""
+        return self._modules
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying graph (treat as read-only)."""
+        return self._graph
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over all edges, including those touching input/output."""
+        return iter(self._graph.edges)
+
+    def module_edges(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over edges whose both endpoints are ordinary modules."""
+        return (
+            (u, v)
+            for u, v in self._graph.edges
+            if u not in ENDPOINTS and v not in ENDPOINTS
+        )
+
+    def successors(self, node: str) -> List[str]:
+        """Direct successors of ``node`` (which may be ``INPUT``)."""
+        self._require_node(node)
+        return list(self._graph.successors(node))
+
+    def predecessors(self, node: str) -> List[str]:
+        """Direct predecessors of ``node`` (which may be ``OUTPUT``)."""
+        self._require_node(node)
+        return list(self._graph.predecessors(node))
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        """Whether the edge ``src -> dst`` exists."""
+        return self._graph.has_edge(src, dst)
+
+    def _require_node(self, node: str) -> None:
+        if node not in self._graph:
+            raise SpecificationError("unknown node %r" % node)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        """Number of ordinary modules."""
+        return len(self._modules)
+
+    def num_edges(self) -> int:
+        """Total number of edges including input/output edges."""
+        return self._graph.number_of_edges()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "WorkflowSpec(name=%r, modules=%d, edges=%d)" % (
+            self.name,
+            len(self._modules),
+            self._graph.number_of_edges(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkflowSpec):
+            return NotImplemented
+        return (
+            self._modules == other._modules
+            and set(self._graph.edges) == set(other._graph.edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._modules, frozenset(self._graph.edges)))
+
+    # ------------------------------------------------------------------
+    # Reachability / cycle structure
+    # ------------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """Whether the specification has no loops."""
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def back_edges(self) -> List[Tuple[str, str]]:
+        """Back edges of a DFS from ``input`` — the loop edges of the spec.
+
+        The execution simulator removes these edges to obtain the acyclic
+        *forward* graph, then unrolls each loop.  For acyclic specifications
+        the result is empty.  The computation is deterministic: DFS visits
+        successors in sorted order.
+        """
+        back: List[Tuple[str, str]] = []
+        color: Dict[str, int] = {}  # 0 = white (absent), 1 = grey, 2 = black
+        stack: List[Tuple[str, Iterator[str]]] = []
+        color[INPUT] = 1
+        stack.append((INPUT, iter(sorted(self._graph.successors(INPUT)))))
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                state = color.get(succ, 0)
+                if state == 1:
+                    back.append((node, succ))
+                elif state == 0:
+                    color[succ] = 1
+                    stack.append((succ, iter(sorted(self._graph.successors(succ)))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+        return back
+
+    def forward_graph(self) -> nx.DiGraph:
+        """A copy of the graph with DFS back edges removed (always a DAG)."""
+        forward = self._graph.copy()
+        forward.remove_edges_from(self.back_edges())
+        if not nx.is_directed_acyclic_graph(forward):  # pragma: no cover
+            raise SpecificationError(
+                "internal error: forward graph of %r still has a cycle" % self.name
+            )
+        return forward
+
+    def loop_body(self, back_edge: Tuple[str, str]) -> Set[str]:
+        """Modules constituting the body of the loop closed by ``back_edge``.
+
+        For a back edge ``(u, v)`` the body is the set of nodes lying on a
+        forward path from ``v`` (the loop header) to ``u`` (the loop tail),
+        both included.
+        """
+        tail, header = back_edge
+        forward = self.forward_graph()
+        from_header = set(nx.descendants(forward, header)) | {header}
+        to_tail = set(nx.ancestors(forward, tail)) | {tail}
+        body = from_header & to_tail
+        if header not in body or tail not in body:  # pragma: no cover
+            raise SpecificationError(
+                "back edge (%r, %r) does not close a loop" % (tail, header)
+            )
+        return body
+
+    def topological_order(self) -> List[str]:
+        """Deterministic topological order of the forward graph.
+
+        Includes ``input`` first and ``output`` last.  Ties are broken by
+        node label so runs are reproducible.
+        """
+        return list(nx.lexicographical_topological_sort(self.forward_graph()))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable description of the specification."""
+        return {
+            "name": self.name,
+            "modules": sorted(self._modules),
+            "edges": sorted(self._graph.edges),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WorkflowSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            modules=list(payload["modules"]),  # type: ignore[arg-type]
+            edges=[tuple(e) for e in payload["edges"]],  # type: ignore[union-attr]
+            name=str(payload.get("name", "workflow")),
+        )
+
+    def subgraph_description(self) -> str:
+        """A short multi-line textual rendering (for logs and debugging)."""
+        lines = ["workflow %s (%d modules)" % (self.name, len(self._modules))]
+        for src, dst in sorted(self._graph.edges):
+            lines.append("  %s -> %s" % (src, dst))
+        return "\n".join(lines)
+
+
+def linear_spec(length: int, prefix: str = "M", name: str = "linear") -> WorkflowSpec:
+    """Build the simplest specification: a chain of ``length`` modules.
+
+    Convenience used throughout tests and examples: ``input -> M1 -> ... ->
+    Mn -> output``.
+    """
+    if length < 1:
+        raise SpecificationError("a linear spec needs at least one module")
+    modules = ["%s%d" % (prefix, i) for i in range(1, length + 1)]
+    edges: List[Tuple[str, str]] = [(INPUT, modules[0])]
+    edges.extend(zip(modules, modules[1:]))
+    edges.append((modules[-1], OUTPUT))
+    return WorkflowSpec(modules, edges, name=name)

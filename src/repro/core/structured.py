@@ -1,0 +1,351 @@
+"""Structure mining: series-parallel decomposition and pattern census.
+
+The paper's evaluation methodology starts from thirty collected workflows:
+"we extracted patterns of workflows (e.g., sequence, loop) and inferred
+statistics on their usage".  This module implements that extraction as an
+algorithm: given any workflow specification, recover its pattern structure
+— maximal sequences, parallel regions, loops — via two-terminal
+series-parallel (TTSP) reduction, with loops handled by recursive body
+collapsing.
+
+It also answers the recognition question behind the paper's future-work
+remark on *well-structured* workflows (BPEL-style processes): a
+specification is *structured* exactly when the reduction collapses it to a
+single ``input -> output`` edge.  The running phylogenomic example is a
+genuine counterexample (its annotation branch crosses the alignment
+branch), while every workflow produced by the synthetic generator is
+structured by construction — both facts are pinned by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .errors import SpecificationError
+from .spec import INPUT, OUTPUT, WorkflowSpec
+
+# ----------------------------------------------------------------------
+# Region tree
+# ----------------------------------------------------------------------
+
+
+class Region:
+    """A node of the structure tree."""
+
+    kind = "region"
+
+    def modules(self) -> List[str]:
+        """All module labels inside this region."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of modules inside this region."""
+        return len(self.modules())
+
+
+@dataclass(frozen=True)
+class ModuleRegion(Region):
+    """A single module."""
+
+    name: str
+
+    kind = "module"
+
+    def modules(self) -> List[str]:
+        return [self.name]
+
+
+@dataclass(frozen=True)
+class SeriesRegion(Region):
+    """Regions executed one after another."""
+
+    children: Tuple[Region, ...]
+
+    kind = "series"
+
+    def modules(self) -> List[str]:
+        out: List[str] = []
+        for child in self.children:
+            out.extend(child.modules())
+        return out
+
+
+@dataclass(frozen=True)
+class ParallelRegion(Region):
+    """Regions executed independently between a common split and join.
+
+    A branch may be ``None``: a direct edge bypassing the others.
+    """
+
+    branches: Tuple[Optional[Region], ...]
+
+    kind = "parallel"
+
+    def modules(self) -> List[str]:
+        out: List[str] = []
+        for branch in self.branches:
+            if branch is not None:
+                out.extend(branch.modules())
+        return out
+
+
+@dataclass(frozen=True)
+class LoopRegion(Region):
+    """A region repeated until some condition holds (a reflexive loop)."""
+
+    body: Region
+
+    kind = "loop"
+
+    def modules(self) -> List[str]:
+        return self.body.modules()
+
+
+def _series(*parts: Optional[Region]) -> Optional[Region]:
+    """Compose regions in series, flattening and dropping empties."""
+    children: List[Region] = []
+    for part in parts:
+        if part is None:
+            continue
+        if isinstance(part, SeriesRegion):
+            children.extend(part.children)
+        else:
+            children.append(part)
+    if not children:
+        return None
+    if len(children) == 1:
+        return children[0]
+    return SeriesRegion(tuple(children))
+
+
+def _parallel(*branches: Optional[Region]) -> Region:
+    """Compose regions in parallel, flattening nested parallels."""
+    flat: List[Optional[Region]] = []
+    for branch in branches:
+        if isinstance(branch, ParallelRegion):
+            flat.extend(branch.branches)
+        else:
+            flat.append(branch)
+    return ParallelRegion(tuple(flat))
+
+
+# ----------------------------------------------------------------------
+# TTSP reduction
+# ----------------------------------------------------------------------
+
+
+def _reduce(
+    graph: nx.MultiDiGraph,
+    source: str,
+    sink: str,
+    node_regions: Optional[Dict[str, Region]] = None,
+) -> Optional[Region]:
+    """Reduce a two-terminal DAG to a single edge; return its region.
+
+    Edges carry ``region`` attributes (``None`` for a bare connection).
+    Series reductions fold degree-(1,1) intermediate nodes into edge
+    labels; parallel reductions merge multi-edges.  ``node_regions`` maps
+    virtual nodes (collapsed loops) to the region they stand for; plain
+    nodes become :class:`ModuleRegion` leaves.  Returns the final edge's
+    region on success, raises :class:`_Irreducible` on failure.
+    """
+    node_regions = node_regions or {}
+    changed = True
+    while changed:
+        changed = False
+        # Parallel reduction: merge multi-edges between the same pair.
+        for u, v in list({(u, v) for u, v, _k in graph.edges(keys=True)}):
+            if graph.number_of_edges(u, v) > 1:
+                regions = [
+                    data.get("region")
+                    for _k, data in graph[u][v].items()
+                ]
+                graph.remove_edges_from(
+                    [(u, v, k) for k in list(graph[u][v])]
+                )
+                graph.add_edge(u, v, region=_parallel(*regions))
+                changed = True
+        # Series reduction: fold (1,1)-degree intermediate nodes.
+        for node in list(graph.nodes):
+            if node in (source, sink):
+                continue
+            if graph.in_degree(node) == 1 and graph.out_degree(node) == 1:
+                (pred, _n, kin), = graph.in_edges(node, keys=True)
+                (_n2, succ, kout), = graph.out_edges(node, keys=True)
+                if pred == node or succ == node:  # pragma: no cover
+                    continue
+                before = graph[pred][node][kin].get("region")
+                after = graph[node][succ][kout].get("region")
+                middle = node_regions.get(node, ModuleRegion(node))
+                graph.remove_node(node)
+                graph.add_edge(
+                    pred, succ, region=_series(before, middle, after)
+                )
+                changed = True
+    if (
+        graph.number_of_nodes() == 2
+        and graph.number_of_edges(source, sink) == 1
+        and graph.number_of_edges() == 1
+    ):
+        (_k, data), = graph[source][sink].items()
+        return data.get("region")
+    raise _Irreducible(graph)
+
+
+class _Irreducible(Exception):
+    """Raised when TTSP reduction gets stuck; carries the leftover graph."""
+
+    def __init__(self, graph: nx.MultiDiGraph) -> None:
+        super().__init__("graph is not two-terminal series-parallel")
+        self.leftover = graph
+
+
+# ----------------------------------------------------------------------
+# Mining
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StructureReport:
+    """Outcome of mining one specification."""
+
+    spec_name: str
+    structured: bool
+    region: Optional[Region]
+    leftover_nodes: List[str] = field(default_factory=list)
+    loops: List[int] = field(default_factory=list)  # body sizes
+    parallel_regions: List[int] = field(default_factory=list)  # branch counts
+    sequence_lengths: List[int] = field(default_factory=list)
+
+    def census(self) -> Dict[str, int]:
+        """Pattern counts in Table I's vocabulary."""
+        return {
+            "sequence": len(self.sequence_lengths),
+            "loop": len(self.loops),
+            "parallel": len(self.parallel_regions),
+        }
+
+
+def mine_structure(spec: WorkflowSpec) -> StructureReport:
+    """Extract the pattern structure of a specification.
+
+    Loops are collapsed innermost-out (each back-edge body becomes one
+    virtual node carrying a :class:`LoopRegion`), then the remaining DAG is
+    TTSP-reduced.  If the reduction gets stuck, the specification is
+    reported as unstructured with the irreducible kernel's nodes — still
+    with the loop statistics, which do not depend on structuredness.
+    """
+    working = nx.MultiDiGraph()
+    working.add_nodes_from(spec.graph.nodes)
+    for u, v in spec.edges():
+        working.add_edge(u, v, region=None)
+
+    placeholder_regions: Dict[str, Region] = {}
+    loops: List[int] = []
+    claimed: Set[str] = set()
+    for index, back_edge in enumerate(spec.back_edges()):
+        body = spec.loop_body(back_edge)
+        if body & claimed:
+            raise SpecificationError(
+                "nested or overlapping loops are not supported by the miner"
+            )
+        claimed |= body
+        loops.append(len(body))
+        _collapse_loop(working, spec, back_edge, body,
+                       "~loop%d" % index, placeholder_regions)
+
+    try:
+        region = _reduce(working, INPUT, OUTPUT, placeholder_regions)
+        structured = True
+        leftover: List[str] = []
+    except _Irreducible as stuck:
+        region = None
+        structured = False
+        leftover = sorted(
+            node for node in stuck.leftover.nodes
+            if node not in (INPUT, OUTPUT)
+        )
+    report = StructureReport(
+        spec_name=spec.name,
+        structured=structured,
+        region=region,
+        leftover_nodes=leftover,
+        loops=loops,
+    )
+    if region is not None:
+        _walk(region, report)
+    return report
+
+
+def _collapse_loop(
+    working: nx.MultiDiGraph,
+    spec: WorkflowSpec,
+    back_edge: Tuple[str, str],
+    body: Set[str],
+    placeholder: str,
+    placeholder_regions: Dict[str, Region],
+) -> None:
+    """Replace a loop body with one virtual node carrying a LoopRegion."""
+    tail, header = back_edge
+    # Mine the body itself: a two-terminal graph from header to tail.
+    body_graph = nx.MultiDiGraph()
+    body_graph.add_nodes_from(body)
+    for u, v in spec.edges():
+        if u in body and v in body and (u, v) != back_edge:
+            body_graph.add_edge(u, v, region=None)
+    try:
+        inner = _reduce(body_graph, header, tail)
+        body_region = _series(
+            ModuleRegion(header), inner, ModuleRegion(tail)
+        )
+    except _Irreducible:
+        # The body is unstructured internally; keep it as an opaque series
+        # of its modules for census purposes.
+        body_region = SeriesRegion(
+            tuple(ModuleRegion(m) for m in sorted(body))
+        )
+    assert body_region is not None
+    region = LoopRegion(body=body_region)
+    placeholder_regions[placeholder] = region
+    working.add_node(placeholder)
+    for u, v, _k, data in list(working.edges(keys=True, data=True)):
+        if u in body and v in body:
+            continue
+        if u in body:
+            working.add_edge(placeholder, v, region=data.get("region"))
+        elif v in body:
+            working.add_edge(u, placeholder, region=data.get("region"))
+    working.remove_nodes_from(body)
+
+
+def _walk(region: Region, report: StructureReport) -> None:
+    """Accumulate census statistics from a region tree."""
+    if isinstance(region, SeriesRegion):
+        run = 0
+        for child in region.children:
+            if isinstance(child, ModuleRegion):
+                run += 1
+            else:
+                if run:
+                    report.sequence_lengths.append(run)
+                    run = 0
+                _walk(child, report)
+        if run:
+            report.sequence_lengths.append(run)
+    elif isinstance(region, ParallelRegion):
+        report.parallel_regions.append(len(region.branches))
+        for branch in region.branches:
+            if branch is not None:
+                _walk(branch, report)
+    elif isinstance(region, LoopRegion):
+        _walk(region.body, report)
+    elif isinstance(region, ModuleRegion):
+        report.sequence_lengths.append(1)
+
+
+def is_structured(spec: WorkflowSpec) -> bool:
+    """Whether the specification is (loop-collapsed) series-parallel."""
+    return mine_structure(spec).structured

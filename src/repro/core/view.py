@@ -1,0 +1,269 @@
+"""User views: partitions of a workflow specification (Section II).
+
+A *user view* ``U`` of a specification ``G_w`` is a partition of its modules
+(excluding ``input``/``output``) into *composite modules*.  A view *induces*
+a higher-level specification ``U(G_w)`` with one node per composite and an
+edge ``Mi -> Mj`` whenever some edge of ``G_w`` connects a member of ``Mi``
+to a member of ``Mj`` (edges internal to a composite disappear).
+
+The two degenerate views used throughout the paper's evaluation are provided
+as constructors: :func:`admin_view` (every module is its own composite —
+"UAdmin") and :func:`blackbox_view` (the whole workflow is one composite —
+"UBlackBox").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .errors import PartitionError, ViewError
+from .spec import ENDPOINTS, WorkflowSpec
+
+
+class UserView:
+    """A named partition of a specification's modules.
+
+    Parameters
+    ----------
+    spec:
+        The workflow specification being viewed.
+    composites:
+        Mapping from composite-module name to the collection of module
+        labels it contains.  Must partition ``spec.modules``.  Composite
+        names must not collide with the reserved ``input``/``output`` names.
+    name:
+        Optional view name (e.g. ``"UBio"``).
+    """
+
+    def __init__(
+        self,
+        spec: WorkflowSpec,
+        composites: Mapping[str, Iterable[str]],
+        name: str = "view",
+    ) -> None:
+        self.spec = spec
+        self.name = name
+        self._members: Dict[str, FrozenSet[str]] = {}
+        self._composite_of: Dict[str, str] = {}
+        for comp_name, members in composites.items():
+            self._add_composite(comp_name, members)
+        self._validate_partition()
+
+    def _add_composite(self, comp_name: str, members: Iterable[str]) -> None:
+        if comp_name in ENDPOINTS:
+            raise ViewError("composite name %r is reserved" % comp_name)
+        if comp_name in self._members:
+            raise ViewError("duplicate composite name %r" % comp_name)
+        member_set = frozenset(members)
+        if not member_set:
+            raise PartitionError("composite %r is empty" % comp_name)
+        for module in member_set:
+            if module not in self.spec.modules:
+                raise PartitionError(
+                    "composite %r contains unknown module %r" % (comp_name, module)
+                )
+            if module in self._composite_of:
+                raise PartitionError(
+                    "module %r appears in composites %r and %r"
+                    % (module, self._composite_of[module], comp_name)
+                )
+            self._composite_of[module] = comp_name
+        self._members[comp_name] = member_set
+
+    def _validate_partition(self) -> None:
+        missing = self.spec.modules - set(self._composite_of)
+        if missing:
+            raise PartitionError(
+                "view does not cover modules: %s" % sorted(missing)
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def composites(self) -> FrozenSet[str]:
+        """Names of all composite modules in the view."""
+        return frozenset(self._members)
+
+    def members(self, composite: str) -> FrozenSet[str]:
+        """Module labels contained in ``composite``."""
+        try:
+            return self._members[composite]
+        except KeyError:
+            raise ViewError("unknown composite %r" % composite) from None
+
+    def composite_of(self, node: str) -> str:
+        """``C(n)``: the composite containing module ``n``.
+
+        Extended, as in the paper, so that ``C(input) = input`` and
+        ``C(output) = output``.
+        """
+        if node in ENDPOINTS:
+            return node
+        try:
+            return self._composite_of[node]
+        except KeyError:
+            raise ViewError("module %r is not in the viewed specification" % node) from None
+
+    def size(self) -> int:
+        """``|U|`` — the number of composite modules (paper, Section II)."""
+        return len(self._members)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._members))
+
+    def __eq__(self, other: object) -> bool:
+        """Views are equal when they induce the same partition.
+
+        Composite *names* are presentation only and do not participate.
+        """
+        if not isinstance(other, UserView):
+            return NotImplemented
+        return self.spec == other.spec and self.partition() == other.partition()
+
+    def __hash__(self) -> int:
+        return hash((self.spec, self.partition()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UserView(name=%r, size=%d)" % (self.name, self.size())
+
+    def partition(self) -> FrozenSet[FrozenSet[str]]:
+        """The partition as a set of member-sets (name-independent)."""
+        return frozenset(self._members.values())
+
+    def refines(self, other: "UserView") -> bool:
+        """Whether this view is a refinement of ``other``.
+
+        True when every composite of this view nests inside some composite
+        of ``other`` — the relation hierarchical zooming preserves.  Every
+        view refines UBlackBox and is refined by UAdmin.
+        """
+        if self.spec != other.spec:
+            return False
+        other_parts = other.partition()
+        return all(
+            any(members <= coarse for coarse in other_parts)
+            for members in self._members.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Induced specification
+    # ------------------------------------------------------------------
+
+    def induced_spec(self) -> WorkflowSpec:
+        """The higher-level specification ``U(G_w)`` induced by this view."""
+        edges: Set[Tuple[str, str]] = set()
+        for src, dst in self.spec.edges():
+            csrc = self.composite_of(src)
+            cdst = self.composite_of(dst)
+            if csrc != cdst:
+                edges.add((csrc, cdst))
+        return WorkflowSpec(
+            modules=sorted(self._members),
+            edges=sorted(edges),
+            name="%s(%s)" % (self.name, self.spec.name),
+        )
+
+    def induced_edges(self, view_edge: Tuple[str, str]) -> List[Tuple[str, str]]:
+        """The edges of ``G_w`` that induce a given edge of ``U(G_w)``."""
+        csrc, cdst = view_edge
+        return [
+            (u, v)
+            for u, v in self.spec.edges()
+            if self.composite_of(u) == csrc and self.composite_of(v) == cdst
+        ]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def merge(
+        self, first: str, second: str, merged_name: Optional[str] = None
+    ) -> "UserView":
+        """A new view with composites ``first`` and ``second`` merged.
+
+        Used by the minimality checker, which asks whether any single merge
+        preserves Properties 1-3.
+        """
+        if first == second:
+            raise ViewError("cannot merge a composite with itself")
+        members_a = self.members(first)
+        members_b = self.members(second)
+        new_name = merged_name or "%s+%s" % (first, second)
+        composites: Dict[str, FrozenSet[str]] = {}
+        for comp, members in self._members.items():
+            if comp not in (first, second):
+                composites[comp] = members
+        if new_name in composites:
+            raise ViewError("merged name %r collides with existing composite" % new_name)
+        composites[new_name] = members_a | members_b
+        return UserView(self.spec, composites, name=self.name)
+
+    def relabelled(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "UserView":
+        """A copy with composite names replaced according to ``mapping``."""
+        composites: Dict[str, FrozenSet[str]] = {}
+        for comp, members in self._members.items():
+            new_name = mapping.get(comp, comp)
+            if new_name in composites:
+                raise ViewError("duplicate composite name %r" % new_name)
+            composites[new_name] = members
+        return UserView(self.spec, composites, name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable description (spec is referenced by name only)."""
+        return {
+            "name": self.name,
+            "spec": self.spec.name,
+            "composites": {c: sorted(m) for c, m in sorted(self._members.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, spec: WorkflowSpec, payload: Mapping[str, object]) -> "UserView":
+        """Inverse of :meth:`to_dict`, given the specification object."""
+        composites = payload["composites"]
+        return cls(spec, composites, name=str(payload.get("name", "view")))  # type: ignore[arg-type]
+
+
+def admin_view(spec: WorkflowSpec, name: str = "UAdmin") -> UserView:
+    """The finest view: every module is its own composite (paper's UAdmin)."""
+    return UserView(spec, {m: [m] for m in spec.modules}, name=name)
+
+
+def blackbox_view(spec: WorkflowSpec, name: str = "UBlackBox") -> UserView:
+    """The coarsest view: one composite holding every module (UBlackBox)."""
+    return UserView(spec, {"BlackBox": sorted(spec.modules)}, name=name)
+
+
+def view_from_partition(
+    spec: WorkflowSpec,
+    parts: Iterable[Iterable[str]],
+    name: str = "view",
+    prefix: str = "G",
+) -> UserView:
+    """Build a view from bare member-sets, auto-naming the composites.
+
+    Single-module composites are named after their module; larger groups get
+    sequential ``G1, G2, ...`` names.
+    """
+    composites: Dict[str, List[str]] = {}
+    counter = 0
+    for part in parts:
+        members = sorted(part)
+        if len(members) == 1 and members[0] not in composites:
+            composites[members[0]] = members
+        else:
+            counter += 1
+            comp_name = "%s%d" % (prefix, counter)
+            while comp_name in composites:
+                counter += 1
+                comp_name = "%s%d" % (prefix, counter)
+            composites[comp_name] = members
+    return UserView(spec, composites, name=name)

@@ -1,0 +1,199 @@
+"""Derivation paths: *how* one data object led to another.
+
+Deep provenance answers *what* contributed to a result; scientists asking
+"how did this corrupted sequence end up in the tree?" need the actual
+derivation chains — alternating data objects and (virtual) steps — between
+two objects.  Like every query in this system, the answer is relative to a
+user view: chains pass only through visible data and composite steps, so
+Joe sees one hop through the alignment composite where Mary sees the
+loop's boundary crossings.
+
+Path enumeration can explode on large runs, so the API takes an explicit
+``limit`` and callers needing only existence use :func:`derivation_exists`
+(linear time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.composite import CompositeRun
+from ..core.errors import HiddenDataError, QueryError
+from ..core.spec import OUTPUT
+
+
+@dataclass(frozen=True)
+class DerivationPath:
+    """One derivation chain: data, step, data, step, ..., data."""
+
+    data: Tuple[str, ...]
+    steps: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.data) != len(self.steps) + 1:
+            raise QueryError("a derivation path alternates data and steps")
+
+    def __len__(self) -> int:
+        """Number of derivation hops (steps) on the path."""
+        return len(self.steps)
+
+    def render(self) -> str:
+        """Human-readable ``d1 -[S1]-> d2 -[S2]-> d3`` form."""
+        parts = [self.data[0]]
+        for step, data in zip(self.steps, self.data[1:]):
+            parts.append("-[%s]->" % step)
+            parts.append(data)
+        return " ".join(parts)
+
+
+def _require_visible(composite_run: CompositeRun, data_id: str) -> None:
+    if not composite_run.is_visible(data_id):
+        raise HiddenDataError(
+            "data %r is not visible under view %r"
+            % (data_id, composite_run.view.name)
+        )
+
+
+def _successor_map(
+    composite_run: CompositeRun,
+) -> Dict[str, List[Tuple[str, str]]]:
+    """For each visible data object: the (step, produced data) hops out.
+
+    A hop exists when a (virtual) step consumed the object and produced
+    another; both objects are visible by construction of the composite
+    run's edges.
+    """
+    hops: Dict[str, List[Tuple[str, str]]] = {}
+    graph = composite_run.graph
+    for _src, step, payload in graph.edges(data="data"):
+        if step == OUTPUT:
+            continue
+        outputs = sorted(composite_run.outputs_of(step))
+        for data_id in payload:
+            bucket = hops.setdefault(data_id, [])
+            for produced in outputs:
+                bucket.append((step, produced))
+    for bucket in hops.values():
+        bucket.sort()
+    return hops
+
+
+def derivation_exists(
+    composite_run: CompositeRun, source: str, target: str
+) -> bool:
+    """Whether some derivation chain leads from ``source`` to ``target``."""
+    _require_visible(composite_run, source)
+    _require_visible(composite_run, target)
+    if source == target:
+        return True
+    hops = _successor_map(composite_run)
+    seen: Set[str] = {source}
+    frontier = [source]
+    while frontier:
+        current = frontier.pop()
+        for _step, produced in hops.get(current, []):
+            if produced == target:
+                return True
+            if produced not in seen:
+                seen.add(produced)
+                frontier.append(produced)
+    return False
+
+
+def derivation_paths(
+    composite_run: CompositeRun,
+    source: str,
+    target: str,
+    limit: int = 10,
+    max_hops: Optional[int] = None,
+) -> List[DerivationPath]:
+    """Up to ``limit`` simple derivation chains from ``source`` to ``target``.
+
+    Chains are found by depth-first search over the visible data-flow
+    hops, shortest-first is *not* guaranteed — use ``max_hops`` to bound
+    the length if only short explanations are wanted.
+    """
+    _require_visible(composite_run, source)
+    _require_visible(composite_run, target)
+    if limit < 1:
+        raise QueryError("limit must be at least 1")
+    hops = _successor_map(composite_run)
+    results: List[DerivationPath] = []
+
+    def explore(
+        current: str, data_trail: List[str], step_trail: List[str]
+    ) -> bool:
+        if len(results) >= limit:
+            return True
+        if current == target:
+            results.append(DerivationPath(
+                data=tuple(data_trail), steps=tuple(step_trail)
+            ))
+            return len(results) >= limit
+        if max_hops is not None and len(step_trail) >= max_hops:
+            return False
+        for step, produced in hops.get(current, []):
+            if produced in data_trail:
+                continue  # keep chains simple
+            data_trail.append(produced)
+            step_trail.append(step)
+            done = explore(produced, data_trail, step_trail)
+            data_trail.pop()
+            step_trail.pop()
+            if done:
+                return True
+        return False
+
+    explore(source, [source], [])
+    # Deduplicate (the same step pair can be reached via several edges).
+    unique: List[DerivationPath] = []
+    seen_paths: Set[Tuple[Tuple[str, ...], Tuple[str, ...]]] = set()
+    for path in results:
+        key = (path.data, path.steps)
+        if key not in seen_paths:
+            seen_paths.add(key)
+            unique.append(path)
+    return unique
+
+
+def shortest_derivation(
+    composite_run: CompositeRun, source: str, target: str
+) -> Optional[DerivationPath]:
+    """A minimum-hop derivation chain, or ``None`` if none exists."""
+    _require_visible(composite_run, source)
+    _require_visible(composite_run, target)
+    if source == target:
+        return DerivationPath(data=(source,), steps=())
+    hops = _successor_map(composite_run)
+    # BFS with parent pointers.
+    parents: Dict[str, Tuple[str, str]] = {}
+    frontier = [source]
+    seen: Set[str] = {source}
+    while frontier:
+        next_frontier: List[str] = []
+        for current in frontier:
+            for step, produced in hops.get(current, []):
+                if produced in seen:
+                    continue
+                seen.add(produced)
+                parents[produced] = (current, step)
+                if produced == target:
+                    return _reconstruct(parents, source, target)
+                next_frontier.append(produced)
+        frontier = next_frontier
+    return None
+
+
+def _reconstruct(
+    parents: Dict[str, Tuple[str, str]], source: str, target: str
+) -> DerivationPath:
+    data: List[str] = [target]
+    steps: List[str] = []
+    current = target
+    while current != source:
+        previous, step = parents[current]
+        steps.append(step)
+        data.append(previous)
+        current = previous
+    return DerivationPath(data=tuple(reversed(data)), steps=tuple(reversed(steps)))

@@ -1,0 +1,165 @@
+"""Re-execution planning: what must be recomputed when inputs change.
+
+The paper motivates provenance with reproducibility: "to understand and
+reproduce the results of an experiment, scientists must be able to
+determine what sequence of steps and input data were used".  The natural
+operational companion is *invalidation*: when a user input turns out to
+be wrong (a bad reagent batch, a corrupted download), which steps must be
+re-executed and which results re-derived?
+
+:class:`ReexecutionPlanner` answers this over a warehouse-backed run.
+Plans are computed at step granularity and can be *presented* at any user
+view's granularity, mirroring how the rest of the system scopes
+provenance answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from ..core.composite import CompositeRun
+from ..core.errors import QueryError
+from ..core.spec import INPUT, OUTPUT
+from ..core.view import UserView
+from ..run.run import WorkflowRun
+from ..warehouse.base import ProvenanceWarehouse
+
+
+@dataclass
+class ReexecutionPlan:
+    """The fallout of a set of changed user inputs.
+
+    Attributes
+    ----------
+    changed_inputs:
+        The user inputs declared stale.
+    stale_steps:
+        Steps that transitively consumed a stale object, in a topological
+        (re-executable) order.
+    stale_data:
+        Every data object that must be re-derived.
+    stale_outputs:
+        The run's final outputs among the stale data.
+    fresh_steps:
+        Steps untouched by the change (their cached outputs are reusable).
+    """
+
+    changed_inputs: FrozenSet[str]
+    stale_steps: List[str] = field(default_factory=list)
+    stale_data: Set[str] = field(default_factory=set)
+    stale_outputs: Set[str] = field(default_factory=set)
+    fresh_steps: Set[str] = field(default_factory=set)
+
+    def work_fraction(self) -> float:
+        """Share of the run's steps that must be re-executed."""
+        total = len(self.stale_steps) + len(self.fresh_steps)
+        if total == 0:
+            return 0.0
+        return len(self.stale_steps) / total
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description for reports."""
+        return {
+            "changed_inputs": sorted(self.changed_inputs),
+            "stale_steps": len(self.stale_steps),
+            "fresh_steps": len(self.fresh_steps),
+            "stale_outputs": sorted(self.stale_outputs),
+            "work_fraction": round(self.work_fraction(), 3),
+        }
+
+
+class ReexecutionPlanner:
+    """Computes re-execution plans from warehouse provenance."""
+
+    def __init__(self, warehouse: ProvenanceWarehouse) -> None:
+        self.warehouse = warehouse
+        self._run_cache: Dict[str, WorkflowRun] = {}
+
+    def _run(self, run_id: str) -> WorkflowRun:
+        run = self._run_cache.get(run_id)
+        if run is None:
+            run = self.warehouse.get_run(run_id)
+            self._run_cache[run_id] = run
+        return run
+
+    def plan(self, run_id: str, changed_inputs: Iterable[str]) -> ReexecutionPlan:
+        """Plan the re-execution caused by changing some user inputs."""
+        run = self._run(run_id)
+        changed = frozenset(changed_inputs)
+        unknown = changed - run.data_ids()
+        if unknown:
+            raise QueryError("unknown data ids: %s" % sorted(unknown))
+        not_inputs = changed - run.user_inputs()
+        if not_inputs:
+            raise QueryError(
+                "not user inputs (only inputs can be replaced): %s"
+                % sorted(not_inputs)
+            )
+        plan = ReexecutionPlan(changed_inputs=changed)
+        stale_data: Set[str] = set(changed)
+        stale_steps: Set[str] = set()
+        # Forward closure over the run DAG in topological order: a step is
+        # stale iff any of its inputs is stale; its outputs then are too.
+        order = [
+            node
+            for node in nx.lexicographical_topological_sort(run.graph)
+            if node not in (INPUT, OUTPUT)
+        ]
+        for step_id in order:
+            if run.inputs_of(step_id) & stale_data:
+                stale_steps.add(step_id)
+                plan.stale_steps.append(step_id)
+                stale_data |= run.outputs_of(step_id)
+        plan.stale_data = stale_data - changed
+        plan.stale_outputs = run.final_outputs() & stale_data
+        plan.fresh_steps = {s.step_id for s in run.steps()} - stale_steps
+        return plan
+
+    def plan_through_view(
+        self, run_id: str, changed_inputs: Iterable[str], view: UserView
+    ) -> ReexecutionPlan:
+        """The same plan presented at a user view's granularity.
+
+        Virtual steps are stale when any member step is stale; stale data
+        is restricted to what the view makes visible.  A scientist reading
+        the plan through their view sees the composite tasks to re-run,
+        not the formatting internals.
+        """
+        base = self.plan(run_id, changed_inputs)
+        composite_run = CompositeRun(self._run(run_id), view)
+        stale_groups: List[str] = []
+        seen: Set[str] = set()
+        for step_id in base.stale_steps:
+            group = composite_run.group_of(step_id)
+            if group not in seen:
+                seen.add(group)
+                stale_groups.append(group)
+        visible = composite_run.visible_data()
+        all_groups = {c.step_id for c in composite_run.composite_steps()}
+        return ReexecutionPlan(
+            changed_inputs=base.changed_inputs,
+            stale_steps=stale_groups,
+            stale_data=base.stale_data & visible,
+            stale_outputs=base.stale_outputs,
+            fresh_steps=all_groups - seen,
+        )
+
+    def cheapest_scapegoat(self, run_id: str) -> str:
+        """The user input whose change invalidates the fewest steps.
+
+        A small planning utility: when several candidate inputs could be
+        re-measured, start with the one with the smallest blast radius.
+        """
+        run = self._run(run_id)
+        best: Optional[str] = None
+        best_cost = float("inf")
+        for data_id in sorted(run.user_inputs()):
+            cost = len(self.plan(run_id, [data_id]).stale_steps)
+            if cost < best_cost:
+                best, best_cost = data_id, cost
+        if best is None:
+            raise QueryError("run %r has no user inputs" % run_id)
+        return best

@@ -1,0 +1,133 @@
+"""Export provenance to an Open Provenance Model (OPM) style document.
+
+The paper's community context is the provenance challenges (reference
+[5]), whose lingua franca became the Open Provenance Model: *artifacts*
+(data objects), *processes* (steps), and the causal edges ``used``,
+``wasGeneratedBy``, ``wasTriggeredBy`` and ``wasDerivedFrom``, grouped
+into *accounts* — alternative descriptions of the same execution.
+
+User views map onto OPM beautifully: **each user view is an account**.
+The same run exported under Joe's view and under Mary's view yields two
+accounts of one execution, at different granularities, exactly the
+"level of abstraction" role OPM assigns to accounts.  This module exports
+a :class:`~repro.core.composite.CompositeRun` (or several, as multiple
+accounts of one run) to a JSON-serialisable OPM document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.composite import CompositeRun
+from ..core.spec import INPUT, OUTPUT
+
+
+def export_account(composite_run: CompositeRun) -> Dict[str, object]:
+    """One OPM account: the run as seen through one user view.
+
+    Artifacts are the *visible* data objects; processes the (virtual)
+    steps.  ``used``/``wasGeneratedBy`` edges come from the induced run
+    graph; ``wasDerivedFrom`` links each produced artifact to the inputs
+    of its producing process (OPM's one-step data dependency).
+    """
+    account = composite_run.view.name
+    processes = [
+        {
+            "id": cstep.step_id,
+            "label": cstep.composite,
+            "members": sorted(cstep.members),
+        }
+        for cstep in composite_run.composite_steps()
+    ]
+    artifacts = sorted(composite_run.visible_data())
+    used: List[Dict[str, str]] = []
+    generated: List[Dict[str, str]] = []
+    for src, dst, data_ids in sorted(composite_run.edges()):
+        for data_id in sorted(data_ids):
+            if dst != OUTPUT:
+                used.append({"process": dst, "artifact": data_id})
+            if src != INPUT:
+                generated.append({"artifact": data_id, "process": src})
+    # Dedup: an artifact consumed by several processes appears once per
+    # (process, artifact) pair; generation is unique per artifact, but the
+    # same (artifact, process) pair can arise from several edges.
+    generated = [dict(t) for t in sorted({tuple(sorted(g.items())) for g in generated})]
+    used = [dict(t) for t in sorted({tuple(sorted(u.items())) for u in used})]
+    derived: List[Dict[str, str]] = []
+    for entry in generated:
+        producer = entry["process"]
+        for cause in sorted(composite_run.inputs_of(producer)):
+            derived.append({"effect": entry["artifact"], "cause": cause})
+    return {
+        "account": account,
+        "processes": processes,
+        "artifacts": artifacts,
+        "used": used,
+        "wasGeneratedBy": generated,
+        "wasDerivedFrom": derived,
+    }
+
+
+def export_opm(
+    composite_runs: Sequence[CompositeRun],
+    run_id: Optional[str] = None,
+) -> Dict[str, object]:
+    """An OPM document with one account per provided view of one run.
+
+    All composite runs must describe the same underlying run; the account
+    names (view names) must be unique.
+    """
+    if not composite_runs:
+        raise ValueError("need at least one view to export")
+    base = composite_runs[0].run
+    names: Set[str] = set()
+    accounts = []
+    for composite_run in composite_runs:
+        if composite_run.run is not base and (
+            composite_run.run.run_id != base.run_id
+            or set(composite_run.run.edges()) != set(base.edges())
+        ):
+            raise ValueError("all accounts must describe the same run")
+        name = composite_run.view.name
+        if name in names:
+            raise ValueError("duplicate account name %r" % name)
+        names.add(name)
+        accounts.append(export_account(composite_run))
+    return {
+        "opm_version": "1.1-like",
+        "run_id": run_id or base.run_id,
+        "user_inputs": sorted(base.user_inputs()),
+        "final_outputs": sorted(base.final_outputs()),
+        "accounts": accounts,
+    }
+
+
+def to_json(document: Dict[str, object], indent: int = 2) -> str:
+    """Serialise an OPM document to JSON text."""
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def account_overlap(document: Dict[str, object]) -> Dict[str, object]:
+    """Cross-account report: which artifacts every account can see.
+
+    OPM consumers use overlapping accounts to reconcile granularities;
+    this helper computes the artifacts visible in all accounts (the
+    boundary data between composite executions shared by every view) and
+    per-account exclusives.
+    """
+    accounts: Iterable[Dict[str, object]] = document["accounts"]  # type: ignore[assignment]
+    artifact_sets = {
+        str(acc["account"]): set(acc["artifacts"])  # type: ignore[arg-type]
+        for acc in accounts
+    }
+    if not artifact_sets:
+        return {"common": [], "exclusive": {}}
+    common = set.intersection(*artifact_sets.values())
+    exclusive = {
+        name: sorted(artifacts - set.union(
+            *(o for other, o in artifact_sets.items() if other != name)
+        )) if len(artifact_sets) > 1 else sorted(artifacts)
+        for name, artifacts in artifact_sets.items()
+    }
+    return {"common": sorted(common), "exclusive": exclusive}

@@ -1,0 +1,142 @@
+"""Provenance queries at the granularity of a user view (Section II).
+
+The *immediate provenance* of a data object is the (virtual) step that
+produced it together with that step's input data set; the *deep provenance*
+closes this recursively down to user inputs.  Both are answered relative to
+a user view: the queries run over a :class:`~repro.core.composite.CompositeRun`,
+so internal steps and internal data of composite executions never appear.
+
+These functions are the reference semantics.  The warehouse-backed
+:class:`~repro.provenance.reasoner.ProvenanceReasoner` must return exactly
+the same answers (a property the integration tests enforce); it differs
+only in where the run graph comes from and what gets cached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set
+
+from ..core.composite import CompositeRun
+from ..core.errors import HiddenDataError
+from ..core.spec import INPUT, OUTPUT
+from .result import ProvenanceResult, ProvenanceRow, ReverseProvenanceResult
+
+
+def _require_visible(composite_run: CompositeRun, data_id: str) -> None:
+    if not composite_run.is_visible(data_id):
+        raise HiddenDataError(
+            "data %r is internal to a composite execution under view %r"
+            % (data_id, composite_run.view.name)
+        )
+
+
+def immediate_provenance(
+    composite_run: CompositeRun, data_id: str
+) -> ProvenanceResult:
+    """The producing (virtual) step of ``data_id`` and its input set.
+
+    User-input data has no producing step; the result then carries the
+    object in ``user_inputs`` and no rows, matching the paper's convention
+    that a user input's provenance is its recorded metadata.
+    """
+    _require_visible(composite_run, data_id)
+    result = ProvenanceResult(
+        target=data_id, view_name=composite_run.view.name
+    )
+    producer = composite_run.producer(data_id)
+    if producer == INPUT:
+        result.user_inputs.add(data_id)
+        return result
+    cstep = composite_run.composite_step(producer)
+    for data_in in sorted(composite_run.inputs_of(producer)):
+        result.rows.append(
+            ProvenanceRow(step_id=producer, module=cstep.composite, data_in=data_in)
+        )
+    return result
+
+
+def deep_provenance(composite_run: CompositeRun, data_id: str) -> ProvenanceResult:
+    """All (virtual) steps and data that transitively produced ``data_id``.
+
+    Breadth-first traversal over the induced run graph, deduplicating
+    steps: a step contributes its input rows once even when several of its
+    outputs are in the provenance.
+    """
+    _require_visible(composite_run, data_id)
+    result = ProvenanceResult(
+        target=data_id, view_name=composite_run.view.name
+    )
+    seen_data: Set[str] = set()
+    seen_steps: Set[str] = set()
+    frontier: Deque[str] = deque([data_id])
+    while frontier:
+        current = frontier.popleft()
+        if current in seen_data:
+            continue
+        seen_data.add(current)
+        producer = composite_run.producer(current)
+        if producer == INPUT:
+            result.user_inputs.add(current)
+            continue
+        if producer in seen_steps:
+            continue
+        seen_steps.add(producer)
+        composite = composite_run.composite_step(producer).composite
+        for data_in in sorted(composite_run.inputs_of(producer)):
+            result.rows.append(
+                ProvenanceRow(step_id=producer, module=composite, data_in=data_in)
+            )
+            frontier.append(data_in)
+    return result
+
+
+def reverse_provenance(
+    composite_run: CompositeRun, data_id: str
+) -> ReverseProvenanceResult:
+    """Everything derived *from* ``data_id`` under the view.
+
+    This is the paper's canned query "return the data objects which have a
+    given data object in their data provenance", answered forward: steps
+    that transitively consumed the object and the data they produced.
+    """
+    _require_visible(composite_run, data_id)
+    result = ReverseProvenanceResult(
+        source=data_id, view_name=composite_run.view.name
+    )
+    final_outputs = composite_run.run.final_outputs()
+    seen_data: Set[str] = set()
+    seen_steps: Set[str] = set()
+    frontier: Deque[str] = deque([data_id])
+    while frontier:
+        current = frontier.popleft()
+        if current in seen_data:
+            continue
+        seen_data.add(current)
+        if current in final_outputs:
+            result.final_outputs.add(current)
+        for consumer in _consumers(composite_run, current):
+            result.rows.append(
+                ProvenanceRow(
+                    step_id=consumer,
+                    module=composite_run.composite_step(consumer).composite,
+                    data_in=current,
+                )
+            )
+            if consumer not in seen_steps:
+                seen_steps.add(consumer)
+                outputs = sorted(composite_run.outputs_of(consumer))
+                result.derived.update(outputs)
+                frontier.extend(outputs)
+    return result
+
+
+def _consumers(composite_run: CompositeRun, data_id: str):
+    """Virtual steps that received ``data_id`` over an induced edge."""
+    producer = composite_run.producer(data_id)
+    graph = composite_run.graph
+    out = []
+    for _src, dst, payload in graph.out_edges(producer, data="data"):
+        if data_id in payload and dst != producer and dst != OUTPUT:
+            out.append(dst)
+    return sorted(out)

@@ -1,0 +1,153 @@
+"""The provenance reasoner: warehouse-backed, view-aware, cache-friendly.
+
+The paper's best-performing strategy computes the finest-grained (UAdmin)
+provenance once per run, stores it in a temporary structure, and answers
+subsequent queries — in particular *view switches* on the same run — from
+that cached state, making the switch one to two orders of magnitude cheaper
+than the initial query (avg 13 ms vs up to seconds).  The
+:class:`ProvenanceReasoner` reproduces this design:
+
+* the first query on a run materialises the run graph from the warehouse
+  and runs the warehouse's recursive closure (the expensive part);
+* per-view composite-execution structures are built lazily and memoised, so
+  switching the user view re-traverses only in-memory state;
+* ``strategy="uncached"`` disables all memoisation, giving the naive
+  baseline the ablation benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.composite import CompositeRun
+from ..core.errors import QueryError
+from ..core.view import UserView, admin_view
+from ..run.run import WorkflowRun
+from ..warehouse.base import ProvenanceWarehouse
+from .queries import deep_provenance, immediate_provenance, reverse_provenance
+from .result import ProvenanceResult, ReverseProvenanceResult
+
+_STRATEGIES = ("cached", "uncached")
+
+
+class ProvenanceReasoner:
+    """Answers provenance queries against a warehouse, through user views.
+
+    Parameters
+    ----------
+    warehouse:
+        Any :class:`~repro.warehouse.base.ProvenanceWarehouse`.
+    strategy:
+        ``"cached"`` (default) memoises materialised runs, composite-run
+        structures and UAdmin closures; ``"uncached"`` recomputes
+        everything on each query.
+    """
+
+    def __init__(
+        self, warehouse: ProvenanceWarehouse, strategy: str = "cached"
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise QueryError(
+                "unknown strategy %r (expected one of %s)" % (strategy, _STRATEGIES)
+            )
+        self.warehouse = warehouse
+        self.strategy = strategy
+        self._run_cache: Dict[str, WorkflowRun] = {}
+        self._composite_cache: Dict[Tuple[str, UserView], CompositeRun] = {}
+        self._admin_closure_cache: Dict[Tuple[str, str], ProvenanceResult] = {}
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop all memoised state (used between benchmark repetitions)."""
+        self._run_cache.clear()
+        self._composite_cache.clear()
+        self._admin_closure_cache.clear()
+
+    def _materialize_run(self, run_id: str) -> WorkflowRun:
+        if self.strategy == "uncached":
+            return self.warehouse.get_run(run_id)
+        run = self._run_cache.get(run_id)
+        if run is None:
+            run = self.warehouse.get_run(run_id)
+            self._run_cache[run_id] = run
+        return run
+
+    def composite_run(self, run_id: str, view: UserView) -> CompositeRun:
+        """The (possibly cached) composite-execution structure of a run."""
+        if self.strategy == "uncached":
+            return CompositeRun(self._materialize_run(run_id), view)
+        key = (run_id, view)
+        composite = self._composite_cache.get(key)
+        if composite is None:
+            composite = CompositeRun(self._materialize_run(run_id), view)
+            self._composite_cache[key] = composite
+        return composite
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def admin_deep(self, run_id: str, data_id: str) -> ProvenanceResult:
+        """Deep provenance at UAdmin granularity via the warehouse closure.
+
+        This is the recursive-SQL (or BFS) query whose cost dominates the
+        paper's response-time experiment; under the cached strategy it runs
+        once per (run, data) pair.
+        """
+        if self.strategy == "uncached":
+            return self.warehouse.admin_deep_provenance(run_id, data_id)
+        key = (run_id, data_id)
+        closure = self._admin_closure_cache.get(key)
+        if closure is None:
+            closure = self.warehouse.admin_deep_provenance(run_id, data_id)
+            self._admin_closure_cache[key] = closure
+        return closure
+
+    def deep(
+        self, run_id: str, data_id: str, view: Optional[UserView] = None
+    ) -> ProvenanceResult:
+        """Deep provenance of ``data_id`` under ``view`` (UAdmin if None)."""
+        if view is None:
+            return self.admin_deep(run_id, data_id)
+        composite = self.composite_run(run_id, view)
+        return deep_provenance(composite, data_id)
+
+    def immediate(
+        self, run_id: str, data_id: str, view: Optional[UserView] = None
+    ) -> ProvenanceResult:
+        """Immediate provenance of ``data_id`` under ``view``."""
+        if view is None:
+            view = admin_view(self._materialize_run(run_id).spec)
+        composite = self.composite_run(run_id, view)
+        return immediate_provenance(composite, data_id)
+
+    def reverse(
+        self, run_id: str, data_id: str, view: Optional[UserView] = None
+    ) -> ReverseProvenanceResult:
+        """Everything derived from ``data_id`` under ``view``."""
+        if view is None:
+            view = admin_view(self._materialize_run(run_id).spec)
+        composite = self.composite_run(run_id, view)
+        return reverse_provenance(composite, data_id)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def final_output_deep(
+        self, run_id: str, view: Optional[UserView] = None
+    ) -> ProvenanceResult:
+        """Deep provenance of the run's (first) final output.
+
+        The paper's evaluation uses "the deep provenance of the final
+        output of the run" as the most expensive query; runs in this
+        reproduction may have several final outputs, in which case the
+        lexicographically smallest is taken for determinism.
+        """
+        outputs = sorted(self.warehouse.final_outputs(run_id))
+        if not outputs:
+            raise QueryError("run %r has no final output" % run_id)
+        return self.deep(run_id, outputs[0], view=view)

@@ -1,0 +1,119 @@
+"""Provenance query results and their size metrics.
+
+The paper's evaluation measures the *number of tuples returned* by a deep
+provenance query (Fig. 10 and Fig. 11): one tuple per ``(step, input data
+object)`` pair at the granularity of the user view, which is what the
+warehouse tables materialise.  The classes here standardise that counting
+so every benchmark and test measures the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass(frozen=True)
+class ProvenanceRow:
+    """One tuple of a provenance answer: a step consumed a data object."""
+
+    step_id: str
+    module: str
+    data_in: str
+
+
+@dataclass
+class ProvenanceResult:
+    """Answer to a provenance query at the granularity of one user view.
+
+    Attributes
+    ----------
+    target:
+        The data object whose provenance was asked for.
+    view_name:
+        Name of the user view the answer is relative to.
+    rows:
+        One :class:`ProvenanceRow` per (visible step, visible input) pair
+        in the provenance.  ``len(rows)`` is the paper's result size.
+    user_inputs:
+        The subset of data objects in the answer that were supplied by the
+        user (their provenance is metadata, not further steps).
+    """
+
+    target: str
+    view_name: str
+    rows: List[ProvenanceRow] = field(default_factory=list)
+    user_inputs: Set[str] = field(default_factory=set)
+
+    def num_tuples(self) -> int:
+        """The paper's result-size metric: number of rows returned."""
+        return len(self.rows)
+
+    def steps(self) -> Set[str]:
+        """Distinct (virtual) steps appearing in the answer."""
+        return {row.step_id for row in self.rows}
+
+    def modules(self) -> Set[str]:
+        """Distinct (composite) modules appearing in the answer."""
+        return {row.module for row in self.rows}
+
+    def data(self) -> Set[str]:
+        """All data objects in the answer, including the target."""
+        out = {row.data_in for row in self.rows}
+        out.add(self.target)
+        return out
+
+    def inputs_of(self, step_id: str) -> Set[str]:
+        """The input set attributed to one step in this answer."""
+        return {row.data_in for row in self.rows if row.step_id == step_id}
+
+    def sorted_rows(self) -> List[ProvenanceRow]:
+        """Rows in a canonical order (for comparisons and display)."""
+        return sorted(self.rows, key=lambda r: (r.step_id, r.data_in))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProvenanceResult):
+            return NotImplemented
+        return (
+            self.target == other.target
+            and set(self.rows) == set(other.rows)
+            and self.user_inputs == other.user_inputs
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Size statistics used by the benchmark harness."""
+        return {
+            "tuples": self.num_tuples(),
+            "steps": len(self.steps()),
+            "data": len(self.data()),
+            "user_inputs": len(self.user_inputs),
+        }
+
+
+@dataclass
+class ReverseProvenanceResult:
+    """Answer to a reverse query: everything derived *from* a data object.
+
+    ``rows`` record which steps consumed which objects along the forward
+    closure; ``derived`` holds the data those steps produced (the objects
+    that have the source in their provenance); ``final_outputs`` flags the
+    run results among them.
+    """
+
+    source: str
+    view_name: str
+    rows: List[ProvenanceRow] = field(default_factory=list)
+    derived: Set[str] = field(default_factory=set)
+    final_outputs: Set[str] = field(default_factory=set)
+
+    def num_tuples(self) -> int:
+        """Number of (step, consumed data) rows in the answer."""
+        return len(self.rows)
+
+    def steps(self) -> Set[str]:
+        """Distinct steps that transitively consumed the source."""
+        return {row.step_id for row in self.rows}
+
+    def data(self) -> Set[str]:
+        """All data objects derived from the source (plus the source)."""
+        return self.derived | {self.source}

@@ -1,0 +1,151 @@
+"""Comparing two runs of the same workflow at a view's granularity.
+
+Workflows are executed "several times a month" (Section I); comparing two
+runs is how a scientist spots why this week's tree differs from last
+week's.  The paper cites comparative visualisation as related work it does
+not itself cover — this module supplies the data side of such a
+comparison, *scoped by a user view*: differences internal to a composite
+execution are invisible, exactly like provenance answers.
+
+The comparison is structural: per composite module, how many virtual
+executions happened in each run (loop iteration deltas show up here), how
+much data crossed each induced edge, and how the runs' interfaces (user
+inputs, final outputs) differ in volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.composite import CompositeRun
+from ..core.errors import RunError
+from ..core.view import UserView
+from ..run.run import WorkflowRun
+
+
+@dataclass(frozen=True)
+class ModuleDelta:
+    """Per-composite difference between two runs."""
+
+    composite: str
+    executions_a: int
+    executions_b: int
+
+    @property
+    def changed(self) -> bool:
+        return self.executions_a != self.executions_b
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """Data-volume difference on one induced edge."""
+
+    src: str
+    dst: str
+    volume_a: int
+    volume_b: int
+
+    @property
+    def changed(self) -> bool:
+        return self.volume_a != self.volume_b
+
+
+@dataclass
+class RunDiff:
+    """The full comparison report."""
+
+    run_a: str
+    run_b: str
+    view_name: str
+    modules: List[ModuleDelta] = field(default_factory=list)
+    edges: List[EdgeDelta] = field(default_factory=list)
+    user_inputs: Tuple[int, int] = (0, 0)
+    final_outputs: Tuple[int, int] = (0, 0)
+
+    def changed_modules(self) -> List[ModuleDelta]:
+        """Composites whose execution count differs."""
+        return [delta for delta in self.modules if delta.changed]
+
+    def changed_edges(self) -> List[EdgeDelta]:
+        """Induced edges whose data volume differs."""
+        return [delta for delta in self.edges if delta.changed]
+
+    def identical(self) -> bool:
+        """Whether the runs are indistinguishable at this granularity."""
+        return (
+            not self.changed_modules()
+            and not self.changed_edges()
+            and self.user_inputs[0] == self.user_inputs[1]
+            and self.final_outputs[0] == self.final_outputs[1]
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description for reports."""
+        return {
+            "runs": (self.run_a, self.run_b),
+            "view": self.view_name,
+            "changed_modules": [d.composite for d in self.changed_modules()],
+            "changed_edges": [
+                (d.src, d.dst) for d in self.changed_edges()
+            ],
+            "identical": self.identical(),
+        }
+
+
+def _edge_volumes(composite: CompositeRun) -> Dict[Tuple[str, str], int]:
+    """Data volume per induced edge, keyed by composite-module endpoints.
+
+    Virtual-step identifiers differ between runs (different iteration
+    counts shift the numbering), so edges are aggregated by the composite
+    modules they connect.
+    """
+    volumes: Dict[Tuple[str, str], int] = {}
+    for src, dst, data_ids in composite.edges():
+        key = (_module_of(composite, src), _module_of(composite, dst))
+        volumes[key] = volumes.get(key, 0) + len(data_ids)
+    return volumes
+
+
+def _module_of(composite: CompositeRun, node: str) -> str:
+    if node in ("input", "output"):
+        return node
+    return composite.composite_step(node).composite
+
+
+def diff_runs(
+    run_a: WorkflowRun,
+    run_b: WorkflowRun,
+    view: UserView,
+) -> RunDiff:
+    """Compare two runs of the same specification through one view."""
+    if run_a.spec != run_b.spec:
+        raise RunError("runs execute different specifications")
+    if view.spec != run_a.spec:
+        raise RunError("view does not match the runs' specification")
+    composite_a = CompositeRun(run_a, view)
+    composite_b = CompositeRun(run_b, view)
+    report = RunDiff(
+        run_a=run_a.run_id,
+        run_b=run_b.run_id,
+        view_name=view.name,
+        user_inputs=(len(run_a.user_inputs()), len(run_b.user_inputs())),
+        final_outputs=(len(run_a.final_outputs()), len(run_b.final_outputs())),
+    )
+    for composite in sorted(view.composites):
+        report.modules.append(ModuleDelta(
+            composite=composite,
+            executions_a=len(composite_a.executions_of(composite)),
+            executions_b=len(composite_b.executions_of(composite)),
+        ))
+    volumes_a = _edge_volumes(composite_a)
+    volumes_b = _edge_volumes(composite_b)
+    for key in sorted(set(volumes_a) | set(volumes_b)):
+        src, dst = key
+        report.edges.append(EdgeDelta(
+            src=src,
+            dst=dst,
+            volume_a=volumes_a.get(key, 0),
+            volume_b=volumes_b.get(key, 0),
+        ))
+    return report

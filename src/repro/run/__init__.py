@@ -1,0 +1,48 @@
+"""Run layer: run graphs, event logs and the execution simulator."""
+
+from .data import DataRegistry, UserInputMeta
+from .executor import ExecutionParams, SimulationResult, simulate
+from .replay import (
+    canonical_signature,
+    observed_iterations,
+    replay,
+    runs_equivalent,
+)
+from .log import (
+    Event,
+    EventLog,
+    FinalOutputEvent,
+    ReadEvent,
+    StartEvent,
+    UserInputEvent,
+    WriteEvent,
+    log_from_run,
+    run_from_log,
+)
+from .run import Step, WorkflowRun
+from .trace import read_trace, write_trace
+
+__all__ = [
+    "DataRegistry",
+    "Event",
+    "EventLog",
+    "ExecutionParams",
+    "FinalOutputEvent",
+    "ReadEvent",
+    "SimulationResult",
+    "StartEvent",
+    "Step",
+    "UserInputEvent",
+    "UserInputMeta",
+    "WorkflowRun",
+    "WriteEvent",
+    "canonical_signature",
+    "log_from_run",
+    "observed_iterations",
+    "read_trace",
+    "replay",
+    "run_from_log",
+    "runs_equivalent",
+    "simulate",
+    "write_trace",
+]

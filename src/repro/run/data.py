@@ -1,0 +1,71 @@
+"""Data-object identity and metadata.
+
+Every data object in the workflow dataspace has a unique identifier and is
+produced by at most one step (the paper assumes data is never overwritten or
+updated in place).  Objects fed into the run by a user carry, instead of a
+producing step, whatever metadata was recorded — who input them and when —
+which the paper defines to *be* their provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class UserInputMeta:
+    """Provenance metadata for a data object supplied by a user."""
+
+    who: str
+    time: int
+
+
+class DataRegistry:
+    """Allocates sequential data identifiers and tracks user-input metadata.
+
+    Identifiers follow the paper's ``d1, d2, ...`` convention.  The registry
+    does not know producers — the run graph records production — it only
+    guarantees uniqueness and remembers which objects were user inputs.
+    """
+
+    def __init__(self, prefix: str = "d") -> None:
+        self._prefix = prefix
+        self._next = 1
+        self._user_inputs: Dict[str, UserInputMeta] = {}
+
+    def allocate(self, count: int = 1) -> List[str]:
+        """Allocate ``count`` fresh data identifiers."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        ids = [
+            "%s%d" % (self._prefix, self._next + offset) for offset in range(count)
+        ]
+        self._next += count
+        return ids
+
+    def allocate_user_input(
+        self, count: int, who: str = "user", time: int = 0
+    ) -> List[str]:
+        """Allocate identifiers for user-supplied objects, with metadata."""
+        ids = self.allocate(count)
+        meta = UserInputMeta(who=who, time=time)
+        for data_id in ids:
+            self._user_inputs[data_id] = meta
+        return ids
+
+    def is_user_input(self, data_id: str) -> bool:
+        """Whether ``data_id`` was supplied by a user."""
+        return data_id in self._user_inputs
+
+    def user_input_meta(self, data_id: str) -> Optional[UserInputMeta]:
+        """Metadata for a user input, or ``None`` for derived data."""
+        return self._user_inputs.get(data_id)
+
+    def user_inputs(self) -> Iterator[str]:
+        """Iterate over all user-input identifiers, in allocation order."""
+        return iter(self._user_inputs)
+
+    def count(self) -> int:
+        """Total number of identifiers allocated so far."""
+        return self._next - 1

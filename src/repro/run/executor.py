@@ -1,0 +1,325 @@
+"""Execution simulator: from a specification to a run plus its event log.
+
+The paper's experiments are driven by *simulated* runs of (real and
+synthetic) workflow specifications, parameterised by the amount of user
+input, the amount of data each step produces, and the number of loop
+iterations (Table II).  This module is that simulator.
+
+Loops are handled the way scientific workflow engines unroll them: the DFS
+back edges of the specification close *loop bodies* (all modules on a
+forward path from the loop header to the loop tail).  Each loop executes a
+sampled number of iterations; iteration ``i+1`` of the header consumes the
+data the tail produced in iteration ``i`` over the back edge, and external
+inputs are consumed by the first iteration only — exactly the shape of the
+paper's Fig. 2 run, where the second execution of the alignment module
+reads only the rectified alignment, not the original sequences.  Data
+flowing out of the loop body comes from the final iteration.
+
+Only non-nested (disjoint-body) loops are supported; the workload generator
+never produces nested loops, matching the structured workflows of the
+paper's corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import ExecutionError, LoopNestingError
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from .data import DataRegistry
+from .log import EventLog
+from .run import WorkflowRun
+
+
+@dataclass(frozen=True)
+class ExecutionParams:
+    """Knobs of the simulator, mirroring the run-class parameters of Table II.
+
+    Attributes
+    ----------
+    user_input_range:
+        Inclusive range of the number of data objects the user supplies on
+        each edge leaving the ``input`` node.
+    data_per_edge_range:
+        Inclusive range of the number of data objects a step writes on each
+        outgoing edge, sampled per edge and per iteration.
+    loop_iterations_range:
+        Inclusive range of the number of iterations of each loop.
+    max_steps:
+        Hard safety cap on the number of steps; exceeded means
+        :class:`ExecutionError`.
+    """
+
+    user_input_range: Tuple[int, int] = (1, 10)
+    data_per_edge_range: Tuple[int, int] = (1, 5)
+    loop_iterations_range: Tuple[int, int] = (1, 5)
+    max_steps: int = 100_000
+
+    def __post_init__(self) -> None:
+        for label, (lo, hi) in (
+            ("user_input_range", self.user_input_range),
+            ("data_per_edge_range", self.data_per_edge_range),
+            ("loop_iterations_range", self.loop_iterations_range),
+        ):
+            if lo < 1 or hi < lo:
+                raise ExecutionError("invalid %s: (%d, %d)" % (label, lo, hi))
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one simulated execution."""
+
+    run: WorkflowRun
+    log: EventLog
+    registry: DataRegistry
+    iterations: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+def simulate(
+    spec: WorkflowSpec,
+    params: Optional[ExecutionParams] = None,
+    rng: Optional[random.Random] = None,
+    run_id: str = "run1",
+    iterations: Optional[Mapping[Tuple[str, str], int]] = None,
+    user: str = "user",
+) -> SimulationResult:
+    """Execute ``spec`` once and return the run, log and data registry.
+
+    Parameters
+    ----------
+    spec:
+        The workflow specification to execute.
+    params:
+        Simulation knobs; defaults to :class:`ExecutionParams`'s defaults.
+    rng:
+        Source of randomness; defaults to ``random.Random(0)`` so that
+        un-parameterised calls are reproducible.
+    run_id:
+        Identifier for the produced run.
+    iterations:
+        Optional explicit iteration count per back edge ``(tail, header)``,
+        overriding the sampled value — used to script deterministic runs
+        such as the paper's Fig. 2.
+    user:
+        Name recorded as the supplier of the run's user inputs (the
+        metadata that *is* a user input's provenance per Section II).
+    """
+    engine = _Engine(spec, params or ExecutionParams(), rng or random.Random(0),
+                     run_id, dict(iterations or {}), user)
+    return engine.execute()
+
+
+class _Engine:
+    """Single-use executor for one simulation."""
+
+    def __init__(
+        self,
+        spec: WorkflowSpec,
+        params: ExecutionParams,
+        rng: random.Random,
+        run_id: str,
+        forced_iterations: Dict[Tuple[str, str], int],
+        user: str = "user",
+    ) -> None:
+        self.spec = spec
+        self.params = params
+        self.rng = rng
+        self.user = user
+        self.run = WorkflowRun(spec, run_id=run_id)
+        self.log = EventLog(run_id=run_id)
+        self.registry = DataRegistry()
+        self.forced_iterations = forced_iterations
+        self.iterations_used: Dict[Tuple[str, str], int] = {}
+        self._step_counter = 0
+        # latest data flowing on each specification edge:
+        # (src module, dst module) -> (producing run node, data ids)
+        self._latest: Dict[Tuple[str, str], Tuple[str, List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Loop structure
+    # ------------------------------------------------------------------
+
+    def _loop_plan(self) -> List[Tuple[Tuple[str, str], Set[str]]]:
+        plans: List[Tuple[Tuple[str, str], Set[str]]] = []
+        seen: Set[str] = set()
+        for back_edge in self.spec.back_edges():
+            body = self.spec.loop_body(back_edge)
+            if body & seen:
+                raise LoopNestingError(
+                    "loops sharing modules %s are not supported"
+                    % sorted(body & seen)
+                )
+            seen |= body
+            plans.append((back_edge, body))
+        return plans
+
+    def _schedule(
+        self, loops: Sequence[Tuple[Tuple[str, str], Set[str]]]
+    ) -> List[Tuple[str, object]]:
+        """Topological schedule over loop-contracted super-nodes.
+
+        Returns a list of ``("module", name)`` and ``("loop", index)``
+        items in execution order.
+        """
+        forward = self.spec.forward_graph()
+        group_of: Dict[str, object] = {}
+        for idx, (_edge, body) in enumerate(loops):
+            for node in body:
+                group_of[node] = ("loop", idx)
+        contracted = nx.DiGraph()
+        for node in forward.nodes:
+            contracted.add_node(group_of.get(node, ("module", node)))
+        for src, dst in forward.edges:
+            gsrc = group_of.get(src, ("module", src))
+            gdst = group_of.get(dst, ("module", dst))
+            if gsrc != gdst:
+                contracted.add_edge(gsrc, gdst)
+        if not nx.is_directed_acyclic_graph(contracted):  # pragma: no cover
+            raise ExecutionError("loop contraction produced a cycle")
+        order = list(nx.lexicographical_topological_sort(contracted, key=str))
+        return [
+            item
+            for item in order
+            if item not in (("module", INPUT), ("module", OUTPUT))
+        ]
+
+    # ------------------------------------------------------------------
+    # Step execution
+    # ------------------------------------------------------------------
+
+    def _new_step(self, module: str) -> str:
+        self._step_counter += 1
+        if self._step_counter > self.params.max_steps:
+            raise ExecutionError(
+                "run exceeded max_steps=%d (runaway loop?)" % self.params.max_steps
+            )
+        step_id = "S%d" % self._step_counter
+        self.run.add_step(step_id, module)
+        self.log.start(step_id, module)
+        return step_id
+
+    def _sample(self, bounds: Tuple[int, int]) -> int:
+        return self.rng.randint(bounds[0], bounds[1])
+
+    def _provide_user_inputs(self) -> None:
+        for target in sorted(self.spec.successors(INPUT)):
+            count = self._sample(self.params.user_input_range)
+            ids = self.registry.allocate_user_input(count, who=self.user)
+            for data_id in ids:
+                self.log.user_input(data_id, who=self.user)
+            self._latest[(INPUT, target)] = (INPUT, ids)
+
+    def _execute_module(
+        self,
+        module: str,
+        body: Optional[Set[str]] = None,
+        first_iteration: bool = True,
+        final_iteration: bool = True,
+        back_edge: Optional[Tuple[str, str]] = None,
+    ) -> str:
+        """Execute one step of ``module`` and wire its data.
+
+        ``body`` is the loop body when executing inside a loop; on
+        iterations after the first, only intra-body inputs (including the
+        back edge) are consumed; data for edges leaving the body is
+        produced only on the final iteration, and the back edge itself is
+        fed only on non-final iterations (the loop is about to exit).
+        """
+        step_id = self._new_step(module)
+        for pred in sorted(self.spec.predecessors(module)):
+            if body is not None and not first_iteration and pred not in body:
+                continue
+            available = self._latest.get((pred, module))
+            if available is None:
+                continue  # back edge before its first data, etc.
+            producer, data_ids = available
+            self.run.add_edge(producer, step_id, data_ids)
+            for data_id in sorted(data_ids):
+                self.log.read(step_id, data_id)
+        for succ in sorted(self.spec.successors(module)):
+            external = body is not None and succ not in body
+            if external and not final_iteration:
+                continue
+            if final_iteration and back_edge is not None \
+                    and (module, succ) == back_edge:
+                continue  # the loop exits; nobody will read this
+            count = self._sample(self.params.data_per_edge_range)
+            ids = self.registry.allocate(count)
+            for data_id in ids:
+                self.log.write(step_id, data_id)
+            self._latest[(module, succ)] = (step_id, ids)
+        return step_id
+
+    def _execute_loop(self, back_edge: Tuple[str, str], body: Set[str]) -> None:
+        iterations = self.forced_iterations.get(
+            back_edge, self._sample(self.params.loop_iterations_range)
+        )
+        if iterations < 1:
+            raise ExecutionError(
+                "loop %r must run at least one iteration" % (back_edge,)
+            )
+        self.iterations_used[back_edge] = iterations
+        forward = self.spec.forward_graph()
+        body_graph = forward.subgraph(body)
+        body_order = list(nx.lexicographical_topological_sort(body_graph))
+        # Modules executed on the final iteration: those from which data can
+        # still flow out of the loop.  A module that only feeds the back
+        # edge (e.g. the rectification step of the paper's Fig. 2) is not
+        # re-run once the scientist is satisfied — the loop exits before it.
+        exiting = {
+            module
+            for module in body
+            if any(succ not in body for succ in self.spec.successors(module))
+        }
+        useful_final: Set[str] = set(exiting)
+        for module in exiting:
+            useful_final |= nx.ancestors(body_graph, module)
+        for iteration in range(1, iterations + 1):
+            final = iteration == iterations
+            for module in body_order:
+                if final and module not in useful_final:
+                    continue
+                self._execute_module(
+                    module,
+                    body=body,
+                    first_iteration=iteration == 1,
+                    final_iteration=final,
+                    back_edge=back_edge,
+                )
+
+    def _deliver_final_outputs(self) -> None:
+        for pred in sorted(self.spec.predecessors(OUTPUT)):
+            available = self._latest.get((pred, OUTPUT))
+            if available is None:  # pragma: no cover - spec validity forbids
+                raise ExecutionError("module %r produced no final output" % pred)
+            producer, data_ids = available
+            self.run.add_edge(producer, OUTPUT, data_ids)
+            for data_id in sorted(data_ids):
+                self.log.final_output(data_id)
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def execute(self) -> SimulationResult:
+        loops = self._loop_plan()
+        schedule = self._schedule(loops)
+        self._provide_user_inputs()
+        for kind, payload in schedule:
+            if kind == "module":
+                self._execute_module(str(payload))
+            else:
+                back_edge, body = loops[int(payload)]  # type: ignore[arg-type]
+                self._execute_loop(back_edge, body)
+        self._deliver_final_outputs()
+        self.run.validate()
+        return SimulationResult(
+            run=self.run,
+            log=self.log,
+            registry=self.registry,
+            iterations=self.iterations_used,
+        )

@@ -1,0 +1,214 @@
+"""Event logs — the raw material of provenance reasoning (Section II).
+
+The paper assumes each workflow run generates a log of events recording,
+for every step, the module it instantiates, the data objects it read and
+the data objects it wrote.  Provenance is *derived* from this log, so the
+reproduction models the log explicitly: the simulator emits one, and
+:func:`run_from_log` rebuilds the run graph from log events alone — which
+is exactly the reconstruction a provenance warehouse performs when loading
+a third-party workflow system's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Union
+
+from ..core.errors import RunError
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from .run import WorkflowRun
+
+
+@dataclass(frozen=True)
+class StartEvent:
+    """A step began executing ``module`` at logical ``time``."""
+
+    time: int
+    step_id: str
+    module: str
+
+    kind = "start"
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """A step read one data object."""
+
+    time: int
+    step_id: str
+    data_id: str
+
+    kind = "read"
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """A step wrote one data object."""
+
+    time: int
+    step_id: str
+    data_id: str
+
+    kind = "write"
+
+
+@dataclass(frozen=True)
+class UserInputEvent:
+    """A user supplied one data object to the run."""
+
+    time: int
+    data_id: str
+    who: str = "user"
+
+    kind = "user_input"
+
+
+@dataclass(frozen=True)
+class FinalOutputEvent:
+    """A data object was designated a final result of the run."""
+
+    time: int
+    data_id: str
+
+    kind = "final_output"
+
+
+Event = Union[StartEvent, ReadEvent, WriteEvent, UserInputEvent, FinalOutputEvent]
+
+
+class EventLog:
+    """An append-only, time-ordered sequence of run events."""
+
+    def __init__(self, run_id: str = "run") -> None:
+        self.run_id = run_id
+        self._events: List[Event] = []
+        self._clock = 0
+
+    def tick(self) -> int:
+        """Advance and return the logical clock."""
+        self._clock += 1
+        return self._clock
+
+    def append(self, event: Event) -> None:
+        """Append an event; events must be appended in time order."""
+        if self._events and event.time < self._events[-1].time:
+            raise RunError(
+                "event at time %d appended after time %d"
+                % (event.time, self._events[-1].time)
+            )
+        self._events.append(event)
+
+    def start(self, step_id: str, module: str) -> StartEvent:
+        """Record and return a start event at the next clock tick."""
+        event = StartEvent(self.tick(), step_id, module)
+        self.append(event)
+        return event
+
+    def read(self, step_id: str, data_id: str) -> ReadEvent:
+        """Record and return a read event."""
+        event = ReadEvent(self.tick(), step_id, data_id)
+        self.append(event)
+        return event
+
+    def write(self, step_id: str, data_id: str) -> WriteEvent:
+        """Record and return a write event."""
+        event = WriteEvent(self.tick(), step_id, data_id)
+        self.append(event)
+        return event
+
+    def user_input(self, data_id: str, who: str = "user") -> UserInputEvent:
+        """Record and return a user-input event."""
+        event = UserInputEvent(self.tick(), data_id, who)
+        self.append(event)
+        return event
+
+    def final_output(self, data_id: str) -> FinalOutputEvent:
+        """Record and return a final-output designation."""
+        event = FinalOutputEvent(self.tick(), data_id)
+        self.append(event)
+        return event
+
+    def events(self) -> Iterator[Event]:
+        """Iterate events in time order."""
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All events of one kind, in time order."""
+        return [e for e in self._events if e.kind == kind]
+
+
+def log_from_run(run: WorkflowRun) -> EventLog:
+    """Produce a canonical event log replaying a finished run graph.
+
+    Steps are replayed in a topological order of the run; each step logs
+    its start, then reads of all its inputs, then writes of all its
+    outputs.  ``log_from_run`` and :func:`run_from_log` are inverses up to
+    event timestamps.
+    """
+    import networkx as nx
+
+    log = EventLog(run_id=run.run_id)
+    for data_id in sorted(run.user_inputs()):
+        log.user_input(data_id)
+    order = [
+        node
+        for node in nx.lexicographical_topological_sort(run.graph)
+        if node not in (INPUT, OUTPUT)
+    ]
+    for step_id in order:
+        step = run.step(step_id)
+        log.start(step_id, step.module)
+        for data_id in sorted(run.inputs_of(step_id)):
+            log.read(step_id, data_id)
+        for data_id in sorted(run.outputs_of(step_id)):
+            log.write(step_id, data_id)
+    for data_id in sorted(run.final_outputs()):
+        log.final_output(data_id)
+    return log
+
+
+def run_from_log(log: EventLog, spec: WorkflowSpec) -> WorkflowRun:
+    """Reconstruct the run graph a log describes.
+
+    The reconstruction follows the paper's recipe: the step that wrote a
+    data object is its producer; an edge ``s -> t`` labelled ``d`` exists
+    whenever ``t`` read an object ``d`` written by ``s`` (or supplied by
+    the user, in which case the edge leaves the ``input`` node).
+    """
+    run = WorkflowRun(spec, run_id=log.run_id)
+    writer: Dict[str, str] = {}
+    for event in log:
+        if event.kind == "user_input":
+            writer[event.data_id] = INPUT
+        elif event.kind == "start":
+            run.add_step(event.step_id, event.module)
+        elif event.kind == "write":
+            if event.data_id in writer:
+                raise RunError(
+                    "data %r written twice (by %r and %r)"
+                    % (event.data_id, writer[event.data_id], event.step_id)
+                )
+            writer[event.data_id] = event.step_id
+    for event in log:
+        if event.kind == "read":
+            source = writer.get(event.data_id)
+            if source is None:
+                raise RunError(
+                    "step %r read %r which nothing produced"
+                    % (event.step_id, event.data_id)
+                )
+            run.add_edge(source, event.step_id, [event.data_id])
+        elif event.kind == "final_output":
+            source = writer.get(event.data_id)
+            if source is None:
+                raise RunError(
+                    "final output %r was never produced" % event.data_id
+                )
+            run.add_edge(source, OUTPUT, [event.data_id])
+    return run

@@ -1,0 +1,137 @@
+"""Run canonicalisation and replay — the reproducibility utilities.
+
+The paper's opening motivation is reproducibility: provenance exists so an
+experiment can be understood *and re-run*.  Two ingredients make that
+checkable:
+
+* :func:`canonical_signature` — a representation of a run that is
+  invariant under renaming of step and data identifiers, so two runs can
+  be compared structurally (``runs_equivalent``).  Step ids depend on the
+  order the simulator happened to schedule independent branches, and data
+  ids on allocation order; neither is meaningful.
+* :func:`replay` — re-execute a specification forcing the loop iteration
+  counts observed in a reference run.  The replay reproduces the
+  reference's *step structure* exactly (same modules executed the same
+  number of times, wired the same way); per-edge data volumes are
+  resampled unless the caller pins the parameter ranges.
+
+Both are used by tests and available to users validating that a published
+run can be regenerated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from ..core.errors import RunError
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from .executor import ExecutionParams, SimulationResult, simulate
+from .run import WorkflowRun
+
+#: A canonical edge: (source canon id, target canon id, data count).
+_CanonEdge = Tuple[str, str, int]
+
+
+def canonical_signature(
+    run: WorkflowRun, include_data_counts: bool = True
+) -> Tuple[Tuple[str, ...], Tuple[_CanonEdge, ...]]:
+    """An id-renaming-invariant signature of a run graph.
+
+    Steps are renamed generation by generation (topological layers); inside
+    a layer, steps sort by their module and by the canonical names and
+    volumes of their incoming edges — so interchangeable twins receive
+    interchangeable names and the signature is stable.  Edges carry their
+    data *count* (identifiers are allocation artefacts); pass
+    ``include_data_counts=False`` to compare pure wiring.
+
+    Returns a pair ``(step labels, edges)`` suitable for equality checks
+    and hashing.
+    """
+    graph = run.graph
+    canon: Dict[str, str] = {INPUT: INPUT, OUTPUT: OUTPUT}
+    counter = 0
+    for layer in nx.topological_generations(graph):
+        def key(step_id: str) -> Tuple:
+            incoming = sorted(
+                (
+                    canon.get(src, "?"),
+                    len(payload) if include_data_counts else 0,
+                )
+                for src, _dst, payload in graph.in_edges(step_id, data="data")
+            )
+            return (run.module_of(step_id), tuple(incoming))
+
+        for step_id in sorted(
+            (s for s in layer if s not in (INPUT, OUTPUT)), key=key
+        ):
+            counter += 1
+            canon[step_id] = "c%d:%s" % (counter, run.module_of(step_id))
+    labels = tuple(sorted(canon[s.step_id] for s in run.steps()))
+    edges = tuple(sorted(
+        (
+            canon[src],
+            canon[dst],
+            len(payload) if include_data_counts else 0,
+        )
+        for src, dst, payload in graph.edges(data="data")
+    ))
+    return labels, edges
+
+
+def runs_equivalent(
+    first: WorkflowRun,
+    second: WorkflowRun,
+    include_data_counts: bool = True,
+) -> bool:
+    """Whether two runs are identical up to step/data renaming."""
+    if first.spec != second.spec:
+        return False
+    return canonical_signature(first, include_data_counts) == \
+        canonical_signature(second, include_data_counts)
+
+
+def observed_iterations(
+    run: WorkflowRun, spec: Optional[WorkflowSpec] = None
+) -> Dict[Tuple[str, str], int]:
+    """Loop iteration counts realised in a run.
+
+    For each back edge of the specification, the iteration count is the
+    number of executions of the loop header module.
+    """
+    spec = spec or run.spec
+    iterations: Dict[Tuple[str, str], int] = {}
+    for back_edge in spec.back_edges():
+        _tail, header = back_edge
+        executions = len(run.steps_of_module(header))
+        if executions == 0:
+            raise RunError(
+                "run has no execution of loop header %r" % header
+            )
+        iterations[back_edge] = executions
+    return iterations
+
+
+def replay(
+    reference: WorkflowRun,
+    rng: Optional[random.Random] = None,
+    params: Optional[ExecutionParams] = None,
+    run_id: Optional[str] = None,
+) -> SimulationResult:
+    """Re-execute the reference run's specification with its loop counts.
+
+    The result has the same step structure as the reference (verified by
+    ``runs_equivalent(..., include_data_counts=False)`` in tests); data
+    volumes follow ``params`` (default: the simulator defaults), so pin
+    them to reproduce volumes too.
+    """
+    iterations = observed_iterations(reference)
+    return simulate(
+        reference.spec,
+        params=params,
+        rng=rng or random.Random(0),
+        run_id=run_id or "%s-replay" % reference.run_id,
+        iterations=iterations,
+    )

@@ -1,0 +1,247 @@
+"""Workflow runs (Section II): DAGs of steps with data-labelled edges.
+
+A run is a directed acyclic graph whose nodes are *steps* — each carrying a
+unique step id and the module of which it is an execution (module labels
+repeat when loops were unrolled) — plus the ``input``/``output`` endpoint
+nodes.  Edges are labelled with the set of data identifiers passed from the
+source step to the target step.  Every data object is produced by at most
+one node (a step, or ``input`` for user-supplied objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import RunError
+from ..core.spec import ENDPOINTS, INPUT, OUTPUT, WorkflowSpec
+
+
+@dataclass(frozen=True)
+class Step:
+    """One execution of a module within a run."""
+
+    step_id: str
+    module: str
+
+    def __str__(self) -> str:
+        return "%s:%s" % (self.step_id, self.module)
+
+
+class WorkflowRun:
+    """A mutable run graph, validated on demand with :meth:`validate`.
+
+    Parameters
+    ----------
+    spec:
+        The specification this run executes (used for consistency checks
+        and kept for provenance reasoning).
+    run_id:
+        Unique identifier of the run.
+    """
+
+    def __init__(self, spec: WorkflowSpec, run_id: str = "run") -> None:
+        self.spec = spec
+        self.run_id = run_id
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from([INPUT, OUTPUT])
+        self._steps: Dict[str, Step] = {}
+        self._producer: Dict[str, str] = {}  # data id -> producing node
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_step(self, step_id: str, module: str) -> Step:
+        """Register a step executing ``module``."""
+        if step_id in self._steps or step_id in ENDPOINTS:
+            raise RunError("duplicate or reserved step id %r" % step_id)
+        if module not in self.spec.modules:
+            raise RunError(
+                "step %r executes unknown module %r" % (step_id, module)
+            )
+        step = Step(step_id=step_id, module=module)
+        self._steps[step_id] = step
+        self._graph.add_node(step_id)
+        return step
+
+    def add_edge(self, src: str, dst: str, data_ids: Iterable[str]) -> None:
+        """Record that ``src`` passed ``data_ids`` to ``dst``.
+
+        ``src`` may be ``input`` (user-supplied data); ``dst`` may be
+        ``output`` (final results).  Adding to an existing edge unions the
+        data sets.  Each data object must keep a single producer.
+        """
+        if src != INPUT and src not in self._steps:
+            raise RunError("unknown source step %r" % src)
+        if dst != OUTPUT and dst not in self._steps:
+            raise RunError("unknown target step %r" % dst)
+        if src == dst:
+            raise RunError("run edges cannot be self-loops (%r)" % src)
+        ids = frozenset(data_ids)
+        if not ids:
+            raise RunError("edge (%r, %r) must carry at least one data id" % (src, dst))
+        for data_id in ids:
+            previous = self._producer.get(data_id)
+            if previous is None:
+                self._producer[data_id] = src
+            elif previous != src:
+                raise RunError(
+                    "data %r produced by both %r and %r" % (data_id, previous, src)
+                )
+        if self._graph.has_edge(src, dst):
+            existing: Set[str] = self._graph.edges[src, dst]["data"]
+            existing.update(ids)
+        else:
+            self._graph.add_edge(src, dst, data=set(ids))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying graph (treat as read-only)."""
+        return self._graph
+
+    def steps(self) -> List[Step]:
+        """All steps, ordered by step id."""
+        return [self._steps[s] for s in sorted(self._steps)]
+
+    def step(self, step_id: str) -> Step:
+        """Look up one step."""
+        try:
+            return self._steps[step_id]
+        except KeyError:
+            raise RunError("unknown step %r" % step_id) from None
+
+    def module_of(self, step_id: str) -> str:
+        """The module a step executes (``input``/``output`` map to themselves)."""
+        if step_id in ENDPOINTS:
+            return step_id
+        return self.step(step_id).module
+
+    def steps_of_module(self, module: str) -> List[str]:
+        """Step ids that execute ``module`` (several when loops unrolled)."""
+        return sorted(s.step_id for s in self._steps.values() if s.module == module)
+
+    def num_steps(self) -> int:
+        """Number of steps (excluding input/output nodes)."""
+        return len(self._steps)
+
+    def num_edges(self) -> int:
+        """Number of edges in the run graph."""
+        return self._graph.number_of_edges()
+
+    def edges(self) -> Iterator[Tuple[str, str, FrozenSet[str]]]:
+        """Iterate ``(src, dst, data_ids)`` triples."""
+        for src, dst, payload in self._graph.edges(data="data"):
+            yield src, dst, frozenset(payload)
+
+    def edge_data(self, src: str, dst: str) -> FrozenSet[str]:
+        """Data ids carried by one edge."""
+        try:
+            return frozenset(self._graph.edges[src, dst]["data"])
+        except KeyError:
+            raise RunError("no edge (%r, %r) in run" % (src, dst)) from None
+
+    def data_ids(self) -> Set[str]:
+        """All data identifiers appearing in the run."""
+        return set(self._producer)
+
+    def producer(self, data_id: str) -> str:
+        """The node (step id or ``input``) that produced ``data_id``."""
+        try:
+            return self._producer[data_id]
+        except KeyError:
+            raise RunError("unknown data id %r" % data_id) from None
+
+    def consumers(self, data_id: str) -> List[str]:
+        """Nodes that received ``data_id`` over some edge."""
+        src = self.producer(data_id)
+        return sorted(
+            dst
+            for _s, dst, payload in self._graph.out_edges(src, data="data")
+            if data_id in payload
+        )
+
+    def inputs_of(self, step_id: str) -> Set[str]:
+        """Union of data ids on incoming edges of a node."""
+        self._require_node(step_id)
+        inputs: Set[str] = set()
+        for _src, _dst, payload in self._graph.in_edges(step_id, data="data"):
+            inputs |= payload
+        return inputs
+
+    def outputs_of(self, step_id: str) -> Set[str]:
+        """Union of data ids on outgoing edges of a node."""
+        self._require_node(step_id)
+        outputs: Set[str] = set()
+        for _src, _dst, payload in self._graph.out_edges(step_id, data="data"):
+            outputs |= payload
+        return outputs
+
+    def user_inputs(self) -> Set[str]:
+        """Data supplied through the ``input`` node."""
+        return self.outputs_of(INPUT)
+
+    def final_outputs(self) -> Set[str]:
+        """Data flowing into the ``output`` node — the run's results."""
+        return self.inputs_of(OUTPUT)
+
+    def _require_node(self, node: str) -> None:
+        if node not in self._graph:
+            raise RunError("unknown run node %r" % node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "WorkflowRun(run_id=%r, steps=%d, edges=%d, data=%d)" % (
+            self.run_id,
+            self.num_steps(),
+            self.num_edges(),
+            len(self._producer),
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants of a run graph.
+
+        Raises :class:`RunError` if the graph is cyclic, a node is not on an
+        ``input``-to-``output`` path, or an edge's modules are not connected
+        in the specification.
+        """
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise RunError("run graph must be acyclic (loops are unrolled)")
+        reach = set(nx.descendants(self._graph, INPUT)) | {INPUT}
+        coreach = set(nx.ancestors(self._graph, OUTPUT)) | {OUTPUT}
+        for node in self._graph.nodes:
+            if node not in reach:
+                raise RunError("run node %r unreachable from input" % node)
+            if node not in coreach:
+                raise RunError("run node %r cannot reach output" % node)
+        for src, dst in self._graph.edges:
+            src_mod = self.module_of(src)
+            dst_mod = self.module_of(dst)
+            if not self.spec.has_edge(src_mod, dst_mod):
+                raise RunError(
+                    "run edge (%r, %r) has no specification edge (%r, %r)"
+                    % (src, dst, src_mod, dst_mod)
+                )
+
+    # ------------------------------------------------------------------
+    # Statistics (used by the Table II workload report)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics of the run."""
+        return {
+            "steps": self.num_steps(),
+            "edges": self.num_edges(),
+            "data": len(self._producer),
+            "user_inputs": len(self.user_inputs()),
+            "final_outputs": len(self.final_outputs()),
+        }

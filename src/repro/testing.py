@@ -1,0 +1,123 @@
+"""Public hypothesis strategies and random builders for downstream tests.
+
+Users extending this library (new view-construction algorithms, new
+warehouse backends, new provenance semantics) need the same ingredients
+our own property-based tests use: random valid workflow specifications,
+random relevant sets, and simulated runs.  This module exports them as a
+supported API; the in-repo test suite consumes the same functions.
+
+Requires ``hypothesis`` (an optional, dev-time dependency).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from .core.spec import INPUT, OUTPUT, WorkflowSpec
+from .run.executor import ExecutionParams, SimulationResult, simulate
+
+try:  # pragma: no cover - exercised implicitly by imports
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover
+    st = None  # type: ignore[assignment]
+
+
+def build_random_spec(
+    n_modules: int,
+    extra_edges: List[Tuple[int, int]],
+    loop_at: int,
+    name: str = "random",
+) -> WorkflowSpec:
+    """Deterministically assemble a valid specification from draw data.
+
+    Modules are ordered; each module receives an edge from its predecessor
+    (or ``input`` for the first), guaranteeing reachability; the last
+    module feeds ``output``.  ``extra_edges`` add forward shortcuts (pairs
+    are normalised into index order, self-pairs ignored); ``loop_at >= 0``
+    closes a two-module back edge at that position.
+
+    This is the builder behind :func:`small_specs`; it is exposed so that
+    failing hypothesis examples can be reconstructed verbatim in a
+    regression test.
+    """
+    modules = ["M%d" % index for index in range(1, n_modules + 1)]
+    edges: Set[Tuple[str, str]] = {(INPUT, modules[0]), (modules[-1], OUTPUT)}
+    for prev, nxt in zip(modules, modules[1:]):
+        edges.add((prev, nxt))
+    for src_idx, dst_idx in extra_edges:
+        src = src_idx % n_modules
+        dst = dst_idx % n_modules
+        if src < dst:
+            edges.add((modules[src], modules[dst]))
+        elif dst < src:
+            edges.add((modules[dst], modules[src]))
+    if 0 <= loop_at < n_modules - 1:
+        edges.add((modules[loop_at + 1], modules[loop_at]))
+    return WorkflowSpec(modules, sorted(edges), name=name)
+
+
+def random_spec(
+    rng: random.Random, max_modules: int = 8, allow_loops: bool = True
+) -> WorkflowSpec:
+    """A random valid specification from a plain :class:`random.Random`."""
+    n_modules = rng.randint(1, max_modules)
+    n_extra = rng.randint(0, 2 * n_modules)
+    extra_edges = [
+        (rng.randint(0, 31), rng.randint(0, 31)) for _ in range(n_extra)
+    ]
+    loop_at = rng.randint(-1, n_modules - 2) if allow_loops and n_modules >= 2 \
+        else -1
+    return build_random_spec(n_modules, extra_edges, loop_at)
+
+
+def simulate_small(spec: WorkflowSpec, seed: int = 0) -> SimulationResult:
+    """Simulate a spec with small, test-friendly parameters."""
+    params = ExecutionParams(
+        user_input_range=(1, 3),
+        data_per_edge_range=(1, 3),
+        loop_iterations_range=(1, 3),
+    )
+    return simulate(spec, params=params, rng=random.Random(seed))
+
+
+if st is not None:
+
+    @st.composite
+    def small_specs(draw, max_modules: int = 8, allow_loops: bool = True):
+        """Hypothesis strategy: random small specifications."""
+        n_modules = draw(st.integers(min_value=1, max_value=max_modules))
+        n_extra = draw(st.integers(min_value=0, max_value=2 * n_modules))
+        extra_edges = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=31),
+                    st.integers(min_value=0, max_value=31),
+                ),
+                min_size=n_extra,
+                max_size=n_extra,
+            )
+        )
+        loop_at = draw(st.integers(min_value=-1, max_value=n_modules - 2)) \
+            if allow_loops and n_modules >= 2 else -1
+        return build_random_spec(n_modules, extra_edges, loop_at)
+
+    @st.composite
+    def specs_with_relevant(draw, max_modules: int = 8, allow_loops: bool = True):
+        """Hypothesis strategy: a spec plus a random relevant subset."""
+        spec = draw(small_specs(max_modules=max_modules,
+                                allow_loops=allow_loops))
+        modules = sorted(spec.modules)
+        relevant = draw(
+            st.sets(st.sampled_from(modules), min_size=0,
+                    max_size=len(modules))
+        )
+        return spec, frozenset(relevant)
+
+else:  # pragma: no cover - hypothesis not installed
+
+    def small_specs(*_args, **_kwargs):
+        raise ImportError("hypothesis is required for the spec strategies")
+
+    def specs_with_relevant(*_args, **_kwargs):
+        raise ImportError("hypothesis is required for the spec strategies")

@@ -1,0 +1,53 @@
+"""Provenance warehouse: relational storage with a recursive closure.
+
+Two interchangeable backends implement the same interface: a pure-Python
+in-memory store and a SQLite store whose deep-provenance query uses a
+recursive common table expression (the stdlib analogue of the Oracle
+``CONNECT BY`` queries in the paper's prototype).
+"""
+
+from .base import ProvenanceWarehouse
+from .jsonfile import (
+    dump_warehouse,
+    load_warehouse,
+    restore_warehouse,
+    save_warehouse,
+)
+from .loader import LoadedSpec, load_dataset, load_simulation, load_spec
+from .memory import InMemoryWarehouse
+from .schema import DIR_IN, DIR_OUT, SQLITE_DDL, SQLITE_DEEP_PROVENANCE
+from .sqlite import SqliteWarehouse
+from .stats import (
+    RunStats,
+    WarehouseReport,
+    hottest_modules,
+    module_execution_counts,
+    run_stats,
+    runs_executing_module,
+    warehouse_report,
+)
+
+__all__ = [
+    "DIR_IN",
+    "DIR_OUT",
+    "InMemoryWarehouse",
+    "LoadedSpec",
+    "ProvenanceWarehouse",
+    "RunStats",
+    "SQLITE_DDL",
+    "SQLITE_DEEP_PROVENANCE",
+    "SqliteWarehouse",
+    "WarehouseReport",
+    "dump_warehouse",
+    "hottest_modules",
+    "load_dataset",
+    "load_simulation",
+    "load_spec",
+    "load_warehouse",
+    "module_execution_counts",
+    "restore_warehouse",
+    "run_stats",
+    "runs_executing_module",
+    "save_warehouse",
+    "warehouse_report",
+]

@@ -1,0 +1,246 @@
+"""Abstract provenance warehouse.
+
+Both backends (in-memory and SQLite) implement this interface; everything
+above the warehouse — the reasoner, the ZOOM session, the benchmarks — is
+backend-agnostic.  The interface has three layers:
+
+* **storage**: specifications, user views and runs go in and come back out
+  as model objects;
+* **row-level primitives**: the relations the paper's warehouse holds
+  (steps, the ``io`` read/write relation, user inputs, final outputs);
+* **recursive closure**: :meth:`admin_deep_provenance` — deep provenance
+  at the finest (UAdmin) granularity, each backend using its natural
+  recursion mechanism.
+
+Run reconstruction (:meth:`get_run`) is implemented here once, from the
+row-level primitives, mirroring how a run graph is rebuilt from a workflow
+log: the writer of a data object is its producer; a read of that object
+creates a dataflow edge.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.errors import UnknownEntityError, WarehouseError
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from ..core.view import UserView
+from ..provenance.result import ProvenanceResult
+from ..run.log import EventLog, run_from_log
+from ..run.run import WorkflowRun
+from .schema import DIR_OUT
+
+
+class ProvenanceWarehouse(ABC):
+    """Store for specifications, views and run provenance."""
+
+    # ------------------------------------------------------------------
+    # Specifications
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def store_spec(self, spec: WorkflowSpec, spec_id: Optional[str] = None) -> str:
+        """Store a specification; returns its id (default: the spec name)."""
+
+    @abstractmethod
+    def get_spec(self, spec_id: str) -> WorkflowSpec:
+        """Rebuild a stored specification."""
+
+    @abstractmethod
+    def list_specs(self) -> List[str]:
+        """Ids of all stored specifications."""
+
+    # ------------------------------------------------------------------
+    # User views
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def store_view(
+        self, view: UserView, spec_id: str, view_id: Optional[str] = None
+    ) -> str:
+        """Store a user-view definition against a stored specification."""
+
+    @abstractmethod
+    def get_view(self, view_id: str) -> UserView:
+        """Rebuild a stored user view (including its specification)."""
+
+    @abstractmethod
+    def list_views(self, spec_id: Optional[str] = None) -> List[str]:
+        """Ids of stored views, optionally restricted to one specification."""
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def store_run(
+        self, run: WorkflowRun, spec_id: str, run_id: Optional[str] = None
+    ) -> str:
+        """Store a run's provenance rows; returns the run id."""
+
+    def store_log(
+        self, log: EventLog, spec_id: str, run_id: Optional[str] = None
+    ) -> str:
+        """Store a run directly from its event log.
+
+        This is the ingestion path the paper describes: the warehouse is
+        fed log files produced by a workflow system, from which the run
+        graph is reconstructed.  Per Section II, a user input's provenance
+        *is* its recorded metadata, so the ``who`` attribute of the log's
+        user-input events is persisted alongside the relational rows.
+        """
+        spec = self.get_spec(spec_id)
+        run = run_from_log(log, spec)
+        stored = self.store_run(run, spec_id, run_id=run_id or log.run_id)
+        who = {
+            event.data_id: event.who
+            for event in log.of_kind("user_input")
+            if event.who != "user"
+        }
+        if who:
+            self._set_user_input_who(stored, who)
+        return stored
+
+    @abstractmethod
+    def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
+        """Ids of stored runs, optionally restricted to one specification."""
+
+    @abstractmethod
+    def run_spec_id(self, run_id: str) -> str:
+        """The specification id a run executes."""
+
+    # ------------------------------------------------------------------
+    # Row-level primitives
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def steps_of_run(self, run_id: str) -> List[Tuple[str, str]]:
+        """``(step_id, module)`` rows of a run, ordered by step id."""
+
+    @abstractmethod
+    def io_rows(self, run_id: str) -> List[Tuple[str, str, str]]:
+        """``(step_id, data_id, direction)`` rows of a run."""
+
+    @abstractmethod
+    def user_inputs(self, run_id: str) -> FrozenSet[str]:
+        """Data objects fed into the run by users."""
+
+    @abstractmethod
+    def final_outputs(self, run_id: str) -> FrozenSet[str]:
+        """Data objects designated as the run's final results."""
+
+    @abstractmethod
+    def producer_of(self, run_id: str, data_id: str) -> str:
+        """The step that wrote ``data_id``, or ``input`` for user inputs."""
+
+    @abstractmethod
+    def step_inputs(self, run_id: str, step_id: str) -> FrozenSet[str]:
+        """Data objects a step read."""
+
+    @abstractmethod
+    def step_outputs(self, run_id: str, step_id: str) -> FrozenSet[str]:
+        """Data objects a step wrote."""
+
+    @abstractmethod
+    def module_of_step(self, run_id: str, step_id: str) -> str:
+        """The module a step is an execution of."""
+
+    # ------------------------------------------------------------------
+    # User-input metadata and annotations
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def user_input_who(self, run_id: str, data_id: str) -> str:
+        """Who supplied a user input (``"user"`` when unrecorded).
+
+        Raises :class:`UnknownEntityError` for data that is not a user
+        input of the run.
+        """
+
+    @abstractmethod
+    def _set_user_input_who(self, run_id: str, who: Dict[str, str]) -> None:
+        """Record the supplier of user inputs (internal, used by
+        :meth:`store_log`)."""
+
+    @abstractmethod
+    def annotate(self, run_id: str, subject: str, key: str, value: str) -> None:
+        """Attach (or overwrite) a free-form annotation.
+
+        ``subject`` is a step id or a data id of the run; annotations are
+        plain key/value strings.
+        """
+
+    @abstractmethod
+    def annotations_of(self, run_id: str, subject: str) -> Dict[str, str]:
+        """All annotations on one step or data object."""
+
+    @abstractmethod
+    def find_annotated(
+        self, run_id: str, key: str, value: Optional[str] = None
+    ) -> List[str]:
+        """Subjects carrying an annotation key (optionally a value too)."""
+
+    # ------------------------------------------------------------------
+    # Recursive closure
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def admin_deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
+        """Deep provenance of ``data_id`` at step (UAdmin) granularity.
+
+        One row per (step, input data object) pair in the transitive
+        lineage; user inputs encountered along the way are reported in the
+        result's ``user_inputs``.
+        """
+
+    # ------------------------------------------------------------------
+    # Run reconstruction (shared implementation)
+    # ------------------------------------------------------------------
+
+    def get_run(self, run_id: str) -> WorkflowRun:
+        """Rebuild the run graph from the warehouse's relational rows."""
+        spec = self.get_spec(self.run_spec_id(run_id))
+        run = WorkflowRun(spec, run_id=run_id)
+        for step_id, module in self.steps_of_run(run_id):
+            run.add_step(step_id, module)
+        writer: Dict[str, str] = {d: INPUT for d in self.user_inputs(run_id)}
+        reads: List[Tuple[str, str]] = []
+        for step_id, data_id, direction in self.io_rows(run_id):
+            if direction == DIR_OUT:
+                if data_id in writer and writer[data_id] != step_id:
+                    raise WarehouseError(
+                        "data %r written by both %r and %r"
+                        % (data_id, writer[data_id], step_id)
+                    )
+                writer[data_id] = step_id
+            else:
+                reads.append((step_id, data_id))
+        for step_id, data_id in reads:
+            source = writer.get(data_id)
+            if source is None:
+                raise WarehouseError(
+                    "step %r read %r which nothing produced" % (step_id, data_id)
+                )
+            run.add_edge(source, step_id, [data_id])
+        for data_id in sorted(self.final_outputs(run_id)):
+            source = writer.get(data_id)
+            if source is None:
+                raise WarehouseError("final output %r never produced" % data_id)
+            run.add_edge(source, OUTPUT, [data_id])
+        return run
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fresh_id(candidate: Optional[str], default: str, existing: Iterable[str]) -> str:
+        identifier = candidate or default
+        if identifier in set(existing):
+            raise WarehouseError("identifier %r already stored" % identifier)
+        return identifier
+
+    @staticmethod
+    def _missing(kind: str, identifier: str) -> UnknownEntityError:
+        return UnknownEntityError("unknown %s %r" % (kind, identifier))

@@ -1,0 +1,161 @@
+"""JSON-file persistence for warehouses: export, import, archive.
+
+The paper observes that workflow systems expose provenance as files (XML /
+RDF dumps) as often as through a DBMS.  This module provides that
+interchange path: any warehouse's contents can be dumped to a single JSON
+document and re-imported into any backend — useful for archiving a lab's
+provenance, shipping a reproducibility bundle alongside a publication, or
+moving between the in-memory and SQLite backends.
+
+The document format is versioned and self-contained: specifications,
+view definitions, and per-run relational rows (steps, io, user inputs,
+final outputs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..core.errors import WarehouseError
+from ..core.spec import WorkflowSpec
+from ..core.view import UserView
+from .base import ProvenanceWarehouse
+from .memory import InMemoryWarehouse
+
+#: Format version written into every dump.
+FORMAT_VERSION = 1
+
+
+def dump_warehouse(warehouse: ProvenanceWarehouse) -> Dict[str, object]:
+    """Serialise a warehouse's full contents to a JSON-safe dict."""
+    specs = []
+    for spec_id in warehouse.list_specs():
+        spec = warehouse.get_spec(spec_id)
+        specs.append({"spec_id": spec_id, "spec": spec.to_dict()})
+    views = []
+    for spec_id in warehouse.list_specs():
+        for view_id in warehouse.list_views(spec_id):
+            view = warehouse.get_view(view_id)
+            views.append({
+                "view_id": view_id,
+                "spec_id": spec_id,
+                "view": view.to_dict(),
+            })
+    runs = []
+    for run_id in warehouse.list_runs():
+        user_inputs = sorted(warehouse.user_inputs(run_id))
+        who = {
+            data_id: supplier
+            for data_id in user_inputs
+            for supplier in [warehouse.user_input_who(run_id, data_id)]
+            if supplier != "user"
+        }
+        subjects = set(user_inputs)
+        subjects.update(step_id for step_id, _m in warehouse.steps_of_run(run_id))
+        subjects.update(d for _s, d, _dir in warehouse.io_rows(run_id))
+        annotations = {
+            subject: pairs
+            for subject in sorted(subjects)
+            for pairs in [warehouse.annotations_of(run_id, subject)]
+            if pairs
+        }
+        runs.append({
+            "run_id": run_id,
+            "spec_id": warehouse.run_spec_id(run_id),
+            "steps": [list(row) for row in warehouse.steps_of_run(run_id)],
+            "io": [list(row) for row in warehouse.io_rows(run_id)],
+            "user_inputs": user_inputs,
+            "final_outputs": sorted(warehouse.final_outputs(run_id)),
+            "input_who": who,
+            "annotations": annotations,
+        })
+    return {
+        "format_version": FORMAT_VERSION,
+        "specs": specs,
+        "views": views,
+        "runs": runs,
+    }
+
+
+def save_warehouse(warehouse: ProvenanceWarehouse, path: str) -> None:
+    """Write a warehouse dump to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(dump_warehouse(warehouse), handle, indent=2, sort_keys=True)
+
+
+def restore_warehouse(
+    document: Dict[str, object],
+    into: Optional[ProvenanceWarehouse] = None,
+) -> ProvenanceWarehouse:
+    """Rebuild a warehouse from a dump (into any backend).
+
+    Run rows are replayed through the run-graph reconstruction used for
+    event logs, so the result is validated on the way in.
+    """
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise WarehouseError(
+            "unsupported dump format version %r (expected %d)"
+            % (version, FORMAT_VERSION)
+        )
+    warehouse = into if into is not None else InMemoryWarehouse()
+    for entry in document["specs"]:  # type: ignore[union-attr]
+        spec = WorkflowSpec.from_dict(entry["spec"])
+        warehouse.store_spec(spec, spec_id=entry["spec_id"])
+    for entry in document["views"]:  # type: ignore[union-attr]
+        spec = warehouse.get_spec(entry["spec_id"])
+        view = UserView.from_dict(spec, entry["view"])
+        warehouse.store_view(view, entry["spec_id"], view_id=entry["view_id"])
+    for entry in document["runs"]:  # type: ignore[union-attr]
+        run = _run_from_rows(warehouse.get_spec(entry["spec_id"]), entry)
+        run_id = entry["run_id"]
+        warehouse.store_run(run, entry["spec_id"], run_id=run_id)
+        who = entry.get("input_who") or {}
+        if who:
+            warehouse._set_user_input_who(run_id, dict(who))
+        for subject, pairs in (entry.get("annotations") or {}).items():
+            for key, value in pairs.items():
+                warehouse.annotate(run_id, subject, key, value)
+    return warehouse
+
+
+def load_warehouse(
+    path: str, into: Optional[ProvenanceWarehouse] = None
+) -> ProvenanceWarehouse:
+    """Read a dump file and rebuild the warehouse."""
+    with open(path) as handle:
+        return restore_warehouse(json.load(handle), into=into)
+
+
+def _run_from_rows(spec: WorkflowSpec, entry: Dict[str, object]):
+    """Rebuild one run graph from dumped relational rows."""
+    from ..core.spec import INPUT, OUTPUT
+    from ..run.run import WorkflowRun
+    from .schema import DIR_OUT
+
+    run = WorkflowRun(spec, run_id=str(entry["run_id"]))
+    for step_id, module in entry["steps"]:  # type: ignore[union-attr]
+        run.add_step(step_id, module)
+    writer: Dict[str, str] = {d: INPUT for d in entry["user_inputs"]}  # type: ignore[union-attr]
+    reads: List[List[str]] = []
+    for step_id, data_id, direction in entry["io"]:  # type: ignore[union-attr]
+        if direction == DIR_OUT:
+            writer[data_id] = step_id
+        else:
+            reads.append([step_id, data_id])
+    for step_id, data_id in reads:
+        source = writer.get(data_id)
+        if source is None:
+            raise WarehouseError(
+                "dump inconsistency: %r read unproduced %r" % (step_id, data_id)
+            )
+        run.add_edge(source, step_id, [data_id])
+    for data_id in entry["final_outputs"]:  # type: ignore[union-attr]
+        source = writer.get(data_id)
+        if source is None:
+            raise WarehouseError(
+                "dump inconsistency: final output %r unproduced" % data_id
+            )
+        run.add_edge(source, OUTPUT, [data_id])
+    return run

@@ -1,0 +1,255 @@
+"""Pure-Python in-memory warehouse backend.
+
+Stores the same relations as the SQLite backend in plain dictionaries with
+secondary indexes (producer-by-data, inputs/outputs-by-step) and computes
+the deep-provenance closure by breadth-first search.  This is the fastest
+backend for the interactive path and the reference for conformance tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.errors import WarehouseError
+from ..core.spec import INPUT, WorkflowSpec
+from ..core.view import UserView
+from ..provenance.result import ProvenanceResult, ProvenanceRow
+from ..run.run import WorkflowRun
+from .base import ProvenanceWarehouse
+from .schema import DIR_IN, DIR_OUT
+
+
+@dataclass
+class _RunRecord:
+    """All rows of one run, with the secondary indexes queries need."""
+
+    spec_id: str
+    steps: Dict[str, str] = field(default_factory=dict)  # step -> module
+    io: List[Tuple[str, str, str]] = field(default_factory=list)
+    producer: Dict[str, str] = field(default_factory=dict)  # data -> node
+    inputs: Dict[str, Set[str]] = field(default_factory=dict)  # step -> data
+    outputs: Dict[str, Set[str]] = field(default_factory=dict)
+    user_inputs: Set[str] = field(default_factory=set)
+    final_outputs: Set[str] = field(default_factory=set)
+    input_who: Dict[str, str] = field(default_factory=dict)
+    annotations: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+
+class InMemoryWarehouse(ProvenanceWarehouse):
+    """Dictionary-backed implementation of :class:`ProvenanceWarehouse`."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, WorkflowSpec] = {}
+        self._views: Dict[str, Tuple[str, UserView]] = {}
+        self._runs: Dict[str, _RunRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Specifications
+    # ------------------------------------------------------------------
+
+    def store_spec(self, spec: WorkflowSpec, spec_id: Optional[str] = None) -> str:
+        identifier = self._fresh_id(spec_id, spec.name, self._specs)
+        self._specs[identifier] = spec
+        return identifier
+
+    def get_spec(self, spec_id: str) -> WorkflowSpec:
+        try:
+            return self._specs[spec_id]
+        except KeyError:
+            raise self._missing("spec", spec_id) from None
+
+    def list_specs(self) -> List[str]:
+        return sorted(self._specs)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def store_view(
+        self, view: UserView, spec_id: str, view_id: Optional[str] = None
+    ) -> str:
+        stored_spec = self.get_spec(spec_id)
+        if view.spec != stored_spec:
+            raise WarehouseError(
+                "view %r does not match stored spec %r" % (view.name, spec_id)
+            )
+        identifier = self._fresh_id(view_id, view.name, self._views)
+        self._views[identifier] = (spec_id, view)
+        return identifier
+
+    def get_view(self, view_id: str) -> UserView:
+        try:
+            return self._views[view_id][1]
+        except KeyError:
+            raise self._missing("view", view_id) from None
+
+    def list_views(self, spec_id: Optional[str] = None) -> List[str]:
+        return sorted(
+            vid
+            for vid, (sid, _view) in self._views.items()
+            if spec_id is None or sid == spec_id
+        )
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def store_run(
+        self, run: WorkflowRun, spec_id: str, run_id: Optional[str] = None
+    ) -> str:
+        stored_spec = self.get_spec(spec_id)
+        if run.spec != stored_spec:
+            raise WarehouseError(
+                "run %r does not match stored spec %r" % (run.run_id, spec_id)
+            )
+        run.validate()  # the warehouse only ever holds valid runs
+        identifier = self._fresh_id(run_id, run.run_id, self._runs)
+        record = _RunRecord(spec_id=spec_id)
+        for step in run.steps():
+            record.steps[step.step_id] = step.module
+            record.inputs[step.step_id] = run.inputs_of(step.step_id)
+            record.outputs[step.step_id] = run.outputs_of(step.step_id)
+            for data_id in sorted(record.inputs[step.step_id]):
+                record.io.append((step.step_id, data_id, DIR_IN))
+            for data_id in sorted(record.outputs[step.step_id]):
+                record.io.append((step.step_id, data_id, DIR_OUT))
+                record.producer[data_id] = step.step_id
+        record.user_inputs = set(run.user_inputs())
+        for data_id in record.user_inputs:
+            record.producer[data_id] = INPUT
+        record.final_outputs = set(run.final_outputs())
+        self._runs[identifier] = record
+        return identifier
+
+    def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
+        return sorted(
+            rid
+            for rid, record in self._runs.items()
+            if spec_id is None or record.spec_id == spec_id
+        )
+
+    def run_spec_id(self, run_id: str) -> str:
+        return self._record(run_id).spec_id
+
+    def _record(self, run_id: str) -> _RunRecord:
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise self._missing("run", run_id) from None
+
+    # ------------------------------------------------------------------
+    # Row-level primitives
+    # ------------------------------------------------------------------
+
+    def steps_of_run(self, run_id: str) -> List[Tuple[str, str]]:
+        record = self._record(run_id)
+        return sorted(record.steps.items())
+
+    def io_rows(self, run_id: str) -> List[Tuple[str, str, str]]:
+        return list(self._record(run_id).io)
+
+    def user_inputs(self, run_id: str) -> FrozenSet[str]:
+        return frozenset(self._record(run_id).user_inputs)
+
+    def final_outputs(self, run_id: str) -> FrozenSet[str]:
+        return frozenset(self._record(run_id).final_outputs)
+
+    def producer_of(self, run_id: str, data_id: str) -> str:
+        record = self._record(run_id)
+        try:
+            return record.producer[data_id]
+        except KeyError:
+            raise self._missing("data", data_id) from None
+
+    def step_inputs(self, run_id: str, step_id: str) -> FrozenSet[str]:
+        record = self._record(run_id)
+        try:
+            return frozenset(record.inputs[step_id])
+        except KeyError:
+            raise self._missing("step", step_id) from None
+
+    def step_outputs(self, run_id: str, step_id: str) -> FrozenSet[str]:
+        record = self._record(run_id)
+        try:
+            return frozenset(record.outputs[step_id])
+        except KeyError:
+            raise self._missing("step", step_id) from None
+
+    def module_of_step(self, run_id: str, step_id: str) -> str:
+        record = self._record(run_id)
+        try:
+            return record.steps[step_id]
+        except KeyError:
+            raise self._missing("step", step_id) from None
+
+    # ------------------------------------------------------------------
+    # User-input metadata and annotations
+    # ------------------------------------------------------------------
+
+    def user_input_who(self, run_id: str, data_id: str) -> str:
+        record = self._record(run_id)
+        if data_id not in record.user_inputs:
+            raise self._missing("user input", data_id)
+        return record.input_who.get(data_id, "user")
+
+    def _set_user_input_who(self, run_id: str, who: Dict[str, str]) -> None:
+        record = self._record(run_id)
+        unknown = set(who) - record.user_inputs
+        if unknown:
+            raise WarehouseError(
+                "not user inputs of %r: %s" % (run_id, sorted(unknown))
+            )
+        record.input_who.update(who)
+
+    def annotate(self, run_id: str, subject: str, key: str, value: str) -> None:
+        record = self._record(run_id)
+        if subject not in record.steps and subject not in record.producer:
+            raise self._missing("step or data", subject)
+        record.annotations.setdefault(subject, {})[key] = value
+
+    def annotations_of(self, run_id: str, subject: str) -> Dict[str, str]:
+        return dict(self._record(run_id).annotations.get(subject, {}))
+
+    def find_annotated(
+        self, run_id: str, key: str, value: Optional[str] = None
+    ) -> List[str]:
+        record = self._record(run_id)
+        return sorted(
+            subject
+            for subject, pairs in record.annotations.items()
+            if key in pairs and (value is None or pairs[key] == value)
+        )
+
+    # ------------------------------------------------------------------
+    # Recursive closure (BFS)
+    # ------------------------------------------------------------------
+
+    def admin_deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
+        record = self._record(run_id)
+        if data_id not in record.producer:
+            raise self._missing("data", data_id)
+        result = ProvenanceResult(target=data_id, view_name="UAdmin")
+        seen_data: Set[str] = set()
+        seen_steps: Set[str] = set()
+        frontier: Deque[str] = deque([data_id])
+        while frontier:
+            current = frontier.popleft()
+            if current in seen_data:
+                continue
+            seen_data.add(current)
+            producer = record.producer[current]
+            if producer == INPUT:
+                result.user_inputs.add(current)
+                continue
+            if producer in seen_steps:
+                continue
+            seen_steps.add(producer)
+            module = record.steps[producer]
+            for data_in in sorted(record.inputs[producer]):
+                result.rows.append(
+                    ProvenanceRow(step_id=producer, module=module, data_in=data_in)
+                )
+                frontier.append(data_in)
+        return result

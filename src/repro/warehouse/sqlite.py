@@ -1,0 +1,441 @@
+"""SQLite warehouse backend.
+
+The paper stores provenance in Oracle 10g and computes deep provenance with
+``CONNECT BY`` recursive queries plus stored procedures.  SQLite's
+``WITH RECURSIVE`` common table expressions are the standard-SQL analogue,
+available in the Python standard library — so this backend reproduces the
+paper's warehouse architecture end to end: relational tables loaded from
+workflow logs, covering indexes on the ``io`` relation, and a recursive SQL
+closure for deep provenance.
+
+Use ``path=":memory:"`` (the default) for a throwaway database or a file
+path for a persistent warehouse.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.errors import WarehouseError
+from ..core.spec import INPUT, WorkflowSpec
+from ..core.view import UserView
+from ..provenance.result import ProvenanceResult, ProvenanceRow
+from ..run.run import WorkflowRun
+from .base import ProvenanceWarehouse
+from .schema import (
+    DIR_IN,
+    DIR_OUT,
+    SQLITE_DDL,
+    SQLITE_DEEP_PROVENANCE,
+    SQLITE_LINEAGE_USER_INPUTS,
+)
+
+
+class SqliteWarehouse(ProvenanceWarehouse):
+    """SQLite implementation of :class:`ProvenanceWarehouse`.
+
+    Parameters
+    ----------
+    path:
+        Database location; ``":memory:"`` (default) keeps everything in
+        RAM, any other string is a filesystem path.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        for statement in SQLITE_DDL:
+            self._conn.execute(statement)
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteWarehouse":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _exists(self, table: str, key: str, value: str) -> bool:
+        cursor = self._conn.execute(
+            "SELECT 1 FROM %s WHERE %s = ? LIMIT 1" % (table, key), (value,)
+        )
+        return cursor.fetchone() is not None
+
+    def _require(self, table: str, key: str, value: str, kind: str) -> None:
+        if not self._exists(table, key, value):
+            raise self._missing(kind, value)
+
+    # ------------------------------------------------------------------
+    # Specifications
+    # ------------------------------------------------------------------
+
+    def store_spec(self, spec: WorkflowSpec, spec_id: Optional[str] = None) -> str:
+        identifier = spec_id or spec.name
+        if self._exists("spec", "spec_id", identifier):
+            raise WarehouseError("identifier %r already stored" % identifier)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO spec (spec_id, name) VALUES (?, ?)",
+                (identifier, spec.name),
+            )
+            self._conn.executemany(
+                "INSERT INTO module (spec_id, module) VALUES (?, ?)",
+                [(identifier, m) for m in sorted(spec.modules)],
+            )
+            self._conn.executemany(
+                "INSERT INTO spec_edge (spec_id, src, dst) VALUES (?, ?, ?)",
+                [(identifier, src, dst) for src, dst in sorted(spec.edges())],
+            )
+        return identifier
+
+    def get_spec(self, spec_id: str) -> WorkflowSpec:
+        row = self._conn.execute(
+            "SELECT name FROM spec WHERE spec_id = ?", (spec_id,)
+        ).fetchone()
+        if row is None:
+            raise self._missing("spec", spec_id)
+        modules = [
+            m
+            for (m,) in self._conn.execute(
+                "SELECT module FROM module WHERE spec_id = ? ORDER BY module",
+                (spec_id,),
+            )
+        ]
+        edges = [
+            (src, dst)
+            for src, dst in self._conn.execute(
+                "SELECT src, dst FROM spec_edge WHERE spec_id = ? ORDER BY src, dst",
+                (spec_id,),
+            )
+        ]
+        return WorkflowSpec(modules, edges, name=row[0])
+
+    def list_specs(self) -> List[str]:
+        return [
+            spec_id
+            for (spec_id,) in self._conn.execute(
+                "SELECT spec_id FROM spec ORDER BY spec_id"
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def store_view(
+        self, view: UserView, spec_id: str, view_id: Optional[str] = None
+    ) -> str:
+        stored_spec = self.get_spec(spec_id)
+        if view.spec != stored_spec:
+            raise WarehouseError(
+                "view %r does not match stored spec %r" % (view.name, spec_id)
+            )
+        identifier = view_id or view.name
+        if self._exists("view_def", "view_id", identifier):
+            raise WarehouseError("identifier %r already stored" % identifier)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO view_def (view_id, spec_id, name) VALUES (?, ?, ?)",
+                (identifier, spec_id, view.name),
+            )
+            rows = [
+                (identifier, composite, module)
+                for composite in sorted(view.composites)
+                for module in sorted(view.members(composite))
+            ]
+            self._conn.executemany(
+                "INSERT INTO view_member (view_id, composite, module)"
+                " VALUES (?, ?, ?)",
+                rows,
+            )
+        return identifier
+
+    def get_view(self, view_id: str) -> UserView:
+        row = self._conn.execute(
+            "SELECT spec_id, name FROM view_def WHERE view_id = ?", (view_id,)
+        ).fetchone()
+        if row is None:
+            raise self._missing("view", view_id)
+        spec = self.get_spec(row[0])
+        composites: Dict[str, List[str]] = {}
+        for composite, module in self._conn.execute(
+            "SELECT composite, module FROM view_member WHERE view_id = ?"
+            " ORDER BY composite, module",
+            (view_id,),
+        ):
+            composites.setdefault(composite, []).append(module)
+        return UserView(spec, composites, name=row[1])
+
+    def list_views(self, spec_id: Optional[str] = None) -> List[str]:
+        if spec_id is None:
+            cursor = self._conn.execute(
+                "SELECT view_id FROM view_def ORDER BY view_id"
+            )
+        else:
+            cursor = self._conn.execute(
+                "SELECT view_id FROM view_def WHERE spec_id = ? ORDER BY view_id",
+                (spec_id,),
+            )
+        return [view_id for (view_id,) in cursor]
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def store_run(
+        self, run: WorkflowRun, spec_id: str, run_id: Optional[str] = None
+    ) -> str:
+        stored_spec = self.get_spec(spec_id)
+        if run.spec != stored_spec:
+            raise WarehouseError(
+                "run %r does not match stored spec %r" % (run.run_id, spec_id)
+            )
+        run.validate()  # the warehouse only ever holds valid runs
+        identifier = run_id or run.run_id
+        if self._exists("run_def", "run_id", identifier):
+            raise WarehouseError("identifier %r already stored" % identifier)
+        step_rows: List[Tuple[str, str, str]] = []
+        io_rows: List[Tuple[str, str, str, str]] = []
+        for step in run.steps():
+            step_rows.append((identifier, step.step_id, step.module))
+            for data_id in sorted(run.inputs_of(step.step_id)):
+                io_rows.append((identifier, step.step_id, data_id, DIR_IN))
+            for data_id in sorted(run.outputs_of(step.step_id)):
+                io_rows.append((identifier, step.step_id, data_id, DIR_OUT))
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO run_def (run_id, spec_id) VALUES (?, ?)",
+                (identifier, spec_id),
+            )
+            self._conn.executemany(
+                "INSERT INTO step (run_id, step_id, module) VALUES (?, ?, ?)",
+                step_rows,
+            )
+            self._conn.executemany(
+                "INSERT INTO io (run_id, step_id, data_id, direction)"
+                " VALUES (?, ?, ?, ?)",
+                io_rows,
+            )
+            self._conn.executemany(
+                "INSERT INTO user_input (run_id, data_id) VALUES (?, ?)",
+                [(identifier, d) for d in sorted(run.user_inputs())],
+            )
+            self._conn.executemany(
+                "INSERT INTO final_output (run_id, data_id) VALUES (?, ?)",
+                [(identifier, d) for d in sorted(run.final_outputs())],
+            )
+        return identifier
+
+    def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
+        if spec_id is None:
+            cursor = self._conn.execute("SELECT run_id FROM run_def ORDER BY run_id")
+        else:
+            cursor = self._conn.execute(
+                "SELECT run_id FROM run_def WHERE spec_id = ? ORDER BY run_id",
+                (spec_id,),
+            )
+        return [run_id for (run_id,) in cursor]
+
+    def run_spec_id(self, run_id: str) -> str:
+        row = self._conn.execute(
+            "SELECT spec_id FROM run_def WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise self._missing("run", run_id)
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # Row-level primitives
+    # ------------------------------------------------------------------
+
+    def steps_of_run(self, run_id: str) -> List[Tuple[str, str]]:
+        self._require("run_def", "run_id", run_id, "run")
+        return [
+            (step_id, module)
+            for step_id, module in self._conn.execute(
+                "SELECT step_id, module FROM step WHERE run_id = ? ORDER BY step_id",
+                (run_id,),
+            )
+        ]
+
+    def io_rows(self, run_id: str) -> List[Tuple[str, str, str]]:
+        self._require("run_def", "run_id", run_id, "run")
+        return [
+            tuple(row)
+            for row in self._conn.execute(
+                "SELECT step_id, data_id, direction FROM io WHERE run_id = ?"
+                " ORDER BY step_id, direction, data_id",
+                (run_id,),
+            )
+        ]
+
+    def user_inputs(self, run_id: str) -> FrozenSet[str]:
+        self._require("run_def", "run_id", run_id, "run")
+        return frozenset(
+            data_id
+            for (data_id,) in self._conn.execute(
+                "SELECT data_id FROM user_input WHERE run_id = ?", (run_id,)
+            )
+        )
+
+    def final_outputs(self, run_id: str) -> FrozenSet[str]:
+        self._require("run_def", "run_id", run_id, "run")
+        return frozenset(
+            data_id
+            for (data_id,) in self._conn.execute(
+                "SELECT data_id FROM final_output WHERE run_id = ?", (run_id,)
+            )
+        )
+
+    def producer_of(self, run_id: str, data_id: str) -> str:
+        row = self._conn.execute(
+            "SELECT step_id FROM io WHERE run_id = ? AND data_id = ?"
+            " AND direction = ?",
+            (run_id, data_id, DIR_OUT),
+        ).fetchone()
+        if row is not None:
+            return row[0]
+        user = self._conn.execute(
+            "SELECT 1 FROM user_input WHERE run_id = ? AND data_id = ?",
+            (run_id, data_id),
+        ).fetchone()
+        if user is not None:
+            return INPUT
+        raise self._missing("data", data_id)
+
+    def step_inputs(self, run_id: str, step_id: str) -> FrozenSet[str]:
+        self.module_of_step(run_id, step_id)  # validates (run, step)
+        return frozenset(
+            data_id
+            for (data_id,) in self._conn.execute(
+                "SELECT data_id FROM io WHERE run_id = ? AND step_id = ?"
+                " AND direction = ?",
+                (run_id, step_id, DIR_IN),
+            )
+        )
+
+    def step_outputs(self, run_id: str, step_id: str) -> FrozenSet[str]:
+        self.module_of_step(run_id, step_id)  # validates (run, step)
+        return frozenset(
+            data_id
+            for (data_id,) in self._conn.execute(
+                "SELECT data_id FROM io WHERE run_id = ? AND step_id = ?"
+                " AND direction = ?",
+                (run_id, step_id, DIR_OUT),
+            )
+        )
+
+    def module_of_step(self, run_id: str, step_id: str) -> str:
+        row = self._conn.execute(
+            "SELECT module FROM step WHERE run_id = ? AND step_id = ?",
+            (run_id, step_id),
+        ).fetchone()
+        if row is None:
+            raise self._missing("step", step_id)
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # User-input metadata and annotations
+    # ------------------------------------------------------------------
+
+    def user_input_who(self, run_id: str, data_id: str) -> str:
+        row = self._conn.execute(
+            "SELECT who FROM user_input WHERE run_id = ? AND data_id = ?",
+            (run_id, data_id),
+        ).fetchone()
+        if row is None:
+            raise self._missing("user input", data_id)
+        return row[0]
+
+    def _set_user_input_who(self, run_id: str, who: Dict[str, str]) -> None:
+        with self._conn:
+            for data_id, supplier in sorted(who.items()):
+                updated = self._conn.execute(
+                    "UPDATE user_input SET who = ? WHERE run_id = ?"
+                    " AND data_id = ?",
+                    (supplier, run_id, data_id),
+                )
+                if updated.rowcount == 0:
+                    raise WarehouseError(
+                        "not a user input of %r: %r" % (run_id, data_id)
+                    )
+
+    def annotate(self, run_id: str, subject: str, key: str, value: str) -> None:
+        is_step = self._conn.execute(
+            "SELECT 1 FROM step WHERE run_id = ? AND step_id = ?",
+            (run_id, subject),
+        ).fetchone()
+        is_data = self._conn.execute(
+            "SELECT 1 FROM io WHERE run_id = ? AND data_id = ? LIMIT 1",
+            (run_id, subject),
+        ).fetchone() or self._conn.execute(
+            "SELECT 1 FROM user_input WHERE run_id = ? AND data_id = ?",
+            (run_id, subject),
+        ).fetchone()
+        if not is_step and not is_data:
+            raise self._missing("step or data", subject)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO annotation (run_id, subject, key, value)"
+                " VALUES (?, ?, ?, ?)"
+                " ON CONFLICT (run_id, subject, key)"
+                " DO UPDATE SET value = excluded.value",
+                (run_id, subject, key, value),
+            )
+
+    def annotations_of(self, run_id: str, subject: str) -> Dict[str, str]:
+        return {
+            key: value
+            for key, value in self._conn.execute(
+                "SELECT key, value FROM annotation WHERE run_id = ?"
+                " AND subject = ?",
+                (run_id, subject),
+            )
+        }
+
+    def find_annotated(
+        self, run_id: str, key: str, value: Optional[str] = None
+    ) -> List[str]:
+        if value is None:
+            cursor = self._conn.execute(
+                "SELECT subject FROM annotation WHERE run_id = ? AND key = ?"
+                " ORDER BY subject",
+                (run_id, key),
+            )
+        else:
+            cursor = self._conn.execute(
+                "SELECT subject FROM annotation WHERE run_id = ? AND key = ?"
+                " AND value = ? ORDER BY subject",
+                (run_id, key, value),
+            )
+        return [subject for (subject,) in cursor]
+
+    # ------------------------------------------------------------------
+    # Recursive closure (WITH RECURSIVE)
+    # ------------------------------------------------------------------
+
+    def admin_deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
+        # Validate the data id first; the recursive query would silently
+        # return an empty lineage for an unknown object.
+        self.producer_of(run_id, data_id)
+        params = {"run_id": run_id, "data_id": data_id}
+        result = ProvenanceResult(target=data_id, view_name="UAdmin")
+        for step_id, module, data_in in self._conn.execute(
+            SQLITE_DEEP_PROVENANCE, params
+        ):
+            result.rows.append(
+                ProvenanceRow(step_id=step_id, module=module, data_in=data_in)
+            )
+        for (lineage_data,) in self._conn.execute(
+            SQLITE_LINEAGE_USER_INPUTS, params
+        ):
+            result.user_inputs.add(lineage_data)
+        return result

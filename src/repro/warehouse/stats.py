@@ -1,0 +1,135 @@
+"""Warehouse statistics and cross-run reporting.
+
+The paper sizes its evaluation as "what would happen in a large laboratory
+with 40 workflows, each of which is executed about twice a week" — 3,600
+runs in a warehouse.  Operating at that scale needs aggregate views of the
+store itself: how big each run is, how modules are exercised across runs,
+which runs a module's executions appear in.  These helpers compute those
+aggregates through the backend-agnostic warehouse interface, so they work
+on the in-memory, SQLite and archived stores alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .base import ProvenanceWarehouse
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Row-level size of one stored run."""
+
+    run_id: str
+    spec_id: str
+    steps: int
+    io_rows: int
+    data_objects: int
+    user_inputs: int
+    final_outputs: int
+
+
+def run_stats(warehouse: ProvenanceWarehouse, run_id: str) -> RunStats:
+    """Size statistics of one run, from its relational rows."""
+    io_rows = warehouse.io_rows(run_id)
+    data_objects = {data_id for _s, data_id, _d in io_rows}
+    data_objects |= warehouse.user_inputs(run_id)
+    return RunStats(
+        run_id=run_id,
+        spec_id=warehouse.run_spec_id(run_id),
+        steps=len(warehouse.steps_of_run(run_id)),
+        io_rows=len(io_rows),
+        data_objects=len(data_objects),
+        user_inputs=len(warehouse.user_inputs(run_id)),
+        final_outputs=len(warehouse.final_outputs(run_id)),
+    )
+
+
+@dataclass
+class WarehouseReport:
+    """Aggregate contents of a warehouse."""
+
+    specs: int
+    views: int
+    runs: int
+    total_steps: int
+    total_io_rows: int
+    total_data_objects: int
+    largest_run: Optional[RunStats]
+    per_run: List[RunStats] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers, JSON-friendly."""
+        return {
+            "specs": self.specs,
+            "views": self.views,
+            "runs": self.runs,
+            "total_steps": self.total_steps,
+            "total_io_rows": self.total_io_rows,
+            "total_data_objects": self.total_data_objects,
+            "largest_run": self.largest_run.run_id if self.largest_run else None,
+        }
+
+
+def warehouse_report(warehouse: ProvenanceWarehouse) -> WarehouseReport:
+    """Aggregate statistics over everything the warehouse holds."""
+    per_run = [run_stats(warehouse, run_id) for run_id in warehouse.list_runs()]
+    largest = max(per_run, key=lambda r: r.steps, default=None)
+    return WarehouseReport(
+        specs=len(warehouse.list_specs()),
+        views=len(warehouse.list_views()),
+        runs=len(per_run),
+        total_steps=sum(r.steps for r in per_run),
+        total_io_rows=sum(r.io_rows for r in per_run),
+        total_data_objects=sum(r.data_objects for r in per_run),
+        largest_run=largest,
+        per_run=per_run,
+    )
+
+
+def module_execution_counts(
+    warehouse: ProvenanceWarehouse, spec_id: str
+) -> Dict[str, Dict[str, int]]:
+    """Per-module execution counts across every run of one specification.
+
+    Returns ``{module: {run_id: executions}}``; modules that never executed
+    in a run are reported with 0, so loop-iteration variation across runs
+    is directly visible.
+    """
+    spec = warehouse.get_spec(spec_id)
+    counts: Dict[str, Dict[str, int]] = {
+        module: {} for module in sorted(spec.modules)
+    }
+    for run_id in warehouse.list_runs(spec_id):
+        per_run: Dict[str, int] = {module: 0 for module in spec.modules}
+        for _step_id, module in warehouse.steps_of_run(run_id):
+            per_run[module] += 1
+        for module, hits in per_run.items():
+            counts[module][run_id] = hits
+    return counts
+
+
+def runs_executing_module(
+    warehouse: ProvenanceWarehouse, spec_id: str, module: str
+) -> List[str]:
+    """Runs of a specification in which ``module`` executed at least once."""
+    return sorted(
+        run_id
+        for run_id, executions in module_execution_counts(
+            warehouse, spec_id
+        ).get(module, {}).items()
+        if executions > 0
+    )
+
+
+def hottest_modules(
+    warehouse: ProvenanceWarehouse, spec_id: str, top: int = 5
+) -> List[Tuple[str, int]]:
+    """Modules with the most executions across all runs (loops dominate)."""
+    counts = module_execution_counts(warehouse, spec_id)
+    totals = sorted(
+        ((module, sum(per_run.values())) for module, per_run in counts.items()),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    return totals[:top]

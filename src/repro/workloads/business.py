@@ -1,0 +1,159 @@
+"""A business-process workload: order fulfilment with role-based views.
+
+The paper closes by noting the technique "is generic in the sense that it
+can be used by any workflow system which provides the required
+information" and points its future work at well-structured business
+processes (BPEL).  This module exercises that claim with a non-scientific
+workload: an order-fulfilment process with a credit-check/negotiation
+loop, parallel warehouse and invoicing branches, and the role-specific
+relevant sets a company would actually configure —
+
+* *sales* cares about order validation, negotiation and confirmation;
+* *finance* cares about credit checking, invoicing and payment;
+* *logistics* cares about picking, shipping and delivery confirmation.
+
+Each role's view is derived with ``RelevUserViewBuilder``; tests check the
+process is well-structured (BPEL-like, per the structure miner) and that
+each role sees its own slice of a run's provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from ..core.view import UserView
+from ..core.builder import build_user_view
+from ..run.run import WorkflowRun
+
+#: Task descriptions, for display layers.
+TASKS: Dict[str, str] = {
+    "receive_order": "Receive and parse the purchase order",
+    "validate_order": "Validate items, quantities and addresses",
+    "check_credit": "Check the customer's credit standing",
+    "negotiate_terms": "Negotiate payment terms with the customer",
+    "confirm_order": "Confirm the order with the customer",
+    "allocate_stock": "Reserve stock in the warehouse",
+    "pick_items": "Pick and pack the items",
+    "ship_order": "Hand the parcel to the carrier",
+    "create_invoice": "Create the invoice",
+    "collect_payment": "Collect the payment",
+    "reconcile": "Reconcile payment against the invoice",
+    "close_order": "Confirm delivery and close the order",
+}
+
+#: Role-specific relevant sets.
+ROLE_RELEVANT: Dict[str, FrozenSet[str]] = {
+    "sales": frozenset({"validate_order", "negotiate_terms", "confirm_order"}),
+    "finance": frozenset({"check_credit", "create_invoice", "collect_payment"}),
+    "logistics": frozenset({"pick_items", "ship_order", "close_order"}),
+}
+
+
+def order_fulfilment_spec() -> WorkflowSpec:
+    """The order-fulfilment process definition."""
+    edges: List[Tuple[str, str]] = [
+        (INPUT, "receive_order"),
+        ("receive_order", "validate_order"),
+        ("validate_order", "check_credit"),
+        ("check_credit", "negotiate_terms"),
+        ("negotiate_terms", "check_credit"),   # renegotiate until approved
+        ("negotiate_terms", "confirm_order"),
+        ("confirm_order", "allocate_stock"),
+        ("confirm_order", "create_invoice"),
+        ("allocate_stock", "pick_items"),
+        ("pick_items", "ship_order"),
+        ("create_invoice", "collect_payment"),
+        ("collect_payment", "reconcile"),
+        ("ship_order", "close_order"),
+        ("reconcile", "close_order"),
+        ("close_order", OUTPUT),
+    ]
+    return WorkflowSpec(sorted(TASKS), edges, name="order-fulfilment")
+
+
+def role_view(
+    role: str, spec: Optional[WorkflowSpec] = None
+) -> UserView:
+    """The derived user view for one of the configured roles."""
+    if role not in ROLE_RELEVANT:
+        raise KeyError(
+            "unknown role %r (expected one of %s)"
+            % (role, sorted(ROLE_RELEVANT))
+        )
+    spec = spec or order_fulfilment_spec()
+    return build_user_view(spec, ROLE_RELEVANT[role], name=role)
+
+
+def order_run(
+    spec: Optional[WorkflowSpec] = None, negotiation_rounds: int = 2
+) -> WorkflowRun:
+    """A deterministic run: the terms were renegotiated ``rounds`` times.
+
+    Data objects carry business-flavoured names (``order``, ``credit2``,
+    ``invoice`` ...), showing the model does not care that they are not
+    ``d``-numbered.
+    """
+    if negotiation_rounds < 1:
+        raise ValueError("at least one negotiation round is needed")
+    spec = spec or order_fulfilment_spec()
+    run = WorkflowRun(spec, run_id="order-run")
+    run.add_step("T1", "receive_order")
+    run.add_step("T2", "validate_order")
+    run.add_edge(INPUT, "T1", ["order"])
+    run.add_edge("T1", "T2", ["parsed_order"])
+    previous = "T2"
+    previous_data = "validated_order"
+    step_counter = 2
+    # The credit/negotiation loop, unrolled: the final round exits to
+    # confirmation without producing another credit request.
+    for round_index in range(1, negotiation_rounds + 1):
+        step_counter += 1
+        credit_step = "T%d" % step_counter
+        run.add_step(credit_step, "check_credit")
+        run.add_edge(previous, credit_step, [previous_data])
+        final_round = round_index == negotiation_rounds
+        step_counter += 1
+        negotiate_step = "T%d" % step_counter
+        run.add_step(negotiate_step, "negotiate_terms")
+        run.add_edge(credit_step, negotiate_step,
+                     ["credit%d" % round_index])
+        previous = negotiate_step
+        previous_data = "terms%d" % round_index
+        if final_round:
+            break
+    step_counter += 1
+    confirm = "T%d" % step_counter
+    run.add_step(confirm, "confirm_order")
+    run.add_edge(previous, confirm, [previous_data])
+    remaining = [
+        ("allocate_stock", confirm, "confirmation_w"),
+        ("create_invoice", confirm, "confirmation_f"),
+    ]
+    produced: Dict[str, str] = {}
+    for module, source, data in remaining:
+        step_counter += 1
+        step = "T%d" % step_counter
+        run.add_step(step, module)
+        run.add_edge(source, step, [data])
+        produced[module] = step
+    chains = [
+        ("pick_items", "allocate_stock", "allocation"),
+        ("ship_order", "pick_items", "parcel"),
+        ("collect_payment", "create_invoice", "invoice"),
+        ("reconcile", "collect_payment", "payment"),
+    ]
+    for module, upstream, data in chains:
+        step_counter += 1
+        step = "T%d" % step_counter
+        run.add_step(step, module)
+        run.add_edge(produced[upstream], step, [data])
+        produced[module] = step
+    step_counter += 1
+    close = "T%d" % step_counter
+    run.add_step(close, "close_order")
+    run.add_edge(produced["ship_order"], close, ["delivery_receipt"])
+    run.add_edge(produced["reconcile"], close, ["ledger_entry"])
+    run.add_edge(close, OUTPUT, ["closed_order"])
+    run.validate()
+    return run

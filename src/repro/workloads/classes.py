@@ -1,0 +1,197 @@
+"""Workload classes: Tables I and II of the paper.
+
+Table I defines four *classes of workflows* by their pattern-frequency
+profiles; Table II defines three *classes of runs* (small, medium, large)
+by the amount of user input, the data produced per step, the number of
+loop iterations and a cap on run size.
+
+The printed version of Table II in the paper does not reproduce the exact
+numeric ranges legibly, so this module fixes concrete values consistent
+with every constraint the text does state (one hundred user inputs in the
+running example; medium and large runs made "very large" by iterating
+loops many times; small/medium/large query times of roughly 23 ms, 213 ms
+and 1.1 s, i.e. about an order of magnitude of growth per kind).  The
+DESIGN.md substitution table records this reconstruction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..run.executor import ExecutionParams
+
+#: Pattern kinds recognised by the frequency profiles.
+PATTERN_KINDS = (
+    "sequence",
+    "loop",
+    "parallel_process",
+    "parallel_input",
+    "synchronization",
+)
+
+
+@dataclass(frozen=True)
+class WorkflowClass:
+    """One row of Table I: a named pattern-frequency profile.
+
+    Attributes
+    ----------
+    name:
+        Class identifier (``Class1`` ... ``Class4``).
+    description:
+        The paper's one-word characterisation.
+    frequencies:
+        Mapping from pattern kind to its probability when drawing the next
+        segment of a synthetic workflow.  Must sum to 1.
+    avg_size:
+        Target number of modules of a generated specification (the paper's
+        "Avg Size" column; Class 1's real corpus averages 12 nodes).
+    """
+
+    name: str
+    description: str
+    frequencies: Mapping[str, float]
+    avg_size: int
+
+    def __post_init__(self) -> None:
+        total = sum(self.frequencies.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                "frequencies of %s sum to %.3f, expected 1" % (self.name, total)
+            )
+        unknown = set(self.frequencies) - set(PATTERN_KINDS)
+        if unknown:
+            raise ValueError("unknown pattern kinds: %s" % sorted(unknown))
+
+    def draw_kind(self, rng: random.Random) -> str:
+        """Sample a pattern kind according to the profile."""
+        kinds = sorted(self.frequencies)
+        weights = [self.frequencies[k] for k in kinds]
+        return rng.choices(kinds, weights=weights, k=1)[0]
+
+
+@dataclass(frozen=True)
+class RunClass:
+    """One row of Table II: a named run-size regime.
+
+    Attributes
+    ----------
+    name:
+        ``small`` / ``medium`` / ``large``.
+    user_input_range:
+        Data objects supplied by the user per input edge.
+    data_per_edge_range:
+        Data objects a step writes per outgoing edge.
+    loop_iterations_range:
+        Iterations of each loop.
+    max_nodes / max_edges:
+        The "Size (Nodes-Edges)" caps of Table II; generated runs are
+        checked against these and regenerated with fewer iterations when
+        exceeded.
+    """
+
+    name: str
+    user_input_range: Tuple[int, int]
+    data_per_edge_range: Tuple[int, int]
+    loop_iterations_range: Tuple[int, int]
+    max_nodes: int
+    max_edges: int
+
+    def execution_params(self) -> ExecutionParams:
+        """The simulator parameters this run class prescribes."""
+        return ExecutionParams(
+            user_input_range=self.user_input_range,
+            data_per_edge_range=self.data_per_edge_range,
+            loop_iterations_range=self.loop_iterations_range,
+            max_steps=self.max_nodes,
+        )
+
+
+#: Table I.  Class 1 stands in for the collected real workflows: the same
+#: average size (12 nodes) and the text's observation that the sequence
+#: pattern is used about four times more than the reflexive loop.
+CLASS1 = WorkflowClass(
+    name="Class1",
+    description="Real",
+    frequencies={
+        "sequence": 0.68,
+        "loop": 0.17,
+        "parallel_process": 0.05,
+        "parallel_input": 0.05,
+        "synchronization": 0.05,
+    },
+    avg_size=12,
+)
+
+CLASS2 = WorkflowClass(
+    name="Class2",
+    description="Linear",
+    frequencies={
+        "sequence": 0.80,
+        "loop": 0.10,
+        "parallel_process": 0.10,
+    },
+    avg_size=20,
+)
+
+CLASS3 = WorkflowClass(
+    name="Class3",
+    description="Parallel",
+    frequencies={
+        "parallel_process": 0.20,
+        "parallel_input": 0.10,
+        "synchronization": 0.20,
+        "sequence": 0.50,
+    },
+    avg_size=20,
+)
+
+CLASS4 = WorkflowClass(
+    name="Class4",
+    description="Loop",
+    frequencies={
+        "loop": 0.50,
+        "sequence": 0.50,
+    },
+    avg_size=20,
+)
+
+#: All workflow classes, in Table I order.
+WORKFLOW_CLASSES: Dict[str, WorkflowClass] = {
+    c.name: c for c in (CLASS1, CLASS2, CLASS3, CLASS4)
+}
+
+#: Table II.  Ranges reconstructed as documented in the module docstring.
+RUN_SMALL = RunClass(
+    name="small",
+    user_input_range=(1, 10),
+    data_per_edge_range=(1, 5),
+    loop_iterations_range=(1, 5),
+    max_nodes=100,
+    max_edges=200,
+)
+
+RUN_MEDIUM = RunClass(
+    name="medium",
+    user_input_range=(10, 50),
+    data_per_edge_range=(2, 10),
+    loop_iterations_range=(5, 20),
+    max_nodes=1_000,
+    max_edges=2_000,
+)
+
+RUN_LARGE = RunClass(
+    name="large",
+    user_input_range=(50, 200),
+    data_per_edge_range=(5, 20),
+    loop_iterations_range=(20, 100),
+    max_nodes=10_000,
+    max_edges=20_000,
+)
+
+#: All run classes, in Table II order.
+RUN_CLASSES: Dict[str, RunClass] = {
+    c.name: c for c in (RUN_SMALL, RUN_MEDIUM, RUN_LARGE)
+}

@@ -1,0 +1,168 @@
+"""Synthetic workflow generation per the Table I class profiles.
+
+The paper generates "realistic synthetic workflows" by drawing patterns
+according to per-class usage statistics and combining them; this module
+does the same.  A generated workflow remembers which pattern produced each
+module, which lets :func:`biologist_relevant` emulate the hand-picked UBio
+relevant sets (biologists flag the scientifically central tasks: the
+analyses being iterated, the integration joins — not the formatting glue)
+while :func:`random_relevant` drives the randomised UV experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..core.spec import WorkflowSpec
+from .classes import WorkflowClass
+from .patterns import (
+    ComposedWorkflow,
+    LoopPattern,
+    ParallelInputPattern,
+    ParallelProcessPattern,
+    Pattern,
+    SequencePattern,
+    SynchronizationPattern,
+    compose_detailed,
+)
+
+
+@dataclass
+class GeneratedWorkflow:
+    """A synthetic specification with its generation metadata."""
+
+    spec: WorkflowSpec
+    workflow_class: str
+    patterns: List[Pattern] = field(default_factory=list)
+    module_kinds: Dict[str, str] = field(default_factory=dict)
+    suggested_relevant: FrozenSet[str] = frozenset()
+
+    def pattern_frequencies(self) -> Dict[str, float]:
+        """Realised pattern-kind frequencies (for the Table I report)."""
+        total = len(self.patterns)
+        census: Dict[str, int] = {}
+        for pattern in self.patterns:
+            census[pattern.kind] = census.get(pattern.kind, 0) + 1
+        return {kind: count / total for kind, count in sorted(census.items())}
+
+
+def _instantiate(kind: str, rng: random.Random, remaining: int) -> Pattern:
+    """Draw a concrete pattern of the requested kind.
+
+    ``remaining`` loosely bounds the segment so workflows land near their
+    target size instead of overshooting wildly.
+    """
+    if kind == "sequence":
+        return SequencePattern(length=rng.randint(1, max(1, min(4, remaining))))
+    if kind == "loop":
+        return LoopPattern(length=rng.randint(2, max(2, min(4, remaining))))
+    if kind == "parallel_process":
+        return ParallelProcessPattern(
+            branches=rng.randint(2, 3), branch_length=rng.randint(1, 2)
+        )
+    if kind == "parallel_input":
+        return ParallelInputPattern(
+            branches=rng.randint(2, 3), branch_length=rng.randint(1, 2)
+        )
+    if kind == "synchronization":
+        lengths = [rng.randint(1, 3) for _branch in range(rng.randint(2, 3))]
+        if len(set(lengths)) == 1:
+            lengths[0] += 1  # ensure the join genuinely synchronises
+        return SynchronizationPattern(branch_lengths=lengths)
+    raise ValueError("unknown pattern kind %r" % kind)
+
+
+def generate_workflow(
+    workflow_class: WorkflowClass,
+    rng: random.Random,
+    target_size: Optional[int] = None,
+    name: Optional[str] = None,
+) -> GeneratedWorkflow:
+    """Generate one synthetic workflow of the given class.
+
+    Patterns are drawn from the class's frequency profile until the module
+    count reaches ``target_size`` (default: the class's average size).
+    """
+    target = target_size or workflow_class.avg_size
+    patterns: List[Pattern] = []
+    size = 0
+    while size < target:
+        kind = workflow_class.draw_kind(rng)
+        pattern = _instantiate(kind, rng, remaining=target - size)
+        patterns.append(pattern)
+        size += pattern.size()
+    composed = compose_detailed(
+        patterns, name=name or "%s-wf" % workflow_class.name
+    )
+    generated = GeneratedWorkflow(
+        spec=composed.spec,
+        workflow_class=workflow_class.name,
+        patterns=patterns,
+        module_kinds=composed.kind_of(),
+    )
+    generated.suggested_relevant = biologist_relevant(composed, rng)
+    return generated
+
+
+def generate_workflows(
+    workflow_class: WorkflowClass,
+    count: int,
+    rng: random.Random,
+    target_size: Optional[int] = None,
+) -> List[GeneratedWorkflow]:
+    """Generate a batch of workflows of one class."""
+    return [
+        generate_workflow(
+            workflow_class,
+            rng,
+            target_size=target_size,
+            name="%s-wf%d" % (workflow_class.name, index),
+        )
+        for index in range(1, count + 1)
+    ]
+
+
+def biologist_relevant(
+    composed: ComposedWorkflow, rng: random.Random
+) -> FrozenSet[str]:
+    """Emulate a biologist's hand-picked relevant set (the UBio views).
+
+    The scientifically central modules are flagged: the head of each loop
+    (the analysis being repeated until satisfactory), the join of each
+    parallel/synchronisation segment (the integration step), and roughly a
+    quarter of the plain sequence modules; formatting glue stays
+    non-relevant.  At least one module is always flagged.
+    """
+    relevant: Set[str] = set()
+    sequence_modules: List[str] = []
+    for pattern, fragment in composed.segments:
+        if pattern.kind == "loop":
+            relevant.add(fragment.modules[0])
+        elif pattern.kind in ("parallel_process", "parallel_input", "synchronization"):
+            relevant.add(fragment.modules[-1])  # the join module
+        else:
+            sequence_modules.extend(fragment.modules)
+    quota = max(1, round(len(sequence_modules) * 0.25))
+    if sequence_modules:
+        relevant.update(rng.sample(sequence_modules, min(quota, len(sequence_modules))))
+    if not relevant:  # pragma: no cover - only if spec had no modules
+        relevant.add(sorted(composed.spec.modules)[0])
+    return frozenset(relevant)
+
+
+def random_relevant(
+    spec: WorkflowSpec, fraction: float, rng: random.Random
+) -> FrozenSet[str]:
+    """Randomly flag a fraction of modules as relevant (the UV views).
+
+    ``fraction`` of 0 yields the empty set (the UBlackBox limit) and 1
+    flags every module (the UAdmin limit), matching the paper's 0-100 %
+    sweeps in steps of 10.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1], got %r" % fraction)
+    modules = sorted(spec.modules)
+    count = round(fraction * len(modules))
+    return frozenset(rng.sample(modules, count))

@@ -1,0 +1,312 @@
+"""Workflow patterns and their composition into specifications.
+
+The paper builds its synthetic workload by combining the workflow patterns
+observed in a corpus of thirty real scientific workflows — sequence,
+(reflexive) loop, parallel process, parallel input and synchronisation, in
+the sense of the van der Aalst workflow-patterns initiative — according to
+per-class frequency profiles (Table I).  This module provides those
+patterns as composable building blocks:
+
+* :class:`SequencePattern` — a linear chain of modules;
+* :class:`LoopPattern` — a chain closed by a back edge (the reflexive
+  loop: repeat until the scientist is satisfied);
+* :class:`ParallelProcessPattern` — an AND-split into parallel branches
+  followed by an AND-join;
+* :class:`ParallelInputPattern` — independent branches each fed directly
+  by whatever precedes the pattern (the workflow input, when leading),
+  merged by a join module;
+* :class:`SynchronizationPattern` — branches of *unequal* length merged by
+  a join module, so the join genuinely synchronises.
+
+:func:`compose` chains a list of pattern instances into a single
+:class:`~repro.core.spec.WorkflowSpec`; every exit of one segment feeds
+every entry of the next.  Loops produced this way are never nested, which
+is exactly what the execution simulator supports.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.errors import SpecificationError
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A realised pattern: modules, internal edges, entry and exit points."""
+
+    modules: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    entries: Tuple[str, ...]
+    exits: Tuple[str, ...]
+
+
+class ModuleNamer:
+    """Allocates sequential ``M1, M2, ...`` module names."""
+
+    def __init__(self, prefix: str = "M") -> None:
+        self._prefix = prefix
+        self._next = 1
+
+    def take(self, count: int) -> List[str]:
+        """Allocate ``count`` fresh names."""
+        names = [
+            "%s%d" % (self._prefix, self._next + offset) for offset in range(count)
+        ]
+        self._next += count
+        return names
+
+
+class Pattern(ABC):
+    """A workflow pattern that can be realised into a graph fragment."""
+
+    #: Short identifier used by the frequency profiles of Table I.
+    kind: str = "pattern"
+
+    @abstractmethod
+    def size(self) -> int:
+        """Number of modules the pattern contributes."""
+
+    @abstractmethod
+    def realize(self, namer: ModuleNamer) -> Fragment:
+        """Instantiate the pattern with fresh module names."""
+
+
+class SequencePattern(Pattern):
+    """A chain of ``length`` modules."""
+
+    kind = "sequence"
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise SpecificationError("sequence length must be >= 1")
+        self.length = length
+
+    def size(self) -> int:
+        return self.length
+
+    def realize(self, namer: ModuleNamer) -> Fragment:
+        modules = namer.take(self.length)
+        edges = tuple(zip(modules, modules[1:]))
+        return Fragment(
+            modules=tuple(modules),
+            edges=edges,
+            entries=(modules[0],),
+            exits=(modules[-1],),
+        )
+
+
+class LoopPattern(Pattern):
+    """A chain of ``length`` (>= 2) modules closed by a back edge.
+
+    The back edge runs from the chain's last module to its first, giving
+    the reflexive repeat-until-satisfied loop of the paper's running
+    example (align, format, rectify, and back to align).
+    """
+
+    kind = "loop"
+
+    def __init__(self, length: int) -> None:
+        if length < 2:
+            raise SpecificationError(
+                "loop body needs >= 2 modules (self-loops are not allowed)"
+            )
+        self.length = length
+
+    def size(self) -> int:
+        return self.length
+
+    def realize(self, namer: ModuleNamer) -> Fragment:
+        modules = namer.take(self.length)
+        edges = list(zip(modules, modules[1:]))
+        edges.append((modules[-1], modules[0]))  # the back edge
+        return Fragment(
+            modules=tuple(modules),
+            edges=tuple(edges),
+            entries=(modules[0],),
+            exits=(modules[-1],),
+        )
+
+
+class ParallelProcessPattern(Pattern):
+    """An AND-split into equal branches followed by an AND-join."""
+
+    kind = "parallel_process"
+
+    def __init__(self, branches: int, branch_length: int) -> None:
+        if branches < 2:
+            raise SpecificationError("parallel process needs >= 2 branches")
+        if branch_length < 1:
+            raise SpecificationError("branch length must be >= 1")
+        self.branches = branches
+        self.branch_length = branch_length
+
+    def size(self) -> int:
+        return 2 + self.branches * self.branch_length
+
+    def realize(self, namer: ModuleNamer) -> Fragment:
+        split = namer.take(1)[0]
+        join_edges: List[Tuple[str, str]] = []
+        modules: List[str] = [split]
+        for _branch in range(self.branches):
+            chain = namer.take(self.branch_length)
+            modules.extend(chain)
+            join_edges.append((split, chain[0]))
+            join_edges.extend(zip(chain, chain[1:]))
+            join_edges.append((chain[-1], "__join__"))
+        join = namer.take(1)[0]
+        modules.append(join)
+        edges = tuple(
+            (src, join if dst == "__join__" else dst) for src, dst in join_edges
+        )
+        return Fragment(
+            modules=tuple(modules),
+            edges=edges,
+            entries=(split,),
+            exits=(join,),
+        )
+
+
+class ParallelInputPattern(Pattern):
+    """Independent branches, each an entry point, merged by a join module.
+
+    When this pattern leads the workflow, each branch is fed directly by
+    the ``input`` node — the paper's "parallel input" shape, e.g. sequences
+    and lab annotations arriving independently.
+    """
+
+    kind = "parallel_input"
+
+    def __init__(self, branches: int, branch_length: int) -> None:
+        if branches < 2:
+            raise SpecificationError("parallel input needs >= 2 branches")
+        if branch_length < 1:
+            raise SpecificationError("branch length must be >= 1")
+        self.branches = branches
+        self.branch_length = branch_length
+
+    def size(self) -> int:
+        return 1 + self.branches * self.branch_length
+
+    def realize(self, namer: ModuleNamer) -> Fragment:
+        modules: List[str] = []
+        entries: List[str] = []
+        edges: List[Tuple[str, str]] = []
+        tails: List[str] = []
+        for _branch in range(self.branches):
+            chain = namer.take(self.branch_length)
+            modules.extend(chain)
+            entries.append(chain[0])
+            edges.extend(zip(chain, chain[1:]))
+            tails.append(chain[-1])
+        join = namer.take(1)[0]
+        modules.append(join)
+        edges.extend((tail, join) for tail in tails)
+        return Fragment(
+            modules=tuple(modules),
+            edges=tuple(edges),
+            entries=tuple(entries),
+            exits=(join,),
+        )
+
+
+class SynchronizationPattern(Pattern):
+    """Branches of unequal length synchronised by a join module."""
+
+    kind = "synchronization"
+
+    def __init__(self, branch_lengths: Sequence[int]) -> None:
+        if len(branch_lengths) < 2:
+            raise SpecificationError("synchronization needs >= 2 branches")
+        if any(length < 1 for length in branch_lengths):
+            raise SpecificationError("branch lengths must be >= 1")
+        self.branch_lengths = tuple(branch_lengths)
+
+    def size(self) -> int:
+        return 1 + sum(self.branch_lengths)
+
+    def realize(self, namer: ModuleNamer) -> Fragment:
+        modules: List[str] = []
+        entries: List[str] = []
+        edges: List[Tuple[str, str]] = []
+        tails: List[str] = []
+        for length in self.branch_lengths:
+            chain = namer.take(length)
+            modules.extend(chain)
+            entries.append(chain[0])
+            edges.extend(zip(chain, chain[1:]))
+            tails.append(chain[-1])
+        join = namer.take(1)[0]
+        modules.append(join)
+        edges.extend((tail, join) for tail in tails)
+        return Fragment(
+            modules=tuple(modules),
+            edges=tuple(edges),
+            entries=tuple(entries),
+            exits=(join,),
+        )
+
+
+@dataclass(frozen=True)
+class ComposedWorkflow:
+    """A composed specification together with its realised segments."""
+
+    spec: WorkflowSpec
+    segments: Tuple[Tuple[Pattern, Fragment], ...]
+
+    def kind_of(self) -> dict:
+        """Map each module to the kind of the pattern that produced it."""
+        mapping: dict = {}
+        for pattern, fragment in self.segments:
+            for module in fragment.modules:
+                mapping[module] = pattern.kind
+        return mapping
+
+
+def compose_detailed(
+    patterns: Sequence[Pattern], name: str = "synthetic", prefix: str = "M"
+) -> ComposedWorkflow:
+    """Chain pattern instances, keeping per-segment realisation details.
+
+    The first segment's entries hang off the ``input`` node; every exit of
+    a segment feeds every entry of the next; the last segment's exits feed
+    ``output``.
+    """
+    if not patterns:
+        raise SpecificationError("cannot compose an empty pattern list")
+    namer = ModuleNamer(prefix=prefix)
+    modules: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    current_exits: List[str] = [INPUT]
+    segments: List[Tuple[Pattern, Fragment]] = []
+    for pattern in patterns:
+        fragment = pattern.realize(namer)
+        segments.append((pattern, fragment))
+        modules.extend(fragment.modules)
+        edges.extend(fragment.edges)
+        for exit_node in current_exits:
+            for entry in fragment.entries:
+                edges.append((exit_node, entry))
+        current_exits = list(fragment.exits)
+    for exit_node in current_exits:
+        edges.append((exit_node, OUTPUT))
+    spec = WorkflowSpec(modules, edges, name=name)
+    return ComposedWorkflow(spec=spec, segments=tuple(segments))
+
+
+def compose(
+    patterns: Sequence[Pattern], name: str = "synthetic", prefix: str = "M"
+) -> WorkflowSpec:
+    """Chain pattern instances into a workflow specification."""
+    return compose_detailed(patterns, name=name, prefix=prefix).spec
+
+
+def pattern_census(patterns: Iterable[Pattern]) -> dict:
+    """Frequency of each pattern kind in a list (for the Table I report)."""
+    census: dict = {}
+    for pattern in patterns:
+        census[pattern.kind] = census.get(pattern.kind, 0) + 1
+    return census

@@ -1,0 +1,152 @@
+"""The paper's running example: the phylogenomic workflow (Figs. 1-3).
+
+This module reconstructs, exactly as described in the paper:
+
+* the workflow specification of Fig. 1 — phylogenomic inference of protein
+  biological function, with its formatting modules, the
+  align/format/rectify loop and the annotation branches;
+* the workflow run of Fig. 2 — one hundred input sequences (``d1``-``d100``),
+  two iterations of the alignment loop, user-curated annotation edits
+  (``d202``-``d206``), thirty-one lab annotations (``d415``-``d445``) and the
+  final annotated tree ``d447``;
+* Joe's and Mary's relevant sets and the user views of Fig. 3.
+
+It doubles as an executable fixture: tests assert that
+``RelevUserViewBuilder`` regenerates Joe's and Mary's views and that the
+composite executions S11/S12/S13 behave exactly as Section II narrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from ..core.view import UserView
+from ..run.run import WorkflowRun
+
+#: Human-readable task of each module in Fig. 1.
+MODULE_TASKS: Dict[str, str] = {
+    "M1": "Format entries (extract sequences and annotations)",
+    "M2": "Annotations checking",
+    "M3": "Run alignment",
+    "M4": "Format alignment",
+    "M5": "Rectify alignment",
+    "M6": "Format lab annotations",
+    "M7": "Build phylogenetic tree",
+    "M8": "Format curated annotations",
+}
+
+#: Joe finds annotation checking, alignment and tree building relevant.
+JOE_RELEVANT: FrozenSet[str] = frozenset({"M2", "M3", "M7"})
+
+#: Mary additionally cares about the alignment rectification step.
+MARY_RELEVANT: FrozenSet[str] = frozenset({"M2", "M3", "M5", "M7"})
+
+
+def phylogenomic_spec() -> WorkflowSpec:
+    """The Fig. 1 specification."""
+    edges: List[Tuple[str, str]] = [
+        (INPUT, "M1"),   # database entries selected by the user
+        (INPUT, "M2"),   # user input for annotation curation
+        (INPUT, "M6"),   # annotations from the user's lab
+        ("M1", "M2"),    # extracted annotations
+        ("M1", "M3"),    # extracted sequences
+        ("M3", "M4"),    # raw alignment
+        ("M4", "M5"),    # formatted alignment to rectify
+        ("M5", "M3"),    # loop: re-align after rectification
+        ("M4", "M7"),    # formatted alignment to the tree builder
+        ("M2", "M8"),    # curated annotations
+        ("M8", "M7"),    # formatted curated annotations
+        ("M6", "M7"),    # formatted lab annotations
+        ("M7", OUTPUT),  # annotated phylogenetic tree
+    ]
+    return WorkflowSpec(sorted(MODULE_TASKS), edges, name="phylogenomic")
+
+
+def joe_view(spec: WorkflowSpec = None) -> UserView:
+    """Joe's user view (Fig. 3a): M10 = {M3, M4, M5}, M9 = {M6, M7, M8}."""
+    spec = spec or phylogenomic_spec()
+    return UserView(
+        spec,
+        {
+            "M1": ["M1"],
+            "M2": ["M2"],
+            "M10": ["M3", "M4", "M5"],
+            "M9": ["M6", "M7", "M8"],
+        },
+        name="Joe",
+    )
+
+
+def mary_view(spec: WorkflowSpec = None) -> UserView:
+    """Mary's user view (Fig. 3b): M11 = {M3, M4}, M5 stays visible."""
+    spec = spec or phylogenomic_spec()
+    return UserView(
+        spec,
+        {
+            "M1": ["M1"],
+            "M2": ["M2"],
+            "M11": ["M3", "M4"],
+            "M5": ["M5"],
+            "M9": ["M6", "M7", "M8"],
+        },
+        name="Mary",
+    )
+
+
+def _drange(first: int, last: int) -> List[str]:
+    """Data ids ``d<first>`` ... ``d<last>`` inclusive."""
+    return ["d%d" % index for index in range(first, last + 1)]
+
+
+def phylogenomic_run(spec: WorkflowSpec = None) -> WorkflowRun:
+    """The Fig. 2 run, with the paper's step and data identifiers.
+
+    The alignment loop executes twice (S2/S3, then S5/S6 after the
+    rectification S4); the final output is the annotated tree ``d447``.
+    """
+    spec = spec or phylogenomic_spec()
+    run = WorkflowRun(spec, run_id="phylogenomic-run")
+    for step_id, module in [
+        ("S1", "M1"),
+        ("S2", "M3"),
+        ("S3", "M4"),
+        ("S4", "M5"),
+        ("S5", "M3"),
+        ("S6", "M4"),
+        ("S7", "M2"),
+        ("S8", "M8"),
+        ("S9", "M6"),
+        ("S10", "M7"),
+    ]:
+        run.add_step(step_id, module)
+    # User inputs: the selected database entries, the curation edits and
+    # the lab annotations.
+    run.add_edge(INPUT, "S1", _drange(1, 100))
+    run.add_edge(INPUT, "S7", _drange(202, 206))
+    run.add_edge(INPUT, "S9", _drange(415, 445))
+    # Formatting of the entries: annotations to checking, sequences to
+    # alignment.
+    run.add_edge("S1", "S7", _drange(101, 201))
+    run.add_edge("S1", "S2", _drange(308, 408))
+    # The alignment loop, iteration one: align, format, rectify.
+    run.add_edge("S2", "S3", ["d409"])
+    run.add_edge("S3", "S4", ["d410"])
+    # Iteration two: the rectified alignment is re-aligned and re-formatted.
+    run.add_edge("S4", "S5", ["d411"])
+    run.add_edge("S5", "S6", ["d412"])
+    run.add_edge("S6", "S10", ["d413"])
+    # The annotation branches converge on the tree builder.
+    run.add_edge("S7", "S8", _drange(207, 211))
+    run.add_edge("S8", "S10", ["d414"])
+    run.add_edge("S9", "S10", ["d446"])
+    # The annotated phylogenetic tree.
+    run.add_edge("S10", OUTPUT, ["d447"])
+    run.validate()
+    return run
+
+
+def paper_example() -> Tuple[WorkflowSpec, WorkflowRun, UserView, UserView]:
+    """Convenience bundle: (spec, run, Joe's view, Mary's view)."""
+    spec = phylogenomic_spec()
+    return spec, phylogenomic_run(spec), joe_view(spec), mary_view(spec)

@@ -1,0 +1,104 @@
+"""Run generation per the Table II run classes.
+
+A run class prescribes the simulator's parameter ranges plus a cap on the
+run's node and edge counts.  Because loop iterations are sampled, a
+generated run can overshoot the cap; in that case the generator retries
+with a geometrically narrowed loop-iteration range, falling back to
+single-iteration loops — so generation always terminates and every
+returned run respects its class's size band.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..core.errors import ExecutionError
+from ..core.spec import WorkflowSpec
+from ..run.executor import ExecutionParams, SimulationResult, simulate
+from .classes import RunClass
+
+#: How many shrink-and-retry rounds before forcing single-iteration loops.
+_MAX_ATTEMPTS = 6
+
+
+def generate_run(
+    spec: WorkflowSpec,
+    run_class: RunClass,
+    rng: random.Random,
+    run_id: str = "run1",
+) -> SimulationResult:
+    """Simulate one run of ``spec`` within the run class's size caps."""
+    params = run_class.execution_params()
+    for attempt in range(_MAX_ATTEMPTS + 1):
+        if attempt == _MAX_ATTEMPTS:
+            params = replace(params, loop_iterations_range=(1, 1))
+        try:
+            result = simulate(spec, params=params, rng=rng, run_id=run_id)
+        except ExecutionError:
+            params = _narrow_loops(params)
+            continue
+        if (
+            result.run.num_steps() <= run_class.max_nodes
+            and result.run.num_edges() <= run_class.max_edges
+        ):
+            return result
+        params = _narrow_loops(params)
+    raise ExecutionError(
+        "could not fit a run of %r within %s caps (%d nodes / %d edges); "
+        "the specification alone may exceed the class size"
+        % (spec.name, run_class.name, run_class.max_nodes, run_class.max_edges)
+    )
+
+
+def _narrow_loops(params: ExecutionParams) -> ExecutionParams:
+    """Halve the loop-iteration range (never below one iteration)."""
+    lo, hi = params.loop_iterations_range
+    return replace(
+        params, loop_iterations_range=(max(1, lo // 2), max(1, hi // 2))
+    )
+
+
+def generate_runs(
+    spec: WorkflowSpec,
+    run_class: RunClass,
+    count: int,
+    rng: random.Random,
+    run_id_prefix: Optional[str] = None,
+) -> List[SimulationResult]:
+    """Simulate a batch of runs of one specification and run class."""
+    prefix = run_id_prefix or "%s-%s" % (spec.name, run_class.name)
+    return [
+        generate_run(spec, run_class, rng, run_id="%s-r%d" % (prefix, index))
+        for index in range(1, count + 1)
+    ]
+
+
+def run_statistics(results: List[SimulationResult]) -> Dict[str, float]:
+    """Aggregate size statistics of a batch (for the Table II report)."""
+    if not results:
+        return {}
+    totals = {"steps": 0, "edges": 0, "data": 0, "user_inputs": 0, "loops": 0}
+    max_steps = 0
+    max_edges = 0
+    for result in results:
+        stats = result.run.stats()
+        totals["steps"] += stats["steps"]
+        totals["edges"] += stats["edges"]
+        totals["data"] += stats["data"]
+        totals["user_inputs"] += stats["user_inputs"]
+        totals["loops"] += sum(result.iterations.values())
+        max_steps = max(max_steps, stats["steps"])
+        max_edges = max(max_edges, stats["edges"])
+    count = len(results)
+    return {
+        "runs": count,
+        "avg_steps": totals["steps"] / count,
+        "avg_edges": totals["edges"] / count,
+        "avg_data": totals["data"] / count,
+        "avg_user_inputs": totals["user_inputs"] / count,
+        "avg_loop_iterations": totals["loops"] / count,
+        "max_steps": max_steps,
+        "max_edges": max_edges,
+    }

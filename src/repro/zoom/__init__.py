@@ -1,0 +1,45 @@
+"""ZOOM prototype layer: sessions, rendering, canned queries, access."""
+
+from .access import AccessDenied, AuditRecord, GuardedWarehouse, ViewPolicy
+from .canned import (
+    data_with_in_provenance,
+    depends_on,
+    inputs_feeding,
+    outputs_depending_on,
+    provenance_difference,
+    steps_producing,
+    suppliers_of,
+)
+from .dot import composite_run_to_dot, provenance_to_dot, run_to_dot, spec_to_dot
+from .report import (
+    compress_ids,
+    diff_report,
+    plan_report,
+    provenance_report,
+    reverse_report,
+)
+from .session import Session
+
+__all__ = [
+    "AccessDenied",
+    "AuditRecord",
+    "GuardedWarehouse",
+    "Session",
+    "ViewPolicy",
+    "composite_run_to_dot",
+    "compress_ids",
+    "data_with_in_provenance",
+    "depends_on",
+    "diff_report",
+    "inputs_feeding",
+    "outputs_depending_on",
+    "plan_report",
+    "provenance_difference",
+    "provenance_report",
+    "provenance_to_dot",
+    "reverse_report",
+    "run_to_dot",
+    "spec_to_dot",
+    "steps_producing",
+    "suppliers_of",
+]

@@ -1,0 +1,170 @@
+"""Multi-user access control over provenance, enforced through views.
+
+The paper presents composite modules as a mechanism for "abstraction,
+privacy, and reuse": a user view does not merely declutter — it *hides*
+internal steps and intermediate data.  This module makes the privacy
+reading operational: a :class:`ViewPolicy` assigns each user the views
+they may query through, and a :class:`GuardedWarehouse` front-end refuses
+any query outside the assigned granularity.
+
+The enforcement point is the same machinery the rest of the system uses:
+queries run over the composite run of an *assigned* view, so data internal
+to its composite executions is unreachable by construction, not by
+filtering answers after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ZoomError
+from ..core.view import UserView
+from ..provenance.reasoner import ProvenanceReasoner
+from ..provenance.result import ProvenanceResult, ReverseProvenanceResult
+from ..warehouse.base import ProvenanceWarehouse
+
+
+class AccessDenied(ZoomError):
+    """The user is not entitled to the requested view or data."""
+
+
+@dataclass
+class ViewPolicy:
+    """Assignment of users to the view ids they may query through.
+
+    A user may hold several views (e.g. a coarse default plus a finer one
+    for a sub-workflow they own); queries name the view explicitly or fall
+    back to the user's default (their first grant).
+    """
+
+    _grants: Dict[str, List[str]] = field(default_factory=dict)
+
+    def grant(self, user: str, view_id: str) -> None:
+        """Allow ``user`` to query through ``view_id``."""
+        views = self._grants.setdefault(user, [])
+        if view_id not in views:
+            views.append(view_id)
+
+    def revoke(self, user: str, view_id: str) -> None:
+        """Withdraw a grant (no-op if absent)."""
+        views = self._grants.get(user, [])
+        if view_id in views:
+            views.remove(view_id)
+
+    def views_of(self, user: str) -> List[str]:
+        """View ids the user holds, in grant order."""
+        return list(self._grants.get(user, []))
+
+    def default_view(self, user: str) -> str:
+        """The user's first-granted view."""
+        views = self.views_of(user)
+        if not views:
+            raise AccessDenied("user %r holds no view grants" % user)
+        return views[0]
+
+    def check(self, user: str, view_id: str) -> None:
+        """Raise :class:`AccessDenied` unless the grant exists."""
+        if view_id not in self._grants.get(user, []):
+            raise AccessDenied(
+                "user %r may not query through view %r" % (user, view_id)
+            )
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One entry of the guarded warehouse's query audit log."""
+
+    user: str
+    view_id: str
+    run_id: str
+    query: str
+    target: str
+    tuples: int
+
+
+class GuardedWarehouse:
+    """A policy-enforcing facade over a warehouse and reasoner.
+
+    All provenance queries go through :meth:`deep`, :meth:`immediate` and
+    :meth:`reverse`, which (a) verify the user's grant, (b) answer at the
+    granted view's granularity — so hidden data raises the same
+    :class:`~repro.core.errors.HiddenDataError` it would for any view —
+    and (c) append an audit record.
+    """
+
+    def __init__(
+        self, warehouse: ProvenanceWarehouse, policy: ViewPolicy
+    ) -> None:
+        self.warehouse = warehouse
+        self.policy = policy
+        self.reasoner = ProvenanceReasoner(warehouse)
+        self._audit: List[AuditRecord] = []
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+
+    def _resolve_view(self, user: str, view_id: Optional[str]) -> Tuple[str, UserView]:
+        resolved = view_id or self.policy.default_view(user)
+        self.policy.check(user, resolved)
+        return resolved, self.warehouse.get_view(resolved)
+
+    def deep(
+        self, user: str, run_id: str, data_id: str,
+        view_id: Optional[str] = None,
+    ) -> ProvenanceResult:
+        """Deep provenance through one of the user's granted views."""
+        resolved, view = self._resolve_view(user, view_id)
+        result = self.reasoner.deep(run_id, data_id, view=view)
+        self._record(user, resolved, run_id, "deep", data_id,
+                     result.num_tuples())
+        return result
+
+    def immediate(
+        self, user: str, run_id: str, data_id: str,
+        view_id: Optional[str] = None,
+    ) -> ProvenanceResult:
+        """Immediate provenance through a granted view."""
+        resolved, view = self._resolve_view(user, view_id)
+        result = self.reasoner.immediate(run_id, data_id, view=view)
+        self._record(user, resolved, run_id, "immediate", data_id,
+                     result.num_tuples())
+        return result
+
+    def reverse(
+        self, user: str, run_id: str, data_id: str,
+        view_id: Optional[str] = None,
+    ) -> ReverseProvenanceResult:
+        """Forward (derived-from) provenance through a granted view."""
+        resolved, view = self._resolve_view(user, view_id)
+        result = self.reasoner.reverse(run_id, data_id, view=view)
+        self._record(user, resolved, run_id, "reverse", data_id,
+                     result.num_tuples())
+        return result
+
+    def visible_data(
+        self, user: str, run_id: str, view_id: Optional[str] = None
+    ) -> Set[str]:
+        """The data objects the user's view exposes in a run."""
+        _resolved, view = self._resolve_view(user, view_id)
+        return self.reasoner.composite_run(run_id, view).visible_data()
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def _record(
+        self, user: str, view_id: str, run_id: str,
+        query: str, target: str, tuples: int,
+    ) -> None:
+        self._audit.append(AuditRecord(
+            user=user, view_id=view_id, run_id=run_id,
+            query=query, target=target, tuples=tuples,
+        ))
+
+    def audit_log(self, user: Optional[str] = None) -> List[AuditRecord]:
+        """The query audit trail, optionally filtered to one user."""
+        if user is None:
+            return list(self._audit)
+        return [record for record in self._audit if record.user == user]

@@ -1,0 +1,119 @@
+"""Canned provenance queries (Section IV, "ongoing work").
+
+The prototype offers form-based queries on top of the core primitives;
+these are their programmatic equivalents.  All respect the user view the
+caller passes in, and all are answered through a
+:class:`~repro.provenance.reasoner.ProvenanceReasoner` so they share its
+caches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..core.view import UserView
+from ..provenance.reasoner import ProvenanceReasoner
+from ..provenance.result import ProvenanceResult
+
+
+def depends_on(
+    reasoner: ProvenanceReasoner,
+    run_id: str,
+    target: str,
+    source: str,
+    view: Optional[UserView] = None,
+) -> bool:
+    """Whether ``source`` is in the (deep) provenance of ``target``."""
+    result = reasoner.deep(run_id, target, view=view)
+    return source in result.data()
+
+
+def data_with_in_provenance(
+    reasoner: ProvenanceReasoner,
+    run_id: str,
+    source: str,
+    view: Optional[UserView] = None,
+) -> Set[str]:
+    """The paper's canned query: data objects whose provenance contains
+    ``source``."""
+    result = reasoner.reverse(run_id, source, view=view)
+    derived = result.data()
+    derived.discard(source)
+    return derived
+
+
+def outputs_depending_on(
+    reasoner: ProvenanceReasoner,
+    run_id: str,
+    source: str,
+    view: Optional[UserView] = None,
+) -> Set[str]:
+    """Final outputs of the run that depend on ``source``."""
+    result = reasoner.reverse(run_id, source, view=view)
+    outputs = set(result.final_outputs)
+    if source in reasoner.warehouse.final_outputs(run_id):
+        outputs.add(source)
+    return outputs
+
+
+def inputs_feeding(
+    reasoner: ProvenanceReasoner,
+    run_id: str,
+    target: str,
+    view: Optional[UserView] = None,
+) -> Set[str]:
+    """User inputs on which ``target`` transitively depends."""
+    return set(reasoner.deep(run_id, target, view=view).user_inputs)
+
+
+def steps_producing(
+    reasoner: ProvenanceReasoner,
+    run_id: str,
+    target: str,
+    view: Optional[UserView] = None,
+) -> List[str]:
+    """(Virtual) steps in the deep provenance of ``target``, sorted."""
+    return sorted(reasoner.deep(run_id, target, view=view).steps())
+
+
+def suppliers_of(
+    reasoner: ProvenanceReasoner,
+    run_id: str,
+    target: str,
+    view: Optional[UserView] = None,
+) -> Dict[str, Set[str]]:
+    """Who supplied the user inputs behind ``target``, grouped by supplier.
+
+    Uses the warehouse's recorded user-input metadata (Section II: a user
+    input's provenance is whatever metadata was recorded — e.g. who input
+    the data).
+    """
+    inputs = reasoner.deep(run_id, target, view=view).user_inputs
+    by_supplier: Dict[str, Set[str]] = {}
+    for data_id in inputs:
+        who = reasoner.warehouse.user_input_who(run_id, data_id)
+        by_supplier.setdefault(who, set()).add(data_id)
+    return by_supplier
+
+
+def provenance_difference(
+    coarse: ProvenanceResult, fine: ProvenanceResult
+) -> Dict[str, FrozenSet[str]]:
+    """What a finer view reveals beyond a coarser one for the same target.
+
+    Returns the extra data objects and extra steps the fine answer exposes,
+    and those of the coarse answer not literally present in the fine one
+    (composite steps are renamed across views, so step sets are compared as
+    identifiers, data objects as the stable currency).
+    """
+    if coarse.target != fine.target:
+        raise ValueError(
+            "results answer different targets: %r vs %r"
+            % (coarse.target, fine.target)
+        )
+    return {
+        "data_revealed": frozenset(fine.data() - coarse.data()),
+        "data_hidden": frozenset(coarse.data() - fine.data()),
+        "steps_revealed": frozenset(fine.steps() - coarse.steps()),
+        "steps_hidden": frozenset(coarse.steps() - fine.steps()),
+    }

@@ -1,0 +1,450 @@
+"""Command-line interface of the ZOOM reproduction.
+
+Subcommands::
+
+    zoom demo                         walk through the paper's running example
+    zoom generate ...                 emit a synthetic workflow spec as JSON
+    zoom load ...                     simulate runs and load a SQLite warehouse
+    zoom view ...                     build (and optionally store) a user view
+    zoom prov ...                     answer a provenance query through a view
+    zoom dot ...                      render a run or spec as Graphviz DOT
+    zoom opm ...                      export a run's provenance as OPM JSON
+    zoom plan ...                     re-execution plan after an input change
+    zoom diff ...                     compare two runs through a view
+    zoom stats ...                    aggregate warehouse statistics
+    zoom ingest ...                   load a foreign JSON Lines trace
+    zoom dump / zoom restore          archive a warehouse to/from JSON
+
+Every subcommand works against a SQLite warehouse file, so a shell session
+can reproduce the paper's workflow end to end without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import List, Optional
+
+from ..core.builder import build_user_view
+from ..core.spec import WorkflowSpec
+from ..warehouse.sqlite import SqliteWarehouse
+from ..workloads.classes import RUN_CLASSES, WORKFLOW_CLASSES
+from ..workloads.generator import generate_workflow
+from ..workloads.phylogenomic import (
+    JOE_RELEVANT,
+    MARY_RELEVANT,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+from ..workloads.runs import generate_run
+from .dot import run_to_dot, spec_to_dot
+from .session import Session
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    """Run the paper's Section II walkthrough and print what each user sees."""
+    spec = phylogenomic_spec()
+    run = phylogenomic_run(spec)
+    warehouse = SqliteWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(run, spec_id)
+
+    print("Phylogenomic workflow: %d modules, run of %d steps, %d data objects"
+          % (len(spec), run.num_steps(), len(run.data_ids())))
+    for user, relevant in (("Joe", JOE_RELEVANT), ("Mary", MARY_RELEVANT)):
+        session = Session(warehouse, spec_id, user=user)
+        session.set_relevant(relevant)
+        print("\n%s flags %s as relevant -> view of size %d:"
+              % (user, sorted(relevant), session.view.size()))
+        for composite in sorted(session.view.composites):
+            print("  %-8s = %s" % (composite, sorted(session.view.members(composite))))
+        answer = session.deep_provenance(run_id, "d447")
+        print("%s's deep provenance of d447: %d tuples, %d steps, %d data objects"
+              % (user, answer.num_tuples(), len(answer.steps()), len(answer.data())))
+        visible = "d411" in session.visible_data(run_id)
+        print("  d411 (rectified alignment) visible to %s: %s" % (user, visible))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic workflow and print/write it as JSON."""
+    workflow_class = WORKFLOW_CLASSES[args.workflow_class]
+    rng = random.Random(args.seed)
+    generated = generate_workflow(
+        workflow_class, rng, target_size=args.size, name=args.name
+    )
+    payload = generated.spec.to_dict()
+    payload["suggested_relevant"] = sorted(generated.suggested_relevant)
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print("wrote %s (%d modules)" % (args.out, len(generated.spec)))
+    else:
+        print(text)
+    return 0
+
+
+def _read_spec(path: str) -> WorkflowSpec:
+    with open(path) as handle:
+        return WorkflowSpec.from_dict(json.load(handle))
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """Simulate runs of a spec and load everything into a warehouse file."""
+    spec = _read_spec(args.spec)
+    run_class = RUN_CLASSES[args.run_class]
+    rng = random.Random(args.seed)
+    with SqliteWarehouse(args.db) as warehouse:
+        spec_id = warehouse.store_spec(spec)
+        for index in range(1, args.runs + 1):
+            result = generate_run(
+                spec, run_class, rng, run_id="%s/run%d" % (spec_id, index)
+            )
+            run_id = warehouse.store_run(result.run, spec_id)
+            print("stored %s: %d steps, %d data objects"
+                  % (run_id, result.run.num_steps(), len(result.run.data_ids())))
+    print("spec %r and %d run(s) loaded into %s" % (spec_id, args.runs, args.db))
+    return 0
+
+
+def _cmd_view(args: argparse.Namespace) -> int:
+    """Build a user view from relevant modules; optionally store it."""
+    with SqliteWarehouse(args.db) as warehouse:
+        session = Session(warehouse, args.spec_id, user=args.user)
+        session.set_relevant(args.relevant)
+        view = session.view
+        if args.optimize:
+            from ..core.optimize import local_search_minimize
+
+            optimised = local_search_minimize(
+                session.spec, args.relevant, start=view,
+                name="%s-view" % args.user,
+            )
+            if optimised.size() < view.size():
+                print("local search shrank the view: %d -> %d composites"
+                      % (view.size(), optimised.size()))
+                view = optimised
+                session.use_view(view)
+        print("view of size %d for relevant=%s" % (view.size(), sorted(args.relevant)))
+        for composite in sorted(view.composites):
+            print("  %-10s = %s" % (composite, sorted(view.members(composite))))
+        if args.save:
+            view_id = session.save_view(args.view_id)
+            print("stored as view %r" % view_id)
+    return 0
+
+
+def _cmd_prov(args: argparse.Namespace) -> int:
+    """Answer a deep-provenance query through a view."""
+    with SqliteWarehouse(args.db) as warehouse:
+        spec_id = warehouse.run_spec_id(args.run_id)
+        session = Session(warehouse, spec_id, user=args.user)
+        if args.view_id:
+            session.use_view(warehouse.get_view(args.view_id))
+        elif args.relevant:
+            session.set_relevant(args.relevant)
+        data_id = args.data
+        if data_id is None:
+            data_id = sorted(warehouse.final_outputs(args.run_id))[0]
+        answer = session.deep_provenance(args.run_id, data_id)
+        if args.format == "report":
+            from .report import provenance_report
+
+            composite = session.reasoner.composite_run(
+                args.run_id, session.view
+            )
+            print(provenance_report(answer, composite))
+        else:
+            print("deep provenance of %s under view %r: %d tuples"
+                  % (data_id, answer.view_name, answer.num_tuples()))
+            for row in answer.sorted_rows():
+                print("  %-12s %-16s reads %s"
+                      % (row.step_id, row.module, row.data_in))
+            if answer.user_inputs:
+                print("  user inputs: %s"
+                      % ", ".join(sorted(answer.user_inputs)))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    """Emit a DOT rendering of a stored spec or run."""
+    with SqliteWarehouse(args.db) as warehouse:
+        if args.run_id:
+            print(run_to_dot(warehouse.get_run(args.run_id)))
+        else:
+            print(spec_to_dot(warehouse.get_spec(args.spec_id)))
+    return 0
+
+
+def _views_for_run(warehouse, args) -> list:
+    """Resolve the views named by --view-id/--relevant for one run."""
+    from ..core.composite import CompositeRun
+    from ..core.view import admin_view
+
+    run = warehouse.get_run(args.run_id)
+    views = []
+    if args.view_id:
+        for view_id in args.view_id:
+            views.append(warehouse.get_view(view_id))
+    elif args.relevant:
+        views.append(build_user_view(run.spec, args.relevant, name="UView"))
+    else:
+        views.append(admin_view(run.spec))
+    return [CompositeRun(run, view) for view in views]
+
+
+def _cmd_opm(args: argparse.Namespace) -> int:
+    """Export a run's provenance as an OPM document (one account/view)."""
+    from ..provenance.opm import export_opm, to_json
+
+    with SqliteWarehouse(args.db) as warehouse:
+        composite_runs = _views_for_run(warehouse, args)
+        document = export_opm(composite_runs, run_id=args.run_id)
+        text = to_json(document)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print("wrote %s (%d account(s))" % (args.out, len(composite_runs)))
+        else:
+            print(text)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Print the re-execution plan after changing some user inputs."""
+    from ..provenance.invalidation import ReexecutionPlanner
+
+    with SqliteWarehouse(args.db) as warehouse:
+        planner = ReexecutionPlanner(warehouse)
+        if args.relevant:
+            spec = warehouse.get_spec(warehouse.run_spec_id(args.run_id))
+            view = build_user_view(spec, args.relevant, name="UView")
+            plan = planner.plan_through_view(args.run_id, args.changed, view)
+        else:
+            plan = planner.plan(args.run_id, args.changed)
+        print("changed inputs: %s" % ", ".join(sorted(plan.changed_inputs)))
+        print("stale steps (%d, re-execute in order):" % len(plan.stale_steps))
+        for step in plan.stale_steps:
+            print("  %s" % step)
+        print("fresh steps reusable: %d" % len(plan.fresh_steps))
+        print("final outputs to re-derive: %s"
+              % (", ".join(sorted(plan.stale_outputs)) or "none"))
+        print("work fraction: %.0f%%" % (100 * plan.work_fraction()))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two runs of the same specification through a view."""
+    from ..core.view import admin_view
+    from ..provenance.rundiff import diff_runs
+
+    with SqliteWarehouse(args.db) as warehouse:
+        run_a = warehouse.get_run(args.run_a)
+        run_b = warehouse.get_run(args.run_b)
+        if args.relevant:
+            view = build_user_view(run_a.spec, args.relevant, name="UView")
+        elif args.view_id:
+            view = warehouse.get_view(args.view_id)
+        else:
+            view = admin_view(run_a.spec)
+        report = diff_runs(run_a, run_b, view)
+        if report.identical():
+            print("runs are identical at view %r granularity" % view.name)
+            return 0
+        print("differences at view %r granularity:" % view.name)
+        for delta in report.changed_modules():
+            print("  %-16s executions %d -> %d"
+                  % (delta.composite, delta.executions_a, delta.executions_b))
+        for delta in report.changed_edges():
+            print("  %-16s data volume %d -> %d"
+                  % ("%s->%s" % (delta.src, delta.dst),
+                     delta.volume_a, delta.volume_b))
+        if report.user_inputs[0] != report.user_inputs[1]:
+            print("  user inputs %d -> %d" % report.user_inputs)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Print aggregate statistics of a warehouse."""
+    from ..warehouse.stats import hottest_modules, warehouse_report
+
+    with SqliteWarehouse(args.db) as warehouse:
+        report = warehouse_report(warehouse)
+        print("warehouse %s" % args.db)
+        print("  specs: %d, views: %d, runs: %d"
+              % (report.specs, report.views, report.runs))
+        print("  total steps: %d, io rows: %d, data objects: %d"
+              % (report.total_steps, report.total_io_rows,
+                 report.total_data_objects))
+        if report.largest_run is not None:
+            largest = report.largest_run
+            print("  largest run: %s (%d steps, %d data objects)"
+                  % (largest.run_id, largest.steps, largest.data_objects))
+        for spec_id in warehouse.list_specs():
+            if not warehouse.list_runs(spec_id):
+                continue
+            hottest = hottest_modules(warehouse, spec_id, top=3)
+            print("  %s hottest modules: %s"
+                  % (spec_id,
+                     ", ".join("%s (%d)" % pair for pair in hottest)))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Load a foreign trace file (JSON Lines) into the warehouse."""
+    from ..run.trace import read_trace
+
+    with SqliteWarehouse(args.db) as warehouse:
+        log = read_trace(args.trace)
+        run_id = warehouse.store_log(log, args.spec_id, run_id=args.run_id)
+        print("ingested trace as run %r (%d events)" % (run_id, len(log)))
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    """Archive a SQLite warehouse to a JSON file."""
+    from ..warehouse.jsonfile import save_warehouse
+
+    with SqliteWarehouse(args.db) as warehouse:
+        save_warehouse(warehouse, args.out)
+        print("dumped %d spec(s), %d run(s) to %s"
+              % (len(warehouse.list_specs()), len(warehouse.list_runs()),
+                 args.out))
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    """Rebuild a SQLite warehouse from a JSON archive."""
+    from ..warehouse.jsonfile import load_warehouse
+
+    with SqliteWarehouse(args.db) as warehouse:
+        load_warehouse(args.archive, into=warehouse)
+        print("restored %d spec(s), %d run(s) into %s"
+              % (len(warehouse.list_specs()), len(warehouse.list_runs()),
+                 args.db))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="zoom",
+        description="ZOOM*UserViews reproduction: provenance through user views",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="walk through the paper's running example")
+
+    gen = sub.add_parser("generate", help="generate a synthetic workflow spec")
+    gen.add_argument("--class", dest="workflow_class", default="Class2",
+                     choices=sorted(WORKFLOW_CLASSES))
+    gen.add_argument("--size", type=int, default=None,
+                     help="target module count (default: class average)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--name", default="synthetic")
+    gen.add_argument("--out", default=None, help="output JSON path (default: stdout)")
+
+    load = sub.add_parser("load", help="simulate runs into a SQLite warehouse")
+    load.add_argument("--db", required=True)
+    load.add_argument("--spec", required=True, help="spec JSON (from 'generate')")
+    load.add_argument("--run-class", default="small", choices=sorted(RUN_CLASSES))
+    load.add_argument("--runs", type=int, default=1)
+    load.add_argument("--seed", type=int, default=0)
+
+    view = sub.add_parser("view", help="build a user view from relevant modules")
+    view.add_argument("--db", required=True)
+    view.add_argument("--spec-id", required=True)
+    view.add_argument("--relevant", nargs="+", required=True)
+    view.add_argument("--user", default="user")
+    view.add_argument("--save", action="store_true")
+    view.add_argument("--view-id", default=None)
+    view.add_argument("--optimize", action="store_true",
+                      help="run local search toward a minimum view")
+
+    prov = sub.add_parser("prov", help="deep provenance through a view")
+    prov.add_argument("--db", required=True)
+    prov.add_argument("--run-id", required=True)
+    prov.add_argument("--data", default=None,
+                      help="data id (default: the run's first final output)")
+    prov.add_argument("--relevant", nargs="*", default=None)
+    prov.add_argument("--view-id", default=None)
+    prov.add_argument("--user", default="user")
+    prov.add_argument("--format", choices=["rows", "report"], default="rows")
+
+    dot = sub.add_parser("dot", help="render a stored spec or run as DOT")
+    dot.add_argument("--db", required=True)
+    dot.add_argument("--spec-id", default=None)
+    dot.add_argument("--run-id", default=None)
+
+    opm = sub.add_parser("opm", help="export a run's provenance as OPM JSON")
+    opm.add_argument("--db", required=True)
+    opm.add_argument("--run-id", required=True)
+    opm.add_argument("--view-id", nargs="*", default=None,
+                     help="stored views to export (one OPM account each)")
+    opm.add_argument("--relevant", nargs="*", default=None)
+    opm.add_argument("--out", default=None)
+
+    plan = sub.add_parser("plan", help="re-execution plan after input change")
+    plan.add_argument("--db", required=True)
+    plan.add_argument("--run-id", required=True)
+    plan.add_argument("--changed", nargs="+", required=True,
+                      help="user-input data ids declared stale")
+    plan.add_argument("--relevant", nargs="*", default=None,
+                      help="present the plan at this view's granularity")
+
+    diff = sub.add_parser("diff", help="compare two runs through a view")
+    diff.add_argument("--db", required=True)
+    diff.add_argument("--run-a", required=True)
+    diff.add_argument("--run-b", required=True)
+    diff.add_argument("--relevant", nargs="*", default=None)
+    diff.add_argument("--view-id", default=None)
+
+    stats = sub.add_parser("stats", help="aggregate warehouse statistics")
+    stats.add_argument("--db", required=True)
+
+    ingest = sub.add_parser("ingest",
+                            help="load a JSON Lines trace into the warehouse")
+    ingest.add_argument("--db", required=True)
+    ingest.add_argument("--spec-id", required=True)
+    ingest.add_argument("--trace", required=True)
+    ingest.add_argument("--run-id", default=None)
+
+    dump = sub.add_parser("dump", help="archive a warehouse to JSON")
+    dump.add_argument("--db", required=True)
+    dump.add_argument("--out", required=True)
+
+    restore = sub.add_parser("restore", help="rebuild a warehouse from JSON")
+    restore.add_argument("--db", required=True)
+    restore.add_argument("--archive", required=True)
+
+    return parser
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "generate": _cmd_generate,
+    "load": _cmd_load,
+    "view": _cmd_view,
+    "prov": _cmd_prov,
+    "dot": _cmd_dot,
+    "opm": _cmd_opm,
+    "plan": _cmd_plan,
+    "diff": _cmd_diff,
+    "stats": _cmd_stats,
+    "ingest": _cmd_ingest,
+    "dump": _cmd_dump,
+    "restore": _cmd_restore,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Graphviz/DOT rendering of specifications, views, runs and provenance.
+
+The paper's prototype displays workflows and provenance answers as graphs.
+This module produces the textual DOT equivalents; any Graphviz install (or
+online renderer) turns them into the pictures.  Rendering cost is what the
+paper's "visualisation took 300 ms on average" figure measures, so the
+benchmarks time these functions too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..core.composite import CompositeRun
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from ..core.view import UserView
+from ..provenance.result import ProvenanceResult
+from ..run.run import WorkflowRun
+
+
+def _quote(identifier: str) -> str:
+    return '"%s"' % identifier.replace('"', '\\"')
+
+
+def _natural_key(identifier: str):
+    import re
+
+    match = re.search(r"(\d+)$", identifier)
+    return (identifier[: match.start()] if match else identifier,
+            int(match.group(1)) if match else -1)
+
+
+def _data_label(data_ids: Iterable[str], limit: int = 4) -> str:
+    ids = sorted(data_ids, key=_natural_key)
+    if len(ids) <= limit:
+        return ", ".join(ids)
+    return "%s .. %s (%d)" % (ids[0], ids[-1], len(ids))
+
+
+def spec_to_dot(
+    spec: WorkflowSpec,
+    relevant: Optional[Iterable[str]] = None,
+    view: Optional[UserView] = None,
+) -> str:
+    """Render a specification; relevant modules are shaded, composites boxed.
+
+    With a ``view``, each multi-module composite becomes a dotted cluster —
+    the presentation of Fig. 1's dotted boxes.
+    """
+    relevant_set: Set[str] = set(relevant or [])
+    lines: List[str] = ["digraph spec {", "  rankdir=LR;"]
+    lines.append("  %s [shape=circle, label=I];" % _quote(INPUT))
+    lines.append("  %s [shape=doublecircle, label=O];" % _quote(OUTPUT))
+
+    def node_line(module: str, indent: str = "  ") -> str:
+        style = ' style=filled fillcolor="lightgrey"' if module in relevant_set else ""
+        return "%s%s [shape=box%s];" % (indent, _quote(module), style)
+
+    if view is None:
+        for module in sorted(spec.modules):
+            lines.append(node_line(module))
+    else:
+        singleton: List[str] = []
+        for composite in sorted(view.composites):
+            members = sorted(view.members(composite))
+            if len(members) == 1:
+                singleton.extend(members)
+                continue
+            lines.append("  subgraph cluster_%s {" % composite.replace("[", "_").replace("]", "_").replace(".", "_"))
+            lines.append('    label="%s"; style=dotted;' % composite)
+            for module in members:
+                lines.append(node_line(module, indent="    "))
+            lines.append("  }")
+        for module in sorted(singleton):
+            lines.append(node_line(module))
+    for src, dst in sorted(spec.edges()):
+        lines.append("  %s -> %s;" % (_quote(src), _quote(dst)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_to_dot(run: WorkflowRun) -> str:
+    """Render a run graph with step labels and data-id edge labels."""
+    lines: List[str] = ["digraph run {", "  rankdir=LR;"]
+    lines.append("  %s [shape=circle, label=I];" % _quote(INPUT))
+    lines.append("  %s [shape=doublecircle, label=O];" % _quote(OUTPUT))
+    for step in run.steps():
+        lines.append(
+            '  %s [shape=box, label="%s:%s"];'
+            % (_quote(step.step_id), step.step_id, step.module)
+        )
+    for src, dst, data_ids in sorted(run.edges()):
+        lines.append(
+            '  %s -> %s [label="%s"];'
+            % (_quote(src), _quote(dst), _data_label(data_ids))
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def composite_run_to_dot(composite_run: CompositeRun) -> str:
+    """Render the induced run: virtual steps and visible dataflow only."""
+    lines: List[str] = ["digraph composite_run {", "  rankdir=LR;"]
+    lines.append("  %s [shape=circle, label=I];" % _quote(INPUT))
+    lines.append("  %s [shape=doublecircle, label=O];" % _quote(OUTPUT))
+    for cstep in composite_run.composite_steps():
+        shape = "box3d" if cstep.is_virtual else "box"
+        lines.append(
+            '  %s [shape=%s, label="%s:%s"];'
+            % (_quote(cstep.step_id), shape, cstep.step_id, cstep.composite)
+        )
+    for src, dst, data_ids in sorted(composite_run.edges()):
+        lines.append(
+            '  %s -> %s [label="%s"];'
+            % (_quote(src), _quote(dst), _data_label(data_ids))
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def provenance_to_dot(
+    result: ProvenanceResult, composite_run: CompositeRun
+) -> str:
+    """Render a deep-provenance answer (the paper's Fig. 9 display).
+
+    Only the steps and data in the answer appear; the target data object is
+    highlighted, user inputs are drawn as plain ovals hanging off ``I``.
+    """
+    lines: List[str] = ["digraph provenance {", "  rankdir=LR;"]
+    steps = sorted(result.steps())
+    answer_data = result.data()
+    if result.user_inputs:
+        lines.append("  %s [shape=circle, label=I];" % _quote(INPUT))
+    for step_id in steps:
+        composite = composite_run.composite_step(step_id).composite
+        lines.append(
+            '  %s [shape=box, label="%s:%s"];' % (_quote(step_id), step_id, composite)
+        )
+    # Draw visible data edges between answer steps.
+    for src, dst, data_ids in sorted(composite_run.edges()):
+        visible = sorted(set(data_ids) & answer_data)
+        if not visible:
+            continue
+        src_known = src in result.steps() or src == INPUT and result.user_inputs
+        dst_known = dst in result.steps()
+        if not (src_known and dst_known):
+            continue
+        lines.append(
+            '  %s -> %s [label="%s"];'
+            % (_quote(src), _quote(dst), _data_label(visible))
+        )
+    lines.append(
+        '  target [shape=note, label="%s", style=filled, fillcolor="khaki"];'
+        % result.target
+    )
+    producer = composite_run.producer(result.target)
+    if producer in result.steps():
+        lines.append("  %s -> target;" % _quote(producer))
+    lines.append("}")
+    return "\n".join(lines)

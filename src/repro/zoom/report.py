@@ -1,0 +1,155 @@
+"""Human-readable text reports for provenance answers, plans and diffs.
+
+The prototype's GUI displays provenance graphically; on a terminal, a
+well-organised text rendering does the same job: group the answer by
+(virtual) step, compress runs of data identifiers (``d308..d408 (101)``),
+and lead with the headline numbers.  These formatters are shared by the
+CLI (``zoom prov --format report``) and usable directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.composite import CompositeRun
+from ..provenance.invalidation import ReexecutionPlan
+from ..provenance.result import ProvenanceResult, ReverseProvenanceResult
+from ..provenance.rundiff import RunDiff
+
+_NUM_SUFFIX = re.compile(r"^(.*?)(\d+)$")
+
+
+def compress_ids(ids: Iterable[str]) -> str:
+    """Render identifiers compactly, collapsing consecutive numeric runs.
+
+    ``["d1", "d2", "d3", "d7"] -> "d1..d3 (3), d7"``; identifiers without
+    a numeric suffix are listed verbatim, sorted.
+    """
+    numbered: List[Tuple[str, int]] = []
+    plain: List[str] = []
+    for identifier in ids:
+        match = _NUM_SUFFIX.match(identifier)
+        if match:
+            numbered.append((match.group(1), int(match.group(2))))
+        else:
+            plain.append(identifier)
+    numbered.sort()
+    parts: List[str] = []
+    index = 0
+    while index < len(numbered):
+        prefix, start = numbered[index]
+        end = start
+        while (
+            index + 1 < len(numbered)
+            and numbered[index + 1][0] == prefix
+            and numbered[index + 1][1] == end + 1
+        ):
+            index += 1
+            end = numbered[index][1]
+        if end == start:
+            parts.append("%s%d" % (prefix, start))
+        elif end == start + 1:
+            parts.append("%s%d, %s%d" % (prefix, start, prefix, end))
+        else:
+            parts.append("%s%d..%s%d (%d)" % (prefix, start, prefix, end,
+                                              end - start + 1))
+        index += 1
+    parts.extend(sorted(plain))
+    return ", ".join(parts)
+
+
+def provenance_report(
+    result: ProvenanceResult,
+    composite_run: Optional[CompositeRun] = None,
+) -> str:
+    """Render a deep/immediate provenance answer as indented text.
+
+    With a ``composite_run``, steps appear in a topological order of the
+    induced run (upstream first) and carry their composite module; without
+    one they sort by identifier.
+    """
+    lines = [
+        "provenance of %s through view %r: %d tuples, %d steps, %d data objects"
+        % (result.target, result.view_name, result.num_tuples(),
+           len(result.steps()), len(result.data()))
+    ]
+    step_ids = sorted(result.steps())
+    if composite_run is not None:
+        import networkx as nx
+
+        order = {
+            node: position
+            for position, node in enumerate(
+                nx.lexicographical_topological_sort(composite_run.graph)
+            )
+        }
+        step_ids.sort(key=lambda s: order.get(s, len(order)))
+    for step_id in step_ids:
+        inputs = result.inputs_of(step_id)
+        module = next(
+            row.module for row in result.rows if row.step_id == step_id
+        )
+        lines.append("  %s (%s)" % (step_id, module))
+        lines.append("    read %s" % compress_ids(inputs))
+    if result.user_inputs:
+        lines.append("  user inputs: %s" % compress_ids(result.user_inputs))
+    return "\n".join(lines)
+
+
+def reverse_report(result: ReverseProvenanceResult) -> str:
+    """Render a derived-from answer."""
+    lines = [
+        "derived from %s through view %r: %d steps, %d data objects"
+        % (result.source, result.view_name, len(result.steps()),
+           len(result.data()) - 1)
+    ]
+    if result.derived:
+        lines.append("  derived data: %s" % compress_ids(result.derived))
+    if result.final_outputs:
+        lines.append("  affected final outputs: %s"
+                     % compress_ids(result.final_outputs))
+    return "\n".join(lines)
+
+
+def plan_report(plan: ReexecutionPlan) -> str:
+    """Render a re-execution plan."""
+    lines = [
+        "re-execution plan for changed inputs %s"
+        % compress_ids(plan.changed_inputs),
+        "  stale steps (%d, in re-execution order): %s"
+        % (len(plan.stale_steps), ", ".join(plan.stale_steps) or "none"),
+        "  reusable steps: %d" % len(plan.fresh_steps),
+        "  outputs to re-derive: %s"
+        % (compress_ids(plan.stale_outputs) or "none"),
+        "  work fraction: %.0f%%" % (100 * plan.work_fraction()),
+    ]
+    return "\n".join(lines)
+
+
+def diff_report(diff: RunDiff) -> str:
+    """Render a run comparison."""
+    if diff.identical():
+        return (
+            "runs %s and %s are identical at view %r granularity"
+            % (diff.run_a, diff.run_b, diff.view_name)
+        )
+    lines = [
+        "runs %s vs %s at view %r granularity:"
+        % (diff.run_a, diff.run_b, diff.view_name)
+    ]
+    for delta in diff.changed_modules():
+        lines.append(
+            "  %s executed %d -> %d times"
+            % (delta.composite, delta.executions_a, delta.executions_b)
+        )
+    for delta in diff.changed_edges():
+        lines.append(
+            "  %s -> %s carried %d -> %d objects"
+            % (delta.src, delta.dst, delta.volume_a, delta.volume_b)
+        )
+    if diff.user_inputs[0] != diff.user_inputs[1]:
+        lines.append("  user inputs: %d -> %d" % diff.user_inputs)
+    if diff.final_outputs[0] != diff.final_outputs[1]:
+        lines.append("  final outputs: %d -> %d" % diff.final_outputs)
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Interactive ZOOM sessions: flag modules, view provenance, switch views.
+
+This is the programmatic equivalent of the prototype's UserViewBuilder and
+query interface (Section IV): the user flags and unflags modules as
+relevant, the view is rebuilt by ``RelevUserViewBuilder`` after every
+change, and provenance queries are answered at the granularity of the
+current view.  Switching granularity reuses the reasoner's caches, which
+is what makes it interactive (the paper's 13 ms average switch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.builder import RelevUserViewBuilder
+from ..core.errors import ViewError
+from ..core.spec import WorkflowSpec
+from ..core.view import UserView, admin_view
+from ..provenance.reasoner import ProvenanceReasoner
+from ..provenance.result import ProvenanceResult, ReverseProvenanceResult
+from ..warehouse.base import ProvenanceWarehouse
+from .dot import composite_run_to_dot, provenance_to_dot, spec_to_dot
+
+
+class Session:
+    """One user's view-building and provenance-querying session.
+
+    Parameters
+    ----------
+    warehouse:
+        The provenance warehouse to query.
+    spec_id:
+        Identifier of the stored specification the session is about.
+    user:
+        Display name of the user (view names derive from it).
+    strategy:
+        Reasoner caching strategy (see
+        :class:`~repro.provenance.reasoner.ProvenanceReasoner`).
+    """
+
+    def __init__(
+        self,
+        warehouse: ProvenanceWarehouse,
+        spec_id: str,
+        user: str = "user",
+        strategy: str = "cached",
+    ) -> None:
+        self.warehouse = warehouse
+        self.spec_id = spec_id
+        self.user = user
+        self.spec: WorkflowSpec = warehouse.get_spec(spec_id)
+        self.reasoner = ProvenanceReasoner(warehouse, strategy=strategy)
+        self._relevant: Set[str] = set()
+        self._view: Optional[UserView] = None
+        # History of (relevant set, view) pairs; views are also memoised
+        # by relevant set so undo and back-and-forth exploration never
+        # rebuild (the interactivity of Section IV).
+        self._view_history: List[Tuple[FrozenSet[str], UserView]] = []
+        self._view_cache: Dict[FrozenSet[str], UserView] = {}
+
+    # ------------------------------------------------------------------
+    # Relevant-module management
+    # ------------------------------------------------------------------
+
+    @property
+    def relevant(self) -> FrozenSet[str]:
+        """The modules currently flagged as relevant."""
+        return frozenset(self._relevant)
+
+    def flag(self, *modules: str) -> UserView:
+        """Flag modules as relevant and rebuild the view."""
+        for module in modules:
+            if module not in self.spec.modules:
+                raise ViewError("unknown module %r" % module)
+            self._relevant.add(module)
+        return self._rebuild()
+
+    def unflag(self, *modules: str) -> UserView:
+        """Remove modules from the relevant set and rebuild the view."""
+        for module in modules:
+            self._relevant.discard(module)
+        return self._rebuild()
+
+    def set_relevant(self, modules: Iterable[str]) -> UserView:
+        """Replace the relevant set wholesale and rebuild the view."""
+        modules = set(modules)
+        unknown = modules - self.spec.modules
+        if unknown:
+            raise ViewError("unknown modules %s" % sorted(unknown))
+        self._relevant = modules
+        return self._rebuild()
+
+    def _rebuild(self) -> UserView:
+        key = frozenset(self._relevant)
+        cached = self._view_cache.get(key)
+        if cached is None:
+            builder = RelevUserViewBuilder(self.spec, self._relevant)
+            cached = builder.build(name="%s-view" % self.user)
+            self._view_cache[key] = cached
+        self._view = cached
+        self._view_history.append((key, cached))
+        return self._view
+
+    def zoom_into(
+        self, composite: str, relevant_within: Iterable[str]
+    ) -> UserView:
+        """Refine one composite of the current view by zooming into it.
+
+        The paper's composition mechanism: the composite's members are
+        treated as a sub-workflow and partitioned around the newly flagged
+        modules; the overall relevant set grows accordingly, so further
+        flags/unflags continue from the refined state.
+        """
+        from ..core.hierarchy import refine_composite
+
+        refined = refine_composite(
+            self.view, composite, relevant_within,
+            name="%s-view" % self.user,
+        )
+        self._relevant |= set(relevant_within)
+        key = frozenset(self._relevant)
+        self._view = refined
+        self._view_cache.setdefault(key, refined)
+        self._view_history.append((key, refined))
+        return refined
+
+    def undo(self) -> UserView:
+        """Return to the previous view state (no-op at the first one).
+
+        The prototype rebuilds the view on every flag/unflag; undo walks
+        that history backwards, restoring memoised views so stepping back
+        and forth costs nothing.
+        """
+        if len(self._view_history) >= 2:
+            self._view_history.pop()
+            key, view = self._view_history[-1]
+            self._relevant = set(key)
+            self._view = view
+        return self.view
+
+    @property
+    def view(self) -> UserView:
+        """The current user view (UAdmin before anything is flagged)."""
+        if self._view is None:
+            return admin_view(self.spec)
+        return self._view
+
+    def use_view(self, view: UserView) -> UserView:
+        """Adopt an existing view (e.g. one loaded from the warehouse).
+
+        The relevant set is cleared — the adopted view supersedes whatever
+        was flagged; flagging a module afterwards rebuilds from scratch.
+        """
+        if view.spec != self.spec:
+            raise ViewError(
+                "view %r does not match this session's specification" % view.name
+            )
+        self._relevant = set()
+        self._view = view
+        self._view_history.append((frozenset(), view))
+        return view
+
+    def view_history(self) -> List[FrozenSet[str]]:
+        """Relevant sets of every rebuild, in order (undo walks these)."""
+        return [key for key, _view in self._view_history]
+
+    def save_view(self, view_id: Optional[str] = None) -> str:
+        """Persist the current view definition in the warehouse."""
+        identifier = view_id or "%s/%s" % (self.spec_id, self.view.name)
+        return self.warehouse.store_view(self.view, self.spec_id, view_id=identifier)
+
+    # ------------------------------------------------------------------
+    # Provenance queries at the current granularity
+    # ------------------------------------------------------------------
+
+    def deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
+        """Deep provenance of ``data_id`` under the current view."""
+        return self.reasoner.deep(run_id, data_id, view=self.view)
+
+    def immediate_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
+        """Immediate provenance of ``data_id`` under the current view."""
+        return self.reasoner.immediate(run_id, data_id, view=self.view)
+
+    def derived_from(self, run_id: str, data_id: str) -> ReverseProvenanceResult:
+        """Everything derived from ``data_id`` under the current view."""
+        return self.reasoner.reverse(run_id, data_id, view=self.view)
+
+    def final_output_provenance(self, run_id: str) -> ProvenanceResult:
+        """Deep provenance of the run's final output (the showcase query)."""
+        return self.reasoner.final_output_deep(run_id, view=self.view)
+
+    def visible_data(self, run_id: str) -> Set[str]:
+        """Data objects observable in a run under the current view."""
+        return self.reasoner.composite_run(run_id, self.view).visible_data()
+
+    def how(self, run_id: str, source: str, target: str):
+        """The shortest derivation chain from ``source`` to ``target``.
+
+        Answers "how did this object end up in that result?" at the
+        current granularity; returns ``None`` when no chain exists.
+        """
+        from ..provenance.derivation import shortest_derivation
+
+        composite = self.reasoner.composite_run(run_id, self.view)
+        return shortest_derivation(composite, source, target)
+
+    def data_between(self, run_id: str, src: str, dst: str) -> FrozenSet[str]:
+        """Data passed between two visible steps (the click-an-edge query)."""
+        return self.reasoner.composite_run(run_id, self.view).edge_data(src, dst)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def render_spec(self) -> str:
+        """DOT rendering of the specification with the current grouping."""
+        return spec_to_dot(self.spec, relevant=self._relevant, view=self.view)
+
+    def render_run(self, run_id: str) -> str:
+        """DOT rendering of a run at the current granularity."""
+        return composite_run_to_dot(self.reasoner.composite_run(run_id, self.view))
+
+    def render_provenance(self, run_id: str, data_id: str) -> str:
+        """DOT rendering of a deep-provenance answer (the Fig. 9 display)."""
+        result = self.deep_provenance(run_id, data_id)
+        composite = self.reasoner.composite_run(run_id, self.view)
+        return provenance_to_dot(result, composite)

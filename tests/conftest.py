@@ -1,0 +1,104 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec
+from repro.workloads.phylogenomic import (
+    JOE_RELEVANT,
+    MARY_RELEVANT,
+    joe_view,
+    mary_view,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+
+
+@pytest.fixture
+def spec():
+    """The paper's Fig. 1 phylogenomic specification."""
+    return phylogenomic_spec()
+
+
+@pytest.fixture
+def run(spec):
+    """The paper's Fig. 2 run."""
+    return phylogenomic_run(spec)
+
+
+@pytest.fixture
+def joe(spec):
+    """Joe's user view (Fig. 3a)."""
+    return joe_view(spec)
+
+
+@pytest.fixture
+def mary(spec):
+    """Mary's user view (Fig. 3b)."""
+    return mary_view(spec)
+
+
+@pytest.fixture
+def joe_relevant():
+    return set(JOE_RELEVANT)
+
+
+@pytest.fixture
+def mary_relevant():
+    return set(MARY_RELEVANT)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random source for workload generation."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def diamond_spec():
+    """input -> A -> {B, C} -> D -> output: the simplest parallel shape."""
+    return WorkflowSpec(
+        ["A", "B", "C", "D"],
+        [
+            (INPUT, "A"),
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "D"),
+            ("C", "D"),
+            ("D", OUTPUT),
+        ],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def loop_spec():
+    """input -> A -> B -> C -> output with a back edge C -> A."""
+    return WorkflowSpec(
+        ["A", "B", "C"],
+        [
+            (INPUT, "A"),
+            ("A", "B"),
+            ("B", "C"),
+            ("C", "A"),
+            ("C", OUTPUT),
+        ],
+        name="loop3",
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies for random specifications: provided by the public
+# repro.testing module so downstream users get the exact same generators.
+# ----------------------------------------------------------------------
+
+from repro.testing import (  # noqa: E402  (re-export for test modules)
+    build_random_spec as _build_random_spec,
+    small_specs,
+    specs_with_relevant,
+)

@@ -1,0 +1,114 @@
+"""Tests for the view-based access-control layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import HiddenDataError
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.workloads.phylogenomic import (
+    joe_view,
+    mary_view,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+from repro.zoom.access import AccessDenied, GuardedWarehouse, ViewPolicy
+
+
+@pytest.fixture
+def guarded():
+    spec = phylogenomic_spec()
+    run = phylogenomic_run(spec)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(run, spec_id)
+    warehouse.store_view(joe_view(spec), spec_id, view_id="joe-view")
+    warehouse.store_view(mary_view(spec), spec_id, view_id="mary-view")
+    policy = ViewPolicy()
+    policy.grant("joe", "joe-view")
+    policy.grant("mary", "mary-view")
+    policy.grant("mary", "joe-view")  # mary may also use the coarser view
+    return GuardedWarehouse(warehouse, policy), run_id
+
+
+class TestPolicy:
+    def test_grant_and_revoke(self):
+        policy = ViewPolicy()
+        policy.grant("u", "v1")
+        policy.grant("u", "v2")
+        policy.grant("u", "v1")  # idempotent
+        assert policy.views_of("u") == ["v1", "v2"]
+        assert policy.default_view("u") == "v1"
+        policy.revoke("u", "v1")
+        assert policy.views_of("u") == ["v2"]
+        policy.revoke("u", "missing")  # no-op
+
+    def test_no_grants(self):
+        policy = ViewPolicy()
+        with pytest.raises(AccessDenied, match="no view grants"):
+            policy.default_view("nobody")
+        with pytest.raises(AccessDenied):
+            policy.check("nobody", "v1")
+
+
+class TestEnforcement:
+    def test_query_through_default_view(self, guarded):
+        facade, run_id = guarded
+        result = facade.deep("joe", run_id, "d447")
+        assert result.view_name == "Joe"
+        assert result.steps() == {"M10.1", "M9.1", "S1", "S7"}
+
+    def test_explicit_view_selection(self, guarded):
+        facade, run_id = guarded
+        result = facade.deep("mary", run_id, "d447", view_id="joe-view")
+        assert result.view_name == "Joe"
+
+    def test_unauthorised_view_rejected(self, guarded):
+        facade, run_id = guarded
+        with pytest.raises(AccessDenied, match="may not query"):
+            facade.deep("joe", run_id, "d447", view_id="mary-view")
+
+    def test_unknown_user_rejected(self, guarded):
+        facade, run_id = guarded
+        with pytest.raises(AccessDenied):
+            facade.deep("eve", run_id, "d447")
+
+    def test_hidden_data_unreachable(self, guarded):
+        facade, run_id = guarded
+        # d411 is internal to Joe's M10 composite: privacy by construction.
+        with pytest.raises(HiddenDataError):
+            facade.immediate("joe", run_id, "d411")
+        # Mary's finer view exposes it.
+        result = facade.immediate("mary", run_id, "d411")
+        assert result.steps() == {"S4"}
+
+    def test_visible_data_scoped(self, guarded):
+        facade, run_id = guarded
+        joe_sees = facade.visible_data("joe", run_id)
+        mary_sees = facade.visible_data("mary", run_id)
+        assert "d411" not in joe_sees
+        assert "d411" in mary_sees
+
+    def test_reverse_query(self, guarded):
+        facade, run_id = guarded
+        result = facade.reverse("joe", run_id, "d308")
+        assert result.final_outputs == {"d447"}
+
+
+class TestAudit:
+    def test_audit_records_queries(self, guarded):
+        facade, run_id = guarded
+        facade.deep("joe", run_id, "d447")
+        facade.reverse("mary", run_id, "d308")
+        log = facade.audit_log()
+        assert len(log) == 2
+        assert log[0].user == "joe"
+        assert log[0].query == "deep"
+        assert log[0].tuples > 0
+        assert facade.audit_log("mary")[0].view_id == "mary-view"
+
+    def test_denied_queries_not_recorded(self, guarded):
+        facade, run_id = guarded
+        with pytest.raises(AccessDenied):
+            facade.deep("eve", run_id, "d447")
+        assert facade.audit_log() == []

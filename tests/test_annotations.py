@@ -1,0 +1,122 @@
+"""Tests for user-input metadata and warehouse annotations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnknownEntityError, WarehouseError
+from repro.run.log import EventLog
+from repro.warehouse.jsonfile import dump_warehouse, restore_warehouse
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.warehouse.sqlite import SqliteWarehouse
+from repro.workloads.phylogenomic import phylogenomic_run, phylogenomic_spec
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def warehouse(request):
+    if request.param == "memory":
+        yield InMemoryWarehouse()
+    else:
+        with SqliteWarehouse() as backend:
+            yield backend
+
+
+@pytest.fixture
+def loaded(warehouse):
+    spec = phylogenomic_spec()
+    run = phylogenomic_run(spec)
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(run, spec_id)
+    return warehouse, spec_id, run_id
+
+
+def _log_with_who() -> EventLog:
+    """A tiny log whose user inputs carry supplier metadata."""
+    log = EventLog(run_id="attributed")
+    log.user_input("a1", who="alice")
+    log.user_input("a2", who="bob")
+    log.start("S1", "M1")
+    log.read("S1", "a1")
+    log.read("S1", "a2")
+    log.write("S1", "out")
+    log.final_output("out")
+    return log
+
+
+class TestUserInputWho:
+    def test_default_is_user(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        assert warehouse.user_input_who(run_id, "d1") == "user"
+
+    def test_non_input_rejected(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        with pytest.raises(UnknownEntityError):
+            warehouse.user_input_who(run_id, "d447")
+
+    def test_who_persisted_through_log_path(self, warehouse):
+        from repro.core.spec import linear_spec
+
+        spec_id = warehouse.store_spec(linear_spec(1))
+        run_id = warehouse.store_log(_log_with_who(), spec_id)
+        assert warehouse.user_input_who(run_id, "a1") == "alice"
+        assert warehouse.user_input_who(run_id, "a2") == "bob"
+
+    def test_set_who_guards_inputs(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        with pytest.raises(WarehouseError):
+            warehouse._set_user_input_who(run_id, {"d447": "eve"})
+
+
+class TestAnnotations:
+    def test_annotate_step_and_data(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        warehouse.annotate(run_id, "S2", "tool", "muscle v3.8")
+        warehouse.annotate(run_id, "d447", "quality", "reviewed")
+        assert warehouse.annotations_of(run_id, "S2") == {
+            "tool": "muscle v3.8"
+        }
+        assert warehouse.annotations_of(run_id, "d447") == {
+            "quality": "reviewed"
+        }
+
+    def test_overwrite(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        warehouse.annotate(run_id, "S2", "tool", "muscle")
+        warehouse.annotate(run_id, "S2", "tool", "mafft")
+        assert warehouse.annotations_of(run_id, "S2")["tool"] == "mafft"
+
+    def test_unknown_subject_rejected(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        with pytest.raises(UnknownEntityError):
+            warehouse.annotate(run_id, "S99", "k", "v")
+
+    def test_find_annotated(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        warehouse.annotate(run_id, "S2", "status", "suspect")
+        warehouse.annotate(run_id, "S5", "status", "suspect")
+        warehouse.annotate(run_id, "S7", "status", "ok")
+        assert warehouse.find_annotated(run_id, "status") == ["S2", "S5", "S7"]
+        assert warehouse.find_annotated(run_id, "status", "suspect") == \
+            ["S2", "S5"]
+        assert warehouse.find_annotated(run_id, "missing") == []
+
+    def test_empty_annotations(self, loaded):
+        warehouse, _spec_id, run_id = loaded
+        assert warehouse.annotations_of(run_id, "S2") == {}
+
+
+class TestArchival:
+    def test_dump_restore_preserves_metadata(self):
+        from repro.core.spec import linear_spec
+
+        source = InMemoryWarehouse()
+        spec_id = source.store_spec(linear_spec(1))
+        run_id = source.store_log(_log_with_who(), spec_id)
+        source.annotate(run_id, "S1", "tool", "custom")
+        source.annotate(run_id, "out", "checked", "yes")
+
+        with SqliteWarehouse() as restored:
+            restore_warehouse(dump_warehouse(source), into=restored)
+            assert restored.user_input_who(run_id, "a1") == "alice"
+            assert restored.annotations_of(run_id, "S1") == {"tool": "custom"}
+            assert restored.find_annotated(run_id, "checked", "yes") == ["out"]

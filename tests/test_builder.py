@@ -1,0 +1,193 @@
+"""Unit tests for RelevUserViewBuilder (white-box and paper examples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import RelevUserViewBuilder, build_user_view
+from repro.core.errors import ViewError
+from repro.core.properties import satisfies_all
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec, linear_spec
+from repro.core.view import admin_view, blackbox_view
+
+
+class TestPaperExamples:
+    def test_joe_view_reconstructed(self, spec, joe, joe_relevant):
+        built = build_user_view(spec, joe_relevant, name="Joe")
+        assert built == joe  # partition equality, names aside
+
+    def test_mary_view_reconstructed(self, spec, mary, mary_relevant):
+        built = build_user_view(spec, mary_relevant, name="Mary")
+        assert built == mary
+
+    def test_joe_in_out_sets(self, spec, joe_relevant):
+        builder = RelevUserViewBuilder(spec, joe_relevant)
+        builder.build()
+        # in(M3) = {M5} (its only relevant nr-successor is M3);
+        # out(M3) = {M4} (its only relevant nr-predecessor is M3).
+        assert builder.in_sets["M3"] == {"M5"}
+        assert builder.out_sets["M3"] == {"M4"}
+        # M6 and M8 both have M7 as their only relevant nr-successor.
+        assert builder.in_sets["M7"] == {"M6", "M8"}
+        assert builder.out_sets["M7"] == set()
+        # M2 gathers nothing: M1 also reaches M3.
+        assert builder.in_sets["M2"] == set()
+        assert builder.out_sets["M2"] == set()
+
+    def test_builder_single_use_caches_result(self, spec, joe_relevant):
+        builder = RelevUserViewBuilder(spec, joe_relevant)
+        assert builder.build() is builder.build()
+
+
+class TestEdgeCases:
+    def test_no_relevant_collapses_to_one_composite(self, spec):
+        view = build_user_view(spec, set())
+        assert view.size() == 1
+        assert view == blackbox_view(spec)
+
+    def test_all_relevant_is_admin(self, spec):
+        view = build_user_view(spec, spec.modules)
+        assert view == admin_view(spec)
+
+    def test_single_module_spec(self):
+        spec = linear_spec(1)
+        assert build_user_view(spec, set()).size() == 1
+        assert build_user_view(spec, {"M1"}).size() == 1
+
+    def test_unknown_relevant_rejected(self, spec):
+        with pytest.raises(ViewError, match="not in specification"):
+            build_user_view(spec, {"M99"})
+
+    def test_linear_chain_one_relevant(self):
+        # input -> M1 -> M2 -> M3 -> M4 -> M5 -> output, relevant = {M3}.
+        spec = linear_spec(5)
+        view = build_user_view(spec, {"M3"})
+        # M1, M2 flow only into M3; M4, M5 flow only out of it: everything
+        # collapses into the single relevant composite.
+        assert view.size() == 1
+        assert satisfies_all(view, {"M3"})
+
+    def test_linear_chain_ends_relevant(self):
+        spec = linear_spec(4)
+        view = build_user_view(spec, {"M1", "M4"})
+        # M2 and M3 sit strictly between the two relevant modules; they
+        # join M4's composite via in(M4).
+        assert view.size() == 2
+        assert view.composite_of("M2") == view.composite_of("M4")
+        assert satisfies_all(view, {"M1", "M4"})
+
+
+class TestStepTwoGrouping:
+    def test_same_signature_groups_merge(self):
+        # Two parallel formatting chains with identical relevant
+        # neighbourhoods must share a composite.
+        spec = WorkflowSpec(
+            ["R", "A", "B", "S"],
+            [
+                (INPUT, "R"),
+                ("R", "A"),
+                ("R", "B"),
+                ("A", "S"),
+                ("B", "S"),
+                ("S", OUTPUT),
+            ],
+        )
+        view = build_user_view(spec, {"R", "S"})
+        assert view.composite_of("A") == view.composite_of("B")
+        assert satisfies_all(view, {"R", "S"})
+
+    def test_different_signatures_stay_apart(self, spec, joe_relevant):
+        view = build_user_view(spec, joe_relevant)
+        # M1 (feeding both M2 and M3) cannot join any relevant composite.
+        assert view.members(view.composite_of("M1")) == {"M1"}
+
+
+class TestStepThreeMerging:
+    def test_diamond_collapses_onto_single_relevant(self, diamond_spec):
+        view = build_user_view(diamond_spec, {"A"})
+        # B, C and D have A as their only relevant nr-predecessor, so
+        # out(A) absorbs the whole diamond into one composite.
+        assert satisfies_all(view, {"A"})
+        assert view.size() == 1
+
+    def test_merge_blocked_when_path_would_appear(self):
+        # input -> A -> R -> B -> output plus input -> B: grouping A with
+        # B would suggest data can flow from input through the group to R
+        # and from R through the group to output simultaneously — which is
+        # fine here; instead verify a case where the merge must be blocked:
+        # A feeds R only, B is fed by R only, and C bypasses R entirely.
+        spec = WorkflowSpec(
+            ["A", "R", "B", "C"],
+            [
+                (INPUT, "A"),
+                (INPUT, "C"),
+                ("A", "R"),
+                ("R", "B"),
+                ("C", OUTPUT),
+                ("B", OUTPUT),
+            ],
+        )
+        view = build_user_view(spec, {"R"})
+        # A joins in(R), B joins out(R); C remains alone.  Merging C into
+        # the relevant composite would fabricate an nr-path input -> R.
+        assert view.composite_of("A") == view.composite_of("R")
+        assert view.composite_of("B") == view.composite_of("R")
+        assert view.members(view.composite_of("C")) == {"C"}
+        assert satisfies_all(view, {"R"})
+
+    def test_fig6_style_merge(self):
+        """The paper's Fig. 6 walkthrough, reconstructed.
+
+        Relevant {M3, M6}; the algorithm builds {M2, M3} and {M6, M8},
+        groups {M4, M5} by signature, merges {M1} into it, and must keep
+        {M7} apart (merging would fabricate an nr-path from M6's composite
+        to M3's).
+        """
+        spec = WorkflowSpec(
+            ["M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8"],
+            [
+                (INPUT, "M1"),
+                (INPUT, "M2"),
+                (INPUT, "M7"),
+                ("M1", "M4"),
+                ("M1", "M3"),
+                ("M1", "M6"),
+                ("M1", OUTPUT),
+                ("M2", "M3"),
+                ("M4", "M5"),
+                ("M5", "M3"),
+                ("M5", OUTPUT),
+                ("M3", OUTPUT),
+                ("M6", "M8"),
+                ("M6", "M7"),
+                ("M8", OUTPUT),
+                ("M7", OUTPUT),
+            ],
+            name="fig6",
+        )
+        relevant = {"M3", "M6"}
+        builder = RelevUserViewBuilder(spec, relevant)
+        view = builder.build()
+        # Relevant composites as the paper describes.
+        assert builder.in_sets["M3"] == {"M2"}
+        assert builder.out_sets["M6"] == {"M8"}
+        # M1 merges with {M4, M5}; M7 stays alone.
+        assert view.composite_of("M1") == view.composite_of("M4")
+        assert view.composite_of("M4") == view.composite_of("M5")
+        assert view.members(view.composite_of("M7")) == {"M7"}
+        assert satisfies_all(view, relevant)
+
+
+class TestDeterminism:
+    def test_repeated_builds_identical(self, spec, joe_relevant):
+        views = [build_user_view(spec, joe_relevant) for _ in range(3)]
+        assert views[0] == views[1] == views[2]
+        assert views[0].to_dict() == views[1].to_dict()
+
+    def test_relevant_composite_naming(self, spec, joe_relevant):
+        view = build_user_view(spec, joe_relevant)
+        # Relevant singletons keep the module name; larger relevant
+        # composites are C[...]-prefixed; non-relevant groups are N-th.
+        assert view.composite_of("M2") == "M2"
+        assert view.composite_of("M3") == "C[M3]"
+        assert view.composite_of("M1") == "N1"

@@ -1,0 +1,110 @@
+"""Property-based validation of RelevUserViewBuilder (Theorem 1).
+
+The builder and the property checkers were implemented independently from
+the paper's definitions; here hypothesis drives random specifications and
+relevant sets through both and asserts the theorem: the produced view is
+well-formed, preserves dataflow, is complete, minimal, introduces no new
+loops and keeps relevant composites connected.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.builder import RelevUserViewBuilder, build_user_view
+from repro.core.minimum import minimum_view_size
+from repro.core.properties import (
+    introduces_loop,
+    is_complete,
+    is_minimal,
+    is_well_formed,
+    preserves_dataflow,
+    relevant_composites_connected,
+)
+
+from .conftest import specs_with_relevant
+
+_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(specs_with_relevant())
+@_SETTINGS
+def test_builder_satisfies_properties(case):
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    assert is_well_formed(view, relevant)
+    assert preserves_dataflow(view, relevant)
+    assert is_complete(view, relevant)
+
+
+@given(specs_with_relevant(max_modules=6))
+@_SETTINGS
+def test_builder_is_minimal(case):
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    assert is_minimal(view, relevant)
+
+
+@given(specs_with_relevant())
+@_SETTINGS
+def test_builder_introduces_no_loops(case):
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    assert not introduces_loop(view)
+
+
+@given(specs_with_relevant())
+@_SETTINGS
+def test_relevant_composites_are_connected(case):
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    assert relevant_composites_connected(view, relevant)
+
+
+@given(specs_with_relevant())
+@_SETTINGS
+def test_view_is_a_partition_with_one_composite_per_relevant(case):
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    # Lower bound on size: one composite per relevant module.
+    assert view.size() >= max(1, len(relevant))
+    # Each relevant module sits in "its" composite and no other.
+    seen = set()
+    for module in relevant:
+        composite = view.composite_of(module)
+        assert composite not in seen
+        seen.add(composite)
+
+
+@given(specs_with_relevant(max_modules=6))
+@_SETTINGS
+def test_builder_never_beats_the_true_minimum(case):
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    optimum = minimum_view_size(spec, relevant)
+    assert optimum <= view.size()
+
+
+@given(specs_with_relevant())
+@_SETTINGS
+def test_builder_deterministic(case):
+    spec, relevant = case
+    assert build_user_view(spec, relevant) == build_user_view(spec, relevant)
+
+
+@given(specs_with_relevant())
+@_SETTINGS
+def test_intermediate_sets_are_disjoint(case):
+    """in(r)/out(r) sets never overlap across relevant modules."""
+    spec, relevant = case
+    builder = RelevUserViewBuilder(spec, relevant)
+    builder.build()
+    claimed = set()
+    for r in relevant:
+        for member in builder.in_sets[r] | builder.out_sets[r]:
+            assert member not in claimed
+            claimed.add(member)

@@ -1,0 +1,100 @@
+"""Tests for the business-process workload (the paper's generality claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.properties import satisfies_all
+from repro.core.structured import mine_structure
+from repro.provenance.queries import deep_provenance
+from repro.run.executor import simulate
+from repro.workloads.business import (
+    ROLE_RELEVANT,
+    TASKS,
+    order_fulfilment_spec,
+    order_run,
+    role_view,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return order_fulfilment_spec()
+
+
+@pytest.fixture(scope="module")
+def run(spec):
+    return order_run(spec, negotiation_rounds=3)
+
+
+class TestProcess:
+    def test_spec_is_valid_and_structured(self, spec):
+        assert len(spec) == len(TASKS)
+        report = mine_structure(spec)
+        # The BPEL-like process is well-structured, unlike the
+        # phylogenomic workflow — the contrast the paper's future work
+        # draws.
+        assert report.structured
+        assert report.loops == [2]  # the credit/negotiation loop
+        assert report.parallel_regions == [2]  # warehouse vs invoicing
+
+    def test_simulator_runs_it(self, spec):
+        result = simulate(spec)
+        result.run.validate()
+
+    def test_deterministic_run(self, run):
+        run.validate()
+        # Three negotiation rounds: three credit checks.
+        assert len(run.steps_of_module("check_credit")) == 3
+        assert run.final_outputs() == {"closed_order"}
+
+    def test_negotiation_rounds_validated(self, spec):
+        with pytest.raises(ValueError):
+            order_run(spec, negotiation_rounds=0)
+
+
+class TestRoleViews:
+    @pytest.mark.parametrize("role", sorted(ROLE_RELEVANT))
+    def test_each_role_view_is_good(self, spec, role):
+        view = role_view(role, spec)
+        assert satisfies_all(view, ROLE_RELEVANT[role])
+
+    def test_unknown_role(self):
+        with pytest.raises(KeyError, match="unknown role"):
+            role_view("marketing")
+
+    def test_finance_hides_the_negotiation_loop(self, spec, run):
+        composite = CompositeRun(run, role_view("finance", spec))
+        # Finance flagged check_credit: negotiation folds around it, but
+        # the three credit checks stay distinguishable as separate
+        # executions of the credit composite.
+        credit_composite = role_view("finance", spec).composite_of(
+            "check_credit"
+        )
+        executions = composite.executions_of(credit_composite)
+        assert len(executions) >= 1
+
+    def test_roles_see_different_provenance(self, spec, run):
+        answers = {}
+        for role in sorted(ROLE_RELEVANT):
+            composite = CompositeRun(run, role_view(role, spec))
+            answers[role] = deep_provenance(composite, "closed_order")
+        # All roles account for the same original input...
+        for answer in answers.values():
+            assert answer.user_inputs == {"order"}
+        # ...but expose different intermediate data.
+        logistics_data = answers["logistics"].data()
+        finance_data = answers["finance"].data()
+        assert "parcel" in logistics_data
+        assert "invoice" in finance_data
+        assert logistics_data != finance_data
+
+    def test_sales_sees_negotiation_outcome_only(self, spec, run):
+        view = role_view("sales", spec)
+        composite = CompositeRun(run, view)
+        # The whole credit/negotiation loop folds into one composite for
+        # sales: the per-round terms are internal, only the final terms
+        # handed to confirmation are visible.
+        assert not composite.is_visible("terms1")
+        assert composite.is_visible("terms3")

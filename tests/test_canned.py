@@ -1,0 +1,118 @@
+"""Tests for the canned provenance queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provenance.reasoner import ProvenanceReasoner
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.workloads.phylogenomic import joe_view, phylogenomic_run, phylogenomic_spec
+from repro.zoom.canned import (
+    data_with_in_provenance,
+    depends_on,
+    inputs_feeding,
+    outputs_depending_on,
+    provenance_difference,
+    steps_producing,
+    suppliers_of,
+)
+
+
+@pytest.fixture
+def env():
+    spec = phylogenomic_spec()
+    run = phylogenomic_run(spec)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(run, spec_id)
+    return ProvenanceReasoner(warehouse), spec, run_id
+
+
+class TestDependsOn:
+    def test_positive(self, env):
+        reasoner, _spec, run_id = env
+        assert depends_on(reasoner, run_id, "d447", "d1")
+        assert depends_on(reasoner, run_id, "d447", "d413")
+
+    def test_negative(self, env):
+        reasoner, _spec, run_id = env
+        # The formatted alignment does not depend on the lab annotations.
+        assert not depends_on(reasoner, run_id, "d413", "d446")
+
+    def test_respects_view(self, env):
+        reasoner, spec, run_id = env
+        # d410 is hidden inside Joe's M10 composite, so at Joe's level the
+        # final tree's provenance never mentions it.
+        assert depends_on(reasoner, run_id, "d447", "d410")
+        assert not depends_on(reasoner, run_id, "d447", "d410",
+                              view=joe_view(spec))
+
+
+class TestForwardQueries:
+    def test_data_with_in_provenance(self, env):
+        reasoner, _spec, run_id = env
+        derived = data_with_in_provenance(reasoner, run_id, "d446")
+        assert derived == {"d447"}
+
+    def test_outputs_depending_on(self, env):
+        reasoner, _spec, run_id = env
+        assert outputs_depending_on(reasoner, run_id, "d1") == {"d447"}
+
+    def test_output_depends_on_itself(self, env):
+        reasoner, _spec, run_id = env
+        assert outputs_depending_on(reasoner, run_id, "d447") == {"d447"}
+
+
+class TestBackwardQueries:
+    def test_inputs_feeding(self, env):
+        reasoner, _spec, run_id = env
+        # The alignment d413 depends only on the sequence inputs.
+        inputs = inputs_feeding(reasoner, run_id, "d413")
+        assert inputs == {"d%d" % index for index in range(1, 101)}
+
+    def test_steps_producing(self, env):
+        reasoner, spec, run_id = env
+        steps = steps_producing(reasoner, run_id, "d447", view=joe_view(spec))
+        assert steps == ["M10.1", "M9.1", "S1", "S7"]
+
+
+class TestSuppliers:
+    def test_groups_by_supplier(self, env):
+        reasoner, _spec, run_id = env
+        by_supplier = suppliers_of(reasoner, run_id, "d447")
+        # The paper run records no suppliers, so everything is "user".
+        assert set(by_supplier) == {"user"}
+        assert len(by_supplier["user"]) == 136
+
+    def test_attributed_simulation(self):
+        from repro.core.spec import linear_spec
+        from repro.run.executor import simulate
+        from repro.run.log import log_from_run
+        from repro.warehouse.memory import InMemoryWarehouse
+
+        spec = linear_spec(2)
+        result = simulate(spec, user="alice")
+        warehouse = InMemoryWarehouse()
+        spec_id = warehouse.store_spec(spec)
+        run_id = warehouse.store_log(result.log, spec_id)
+        reasoner = ProvenanceReasoner(warehouse)
+        target = sorted(warehouse.final_outputs(run_id))[0]
+        by_supplier = suppliers_of(reasoner, run_id, target)
+        assert set(by_supplier) == {"alice"}
+
+
+class TestDifference:
+    def test_views_difference(self, env):
+        reasoner, spec, run_id = env
+        coarse = reasoner.deep(run_id, "d447", view=joe_view(spec))
+        fine = reasoner.deep(run_id, "d447")  # UAdmin
+        diff = provenance_difference(coarse, fine)
+        # The finer view reveals the loop-internal data.
+        assert {"d409", "d410", "d411", "d412"} <= diff["data_revealed"]
+
+    def test_mismatched_targets_rejected(self, env):
+        reasoner, _spec, run_id = env
+        first = reasoner.deep(run_id, "d447")
+        second = reasoner.deep(run_id, "d413")
+        with pytest.raises(ValueError, match="different targets"):
+            provenance_difference(first, second)

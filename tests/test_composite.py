@@ -1,0 +1,165 @@
+"""Unit tests for composite executions (the virtual steps of Section II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.errors import RunError
+from repro.core.spec import INPUT, OUTPUT, linear_spec
+from repro.core.view import UserView, admin_view, blackbox_view
+from repro.run.run import WorkflowRun
+
+
+class TestPaperGroups:
+    def test_joe_composite_steps(self, run, joe):
+        composite = CompositeRun(run, joe)
+        # One execution of M10 groups the whole loop (the paper's S13).
+        executions = composite.executions_of("M10")
+        assert len(executions) == 1
+        assert executions[0].members == {"S2", "S3", "S4", "S5", "S6"}
+        # One execution of M9 groups the tree-building side (S14).
+        (m9,) = composite.executions_of("M9")
+        assert m9.members == {"S8", "S9", "S10"}
+
+    def test_mary_composite_steps(self, run, mary):
+        composite = CompositeRun(run, mary)
+        # Two executions of M11 (the paper's S11 and S12), split by the
+        # rectification step S4 which is outside the composite.
+        executions = composite.executions_of("M11")
+        assert len(executions) == 2
+        assert executions[0].members == {"S2", "S3"}
+        assert executions[1].members == {"S5", "S6"}
+
+    def test_s13_io(self, run, joe):
+        composite = CompositeRun(run, joe)
+        (s13,) = composite.executions_of("M10")
+        assert composite.inputs_of(s13.step_id) == {
+            "d%d" % index for index in range(308, 409)
+        }
+        assert composite.outputs_of(s13.step_id) == {"d413"}
+
+    def test_s11_s12_io(self, run, mary):
+        composite = CompositeRun(run, mary)
+        first, second = composite.executions_of("M11")
+        assert composite.inputs_of(first.step_id) == {
+            "d%d" % index for index in range(308, 409)
+        }
+        assert composite.outputs_of(first.step_id) == {"d410"}
+        assert composite.inputs_of(second.step_id) == {"d411"}
+        assert composite.outputs_of(second.step_id) == {"d413"}
+
+    def test_hidden_data(self, run, joe, mary):
+        joe_hidden = CompositeRun(run, joe).hidden_data()
+        # Everything internal to the loop and to the tree side is hidden
+        # from Joe: d409-d412 inside M10, d414/d446 inside M9.
+        assert joe_hidden == {"d409", "d410", "d411", "d412", "d414", "d446"}
+        mary_hidden = CompositeRun(run, mary).hidden_data()
+        # Mary sees the rectification boundary: only the data strictly
+        # inside M11's executions and M9 are hidden.
+        assert mary_hidden == {"d409", "d412", "d414", "d446"}
+
+    def test_visibility_queries(self, run, joe, mary):
+        joe_view = CompositeRun(run, joe)
+        mary_view = CompositeRun(run, mary)
+        assert not joe_view.is_visible("d411")
+        assert mary_view.is_visible("d411")
+        with pytest.raises(RunError):
+            joe_view.is_visible("d9999")
+
+    def test_producer_mapping(self, run, joe):
+        composite = CompositeRun(run, joe)
+        (s13,) = composite.executions_of("M10")
+        assert composite.producer("d413") == s13.step_id
+        assert composite.producer("d1") == INPUT
+
+
+class TestDegenerateViews:
+    def test_admin_view_keeps_steps(self, run, spec):
+        composite = CompositeRun(run, admin_view(spec))
+        assert composite.num_composite_steps() == run.num_steps()
+        assert composite.hidden_data() == frozenset()
+        # Step ids are preserved for singleton groups.
+        assert composite.group_of("S1") == "S1"
+
+    def test_blackbox_view_single_step(self, run, spec):
+        composite = CompositeRun(run, blackbox_view(spec))
+        assert composite.num_composite_steps() == 1
+        (only,) = composite.composite_steps()
+        assert only.members == {s.step_id for s in run.steps()}
+        # Everything except user inputs and the final output is hidden.
+        visible = composite.visible_data()
+        assert visible == run.user_inputs() | run.final_outputs()
+
+    def test_blackbox_io(self, run, spec):
+        composite = CompositeRun(run, blackbox_view(spec))
+        (only,) = composite.composite_steps()
+        assert composite.inputs_of(only.step_id) == run.user_inputs()
+        assert composite.outputs_of(only.step_id) == run.final_outputs()
+
+
+class TestStructure:
+    def test_graph_acyclic_for_good_views(self, run, joe, mary):
+        assert CompositeRun(run, joe).is_acyclic()
+        assert CompositeRun(run, mary).is_acyclic()
+
+    def test_edges_and_edge_data(self, run, mary):
+        composite = CompositeRun(run, mary)
+        first, second = composite.executions_of("M11")
+        assert composite.edge_data(first.step_id, "S4") == {"d410"}
+        assert composite.edge_data("S4", second.step_id) == {"d411"}
+        with pytest.raises(RunError, match="no induced edge"):
+            composite.edge_data(second.step_id, first.step_id)
+
+    def test_virtual_naming(self, run, mary):
+        composite = CompositeRun(run, mary)
+        names = {c.step_id for c in composite.executions_of("M11")}
+        assert names == {"M11.1", "M11.2"}
+        (m9,) = composite.executions_of("M9")
+        assert m9.step_id == "M9.1"
+        assert m9.is_virtual
+
+    def test_mismatched_spec_rejected(self, run):
+        other = linear_spec(3)
+        with pytest.raises(RunError, match="different specifications"):
+            CompositeRun(run, admin_view(other))
+
+    def test_unknown_lookups(self, run, joe):
+        composite = CompositeRun(run, joe)
+        with pytest.raises(RunError):
+            composite.composite_step("nope")
+        with pytest.raises(RunError):
+            composite.group_of("nope")
+        with pytest.raises(RunError):
+            composite.inputs_of("nope")
+
+    def test_bad_view_can_create_cycle(self):
+        # A -> B -> C with a shortcut A -> C; grouping {A, C} makes the
+        # steps S1 and S3 one virtual step that both feeds and consumes
+        # S2 — a cyclic composite run, which CompositeRun reports rather
+        # than hides.
+        from repro.core.spec import WorkflowSpec
+
+        spec = WorkflowSpec(
+            ["A", "B", "C"],
+            [
+                (INPUT, "A"),
+                ("A", "B"),
+                ("A", "C"),
+                ("B", "C"),
+                ("C", OUTPUT),
+            ],
+        )
+        run = WorkflowRun(spec, run_id="r")
+        for step, module in [("S1", "A"), ("S2", "B"), ("S3", "C")]:
+            run.add_step(step, module)
+        run.add_edge(INPUT, "S1", ["d1"])
+        run.add_edge("S1", "S2", ["d2"])
+        run.add_edge("S1", "S3", ["d3"])
+        run.add_edge("S2", "S3", ["d4"])
+        run.add_edge("S3", OUTPUT, ["d5"])
+        bad = UserView(spec, {"G": ["A", "C"], "B": ["B"]})
+        composite = CompositeRun(run, bad)
+        assert not composite.is_acyclic()
+        # The grouped steps form one virtual execution.
+        assert composite.group_of("S1") == composite.group_of("S3")

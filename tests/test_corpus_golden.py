@@ -1,0 +1,76 @@
+"""Golden regression tests: builder output on every corpus workflow.
+
+Pin the exact view sizes (and a few groupings) RelevUserViewBuilder
+produces for the hand-built corpus with its curated relevant sets.  These
+catch accidental semantic drift in the nr-path machinery or the builder —
+any change to these numbers is a behaviour change, not a refactor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.core.properties import check_view
+from repro.workloads.library import corpus
+
+#: name -> expected view size for the curated relevant set.
+GOLDEN_SIZES = {
+    "phylogenomic": 4,
+    "sequence-annotation": 3,
+    "microarray-analysis": 3,
+    "variant-calling": 3,
+    "proteomics-id": 3,
+    "chipseq-peaks": 3,
+    "metagenomics-profile": 3,
+    "docking-screen": 2,
+    "rnaseq-quant": 3,
+    "gwas": 3,
+    "singlecell-clustering": 3,
+    "structure-prediction": 3,
+    "md-analysis": 2,
+    "crispr-screen": 3,
+    "metabolomics-profiling": 3,
+    "comparative-genomics": 3,
+}
+
+
+def test_golden_table_is_complete():
+    assert set(GOLDEN_SIZES) == {entry.spec.name for entry in corpus()}
+
+
+@pytest.mark.parametrize(
+    "entry", corpus(), ids=lambda entry: entry.spec.name
+)
+def test_builder_view_size_is_stable(entry):
+    view = build_user_view(entry.spec, entry.relevant)
+    assert view.size() == GOLDEN_SIZES[entry.spec.name], entry.spec.name
+    report = check_view(view, entry.relevant, check_minimality=False)
+    assert report.well_formed
+    assert report.preserves_dataflow
+    assert report.complete
+    assert not report.introduces_loop
+
+
+def test_specific_groupings():
+    """A few load-bearing groupings, spelled out."""
+    by_name = {entry.spec.name: entry for entry in corpus()}
+
+    entry = by_name["variant-calling"]
+    view = build_user_view(entry.spec, entry.relevant)
+    # The two per-sample alignment chains feed merge_bams and fold into
+    # its composite.
+    assert view.composite_of("align_sample_a") == view.composite_of("merge_bams")
+    assert view.composite_of("dedup_b") == view.composite_of("merge_bams")
+
+    entry = by_name["chipseq-peaks"]
+    view = build_user_view(entry.spec, entry.relevant)
+    # Both trim/align chains are pre-peak-calling glue.
+    assert view.composite_of("align_chip") == view.composite_of("call_peaks")
+    assert view.composite_of("trim_control") == view.composite_of("call_peaks")
+
+    entry = by_name["metagenomics-profile"]
+    view = build_user_view(entry.spec, entry.relevant)
+    # The assembly-evaluation loop partner joins the assemble composite.
+    assert view.composite_of("evaluate_assembly") == \
+        view.composite_of("assemble")

@@ -1,0 +1,108 @@
+"""Tests for derivation-path queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.errors import HiddenDataError, QueryError
+from repro.core.view import admin_view
+from repro.provenance.derivation import (
+    DerivationPath,
+    derivation_exists,
+    derivation_paths,
+    shortest_derivation,
+)
+
+
+@pytest.fixture
+def admin(run, spec):
+    return CompositeRun(run, admin_view(spec))
+
+
+@pytest.fixture
+def joe_run(run, joe):
+    return CompositeRun(run, joe)
+
+
+class TestExistence:
+    def test_positive(self, admin):
+        assert derivation_exists(admin, "d1", "d447")
+        assert derivation_exists(admin, "d308", "d413")
+
+    def test_negative(self, admin):
+        # Lab annotations cannot derive the alignment.
+        assert not derivation_exists(admin, "d415", "d413")
+        # Nothing flows backwards.
+        assert not derivation_exists(admin, "d447", "d1")
+
+    def test_reflexive(self, admin):
+        assert derivation_exists(admin, "d413", "d413")
+
+    def test_hidden_endpoint_rejected(self, joe_run):
+        with pytest.raises(HiddenDataError):
+            derivation_exists(joe_run, "d411", "d447")
+
+
+class TestPaths:
+    def test_chain_through_the_loop(self, admin):
+        (path,) = derivation_paths(admin, "d409", "d413", limit=5)
+        # d409 -[S3]-> d410 -[S4]-> d411 -[S5]-> d412 -[S6]-> d413.
+        assert path.steps == ("S3", "S4", "S5", "S6")
+        assert path.data == ("d409", "d410", "d411", "d412", "d413")
+        assert "-[S4]->" in path.render()
+        assert len(path) == 4
+
+    def test_view_collapses_the_chain(self, joe_run):
+        paths = derivation_paths(joe_run, "d308", "d447", limit=5)
+        # Joe sees a two-hop chain: the loop composite then tree building.
+        assert any(path.steps == ("M10.1", "M9.1") for path in paths)
+        for path in paths:
+            assert "d411" not in path.data
+
+    def test_limit_respected(self, admin):
+        paths = derivation_paths(admin, "d1", "d447", limit=3)
+        assert 1 <= len(paths) <= 3
+
+    def test_limit_validation(self, admin):
+        with pytest.raises(QueryError, match="limit"):
+            derivation_paths(admin, "d1", "d447", limit=0)
+
+    def test_max_hops(self, admin):
+        short = derivation_paths(admin, "d409", "d413", limit=10, max_hops=2)
+        assert short == []  # the only chain needs four hops
+
+    def test_no_path(self, admin):
+        assert derivation_paths(admin, "d415", "d413") == []
+
+
+class TestShortest:
+    def test_shortest_found(self, admin):
+        path = shortest_derivation(admin, "d1", "d447")
+        assert path is not None
+        # d1 -> (S1) d308.. -> (S2) d409 ... the minimum is 5 hops at step
+        # level? d1 -[S1]-> d308 -[S2]-> d409 -[S3]-> d410 ... the shorter
+        # route: S1 also produces the annotation branch: d1 -[S1]-> d101
+        # -[S7]-> d207 -[S8]-> d414 -[S10]-> d447 — four hops.
+        assert len(path) == 4
+        assert path.data[0] == "d1"
+        assert path.data[-1] == "d447"
+
+    def test_shortest_respects_view(self, joe_run):
+        path = shortest_derivation(joe_run, "d1", "d447")
+        assert path is not None
+        assert len(path) == 3  # S1, then M9 via the annotation branch
+        assert path.steps[0] == "S1"
+
+    def test_none_when_unreachable(self, admin):
+        assert shortest_derivation(admin, "d447", "d1") is None
+
+    def test_trivial(self, admin):
+        path = shortest_derivation(admin, "d413", "d413")
+        assert path == DerivationPath(data=("d413",), steps=())
+
+
+class TestPathValidation:
+    def test_malformed_path_rejected(self):
+        with pytest.raises(QueryError, match="alternates"):
+            DerivationPath(data=("a", "b"), steps=())

@@ -1,0 +1,70 @@
+"""Tests for the DOT rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.view import admin_view
+from repro.provenance.queries import deep_provenance
+from repro.zoom.dot import (
+    composite_run_to_dot,
+    provenance_to_dot,
+    run_to_dot,
+    spec_to_dot,
+)
+
+
+class TestSpecDot:
+    def test_plain_spec(self, spec):
+        dot = spec_to_dot(spec)
+        assert dot.startswith("digraph spec {")
+        assert dot.endswith("}")
+        assert '"M3" [shape=box];' in dot
+        assert '"M5" -> "M3";' in dot
+
+    def test_relevant_shading(self, spec, joe_relevant):
+        dot = spec_to_dot(spec, relevant=joe_relevant)
+        assert 'fillcolor="lightgrey"' in dot
+        # Relevant module shaded, non-relevant not.
+        assert '"M3" [shape=box style=filled fillcolor="lightgrey"];' in dot
+        assert '"M4" [shape=box];' in dot
+
+    def test_view_clusters(self, spec, joe, joe_relevant):
+        dot = spec_to_dot(spec, relevant=joe_relevant, view=joe)
+        assert "subgraph cluster_M10" in dot
+        assert "style=dotted" in dot
+        # Singleton composites are rendered flat.
+        assert '"M1" [shape=box];' in dot
+
+
+class TestRunDot:
+    def test_run_labels(self, run):
+        dot = run_to_dot(run)
+        assert '"S2" [shape=box, label="S2:M3"];' in dot
+        # Long data ranges are abbreviated.
+        assert "d1 .. d100 (100)" in dot
+
+    def test_composite_run(self, run, joe):
+        dot = composite_run_to_dot(CompositeRun(run, joe))
+        assert "M10.1:M10" in dot
+        assert "box3d" in dot  # virtual steps use a distinct shape
+        assert "d411" not in dot  # hidden data never appears
+
+
+class TestProvenanceDot:
+    def test_answer_rendering(self, run, joe):
+        composite = CompositeRun(run, joe)
+        result = deep_provenance(composite, "d447")
+        dot = provenance_to_dot(result, composite)
+        assert "digraph provenance" in dot
+        assert "d447" in dot
+        assert "M10.1" in dot
+        assert "target" in dot
+
+    def test_user_input_target(self, run, spec):
+        composite = CompositeRun(run, admin_view(spec))
+        result = deep_provenance(composite, "d1")
+        dot = provenance_to_dot(result, composite)
+        assert "digraph provenance" in dot
+        assert "d1" in dot

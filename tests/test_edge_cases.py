@@ -1,0 +1,130 @@
+"""Targeted edge-case tests across layers.
+
+A grab-bag of corner cases the mainline tests do not reach: warehouse
+reconstruction guards, reasoner error paths, DOT rendering of degenerate
+answers, composite-run corner shapes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.errors import QueryError, WarehouseError
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec, linear_spec
+from repro.core.view import admin_view, blackbox_view
+from repro.provenance.queries import deep_provenance, immediate_provenance
+from repro.provenance.reasoner import ProvenanceReasoner
+from repro.run.run import WorkflowRun
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.zoom.dot import provenance_to_dot, spec_to_dot
+
+
+class TestWarehouseGuards:
+    def test_reasoner_missing_final_output(self):
+        # A run whose only output-edge data is also consumed is impossible;
+        # instead test the empty-warehouse error path via a fake run id.
+        warehouse = InMemoryWarehouse()
+        reasoner = ProvenanceReasoner(warehouse)
+        with pytest.raises(Exception):
+            reasoner.final_output_deep("missing-run")
+
+    def test_store_view_for_unknown_spec(self):
+        warehouse = InMemoryWarehouse()
+        spec = linear_spec(2)
+        with pytest.raises(Exception):
+            warehouse.store_view(admin_view(spec), "nope")
+
+
+class TestSingleModuleWorkflows:
+    @pytest.fixture
+    def tiny(self):
+        spec = linear_spec(1)
+        run = WorkflowRun(spec, run_id="tiny")
+        run.add_step("S1", "M1")
+        run.add_edge(INPUT, "S1", ["a", "b"])
+        run.add_edge("S1", OUTPUT, ["c"])
+        run.validate()
+        return spec, run
+
+    def test_blackbox_equals_admin(self, tiny):
+        spec, run = tiny
+        admin_answer = deep_provenance(CompositeRun(run, admin_view(spec)), "c")
+        black_answer = deep_provenance(
+            CompositeRun(run, blackbox_view(spec)), "c"
+        )
+        assert admin_answer.num_tuples() == black_answer.num_tuples() == 2
+        assert admin_answer.user_inputs == {"a", "b"}
+
+    def test_immediate_of_output(self, tiny):
+        spec, run = tiny
+        answer = immediate_provenance(CompositeRun(run, admin_view(spec)), "c")
+        assert answer.steps() == {"S1"}
+        assert answer.inputs_of("S1") == {"a", "b"}
+
+
+class TestMultiOutputRuns:
+    @pytest.fixture
+    def forked(self):
+        spec = WorkflowSpec(
+            ["A", "B", "C"],
+            [(INPUT, "A"), ("A", "B"), ("A", "C"),
+             ("B", OUTPUT), ("C", OUTPUT)],
+        )
+        run = WorkflowRun(spec, run_id="forked")
+        for step, module in [("S1", "A"), ("S2", "B"), ("S3", "C")]:
+            run.add_step(step, module)
+        run.add_edge(INPUT, "S1", ["d1"])
+        run.add_edge("S1", "S2", ["d2"])
+        run.add_edge("S1", "S3", ["d3"])
+        run.add_edge("S2", OUTPUT, ["d4"])
+        run.add_edge("S3", OUTPUT, ["d5"])
+        run.validate()
+        return spec, run
+
+    def test_final_output_deep_picks_deterministically(self, forked):
+        spec, run = forked
+        warehouse = InMemoryWarehouse()
+        spec_id = warehouse.store_spec(spec)
+        run_id = warehouse.store_run(run, spec_id)
+        reasoner = ProvenanceReasoner(warehouse)
+        answer = reasoner.final_output_deep(run_id)
+        assert answer.target == "d4"  # lexicographically first output
+
+    def test_sibling_output_not_in_lineage(self, forked):
+        spec, run = forked
+        answer = deep_provenance(CompositeRun(run, admin_view(spec)), "d4")
+        assert "d5" not in answer.data()
+        assert "d3" not in answer.data()
+
+
+class TestDotDegenerates:
+    def test_provenance_dot_for_user_input_only(self, run, spec):
+        composite = CompositeRun(run, admin_view(spec))
+        answer = deep_provenance(composite, "d1")
+        dot = provenance_to_dot(answer, composite)
+        assert dot.startswith("digraph")
+        assert "target" in dot
+
+    def test_spec_dot_with_special_composite_names(self, spec, joe):
+        # Composite names like C[M3] need sanitising in cluster ids.
+        dot = spec_to_dot(spec, relevant={"M3"},
+                          view=joe.relabelled({"M10": "C[M3]"}))
+        assert "cluster_C_M3_" in dot
+
+
+class TestCompositeCornerShapes:
+    def test_composite_with_every_step_in_one_group(self, run, spec):
+        composite = CompositeRun(run, blackbox_view(spec))
+        (only,) = composite.composite_steps()
+        # The single virtual step keeps the composite's name with .1.
+        assert only.step_id == "BlackBox.1"
+        assert only.is_virtual
+
+    def test_group_numbering_stable_across_construction(self, run, mary):
+        first = CompositeRun(run, mary)
+        second = CompositeRun(run, mary)
+        assert [c.step_id for c in first.composite_steps()] == \
+            [c.step_id for c in second.composite_steps()]

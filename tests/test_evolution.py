@@ -1,0 +1,109 @@
+"""Tests for workflow evolution: spec diffs and view migration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evolution import (
+    affected_composites,
+    migrate_relevant,
+    migrate_view,
+    spec_diff,
+)
+from repro.core.properties import satisfies_all
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec
+from repro.workloads.phylogenomic import (
+    JOE_RELEVANT,
+    joe_view,
+    phylogenomic_spec,
+)
+
+
+@pytest.fixture
+def v2_spec():
+    """Version 2 of the phylogenomic workflow: a trimming module is added
+    before the alignment, and the rectification step is removed."""
+    return WorkflowSpec(
+        ["M1", "M2", "M3", "M4", "M6", "M7", "M8", "Mtrim"],
+        [
+            (INPUT, "M1"),
+            (INPUT, "M2"),
+            (INPUT, "M6"),
+            ("M1", "M2"),
+            ("M1", "Mtrim"),   # new: trim sequences before aligning
+            ("Mtrim", "M3"),
+            ("M3", "M4"),
+            ("M4", "M3"),      # the loop now closes at the formatter
+            ("M4", "M7"),
+            ("M2", "M8"),
+            ("M8", "M7"),
+            ("M6", "M7"),
+            ("M7", OUTPUT),
+        ],
+        name="phylogenomic-v2",
+    )
+
+
+class TestSpecDiff:
+    def test_identity(self, spec):
+        diff = spec_diff(spec, spec)
+        assert diff.is_empty()
+        assert diff.summary()["added_modules"] == []
+
+    def test_version_change(self, spec, v2_spec):
+        diff = spec_diff(spec, v2_spec)
+        assert diff.added_modules == {"Mtrim"}
+        assert diff.removed_modules == {"M5"}
+        assert ("M1", "Mtrim") in diff.added_edges
+        assert ("M5", "M3") in diff.removed_edges
+        assert not diff.is_empty()
+
+
+class TestMigrateRelevant:
+    def test_survivors_and_dropped(self, v2_spec):
+        kept, dropped, renamed = migrate_relevant(
+            {"M2", "M3", "M5", "M7"}, v2_spec
+        )
+        assert kept == {"M2", "M3", "M7"}
+        assert dropped == {"M5"}
+        assert renamed == {}
+
+    def test_renames_followed(self, v2_spec):
+        kept, dropped, renamed = migrate_relevant(
+            {"M3", "M5"}, v2_spec, renames={"M5": "Mtrim"}
+        )
+        assert kept == {"M3", "Mtrim"}
+        assert dropped == set()
+        assert renamed == {"M5": "Mtrim"}
+
+
+class TestMigrateView:
+    def test_joe_view_migrates_cleanly(self, v2_spec):
+        result = migrate_view(JOE_RELEVANT, v2_spec, name="Joe-v2")
+        assert result.clean()
+        assert result.kept == JOE_RELEVANT
+        assert satisfies_all(result.view, result.kept)
+        # The new trimming module joins the alignment composite (it feeds
+        # only M3).
+        assert result.view.composite_of("Mtrim") == \
+            result.view.composite_of("M3")
+
+    def test_mary_loses_her_rectification_anchor(self, v2_spec):
+        result = migrate_view({"M2", "M3", "M5", "M7"}, v2_spec)
+        assert not result.clean()
+        assert result.dropped == {"M5"}
+        assert satisfies_all(result.view, result.kept)
+
+
+class TestAffectedComposites:
+    def test_touched_composites(self, spec, v2_spec, joe):
+        diff = spec_diff(spec, v2_spec)
+        touched = affected_composites(joe, diff)
+        # The loop composite M10 loses M5 and gains edges around M3/M4;
+        # N/A composites for Mtrim (not in the old spec).
+        assert "M10" in touched
+        # M1 gains an outgoing edge to Mtrim.
+        assert joe.composite_of("M1") in touched
+
+    def test_no_change_no_touch(self, spec, joe):
+        assert affected_composites(joe, spec_diff(spec, spec)) == frozenset()

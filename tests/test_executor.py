@@ -1,0 +1,222 @@
+"""Unit tests for the execution simulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ExecutionError, LoopNestingError
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec, linear_spec
+from repro.run.executor import ExecutionParams, simulate
+from repro.run.log import run_from_log
+
+
+def _params(**overrides):
+    defaults = dict(
+        user_input_range=(2, 2),
+        data_per_edge_range=(1, 1),
+        loop_iterations_range=(1, 1),
+    )
+    defaults.update(overrides)
+    return ExecutionParams(**defaults)
+
+
+class TestLinearExecution:
+    def test_chain_produces_one_step_per_module(self):
+        spec = linear_spec(4)
+        result = simulate(spec, params=_params())
+        assert result.run.num_steps() == 4
+        result.run.validate()
+        assert len(result.run.user_inputs()) == 2
+        assert len(result.run.final_outputs()) == 1
+
+    def test_log_matches_run(self):
+        spec = linear_spec(3)
+        result = simulate(spec, params=_params())
+        rebuilt = run_from_log(result.log, spec)
+        assert set(rebuilt.edges()) == set(result.run.edges())
+
+    def test_deterministic_under_seed(self):
+        spec = linear_spec(5)
+        first = simulate(spec, params=_params(), rng=random.Random(7))
+        second = simulate(spec, params=_params(), rng=random.Random(7))
+        assert set(first.run.edges()) == set(second.run.edges())
+
+    def test_different_seeds_differ(self):
+        spec = linear_spec(5)
+        loose = _params(user_input_range=(1, 10), data_per_edge_range=(1, 10))
+        first = simulate(spec, params=loose, rng=random.Random(1))
+        second = simulate(spec, params=loose, rng=random.Random(2))
+        assert len(first.run.data_ids()) != len(second.run.data_ids())
+
+
+class TestParallelExecution:
+    def test_diamond(self, diamond_spec):
+        result = simulate(diamond_spec, params=_params())
+        run = result.run
+        assert run.num_steps() == 4
+        # The join step consumes from both branches.
+        (join,) = run.steps_of_module("D")
+        producers = {run.producer(d) for d in run.inputs_of(join)}
+        assert len(producers) == 2
+
+
+class TestLoopExecution:
+    def test_forced_iterations_unroll(self, loop_spec):
+        result = simulate(
+            loop_spec,
+            params=_params(),
+            iterations={("C", "A"): 3},
+        )
+        run = result.run
+        assert result.iterations == {("C", "A"): 3}
+        assert len(run.steps_of_module("A")) == 3
+        assert len(run.steps_of_module("B")) == 3
+        assert len(run.steps_of_module("C")) == 3
+        run.validate()
+
+    def test_back_edge_carries_previous_iteration(self, loop_spec):
+        result = simulate(loop_spec, params=_params(), iterations={("C", "A"): 2})
+        run = result.run
+        a_steps = run.steps_of_module("A")
+        c_steps = run.steps_of_module("C")
+        # Second A execution reads from the first C execution.
+        second_a_inputs = run.inputs_of(a_steps[1])
+        first_c_outputs = run.outputs_of(c_steps[0])
+        assert second_a_inputs <= first_c_outputs
+        # And not from the workflow input (external edges are first-iteration
+        # only — the paper's Fig. 2 semantics).
+        assert not second_a_inputs & run.user_inputs()
+
+    def test_external_consumer_reads_final_iteration(self):
+        # input -> A -> B -> C -> output, loop B <-> A? No: loop over
+        # {B, C}, with D reading from C after the loop.
+        spec = WorkflowSpec(
+            ["A", "B", "C", "D"],
+            [
+                (INPUT, "A"),
+                ("A", "B"),
+                ("B", "C"),
+                ("C", "B"),
+                ("C", "D"),
+                ("D", OUTPUT),
+            ],
+        )
+        result = simulate(spec, params=_params(), iterations={("C", "B"): 3})
+        run = result.run
+        c_steps = run.steps_of_module("C")
+        (d_step,) = run.steps_of_module("D")
+        # D consumes the last C execution's data.
+        assert run.inputs_of(d_step) <= run.outputs_of(c_steps[-1])
+
+    def test_single_iteration_equals_no_loop(self, loop_spec):
+        result = simulate(loop_spec, params=_params(), iterations={("C", "A"): 1})
+        assert result.run.num_steps() == 3
+
+    def test_paper_shape_two_iterations(self, spec):
+        # The phylogenomic loop with exactly two iterations mirrors Fig. 2:
+        # two executions of M3 and M4, and a single rectification M5 (the
+        # loop exits after the second M4 — S2..S6 of the paper).
+        result = simulate(
+            spec, params=_params(), iterations={("M5", "M3"): 2}
+        )
+        run = result.run
+        assert len(run.steps_of_module("M3")) == 2
+        assert len(run.steps_of_module("M4")) == 2
+        assert len(run.steps_of_module("M5")) == 1
+        run.validate()
+
+    def test_exit_only_module_runs_k_minus_1_times(self, spec):
+        result = simulate(
+            spec, params=_params(), iterations={("M5", "M3"): 4}
+        )
+        assert len(result.run.steps_of_module("M3")) == 4
+        assert len(result.run.steps_of_module("M5")) == 3
+
+    def test_zero_iterations_rejected(self, loop_spec):
+        with pytest.raises(ExecutionError, match="at least one"):
+            simulate(loop_spec, params=_params(), iterations={("C", "A"): 0})
+
+    def test_external_producer_into_loop_body(self):
+        # X feeds the loop body at B; the contracted schedule must run X
+        # before the loop, and only the first iteration consumes X's data.
+        spec = WorkflowSpec(
+            ["X", "A", "B"],
+            [
+                (INPUT, "X"),
+                (INPUT, "A"),
+                ("A", "B"),
+                ("B", "A"),  # loop {A, B}
+                ("X", "B"),
+                ("B", OUTPUT),
+            ],
+        )
+        result = simulate(spec, params=_params(), iterations={("B", "A"): 3})
+        run = result.run
+        run.validate()
+        (x_step,) = run.steps_of_module("X")
+        b_steps = run.steps_of_module("B")
+        assert len(b_steps) == 3
+        # First B execution consumes X's output...
+        assert run.outputs_of(x_step) & run.inputs_of(b_steps[0])
+        # ...later iterations do not re-read it.
+        assert not run.outputs_of(x_step) & run.inputs_of(b_steps[1])
+        assert not run.outputs_of(x_step) & run.inputs_of(b_steps[2])
+
+    def test_no_orphan_back_edge_data_on_final_iteration(self, loop_spec):
+        result = simulate(loop_spec, params=_params(),
+                          iterations={("C", "A"): 3})
+        run = result.run
+        # Every data object written appears on some run edge (no data is
+        # produced into the void when the loop exits).
+        written = {event.data_id for event in result.log.of_kind("write")}
+        on_edges = set()
+        for _src, _dst, payload in run.edges():
+            on_edges |= payload
+        assert written <= on_edges
+
+
+class TestGuards:
+    def test_nested_loops_rejected(self):
+        spec = WorkflowSpec(
+            ["A", "B", "C", "D"],
+            [
+                (INPUT, "A"),
+                ("A", "B"),
+                ("B", "C"),
+                ("C", "B"),  # inner loop {B, C}
+                ("C", "D"),
+                ("D", "A"),  # outer loop {A, B, C, D}
+                ("D", OUTPUT),
+            ],
+        )
+        with pytest.raises(LoopNestingError):
+            simulate(spec, params=_params())
+
+    def test_max_steps_cap(self, loop_spec):
+        params = _params(loop_iterations_range=(50, 50), max_steps=10)
+        with pytest.raises(ExecutionError, match="max_steps"):
+            simulate(loop_spec, params=params)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecutionParams(user_input_range=(0, 5))
+        with pytest.raises(ExecutionError):
+            ExecutionParams(loop_iterations_range=(5, 2))
+
+
+class TestDataAccounting:
+    def test_user_inputs_per_input_edge(self, spec):
+        # The phylogenomic spec has three edges out of input.
+        result = simulate(spec, params=_params(user_input_range=(4, 4)),
+                          iterations={("M5", "M3"): 1})
+        assert len(result.run.user_inputs()) == 12
+
+    def test_data_per_edge_range_respected(self):
+        spec = linear_spec(3)
+        result = simulate(spec, params=_params(data_per_edge_range=(3, 3)))
+        run = result.run
+        for src, dst, data_ids in run.edges():
+            if src != INPUT:
+                assert len(data_ids) == 3

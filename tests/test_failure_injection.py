@@ -1,0 +1,169 @@
+"""Failure injection: corrupted inputs must fail fast and specifically.
+
+A provenance warehouse is only as trustworthy as its ingestion guards.
+These tests feed deliberately damaged artefacts — inconsistent row sets,
+truncated archives, foreign traces with impossible event orders — through
+every door and assert the system refuses with a precise error instead of
+storing (or answering from) corrupt state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.errors import (
+    RunError,
+    SpecificationError,
+    UnknownEntityError,
+    WarehouseError,
+)
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec, linear_spec
+from repro.run.log import EventLog, run_from_log
+from repro.run.trace import read_trace
+from repro.warehouse.jsonfile import dump_warehouse, restore_warehouse
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.warehouse.sqlite import SqliteWarehouse
+from repro.workloads.phylogenomic import phylogenomic_run, phylogenomic_spec
+
+
+def _dump_with(mutate):
+    """A valid dump of the paper example, passed through a mutator."""
+    warehouse = InMemoryWarehouse()
+    spec = phylogenomic_spec()
+    spec_id = warehouse.store_spec(spec)
+    warehouse.store_run(phylogenomic_run(spec), spec_id)
+    document = dump_warehouse(warehouse)
+    mutate(document)
+    return document
+
+
+class TestCorruptArchives:
+    def test_step_with_unknown_module(self):
+        def mutate(document):
+            document["runs"][0]["steps"].append(["S99", "NoSuchModule"])
+
+        with pytest.raises(RunError, match="unknown module"):
+            restore_warehouse(_dump_with(mutate))
+
+    def test_cyclic_io_rows(self):
+        def mutate(document):
+            io_rows = document["runs"][0]["io"]
+            # S2 consumes d409 which S2's consumer S3 produced: cycle.
+            io_rows.append(["S2", "d410", "in"])
+
+        with pytest.raises(RunError):
+            restore_warehouse(_dump_with(mutate))
+
+    def test_orphan_view_member(self):
+        def mutate(document):
+            document["views"].append({
+                "view_id": "ghost",
+                "spec_id": "phylogenomic",
+                "view": {
+                    "name": "ghost",
+                    "spec": "phylogenomic",
+                    "composites": {"G": ["M1", "M99"]},
+                },
+            })
+
+        with pytest.raises(Exception):
+            restore_warehouse(_dump_with(mutate))
+
+    def test_annotation_on_missing_subject(self):
+        def mutate(document):
+            document["runs"][0]["annotations"] = {"S99": {"k": "v"}}
+
+        with pytest.raises(UnknownEntityError):
+            restore_warehouse(_dump_with(mutate))
+
+    def test_who_for_non_input(self):
+        def mutate(document):
+            document["runs"][0]["input_who"] = {"d447": "eve"}
+
+        with pytest.raises(WarehouseError):
+            restore_warehouse(_dump_with(mutate))
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        text = json.dumps(_dump_with(lambda d: None))
+        path.write_text(text[: len(text) // 2])
+        from repro.warehouse.jsonfile import load_warehouse
+
+        with pytest.raises(json.JSONDecodeError):
+            load_warehouse(str(path))
+
+
+class TestCorruptTraces:
+    def test_read_before_any_write(self):
+        text = "\n".join([
+            '{"kind": "header", "run_id": "x", "format": 1}',
+            '{"kind": "start", "time": 1, "step_id": "S1", "module": "M1"}',
+            '{"kind": "read", "time": 2, "step_id": "S1", "data_id": "ghost"}',
+        ])
+        log = read_trace(io.StringIO(text))
+        with pytest.raises(RunError, match="nothing produced"):
+            run_from_log(log, linear_spec(1))
+
+    def test_step_consuming_its_own_future_output(self):
+        log = EventLog(run_id="loopy")
+        log.start("S1", "M1")
+        log.write("S1", "d1")
+        log.read("S1", "d1")  # self-consumption -> self-loop in the run
+        with pytest.raises(RunError, match="self-loop"):
+            run_from_log(log, linear_spec(1))
+
+    def test_log_edge_not_in_spec(self):
+        # M2's output consumed by M1 has no specification edge M2 -> M1.
+        log = EventLog(run_id="backwards")
+        log.user_input("d0")
+        log.start("S2", "M2")
+        log.read("S2", "d0")
+        log.write("S2", "d1")
+        log.start("S1", "M1")
+        log.read("S1", "d1")
+        log.write("S1", "d2")
+        log.final_output("d2")
+        run = run_from_log(log, linear_spec(2))
+        with pytest.raises(RunError, match="no specification edge"):
+            run.validate()
+
+
+class TestCorruptWarehouseState:
+    def test_sqlite_double_write_detected_on_reconstruction(self):
+        with SqliteWarehouse() as warehouse:
+            spec = phylogenomic_spec()
+            spec_id = warehouse.store_spec(spec)
+            run_id = warehouse.store_run(phylogenomic_run(spec), spec_id)
+            # Inject a second writer for d447 behind the API's back.
+            warehouse._conn.execute(
+                "INSERT INTO io (run_id, step_id, data_id, direction)"
+                " VALUES (?, ?, ?, ?)",
+                (run_id, "S9", "d447", "out"),
+            )
+            with pytest.raises(WarehouseError, match="written by both"):
+                warehouse.get_run(run_id)
+
+    def test_memory_rejects_bad_spec_reference(self):
+        warehouse = InMemoryWarehouse()
+        spec = linear_spec(2)
+        warehouse.store_spec(spec)
+        other = WorkflowSpec(
+            ["M1"], [(INPUT, "M1"), ("M1", OUTPUT)], name="linear"
+        )
+        # Same name, different structure: the identity check must compare
+        # structure, not names.
+        from repro.run.run import WorkflowRun
+
+        run = WorkflowRun(other, run_id="r")
+        run.add_step("S1", "M1")
+        run.add_edge(INPUT, "S1", ["d1"])
+        run.add_edge("S1", OUTPUT, ["d2"])
+        with pytest.raises(WarehouseError, match="does not match"):
+            warehouse.store_run(run, "linear")
+
+    def test_invalid_spec_never_constructs(self):
+        with pytest.raises(SpecificationError):
+            WorkflowSpec(["A"], [(INPUT, "A")])  # A cannot reach output

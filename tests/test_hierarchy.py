@@ -1,0 +1,120 @@
+"""Tests for hierarchical view refinement (zooming into composites)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.builder import build_user_view
+from repro.core.errors import ViewError
+from repro.core.hierarchy import composite_subspec, refine_composite, zoom_path
+from repro.core.properties import satisfies_all
+from repro.core.spec import INPUT, OUTPUT
+from repro.workloads.phylogenomic import (
+    JOE_RELEVANT,
+    MARY_RELEVANT,
+    joe_view,
+    mary_view,
+)
+
+from .conftest import specs_with_relevant
+
+
+class TestCompositeSubspec:
+    def test_m10_subworkflow(self, joe):
+        sub = composite_subspec(joe, "M10")
+        assert sorted(sub.modules) == ["M3", "M4", "M5"]
+        # M3 is fed from outside (M1), M4 feeds outside (M7).
+        assert sub.has_edge(INPUT, "M3")
+        assert sub.has_edge("M4", OUTPUT)
+        # The loop's back edge survives inside.
+        assert sub.has_edge("M5", "M3")
+        assert not sub.is_acyclic()
+
+    def test_singleton_composite(self, joe):
+        sub = composite_subspec(joe, "M2")
+        assert sorted(sub.modules) == ["M2"]
+        assert sub.has_edge(INPUT, "M2")
+        assert sub.has_edge("M2", OUTPUT)
+
+
+class TestRefineComposite:
+    def test_joe_plus_m5_equals_mary(self, spec, joe, mary):
+        """The paper's composition story: zooming into Joe's alignment
+        composite with M5 flagged recovers Mary's view exactly."""
+        refined = refine_composite(joe, "M10", {"M5"})
+        assert refined == mary
+
+    def test_refined_view_is_good(self, spec, joe):
+        refined = refine_composite(joe, "M10", {"M5"})
+        assert satisfies_all(refined, MARY_RELEVANT)
+
+    def test_refine_with_empty_relevant_splits_nothing_sensible(self, joe):
+        # Zooming with nothing flagged collapses the composite onto one
+        # sub-composite: the view is unchanged as a partition.
+        refined = refine_composite(joe, "M10", set())
+        assert refined == joe
+
+    def test_refine_everything_explodes_composite(self, joe):
+        refined = refine_composite(joe, "M10", {"M3", "M4", "M5"})
+        assert refined.composite_of("M3") != refined.composite_of("M4")
+        assert refined.size() == joe.size() + 2
+
+    def test_outside_module_rejected(self, joe):
+        with pytest.raises(ViewError, match="not inside"):
+            refine_composite(joe, "M10", {"M7"})
+
+    def test_unknown_composite_rejected(self, joe):
+        with pytest.raises(ViewError):
+            refine_composite(joe, "M99", set())
+
+    def test_name_collisions_are_prefixed(self, spec):
+        # Build a view where the outer view already uses a name that the
+        # sub-builder would produce ("M5" for the singleton composite).
+        view = joe_view(spec)
+        refined = refine_composite(view, "M10", {"M5"})
+        # "M5" was free in the outer view, so no prefix was needed; the
+        # members are what matters.
+        assert refined.members(refined.composite_of("M5")) == {"M5"}
+
+
+class TestZoomPath:
+    def test_two_level_zoom(self, spec, mary):
+        view = zoom_path(
+            spec,
+            steps=[("C[M3]", frozenset({"M5"}))],
+            initial_relevant=JOE_RELEVANT,
+        )
+        assert view == mary
+
+    def test_zoom_path_empty_steps(self, spec, joe):
+        view = zoom_path(spec, steps=[], initial_relevant=JOE_RELEVANT)
+        assert view == joe
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs_with_relevant(max_modules=7))
+def test_refinement_always_refines(case):
+    """Zooming never merges: the refined view partitions each original
+    composite, so every new composite is inside exactly one old one."""
+    spec, relevant = case
+    view = build_user_view(spec, relevant)
+    for composite in sorted(view.composites):
+        members = view.members(composite)
+        if len(members) < 2:
+            continue
+        inner_relevant = {sorted(members)[0]}
+        refined = refine_composite(view, composite, inner_relevant)
+        for new_composite in refined.composites:
+            new_members = refined.members(new_composite)
+            # Each refined composite nests in one original composite.
+            assert any(
+                new_members <= view.members(original)
+                for original in view.composites
+            )
+        # Modules outside the zoomed composite are untouched.
+        for module in spec.modules - members:
+            assert refined.members(refined.composite_of(module)) == \
+                view.members(view.composite_of(module))
+        break

@@ -1,0 +1,211 @@
+"""Property-based integration tests across the whole stack.
+
+Random specifications are simulated, logged, warehoused and queried; the
+invariants here tie the layers together: log round-trips, backend
+equivalence, view-level consistency of provenance answers, and the
+monotonicity of result sizes with view granularity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_user_view
+from repro.core.composite import CompositeRun
+from repro.core.spec import INPUT
+from repro.core.view import admin_view, blackbox_view
+from repro.provenance.queries import deep_provenance, reverse_provenance
+from repro.run.executor import ExecutionParams, simulate
+from repro.run.log import log_from_run, run_from_log
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.warehouse.sqlite import SqliteWarehouse
+
+from .conftest import small_specs, specs_with_relevant
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_PARAMS = ExecutionParams(
+    user_input_range=(1, 3),
+    data_per_edge_range=(1, 3),
+    loop_iterations_range=(1, 3),
+)
+
+
+def _simulated(spec, seed):
+    return simulate(spec, params=_PARAMS, rng=random.Random(seed))
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=5))
+@_SETTINGS
+def test_runs_validate_and_log_round_trips(spec, seed):
+    result = _simulated(spec, seed)
+    result.run.validate()
+    rebuilt = run_from_log(result.log, spec)
+    assert set(rebuilt.edges()) == set(result.run.edges())
+    assert rebuilt.user_inputs() == result.run.user_inputs()
+    assert rebuilt.final_outputs() == result.run.final_outputs()
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_backends_agree_on_deep_provenance(spec, seed):
+    result = _simulated(spec, seed)
+    memory = InMemoryWarehouse()
+    with SqliteWarehouse() as sqlite:
+        for backend in (memory, sqlite):
+            spec_id = backend.store_spec(spec)
+            backend.store_run(result.run, spec_id)
+        for target in sorted(result.run.final_outputs()):
+            assert memory.admin_deep_provenance(
+                "run1", target
+            ) == sqlite.admin_deep_provenance("run1", target)
+
+
+@given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_view_provenance_consistency(case, seed):
+    """Deep provenance under any built view only mentions visible data,
+    and its data set is a subset of the UAdmin answer's data set."""
+    spec, relevant = case
+    result = _simulated(spec, seed)
+    view = build_user_view(spec, relevant)
+    composite = CompositeRun(result.run, view)
+    admin = CompositeRun(result.run, admin_view(spec))
+    for target in sorted(result.run.final_outputs()):
+        answer = deep_provenance(composite, target)
+        admin_answer = deep_provenance(admin, target)
+        assert answer.data() <= composite.visible_data()
+        assert answer.data() <= admin_answer.data()
+        assert answer.user_inputs == admin_answer.user_inputs
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_result_size_monotone_in_granularity(spec, seed):
+    """UBlackBox <= any view <= UAdmin in tuple count, for every target."""
+    result = _simulated(spec, seed)
+    blackbox = CompositeRun(result.run, blackbox_view(spec))
+    admin = CompositeRun(result.run, admin_view(spec))
+    for target in sorted(result.run.final_outputs()):
+        low = deep_provenance(blackbox, target).num_tuples()
+        high = deep_provenance(admin, target).num_tuples()
+        assert low <= high
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_reverse_and_forward_agree(spec, seed):
+    """d' in deep(d) iff d in reverse(d'), at admin granularity."""
+    result = _simulated(spec, seed)
+    admin = CompositeRun(result.run, admin_view(spec))
+    targets = sorted(result.run.final_outputs())
+    if not targets:
+        return
+    target = targets[0]
+    back = deep_provenance(admin, target)
+    for source in sorted(back.user_inputs):
+        forward = reverse_provenance(admin, source)
+        assert target in forward.data()
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_derivation_agrees_with_deep_provenance(spec, seed):
+    """src is in deep(target).data() iff a derivation chain src -> target
+    exists — backward closure and forward path search must coincide."""
+    from repro.provenance.derivation import derivation_exists, shortest_derivation
+
+    result = _simulated(spec, seed)
+    admin = CompositeRun(result.run, admin_view(spec))
+    targets = sorted(result.run.final_outputs())
+    if not targets:
+        return
+    target = targets[0]
+    ancestry = deep_provenance(admin, target).data()
+    for source in sorted(result.run.user_inputs()):
+        expected = source in ancestry
+        assert derivation_exists(admin, source, target) == expected
+        path = shortest_derivation(admin, source, target)
+        assert (path is not None) == expected
+        if path is not None:
+            # Every data object on the chain is in the target's ancestry.
+            assert set(path.data) <= ancestry
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_invalidation_agrees_with_reverse_provenance(spec, seed):
+    """A final output is stale iff the changed input is in its provenance.
+
+    Cross-validates the re-execution planner (forward closure over the run
+    DAG) against the reverse-provenance query (BFS over the composite
+    run): two independent implementations of the same reachability.
+    """
+    from repro.provenance.invalidation import ReexecutionPlanner
+    from repro.warehouse.memory import InMemoryWarehouse
+
+    result = _simulated(spec, seed)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(result.run, spec_id)
+    planner = ReexecutionPlanner(warehouse)
+    admin = CompositeRun(result.run, admin_view(spec))
+    changed = sorted(result.run.user_inputs())[0]
+    plan = planner.plan(run_id, [changed])
+    forward = reverse_provenance(admin, changed)
+    assert plan.stale_outputs == forward.final_outputs
+    assert set(plan.stale_steps) == forward.steps()
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_opm_export_round_trips_visibility(spec, seed):
+    """OPM artifacts are exactly the view's visible data; every generated
+    artifact has a producing process among the account's processes."""
+    from repro.provenance.opm import export_account
+
+    result = _simulated(spec, seed)
+    view = build_user_view(spec, frozenset())
+    composite = CompositeRun(result.run, view)
+    account = export_account(composite)
+    assert set(account["artifacts"]) == composite.visible_data()
+    process_ids = {p["id"] for p in account["processes"]}
+    for entry in account["wasGeneratedBy"]:
+        assert entry["process"] in process_ids
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_warehouse_json_dump_round_trips(spec, seed):
+    """dump -> restore preserves runs and closures on random inputs."""
+    from repro.warehouse.jsonfile import dump_warehouse, restore_warehouse
+    from repro.warehouse.memory import InMemoryWarehouse
+
+    result = _simulated(spec, seed)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(result.run, spec_id)
+    restored = restore_warehouse(dump_warehouse(warehouse))
+    assert set(restored.get_run(run_id).edges()) == set(result.run.edges())
+    target = sorted(result.run.final_outputs())[0]
+    assert restored.admin_deep_provenance(run_id, target) == \
+        warehouse.admin_deep_provenance(run_id, target)
+
+
+@given(small_specs(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_composite_runs_of_built_views_are_acyclic(spec, seed):
+    result = _simulated(spec, seed)
+    for fraction in (0.0, 0.5, 1.0):
+        modules = sorted(spec.modules)
+        count = round(fraction * len(modules))
+        relevant = frozenset(modules[:count])
+        view = build_user_view(spec, relevant)
+        assert CompositeRun(result.run, view).is_acyclic()

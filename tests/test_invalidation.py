@@ -1,0 +1,102 @@
+"""Tests for the re-execution planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.provenance.invalidation import ReexecutionPlanner
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.workloads.phylogenomic import (
+    joe_view,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+
+
+@pytest.fixture
+def planner_env():
+    spec = phylogenomic_spec()
+    run = phylogenomic_run(spec)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(run, spec_id)
+    return ReexecutionPlanner(warehouse), spec, run_id
+
+
+class TestPlanning:
+    def test_sequence_input_invalidates_alignment_chain(self, planner_env):
+        planner, _spec, run_id = planner_env
+        plan = planner.plan(run_id, ["d1"])
+        # d1 feeds S1 (formatting), then the whole loop and tree building.
+        assert plan.stale_steps[0] == "S1"
+        assert set(plan.stale_steps) == {
+            "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S10"
+        }
+        # S9 (lab annotations) is untouched.
+        assert plan.fresh_steps == {"S9"}
+        assert plan.stale_outputs == {"d447"}
+        assert 0 < plan.work_fraction() < 1
+
+    def test_lab_annotation_invalidates_tree_only(self, planner_env):
+        planner, _spec, run_id = planner_env
+        plan = planner.plan(run_id, ["d415"])
+        assert plan.stale_steps == ["S9", "S10"]
+        assert "d446" in plan.stale_data
+        assert plan.stale_outputs == {"d447"}
+
+    def test_topological_order(self, planner_env):
+        planner, _spec, run_id = planner_env
+        plan = planner.plan(run_id, ["d1"])
+        order = {step: index for index, step in enumerate(plan.stale_steps)}
+        assert order["S1"] < order["S2"] < order["S3"]
+        assert order["S7"] < order["S8"] < order["S10"]
+
+    def test_multiple_inputs_union(self, planner_env):
+        planner, _spec, run_id = planner_env
+        plan = planner.plan(run_id, ["d1", "d415"])
+        assert plan.fresh_steps == set()
+        assert plan.work_fraction() == 1.0
+
+    def test_summary(self, planner_env):
+        planner, _spec, run_id = planner_env
+        summary = planner.plan(run_id, ["d415"]).summary()
+        assert summary["stale_steps"] == 2
+        assert summary["stale_outputs"] == ["d447"]
+
+    def test_unknown_data_rejected(self, planner_env):
+        planner, _spec, run_id = planner_env
+        with pytest.raises(QueryError, match="unknown data"):
+            planner.plan(run_id, ["d9999"])
+
+    def test_non_input_rejected(self, planner_env):
+        planner, _spec, run_id = planner_env
+        with pytest.raises(QueryError, match="not user inputs"):
+            planner.plan(run_id, ["d413"])
+
+
+class TestViewPresentation:
+    def test_plan_through_joe(self, planner_env):
+        planner, spec, run_id = planner_env
+        plan = planner.plan_through_view(run_id, ["d1"], joe_view(spec))
+        # The whole loop is one stale virtual step in Joe's world.
+        assert "M10.1" in plan.stale_steps
+        assert "M9.1" in plan.stale_steps
+        # Stale data is restricted to what Joe can see.
+        assert "d411" not in plan.stale_data
+        assert "d413" in plan.stale_data
+        assert plan.stale_outputs == {"d447"}
+
+    def test_view_plan_counts_groups(self, planner_env):
+        planner, spec, run_id = planner_env
+        plan = planner.plan_through_view(run_id, ["d415"], joe_view(spec))
+        assert plan.stale_steps == ["M9.1"]
+        assert len(plan.fresh_steps) == 3  # S1, S7, M10.1
+
+
+class TestScapegoat:
+    def test_cheapest_input(self, planner_env):
+        planner, _spec, run_id = planner_env
+        cheapest = planner.cheapest_scapegoat(run_id)
+        # Lab annotations (d415..d445) invalidate only two steps.
+        assert cheapest in {"d%d" % index for index in range(415, 446)}

@@ -1,0 +1,87 @@
+"""Tests for JSON-file warehouse persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import WarehouseError
+from repro.warehouse.jsonfile import (
+    dump_warehouse,
+    load_warehouse,
+    restore_warehouse,
+    save_warehouse,
+)
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.warehouse.sqlite import SqliteWarehouse
+from repro.workloads.phylogenomic import joe_view, phylogenomic_run, phylogenomic_spec
+
+
+@pytest.fixture
+def populated():
+    spec = phylogenomic_spec()
+    run = phylogenomic_run(spec)
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    warehouse.store_view(joe_view(spec), spec_id, view_id="joe")
+    warehouse.store_run(run, spec_id)
+    return warehouse
+
+
+class TestRoundTrip:
+    def test_dump_restore(self, populated):
+        restored = restore_warehouse(dump_warehouse(populated))
+        assert restored.list_specs() == populated.list_specs()
+        assert restored.list_views() == ["joe"]
+        assert restored.list_runs() == populated.list_runs()
+        run_id = restored.list_runs()[0]
+        assert set(restored.get_run(run_id).edges()) == set(
+            populated.get_run(run_id).edges()
+        )
+        assert restored.get_view("joe") == populated.get_view("joe")
+
+    def test_file_round_trip(self, populated, tmp_path):
+        path = str(tmp_path / "dump.json")
+        save_warehouse(populated, path)
+        restored = load_warehouse(path)
+        run_id = restored.list_runs()[0]
+        assert restored.final_outputs(run_id) == {"d447"}
+
+    def test_dump_is_json_safe(self, populated):
+        json.dumps(dump_warehouse(populated))  # must not raise
+
+    def test_cross_backend_migration(self, populated):
+        with SqliteWarehouse() as sqlite:
+            restore_warehouse(dump_warehouse(populated), into=sqlite)
+            run_id = sqlite.list_runs()[0]
+            closure = sqlite.admin_deep_provenance(run_id, "d447")
+            reference = populated.admin_deep_provenance(run_id, "d447")
+            assert closure == reference
+
+    def test_queries_survive_round_trip(self, populated):
+        restored = restore_warehouse(dump_warehouse(populated))
+        run_id = restored.list_runs()[0]
+        assert restored.producer_of(run_id, "d413") == "S6"
+        assert restored.step_inputs(run_id, "S6") == {"d412"}
+
+
+class TestErrors:
+    def test_bad_version_rejected(self, populated):
+        document = dump_warehouse(populated)
+        document["format_version"] = 99
+        with pytest.raises(WarehouseError, match="format version"):
+            restore_warehouse(document)
+
+    def test_inconsistent_read_rejected(self, populated):
+        document = dump_warehouse(populated)
+        run_entry = document["runs"][0]
+        run_entry["io"].append(["S1", "ghost-data", "in"])
+        with pytest.raises(WarehouseError, match="unproduced"):
+            restore_warehouse(document)
+
+    def test_inconsistent_final_output_rejected(self, populated):
+        document = dump_warehouse(populated)
+        document["runs"][0]["final_outputs"].append("ghost-data")
+        with pytest.raises(WarehouseError, match="unproduced"):
+            restore_warehouse(document)

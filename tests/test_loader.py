@@ -1,0 +1,64 @@
+"""Tests for the warehouse bulk-loading helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.run.executor import simulate
+from repro.warehouse.loader import load_dataset, load_simulation, load_spec
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.workloads.phylogenomic import joe_view, phylogenomic_spec
+
+
+@pytest.fixture
+def warehouse():
+    return InMemoryWarehouse()
+
+
+class TestLoadSpec:
+    def test_with_standard_views(self, warehouse):
+        spec = phylogenomic_spec()
+        loaded = load_spec(warehouse, spec, with_standard_views=True)
+        assert loaded.spec_id == "phylogenomic"
+        assert set(loaded.view_ids) == {"UAdmin", "UBlackBox"}
+        admin = warehouse.get_view(loaded.view_ids["UAdmin"])
+        assert admin.size() == len(spec)
+        blackbox = warehouse.get_view(loaded.view_ids["UBlackBox"])
+        assert blackbox.size() == 1
+
+    def test_with_custom_views(self, warehouse):
+        spec = phylogenomic_spec()
+        loaded = load_spec(
+            warehouse, spec, views={"phylogenomic/Joe": joe_view(spec)}
+        )
+        assert warehouse.get_view("phylogenomic/Joe").name == "Joe"
+        assert loaded.view_ids == {"Joe": "phylogenomic/Joe"}
+
+
+class TestLoadSimulation:
+    def test_direct_and_log_paths_agree(self, warehouse):
+        spec = phylogenomic_spec()
+        load_spec(warehouse, spec)
+        result = simulate(spec, rng=random.Random(3))
+        direct_id = load_simulation(warehouse, result, "phylogenomic",
+                                    run_id="direct")
+        log_id = load_simulation(warehouse, result, "phylogenomic",
+                                 run_id="via-log", from_log=True)
+        direct = warehouse.get_run(direct_id)
+        via_log = warehouse.get_run(log_id)
+        assert set(direct.edges()) == set(via_log.edges())
+
+
+class TestLoadDataset:
+    def test_qualified_run_ids(self, warehouse):
+        spec = phylogenomic_spec()
+        simulations = [simulate(spec, rng=random.Random(seed))
+                       for seed in (1, 2)]
+        records = load_dataset(warehouse, [(spec, simulations)])
+        (record,) = records
+        assert record.run_ids == ["phylogenomic/run1", "phylogenomic/run2"]
+        assert warehouse.list_runs("phylogenomic") == record.run_ids
+        # Standard views loaded by default.
+        assert "UAdmin" in record.view_ids

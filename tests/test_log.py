@@ -1,0 +1,95 @@
+"""Unit tests for event logs and log/run reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RunError
+from repro.core.spec import linear_spec
+from repro.run.log import (
+    EventLog,
+    ReadEvent,
+    StartEvent,
+    log_from_run,
+    run_from_log,
+)
+from repro.workloads.phylogenomic import phylogenomic_run, phylogenomic_spec
+
+
+class TestEventLog:
+    def test_clock_is_monotonic(self):
+        log = EventLog()
+        first = log.user_input("d1")
+        second = log.start("S1", "M1")
+        assert first.time < second.time
+
+    def test_out_of_order_append_rejected(self):
+        log = EventLog()
+        log.start("S1", "M1")
+        with pytest.raises(RunError, match="appended after"):
+            log.append(StartEvent(0, "S0", "M1"))
+
+    def test_kinds(self):
+        log = EventLog()
+        log.user_input("d1")
+        log.start("S1", "M1")
+        log.read("S1", "d1")
+        log.write("S1", "d2")
+        log.final_output("d2")
+        kinds = [event.kind for event in log]
+        assert kinds == ["user_input", "start", "read", "write", "final_output"]
+        assert len(log.of_kind("read")) == 1
+        assert len(log) == 5
+
+
+class TestRoundTrip:
+    def test_paper_run_round_trips(self):
+        spec = phylogenomic_spec()
+        run = phylogenomic_run(spec)
+        log = log_from_run(run)
+        rebuilt = run_from_log(log, spec)
+        rebuilt.validate()
+        assert rebuilt.num_steps() == run.num_steps()
+        assert rebuilt.data_ids() == run.data_ids()
+        assert rebuilt.user_inputs() == run.user_inputs()
+        assert rebuilt.final_outputs() == run.final_outputs()
+        assert set(rebuilt.edges()) == set(run.edges())
+
+    def test_log_contains_expected_volumes(self):
+        run = phylogenomic_run()
+        log = log_from_run(run)
+        assert len(log.of_kind("start")) == run.num_steps()
+        assert len(log.of_kind("user_input")) == len(run.user_inputs())
+        assert len(log.of_kind("final_output")) == len(run.final_outputs())
+
+
+class TestReconstructionErrors:
+    def test_read_of_unwritten_data_rejected(self):
+        spec = linear_spec(1)
+        log = EventLog()
+        log.start("S1", "M1")
+        log.read("S1", "d1")  # nothing produced d1
+        with pytest.raises(RunError, match="nothing produced"):
+            run_from_log(log, spec)
+
+    def test_double_write_rejected(self):
+        spec = linear_spec(2)
+        log = EventLog()
+        log.user_input("d1")
+        log.start("S1", "M1")
+        log.read("S1", "d1")
+        log.write("S1", "d2")
+        log.start("S2", "M2")
+        log.write("S2", "d2")  # d2 written twice
+        with pytest.raises(RunError, match="written twice"):
+            run_from_log(log, spec)
+
+    def test_unproduced_final_output_rejected(self):
+        spec = linear_spec(1)
+        log = EventLog()
+        log.user_input("d1")
+        log.start("S1", "M1")
+        log.read("S1", "d1")
+        log.final_output("d9")
+        with pytest.raises(RunError, match="never produced"):
+            run_from_log(log, spec)

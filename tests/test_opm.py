@@ -1,0 +1,96 @@
+"""Tests for the OPM-style provenance export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.view import admin_view
+from repro.provenance.opm import (
+    account_overlap,
+    export_account,
+    export_opm,
+    to_json,
+)
+from repro.workloads.phylogenomic import phylogenomic_run, phylogenomic_spec
+
+
+@pytest.fixture
+def composite_runs(run, spec, joe, mary):
+    return CompositeRun(run, joe), CompositeRun(run, mary)
+
+
+class TestAccountExport:
+    def test_processes_and_artifacts(self, composite_runs):
+        joe_account = export_account(composite_runs[0])
+        assert joe_account["account"] == "Joe"
+        process_ids = {p["id"] for p in joe_account["processes"]}
+        assert "M10.1" in process_ids
+        # Hidden data never appears among artifacts.
+        assert "d411" not in joe_account["artifacts"]
+        assert "d413" in joe_account["artifacts"]
+
+    def test_causal_edges(self, composite_runs):
+        account = export_account(composite_runs[1])  # Mary
+        used = {(u["process"], u["artifact"]) for u in account["used"]}
+        generated = {(g["artifact"], g["process"])
+                     for g in account["wasGeneratedBy"]}
+        assert ("M11.2", "d411") in used
+        assert ("d411", "S4") in generated
+        derived = {(d["effect"], d["cause"])
+                   for d in account["wasDerivedFrom"]}
+        assert ("d413", "d411") in derived
+
+    def test_user_inputs_have_no_generator(self, composite_runs):
+        account = export_account(composite_runs[0])
+        generated_artifacts = {g["artifact"] for g in account["wasGeneratedBy"]}
+        assert "d1" not in generated_artifacts
+        assert "d1" in account["artifacts"]
+
+    def test_final_outputs_not_used_rows(self, composite_runs):
+        account = export_account(composite_runs[0])
+        used_artifacts = {u["artifact"] for u in account["used"]}
+        # d447 flows only to output; no process "used" it.
+        assert "d447" not in used_artifacts
+
+
+class TestDocumentExport:
+    def test_two_accounts_one_run(self, composite_runs):
+        document = export_opm(list(composite_runs))
+        assert document["run_id"] == "phylogenomic-run"
+        assert [a["account"] for a in document["accounts"]] == ["Joe", "Mary"]
+        assert document["final_outputs"] == ["d447"]
+
+    def test_json_serialisable(self, composite_runs):
+        text = to_json(export_opm(list(composite_runs)))
+        parsed = json.loads(text)
+        assert parsed["opm_version"].startswith("1.1")
+
+    def test_duplicate_account_rejected(self, composite_runs):
+        with pytest.raises(ValueError, match="duplicate account"):
+            export_opm([composite_runs[0], composite_runs[0]])
+
+    def test_different_runs_rejected(self, composite_runs, spec):
+        other_run = phylogenomic_run(spec)
+        other_run.run_id = "other"
+        other = CompositeRun(other_run, admin_view(spec))
+        with pytest.raises(ValueError, match="same run"):
+            export_opm([composite_runs[0], other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            export_opm([])
+
+
+class TestOverlap:
+    def test_common_and_exclusive(self, composite_runs):
+        document = export_opm(list(composite_runs))
+        overlap = account_overlap(document)
+        # Both views expose d413 (the alignment handed to tree building).
+        assert "d413" in overlap["common"]
+        # Only Mary's finer account exposes the loop boundary data.
+        assert "d410" in overlap["exclusive"]["Mary"]
+        assert "d410" not in overlap["exclusive"]["Joe"]
+        assert overlap["exclusive"]["Joe"] == []

@@ -1,0 +1,83 @@
+"""Tests for local-search view optimisation (the Fig. 7 gap chaser)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.builder import build_user_view
+from repro.core.errors import ViewError
+from repro.core.minimum import gap_example, minimum_view_size
+from repro.core.optimize import local_search_minimize, optimality_gap
+from repro.core.properties import is_minimal, satisfies_all
+from repro.core.spec import linear_spec
+from repro.core.view import admin_view
+
+from .conftest import specs_with_relevant
+
+
+class TestGapExample:
+    """The paper's Fig. 7 phenomenon, reproduced end to end."""
+
+    def test_builder_is_minimal_but_not_minimum(self):
+        spec, relevant = gap_example()
+        built = build_user_view(spec, relevant)
+        assert built.size() == 6
+        assert is_minimal(built, relevant)  # no pairwise merge possible
+        assert minimum_view_size(spec, relevant) == 5  # yet smaller exists
+
+    def test_local_search_closes_the_gap(self):
+        spec, relevant = gap_example()
+        optimised = local_search_minimize(spec, relevant)
+        assert optimised.size() == 5
+        assert satisfies_all(optimised, relevant)
+        # The minimum splits the same-signature pair {a, b}.
+        assert optimised.composite_of("a") != optimised.composite_of("b")
+        assert optimised.composite_of("a") == optimised.composite_of("x")
+        assert optimised.composite_of("b") == optimised.composite_of("y")
+
+    def test_optimality_gap_helper(self):
+        spec, relevant = gap_example()
+        built, optimised, exact = optimality_gap(
+            spec, relevant, exact_size=minimum_view_size(spec, relevant)
+        )
+        assert (built, optimised, exact) == (6, 5, 5)
+
+
+class TestGeneralBehaviour:
+    def test_no_improvement_when_already_minimum(self):
+        spec = linear_spec(5)
+        optimised = local_search_minimize(spec, {"M3"})
+        assert optimised.size() == 1
+
+    def test_starts_from_custom_view(self):
+        spec = linear_spec(4)
+        start = admin_view(spec)
+        optimised = local_search_minimize(spec, {"M2"}, start=start)
+        assert optimised.size() <= build_user_view(spec, {"M2"}).size()
+        assert satisfies_all(optimised, {"M2"})
+
+    def test_bad_start_rejected(self):
+        spec, relevant = gap_example()
+        from repro.core.view import blackbox_view
+
+        with pytest.raises(ViewError, match="does not satisfy"):
+            local_search_minimize(spec, relevant, start=blackbox_view(spec))
+
+    def test_unknown_relevant_rejected(self):
+        spec = linear_spec(3)
+        with pytest.raises(ViewError):
+            local_search_minimize(spec, {"M9"})
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs_with_relevant(max_modules=6))
+def test_local_search_never_worse_and_always_good(case):
+    spec, relevant = case
+    built = build_user_view(spec, relevant)
+    optimised = local_search_minimize(spec, relevant, start=built)
+    assert optimised.size() <= built.size()
+    assert satisfies_all(optimised, relevant)
+    # It can never beat the exhaustive optimum.
+    assert optimised.size() >= minimum_view_size(spec, relevant)

@@ -1,0 +1,110 @@
+"""Unit tests for the nr-path machinery (rpred/rsucc and friends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paths import NrPathIndex, has_nr_path, nr_reachable
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec
+
+
+@pytest.fixture
+def index(spec, joe_relevant):
+    """NrPathIndex over the phylogenomic spec with Joe's relevant set."""
+    return NrPathIndex(spec.graph, joe_relevant)
+
+
+class TestRpredRsucc:
+    def test_rsucc_blocks_at_relevant(self, index):
+        # M5 -> M3 is its only outgoing edge, and M3 is relevant.
+        assert index.rsucc("M5") == {"M3"}
+
+    def test_rsucc_passes_through_nonrelevant(self, index):
+        # M1 reaches M2 directly and M3 directly; nothing else without
+        # crossing a relevant module.
+        assert index.rsucc("M1") == {"M2", "M3"}
+
+    def test_rsucc_includes_output(self, index):
+        # M4 -> M5 -> M3 (relevant) and M4 -> M7 (relevant).
+        assert index.rsucc("M4") == {"M3", "M7"}
+        # M7 is relevant itself; its rsucc is output.
+        assert index.rsucc("M7") == {OUTPUT}
+
+    def test_rpred_blocks_at_relevant(self, index):
+        assert index.rpred("M4") == {"M3"}
+        assert index.rpred("M8") == {"M2"}
+
+    def test_rpred_includes_input(self, index):
+        assert index.rpred("M1") == {INPUT}
+        # M6 is fed only by input.
+        assert index.rpred("M6") == {INPUT}
+
+    def test_rpred_of_relevant_module(self, index):
+        # M2 receives from input directly and from M1 (non-relevant).
+        assert index.rpred("M2") == {INPUT}
+
+    def test_rsucc_through_loop(self, index):
+        # M5 sits on the loop; from M3 (relevant) the nr-paths lead to M3
+        # itself (around the loop) and to M7 via M4.
+        assert index.rsucc("M3") == {"M3", "M7"}
+
+    def test_set_functions(self, index):
+        assert index.rpredm(["M4", "M8"]) == {"M3", "M2"}
+        assert index.rsuccm(["M1", "M5"]) == {"M2", "M3"}
+        assert index.rpredm([]) == frozenset()
+
+    def test_unknown_relevant_rejected(self, spec):
+        with pytest.raises(ValueError, match="not in graph"):
+            NrPathIndex(spec.graph, {"nope"})
+
+
+class TestEdgeLevel:
+    def test_edge_sources_nonrelevant_tail(self, index):
+        # Edge (M1, M3): M1 is non-relevant, so sources are rpred(M1).
+        assert index.edge_sources(("M1", "M3")) == {INPUT}
+
+    def test_edge_sources_relevant_tail(self, index):
+        # Edge (M2, M8): M2 is relevant, so it is the only source.
+        assert index.edge_sources(("M2", "M8")) == {"M2"}
+
+    def test_edge_sinks(self, index):
+        assert index.edge_sinks(("M8", "M7")) == {"M7"}
+        assert index.edge_sinks(("M1", "M2")) == {"M2"}
+        assert index.edge_sinks(("M1", "M3")) == {"M3"}
+
+    def test_edge_pairs_cross_product(self, index):
+        pairs = index.edge_pairs(("M4", "M5"))
+        # M4 reached from M3 only; M5 leads to M3 only.
+        assert pairs == {("M3", "M3")}
+
+    def test_edge_pairs_input_edge(self, index):
+        assert index.edge_pairs((INPUT, "M6")) == {(INPUT, "M7")}
+
+
+class TestReachability:
+    def test_nr_reachable_stops_at_relevant(self, spec, joe_relevant):
+        reached = nr_reachable(spec.graph, "M1", joe_relevant)
+        # M2 and M3 are reached as endpoints, but nothing beyond them.
+        assert "M2" in reached
+        assert "M3" in reached
+        assert "M7" not in reached
+        assert "M8" not in reached
+
+    def test_nr_reachable_without_relevant_is_full_descendants(self, spec):
+        reached = nr_reachable(spec.graph, "M1", frozenset())
+        assert "M7" in reached
+        assert OUTPUT in reached
+
+    def test_has_nr_path(self, spec, joe_relevant):
+        assert has_nr_path(spec.graph, "M1", "M3", joe_relevant)
+        assert not has_nr_path(spec.graph, "M1", "M7", joe_relevant)
+        assert has_nr_path(spec.graph, "M3", "M7", joe_relevant)
+
+    def test_index_has_nr_path(self, index):
+        assert index.has_nr_path("M1", "M2")
+        assert not index.has_nr_path("M1", "M7")
+        assert index.has_nr_path("M6", "M7")
+
+    def test_loop_gives_nr_path_to_self(self, spec):
+        # With no relevant modules, M3 -> M4 -> M5 -> M3 closes a cycle.
+        assert has_nr_path(spec.graph, "M3", "M3", frozenset())

@@ -1,0 +1,147 @@
+"""Definition-level oracle for the nr-path machinery.
+
+``NrPathIndex`` computes rpred/rsucc with pruned traversals and derives
+edge pairs from them; Properties 2/3 rest entirely on that primitive.
+This module re-implements the definitions *naively* — an nr-walk from
+``r`` to ``r'`` exists iff a path exists in the subgraph induced on the
+non-relevant nodes plus the two endpoints — and hypothesis-compares the
+two implementations on random specifications.  Any divergence would be a
+soundness bug in the heart of the system.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.paths import NrPathIndex
+from repro.core.spec import INPUT, OUTPUT
+
+from .conftest import specs_with_relevant
+
+_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _naive_nr_reachable(
+    graph: nx.DiGraph, start: str, end: str, relevant: FrozenSet[str]
+) -> bool:
+    """Whether an nr-walk connects ``start`` to ``end``, by definition.
+
+    Intermediate nodes must be non-relevant; the endpoints themselves may
+    be anything.  A walk with only non-relevant intermediates exists iff a
+    path exists in the subgraph induced on the non-relevant nodes plus the
+    endpoints — with the twist that a *relevant* endpoint may appear only
+    at its own end of the walk.  ``start == end`` asks for a genuine
+    nr-cycle through the node.
+    """
+    allowed = set(graph.nodes) - set(relevant)
+    allowed.discard(INPUT)   # input/output cannot be intermediates either
+    allowed.discard(OUTPUT)  # (no in-edges / no out-edges anyway)
+    if start == end:
+        # A cycle start -> s ... p -> start with non-relevant insides.
+        inner = graph.subgraph(allowed - {start}).copy()
+        for succ in graph.successors(start):
+            if succ == start:  # pragma: no cover - self-loops are illegal
+                return True
+            for pred in graph.predecessors(start):
+                if succ == pred and succ in allowed:
+                    return True
+                if (succ in inner and pred in inner
+                        and nx.has_path(inner, succ, pred)):
+                    return True
+        return False
+    if graph.has_edge(start, end):
+        return True
+    # One hop out of start, then non-relevant nodes, then one hop into end.
+    mid_graph = graph.subgraph(allowed | {start, end}).copy()
+    # start may only be the first node, end only the last: remove edges
+    # into start and out of end so neither serves as an intermediate.
+    mid_graph.remove_edges_from(list(mid_graph.in_edges(start)))
+    mid_graph.remove_edges_from(list(mid_graph.out_edges(end)))
+    if start not in mid_graph or end not in mid_graph:
+        return False
+    return nx.has_path(mid_graph, start, end)
+
+
+def _naive_rpred(graph, node, relevant) -> FrozenSet[str]:
+    sources = set(relevant) | {INPUT}
+    return frozenset(
+        r for r in sources
+        if _naive_nr_reachable(graph, r, node, relevant)
+    )
+
+
+def _naive_rsucc(graph, node, relevant) -> FrozenSet[str]:
+    sinks = set(relevant) | {OUTPUT}
+    return frozenset(
+        r for r in sinks
+        if _naive_nr_reachable(graph, node, r, relevant)
+    )
+
+
+def _naive_edge_pairs(
+    graph: nx.DiGraph, edge: Tuple[str, str], relevant: FrozenSet[str]
+) -> FrozenSet[Tuple[str, str]]:
+    """Pairs (r, r') whose nr-walk can traverse ``edge`` — by definition."""
+    u, v = edge
+    sources = set(relevant) | {INPUT}
+    sinks = set(relevant) | {OUTPUT}
+    pairs: Set[Tuple[str, str]] = set()
+    for r in sources:
+        if u == r:
+            head_ok = True
+        elif u in relevant or u in (INPUT, OUTPUT):
+            head_ok = False  # a relevant/endpoint u can only be the source
+        else:
+            head_ok = _naive_nr_reachable(graph, r, u, relevant)
+        if not head_ok:
+            continue
+        for s in sinks:
+            if v == s:
+                tail_ok = True
+            elif v in relevant or v in (INPUT, OUTPUT):
+                tail_ok = False
+            else:
+                tail_ok = _naive_nr_reachable(graph, v, s, relevant)
+            if tail_ok:
+                pairs.add((r, s))
+    return frozenset(pairs)
+
+
+@given(specs_with_relevant(max_modules=7))
+@_SETTINGS
+def test_rpred_rsucc_match_definition(case):
+    spec, relevant = case
+    index = NrPathIndex(spec.graph, relevant)
+    for node in sorted(spec.modules):
+        assert index.rpred(node) == _naive_rpred(spec.graph, node, relevant), node
+        assert index.rsucc(node) == _naive_rsucc(spec.graph, node, relevant), node
+
+
+@given(specs_with_relevant(max_modules=7))
+@_SETTINGS
+def test_edge_pairs_match_definition(case):
+    spec, relevant = case
+    index = NrPathIndex(spec.graph, relevant)
+    for edge in spec.edges():
+        assert index.edge_pairs(edge) == _naive_edge_pairs(
+            spec.graph, edge, relevant
+        ), edge
+
+
+@given(specs_with_relevant(max_modules=7))
+@_SETTINGS
+def test_self_nr_paths_via_cycles(case):
+    """rpred/rsucc may contain the node itself only through a real cycle."""
+    spec, relevant = case
+    index = NrPathIndex(spec.graph, relevant)
+    for node in sorted(relevant):
+        claims_cycle = node in index.rsucc(node)
+        really_cycles = _naive_nr_reachable(spec.graph, node, node, relevant)
+        assert claims_cycle == really_cycles, node

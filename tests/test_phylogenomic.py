@@ -1,0 +1,143 @@
+"""Integration test: the complete Section I/II narrative of the paper.
+
+This module walks the paper's running example end to end and asserts every
+concrete claim the text makes about Joe's and Mary's experience.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.core.composite import CompositeRun
+from repro.core.properties import check_view
+from repro.core.view import UserView
+from repro.provenance.queries import deep_provenance, immediate_provenance
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.workloads.phylogenomic import (
+    JOE_RELEVANT,
+    MARY_RELEVANT,
+    MODULE_TASKS,
+    joe_view,
+    mary_view,
+    paper_example,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+from repro.zoom.session import Session
+
+
+class TestSpecification:
+    def test_eight_modules(self, spec):
+        assert len(spec) == 8
+        assert set(MODULE_TASKS) == spec.modules
+
+    def test_loop_between_alignment_modules(self, spec):
+        assert spec.back_edges() == [("M5", "M3")]
+        assert spec.loop_body(("M5", "M3")) == {"M3", "M4", "M5"}
+
+
+class TestRun:
+    def test_run_matches_figure2(self, run):
+        assert run.num_steps() == 10
+        # One hundred sequences taken as initial input.
+        assert {"d%d" % index for index in range(1, 101)} <= run.user_inputs()
+        # Two executions of M3 since the loop ran twice.
+        assert run.steps_of_module("M3") == ["S2", "S5"]
+        assert run.final_outputs() == {"d447"}
+
+    def test_deep_provenance_of_d447_includes_everything(self, run, spec):
+        from repro.core.view import admin_view
+
+        result = deep_provenance(CompositeRun(run, admin_view(spec)), "d447")
+        assert len(result.steps()) == 10  # every step S1..S10
+        assert len(result.user_inputs) == 136  # every user input
+
+
+class TestViewConstruction:
+    def test_builder_reproduces_joe(self, spec):
+        assert build_user_view(spec, JOE_RELEVANT) == joe_view(spec)
+
+    def test_builder_reproduces_mary(self, spec):
+        assert build_user_view(spec, MARY_RELEVANT) == mary_view(spec)
+
+    def test_both_views_good(self, joe, mary):
+        assert check_view(joe, JOE_RELEVANT).good
+        assert check_view(mary, MARY_RELEVANT).good
+
+    def test_grouping_m1_with_m2_would_mislead(self, spec):
+        # Section I: "by grouping M1 with M2 ... it would appear that
+        # Annotation checking must be performed before Run alignment".
+        bad = UserView(spec, {
+            "M12": ["M1", "M2"],
+            "M10": ["M3", "M4", "M5"],
+            "M9": ["M6", "M7", "M8"],
+        })
+        induced = bad.induced_spec()
+        assert induced.has_edge("M12", "M10")  # the misleading edge
+        assert not check_view(bad, JOE_RELEVANT).good
+
+
+class TestProvenanceNarrative:
+    def test_joe_immediate_provenance_of_d413(self, run, joe):
+        composite = CompositeRun(run, joe)
+        result = immediate_provenance(composite, "d413")
+        (step,) = result.steps()
+        assert composite.composite_step(step).composite == "M10"
+        assert result.inputs_of(step) == {
+            "d%d" % index for index in range(308, 409)
+        }
+
+    def test_mary_immediate_provenance_of_d413(self, run, mary):
+        composite = CompositeRun(run, mary)
+        result = immediate_provenance(composite, "d413")
+        (step,) = result.steps()
+        assert composite.composite_step(step).composite == "M11"
+        assert result.inputs_of(step) == {"d411"}
+
+    def test_mary_deep_provenance_includes_s11(self, run, mary):
+        composite = CompositeRun(run, mary)
+        result = deep_provenance(composite, "d413")
+        first, second = composite.executions_of("M11")
+        assert first.step_id in result.steps()
+        assert result.inputs_of(first.step_id) == {
+            "d%d" % index for index in range(308, 409)
+        }
+
+    def test_joe_unaware_of_looping(self, run, joe):
+        composite = CompositeRun(run, joe)
+        result = deep_provenance(composite, "d413")
+        # One single virtual step stands for the whole loop; d411 and the
+        # two M3 executions are invisible.
+        assert len(result.steps()) == 2  # S13 and S1
+        assert "d411" not in result.data()
+
+    def test_answers_differ_between_users(self, run, joe, mary):
+        joe_answer = deep_provenance(CompositeRun(run, joe), "d447")
+        mary_answer = deep_provenance(CompositeRun(run, mary), "d447")
+        assert mary_answer.num_tuples() > joe_answer.num_tuples()
+        assert "d410" in mary_answer.data()
+        assert "d410" not in joe_answer.data()
+
+
+class TestEndToEnd:
+    def test_full_session_walkthrough(self):
+        spec, run, _joe, _mary = paper_example()
+        warehouse = InMemoryWarehouse()
+        spec_id = warehouse.store_spec(spec)
+        run_id = warehouse.store_run(run, spec_id)
+
+        session = Session(warehouse, spec_id, user="joe")
+        session.set_relevant(JOE_RELEVANT)
+        joe_answer = session.final_output_provenance(run_id)
+
+        # Joe realises he cares about the rectification step after all —
+        # the evolving-needs scenario of Section IV.
+        session.flag("M5")
+        mary_answer = session.final_output_provenance(run_id)
+        assert session.view == mary_view(spec)
+        assert mary_answer.num_tuples() > joe_answer.num_tuples()
+
+        # And back again: unflagging M5 restores his old view.
+        session.unflag("M5")
+        assert session.view == joe_view(spec)

@@ -1,0 +1,199 @@
+"""Unit tests for the Property 1-3 checkers, minimality and loop checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.core.properties import (
+    check_view,
+    introduces_loop,
+    is_complete,
+    is_minimal,
+    is_well_formed,
+    preserves_dataflow,
+    relevant_composites_connected,
+    satisfies_all,
+)
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec
+from repro.core.view import UserView, admin_view, blackbox_view
+
+
+@pytest.fixture
+def fig4_spec():
+    """A reconstruction of the paper's Fig. 4 counterexample shape.
+
+    Relevant modules r1, r2, r3; non-relevant n1, n2.  There is no path
+    from r1 to r2, and r1's output can flow straight to output via n2.
+    Grouping n1 with r1 and n2 with r3 violates Properties 2 and 3.
+    """
+    return WorkflowSpec(
+        ["r1", "r2", "r3", "n1", "n2"],
+        [
+            (INPUT, "r1"),
+            (INPUT, "n1"),
+            ("n1", "r2"),
+            ("r1", "n2"),
+            ("r2", "r3"),
+            ("n2", "r3"),
+            ("n2", OUTPUT),
+            ("r3", OUTPUT),
+        ],
+        name="fig4",
+    )
+
+
+@pytest.fixture
+def fig4_bad_view(fig4_spec):
+    """The bad grouping of Fig. 4: C(r1) = {r1, n1}, C(r3) = {r3, n2}."""
+    return UserView(
+        fig4_spec,
+        {"Cr1": ["r1", "n1"], "Cr2": ["r2"], "Cr3": ["r3", "n2"]},
+        name="bad",
+    )
+
+
+FIG4_RELEVANT = frozenset({"r1", "r2", "r3"})
+
+
+class TestWellFormed:
+    def test_admin_always_well_formed(self, spec, joe_relevant):
+        assert is_well_formed(admin_view(spec), joe_relevant)
+
+    def test_paper_views_well_formed(self, joe, mary, joe_relevant, mary_relevant):
+        assert is_well_formed(joe, joe_relevant)
+        assert is_well_formed(mary, mary_relevant)
+
+    def test_two_relevant_in_one_composite(self, spec, joe_relevant):
+        view = UserView(spec, {
+            "G1": ["M2", "M3"],  # both relevant to Joe
+            "G2": ["M1", "M4", "M5", "M6", "M7", "M8"],
+        })
+        assert not is_well_formed(view, joe_relevant)
+
+    def test_blackbox_well_formed_iff_at_most_one_relevant(self, spec):
+        assert is_well_formed(blackbox_view(spec), {"M3"})
+        assert not is_well_formed(blackbox_view(spec), {"M3", "M7"})
+
+    def test_unknown_relevant_rejected(self, joe):
+        with pytest.raises(ViewError, match="not in specification"):
+            is_well_formed(joe, {"M99"})
+
+
+class TestDataflowProperties:
+    def test_fig4_violates_both(self, fig4_bad_view):
+        # Grouping n1 with r1 makes it look as if r1 feeds r2 (P2 broken);
+        # grouping n2 with r3 hides that r1's output can reach output
+        # without r3 (P3 broken).
+        assert not preserves_dataflow(fig4_bad_view, FIG4_RELEVANT)
+        assert not is_complete(fig4_bad_view, FIG4_RELEVANT)
+        assert not satisfies_all(fig4_bad_view, FIG4_RELEVANT)
+
+    def test_fig4_admin_satisfies_all(self, fig4_spec):
+        assert satisfies_all(admin_view(fig4_spec), FIG4_RELEVANT)
+
+    def test_paper_views_satisfy_all(self, joe, mary, joe_relevant, mary_relevant):
+        assert satisfies_all(joe, joe_relevant)
+        assert satisfies_all(mary, mary_relevant)
+
+    def test_grouping_m1_with_m2_breaks_joe(self, spec, joe_relevant):
+        # Section I: grouping M1 with M2 would make it appear that
+        # annotation checking must precede the alignment.
+        view = UserView(spec, {
+            "M12": ["M1", "M2"],
+            "M10": ["M3", "M4", "M5"],
+            "M9": ["M6", "M7", "M8"],
+        })
+        assert is_well_formed(view, joe_relevant)
+        assert not preserves_dataflow(view, joe_relevant)
+
+    def test_empty_relevant_always_fine_for_blackbox(self, spec):
+        assert satisfies_all(blackbox_view(spec), set())
+
+    def test_all_relevant_requires_admin(self, spec):
+        relevant = set(spec.modules)
+        assert satisfies_all(admin_view(spec), relevant)
+        assert not is_well_formed(blackbox_view(spec), relevant)
+
+
+class TestMinimality:
+    def test_joe_view_minimal(self, joe, joe_relevant):
+        assert is_minimal(joe, joe_relevant)
+
+    def test_admin_not_minimal_when_groupable(self, spec, joe_relevant):
+        # UAdmin keeps every formatting module separate; Joe's relevant
+        # set allows grouping, so UAdmin is not minimal.
+        assert not is_minimal(admin_view(spec), joe_relevant)
+
+    def test_admin_minimal_when_everything_relevant(self, spec):
+        assert is_minimal(admin_view(spec), set(spec.modules))
+
+
+class TestLoops:
+    def test_paper_views_introduce_no_loops(self, joe, mary):
+        assert not introduces_loop(joe)
+        assert not introduces_loop(mary)
+
+    def test_artificial_loop_detected(self, diamond_spec):
+        # Grouping A with D creates the cycle {A,D} -> B -> {A,D} that the
+        # original DAG does not have.
+        view = UserView(diamond_spec, {
+            "G1": ["A", "D"], "B": ["B"], "C": ["C"],
+        })
+        assert introduces_loop(view)
+
+    def test_original_loop_not_flagged(self, mary):
+        # Mary's view keeps the alignment loop visible; that loop exists
+        # in the specification and must not be flagged as new.
+        assert not introduces_loop(mary)
+
+
+class TestConnectedness:
+    def test_relevant_composites_connected(self, joe, joe_relevant):
+        assert relevant_composites_connected(joe, joe_relevant)
+
+    def test_disconnected_relevant_composite_detected(self, diamond_spec):
+        # B and C are parallel: a composite {B, C} is not connected.
+        view = UserView(diamond_spec, {
+            "G1": ["B", "C"], "A": ["A"], "D": ["D"],
+        })
+        assert not relevant_composites_connected(view, {"B"})
+
+    def test_nonrelevant_composites_may_be_disconnected(self, diamond_spec):
+        view = UserView(diamond_spec, {
+            "G1": ["B", "C"], "A": ["A"], "D": ["D"],
+        })
+        # Same view, but B is not relevant: hiding parallel branches in a
+        # non-relevant composite is explicitly allowed.
+        assert relevant_composites_connected(view, {"A", "D"})
+
+
+class TestReport:
+    def test_good_report(self, joe, joe_relevant):
+        report = check_view(joe, joe_relevant)
+        assert report.good
+        assert report.minimal is True
+
+    def test_bad_report(self, fig4_bad_view):
+        report = check_view(fig4_bad_view, FIG4_RELEVANT)
+        assert report.well_formed
+        assert not report.preserves_dataflow
+        assert not report.complete
+        assert report.minimal is None  # not computed for bad views
+        assert not report.good
+
+    def test_skipping_minimality(self, joe, joe_relevant):
+        report = check_view(joe, joe_relevant, check_minimality=False)
+        assert report.minimal is None
+        assert report.good  # None is treated as "not known to be bad"
+
+    def test_ill_formed_report(self, spec, joe_relevant):
+        view = UserView(spec, {
+            "G1": ["M2", "M3"],
+            "G2": ["M1", "M4", "M5", "M6", "M7", "M8"],
+        })
+        report = check_view(view, joe_relevant)
+        assert not report.well_formed
+        assert not report.preserves_dataflow
+        assert not report.complete
+        assert not report.good

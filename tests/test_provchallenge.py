@@ -1,0 +1,133 @@
+"""Tests for the First Provenance Challenge workflow and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.core.composite import CompositeRun
+from repro.core.properties import check_view
+from repro.core.view import admin_view
+from repro.run.executor import simulate
+from repro.workloads.provchallenge import (
+    AXES,
+    N_IMAGES,
+    challenge_run,
+    challenge_spec,
+    q1_process_that_led_to,
+    q2_inputs_that_led_to,
+    q3_stage_of,
+    q4_everything_derived_from,
+    q5_outputs_affected_by,
+    q6_common_ancestry,
+    stage_relevant,
+    stage_view,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return challenge_spec()
+
+
+@pytest.fixture(scope="module")
+def run(spec):
+    return challenge_run(spec)
+
+
+@pytest.fixture(scope="module")
+def admin(run, spec):
+    return CompositeRun(run, admin_view(spec))
+
+
+@pytest.fixture(scope="module")
+def staged(run, spec):
+    return CompositeRun(run, stage_view(spec))
+
+
+class TestWorkflow:
+    def test_shape(self, spec):
+        # 2 modules per image chain + softmean + 2 per axis.
+        assert len(spec) == 2 * N_IMAGES + 1 + 2 * len(AXES)
+        assert spec.is_acyclic()
+
+    def test_run_valid(self, run):
+        run.validate()
+        assert run.final_outputs() == {"graphic_%s" % a for a in AXES}
+
+    def test_simulator_executes_it(self, spec):
+        result = simulate(spec)
+        result.run.validate()
+        assert result.run.num_steps() == len(spec)
+
+    def test_stage_view_is_good(self, spec):
+        view = stage_view(spec)
+        report = check_view(view, stage_relevant())
+        assert report.well_formed
+        assert report.preserves_dataflow
+        assert report.complete
+
+    def test_builder_yields_an_equally_good_alternative(self, spec):
+        # Good views are not unique: the builder folds the reslice steps
+        # into softmean's composite instead of the registrations, giving a
+        # different view of the same size that also satisfies P1-3.
+        built = build_user_view(spec, stage_relevant())
+        assert built != stage_view(spec)
+        assert built.size() == stage_view(spec).size()
+        report = check_view(built, stage_relevant(), check_minimality=False)
+        assert report.well_formed and report.preserves_dataflow
+        assert report.complete
+
+
+class TestChallengeQueries:
+    def test_q1_full_process(self, admin):
+        steps = q1_process_that_led_to(admin, "graphic_x")
+        # All align/reslice steps, softmean, the x slicer and converter.
+        assert "SM" in steps
+        assert "SLx" in steps and "CVx" in steps
+        assert {"A1", "R1", "A4", "R4"} <= steps
+        assert "SLy" not in steps
+
+    def test_q1_through_stage_view(self, staged):
+        steps = q1_process_that_led_to(staged, "graphic_x")
+        # Per-stage granularity: 4 registrations, softmean, 1 graphic stage.
+        assert len(steps) == N_IMAGES + 2
+
+    def test_q2_original_inputs(self, admin):
+        inputs = q2_inputs_that_led_to(admin, "graphic_z")
+        assert "anatomy1_img" in inputs
+        assert "anatomy4_hdr" in inputs
+        assert "reference_img" in inputs
+
+    def test_q3_producer(self, admin, staged):
+        assert q3_stage_of(admin, "atlas_img") == "SM"
+        assert q3_stage_of(staged, "graphic_y") == "graphic_y.1"
+
+    def test_q4_derived(self, admin):
+        derived = q4_everything_derived_from(admin, "anatomy2_img")
+        assert "warp2" in derived
+        assert "atlas_img" in derived
+        assert {"graphic_%s" % a for a in AXES} <= derived
+        # Nothing from an unrelated chain's intermediate data.
+        assert "warp3" not in derived
+
+    def test_q5_affected_outputs(self, admin):
+        affected = q5_outputs_affected_by(admin, "anatomy1_img")
+        assert affected == {"graphic_%s" % a for a in AXES}
+
+    def test_q6_common_ancestry(self, admin):
+        common = q6_common_ancestry(admin, "graphic_x", "graphic_y")
+        # They share everything up to and including softmean.
+        assert "SM" in common
+        assert {"A1", "R1"} <= common
+        assert "SLx" not in common
+        assert "SLy" not in common
+
+    def test_q6_through_stage_view(self, staged):
+        common = q6_common_ancestry(staged, "graphic_x", "graphic_y")
+        assert len(common) == N_IMAGES + 1  # registrations + softmean
+
+    def test_warp_hidden_in_stage_view(self, staged):
+        # Warp parameters flow inside a registration composite; the stage
+        # view hides them.
+        assert not staged.is_visible("warp1")

@@ -1,0 +1,156 @@
+"""Unit tests for the provenance query semantics (Section II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.core.errors import HiddenDataError
+from repro.core.view import admin_view, blackbox_view
+from repro.provenance.queries import (
+    deep_provenance,
+    immediate_provenance,
+    reverse_provenance,
+)
+
+
+@pytest.fixture
+def joe_run(run, joe):
+    return CompositeRun(run, joe)
+
+
+@pytest.fixture
+def mary_run(run, mary):
+    return CompositeRun(run, mary)
+
+
+@pytest.fixture
+def admin_run(run, spec):
+    return CompositeRun(run, admin_view(spec))
+
+
+class TestImmediateProvenance:
+    def test_paper_example_joe(self, joe_run):
+        # "The immediate provenance of d413 seen by Joe would be S13 and
+        # its input {d308..d408}".
+        result = immediate_provenance(joe_run, "d413")
+        assert result.steps() == {"M10.1"}
+        assert result.inputs_of("M10.1") == {
+            "d%d" % index for index in range(308, 409)
+        }
+        assert result.num_tuples() == 101
+
+    def test_paper_example_mary(self, mary_run):
+        # "...whereas that seen by Mary would be S12 and its input {d411}".
+        result = immediate_provenance(mary_run, "d413")
+        assert result.steps() == {"M11.2"}
+        assert result.inputs_of("M11.2") == {"d411"}
+        assert result.num_tuples() == 1
+
+    def test_admin_level(self, admin_run):
+        # At UAdmin granularity, d413 comes from step S6 reading d412.
+        result = immediate_provenance(admin_run, "d413")
+        assert result.steps() == {"S6"}
+        assert result.inputs_of("S6") == {"d412"}
+
+    def test_user_input_has_metadata_provenance(self, admin_run):
+        result = immediate_provenance(admin_run, "d1")
+        assert result.num_tuples() == 0
+        assert result.user_inputs == {"d1"}
+
+    def test_hidden_data_rejected(self, joe_run):
+        with pytest.raises(HiddenDataError):
+            immediate_provenance(joe_run, "d411")
+
+
+class TestDeepProvenance:
+    def test_mary_sees_s11_through_the_loop(self, mary_run):
+        # "The deep provenance of d413 as seen by Mary would include the
+        # first execution of M11, S11, and its input {d308..d408}".
+        result = deep_provenance(mary_run, "d413")
+        assert "M11.1" in result.steps()
+        assert result.inputs_of("M11.1") == {
+            "d%d" % index for index in range(308, 409)
+        }
+        assert "d410" in result.data()
+        assert "d411" in result.data()
+
+    def test_joe_does_not_see_loop_internals(self, joe_run):
+        result = deep_provenance(joe_run, "d447")
+        assert "d411" not in result.data()
+        assert "d410" not in result.data()
+        # Joe is not even aware of the looping inside S13.
+        assert result.steps() == {"M10.1", "M9.1", "S1", "S7"}
+
+    def test_final_output_depth(self, admin_run):
+        result = deep_provenance(admin_run, "d447")
+        # Every step contributes to the final tree.
+        assert len(result.steps()) == 10
+        # All user inputs are reached.
+        assert result.user_inputs == {
+            "d%d" % index for index in range(1, 101)
+        } | {"d%d" % index for index in range(202, 207)} | {
+            "d%d" % index for index in range(415, 446)
+        }
+
+    def test_view_sizes_ordered(self, run, spec, joe):
+        admin = deep_provenance(CompositeRun(run, admin_view(spec)), "d447")
+        through_joe = deep_provenance(CompositeRun(run, joe), "d447")
+        blackbox = deep_provenance(
+            CompositeRun(run, blackbox_view(spec)), "d447"
+        )
+        assert blackbox.num_tuples() < through_joe.num_tuples() < admin.num_tuples()
+
+    def test_blackbox_returns_user_inputs_only(self, run, spec):
+        composite = CompositeRun(run, blackbox_view(spec))
+        result = deep_provenance(composite, "d447")
+        assert result.steps() == {"BlackBox.1"}
+        assert {row.data_in for row in result.rows} == run.user_inputs()
+
+    def test_provenance_of_intermediate(self, admin_run):
+        # d410 (the first formatted alignment) depends on the sequences
+        # but not on any annotation.
+        result = deep_provenance(admin_run, "d410")
+        assert result.steps() == {"S3", "S2", "S1"}
+        assert "d414" not in result.data()
+        assert "d446" not in result.data()
+
+    def test_user_input_deep(self, admin_run):
+        result = deep_provenance(admin_run, "d1")
+        assert result.num_tuples() == 0
+        assert result.user_inputs == {"d1"}
+
+    def test_summary_metrics(self, joe_run):
+        result = deep_provenance(joe_run, "d447")
+        summary = result.summary()
+        assert summary["tuples"] == result.num_tuples()
+        assert summary["steps"] == len(result.steps())
+        assert summary["data"] == len(result.data())
+
+
+class TestReverseProvenance:
+    def test_sequence_feeds_everything_downstream(self, admin_run):
+        result = reverse_provenance(admin_run, "d308")
+        # The sequence flows through the whole alignment pipeline into the
+        # final tree.
+        assert {"S2", "S3", "S4", "S5", "S6", "S10"} <= result.steps()
+        assert result.final_outputs == {"d447"}
+
+    def test_annotation_feeds_tree_only(self, admin_run):
+        result = reverse_provenance(admin_run, "d446")
+        assert result.steps() == {"S10"}
+        assert result.final_outputs == {"d447"}
+
+    def test_under_view(self, joe_run):
+        result = reverse_provenance(joe_run, "d308")
+        assert result.steps() == {"M10.1", "M9.1"}
+        assert result.final_outputs == {"d447"}
+
+    def test_hidden_source_rejected(self, joe_run):
+        with pytest.raises(HiddenDataError):
+            reverse_provenance(joe_run, "d409")
+
+    def test_final_output_reverse_is_empty(self, admin_run):
+        result = reverse_provenance(admin_run, "d447")
+        assert result.num_tuples() == 0
+        assert result.final_outputs == {"d447"}

@@ -1,0 +1,125 @@
+"""Tests for run canonicalisation and replay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RunError
+from repro.core.spec import linear_spec
+from repro.run.executor import ExecutionParams, simulate
+from repro.run.replay import (
+    canonical_signature,
+    observed_iterations,
+    replay,
+    runs_equivalent,
+)
+from repro.testing import simulate_small, small_specs
+from repro.workloads.phylogenomic import phylogenomic_run, phylogenomic_spec
+
+_PIN = ExecutionParams(
+    user_input_range=(2, 2),
+    data_per_edge_range=(2, 2),
+    loop_iterations_range=(1, 1),
+)
+
+
+class TestCanonicalSignature:
+    def test_invariant_under_id_renaming(self):
+        spec = phylogenomic_spec()
+        original = phylogenomic_run(spec)
+        # Rebuild the identical run with shifted identifiers.
+        from repro.core.spec import INPUT, OUTPUT
+        from repro.run.run import WorkflowRun
+
+        renamed = WorkflowRun(spec, run_id="renamed")
+        mapping = {}
+        for step in original.steps():
+            mapping[step.step_id] = "X%s" % step.step_id
+            renamed.add_step(mapping[step.step_id], step.module)
+        data_map = {d: "z%s" % d for d in original.data_ids()}
+        for src, dst, payload in original.edges():
+            renamed.add_edge(
+                mapping.get(src, src),
+                mapping.get(dst, dst),
+                [data_map[d] for d in payload],
+            )
+        assert runs_equivalent(original, renamed)
+        assert canonical_signature(original) == canonical_signature(renamed)
+
+    def test_distinguishes_structures(self):
+        spec = phylogenomic_spec()
+        two = simulate(spec, params=_PIN, iterations={("M5", "M3"): 2}).run
+        three = simulate(spec, params=_PIN, iterations={("M5", "M3"): 3}).run
+        assert not runs_equivalent(two, three)
+
+    def test_data_counts_toggle(self):
+        spec = linear_spec(3)
+        small = simulate(spec, params=_PIN, rng=random.Random(1)).run
+        big = simulate(
+            spec,
+            params=ExecutionParams(user_input_range=(5, 5),
+                                   data_per_edge_range=(4, 4),
+                                   loop_iterations_range=(1, 1)),
+            rng=random.Random(1),
+        ).run
+        assert not runs_equivalent(small, big)
+        assert runs_equivalent(small, big, include_data_counts=False)
+
+    def test_different_specs_never_equivalent(self):
+        a = simulate(linear_spec(2), params=_PIN).run
+        b = simulate(linear_spec(3), params=_PIN).run
+        assert not runs_equivalent(a, b)
+
+
+class TestObservedIterations:
+    def test_reads_loop_counts(self):
+        spec = phylogenomic_spec()
+        result = simulate(spec, params=_PIN, iterations={("M5", "M3"): 4})
+        assert observed_iterations(result.run) == {("M5", "M3"): 4}
+
+    def test_acyclic_spec_has_none(self):
+        run = simulate(linear_spec(3), params=_PIN).run
+        assert observed_iterations(run) == {}
+
+    def test_missing_header_rejected(self):
+        spec = phylogenomic_spec()
+        from repro.run.run import WorkflowRun
+
+        empty = WorkflowRun(spec, run_id="partial")
+        with pytest.raises(RunError, match="no execution"):
+            observed_iterations(empty)
+
+
+class TestReplay:
+    def test_replay_reproduces_step_structure(self):
+        spec = phylogenomic_spec()
+        reference = simulate(spec, params=_PIN, rng=random.Random(9),
+                             iterations={("M5", "M3"): 3}).run
+        replayed = replay(reference, rng=random.Random(77), params=_PIN)
+        assert runs_equivalent(reference, replayed.run,
+                               include_data_counts=True)
+        assert replayed.run.run_id == "run1-replay"
+
+    def test_replay_with_loose_params_keeps_wiring(self):
+        spec = phylogenomic_spec()
+        reference = simulate(spec, params=_PIN,
+                             iterations={("M5", "M3"): 2}).run
+        replayed = replay(reference, rng=random.Random(3))
+        assert runs_equivalent(reference, replayed.run,
+                               include_data_counts=False)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(small_specs(), st.integers(min_value=0, max_value=5))
+def test_replay_structural_roundtrip(spec, seed):
+    reference = simulate_small(spec, seed=seed)
+    replayed = replay(reference.run, rng=random.Random(seed + 1))
+    assert runs_equivalent(reference.run, replayed.run,
+                           include_data_counts=False)
+    # A run is always equivalent to itself.
+    assert runs_equivalent(reference.run, reference.run)

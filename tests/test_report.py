@@ -1,0 +1,99 @@
+"""Tests for the text report formatters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import CompositeRun
+from repro.provenance.invalidation import ReexecutionPlanner
+from repro.provenance.queries import deep_provenance, reverse_provenance
+from repro.provenance.rundiff import diff_runs
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.zoom.report import (
+    compress_ids,
+    diff_report,
+    plan_report,
+    provenance_report,
+    reverse_report,
+)
+
+
+class TestCompressIds:
+    def test_consecutive_run(self):
+        assert compress_ids(["d1", "d2", "d3"]) == "d1..d3 (3)"
+
+    def test_singletons_and_pairs(self):
+        assert compress_ids(["d5"]) == "d5"
+        assert compress_ids(["d5", "d6"]) == "d5, d6"
+
+    def test_mixed(self):
+        out = compress_ids(["d1", "d2", "d3", "d7", "atlas"])
+        assert out == "d1..d3 (3), d7, atlas"
+
+    def test_multiple_prefixes(self):
+        out = compress_ids(["a1", "a2", "b1"])
+        assert out == "a1, a2, b1"
+
+    def test_unordered_input(self):
+        assert compress_ids(["d3", "d1", "d2"]) == "d1..d3 (3)"
+
+    def test_empty(self):
+        assert compress_ids([]) == ""
+
+
+class TestProvenanceReport:
+    def test_deep_report(self, run, joe):
+        composite = CompositeRun(run, joe)
+        result = deep_provenance(composite, "d447")
+        text = provenance_report(result, composite)
+        assert "provenance of d447 through view 'Joe'" in text
+        assert "d308..d408 (101)" in text
+        assert "user inputs:" in text
+        # Upstream steps appear before downstream ones.
+        assert text.index("S1 (") < text.index("M9.1 (")
+
+    def test_report_without_composite(self, run, joe):
+        composite = CompositeRun(run, joe)
+        result = deep_provenance(composite, "d447")
+        text = provenance_report(result)
+        assert "d447" in text
+
+    def test_reverse_report(self, run, joe):
+        composite = CompositeRun(run, joe)
+        result = reverse_provenance(composite, "d308")
+        text = reverse_report(result)
+        assert "derived from d308" in text
+        assert "affected final outputs: d447" in text
+
+
+class TestPlanReport:
+    def test_plan_text(self, spec, run):
+        warehouse = InMemoryWarehouse()
+        spec_id = warehouse.store_spec(spec)
+        run_id = warehouse.store_run(run, spec_id)
+        plan = ReexecutionPlanner(warehouse).plan(run_id, ["d415"])
+        text = plan_report(plan)
+        assert "changed inputs d415" in text
+        assert "S9, S10" in text
+        assert "outputs to re-derive: d447" in text
+
+
+class TestDiffReport:
+    def test_identical(self, spec, run, joe):
+        text = diff_report(diff_runs(run, run, joe))
+        assert "identical" in text
+
+    def test_changed(self, spec, mary):
+        import random
+
+        from repro.run.executor import ExecutionParams, simulate
+
+        params = ExecutionParams(user_input_range=(2, 2),
+                                 data_per_edge_range=(1, 1),
+                                 loop_iterations_range=(1, 1))
+        a = simulate(spec, params=params, rng=random.Random(1),
+                     run_id="a", iterations={("M5", "M3"): 2}).run
+        b = simulate(spec, params=params, rng=random.Random(1),
+                     run_id="b", iterations={("M5", "M3"): 5}).run
+        text = diff_report(diff_runs(a, b, mary))
+        assert "M11 executed 2 -> 5 times" in text

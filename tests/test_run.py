@@ -1,0 +1,151 @@
+"""Unit tests for the run graph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RunError
+from repro.core.spec import INPUT, OUTPUT, linear_spec
+from repro.run.run import Step, WorkflowRun
+
+
+@pytest.fixture
+def chain_run():
+    """A simple two-step run of a two-module chain."""
+    spec = linear_spec(2)
+    run = WorkflowRun(spec, run_id="r")
+    run.add_step("S1", "M1")
+    run.add_step("S2", "M2")
+    run.add_edge(INPUT, "S1", ["d1", "d2"])
+    run.add_edge("S1", "S2", ["d3"])
+    run.add_edge("S2", OUTPUT, ["d4"])
+    return run
+
+
+class TestConstruction:
+    def test_steps_and_modules(self, chain_run):
+        assert [s.step_id for s in chain_run.steps()] == ["S1", "S2"]
+        assert chain_run.module_of("S1") == "M1"
+        assert chain_run.module_of(INPUT) == INPUT
+        assert chain_run.steps_of_module("M1") == ["S1"]
+        assert str(chain_run.step("S1")) == "S1:M1"
+
+    def test_duplicate_step_rejected(self, chain_run):
+        with pytest.raises(RunError, match="duplicate"):
+            chain_run.add_step("S1", "M2")
+
+    def test_reserved_step_id_rejected(self, chain_run):
+        with pytest.raises(RunError):
+            chain_run.add_step(INPUT, "M1")
+
+    def test_unknown_module_rejected(self, chain_run):
+        with pytest.raises(RunError, match="unknown module"):
+            chain_run.add_step("S9", "M99")
+
+    def test_edge_to_unknown_step_rejected(self, chain_run):
+        with pytest.raises(RunError, match="unknown"):
+            chain_run.add_edge("S1", "S9", ["d9"])
+        with pytest.raises(RunError, match="unknown"):
+            chain_run.add_edge("S9", "S1", ["d9"])
+
+    def test_empty_edge_rejected(self, chain_run):
+        with pytest.raises(RunError, match="at least one"):
+            chain_run.add_edge("S1", "S2", [])
+
+    def test_self_edge_rejected(self, chain_run):
+        with pytest.raises(RunError, match="self-loop"):
+            chain_run.add_edge("S1", "S1", ["d9"])
+
+    def test_two_producers_rejected(self, chain_run):
+        with pytest.raises(RunError, match="produced by both"):
+            chain_run.add_edge("S2", OUTPUT, ["d3"])  # d3 came from S1
+
+    def test_edge_union_same_producer(self, chain_run):
+        chain_run.add_edge("S1", "S2", ["d5"])
+        assert chain_run.edge_data("S1", "S2") == {"d3", "d5"}
+
+
+class TestAccessors:
+    def test_io_sets(self, chain_run):
+        assert chain_run.inputs_of("S1") == {"d1", "d2"}
+        assert chain_run.outputs_of("S1") == {"d3"}
+        assert chain_run.user_inputs() == {"d1", "d2"}
+        assert chain_run.final_outputs() == {"d4"}
+
+    def test_producer_and_consumers(self, chain_run):
+        assert chain_run.producer("d1") == INPUT
+        assert chain_run.producer("d3") == "S1"
+        assert chain_run.consumers("d3") == ["S2"]
+        with pytest.raises(RunError):
+            chain_run.producer("d99")
+
+    def test_multicast_data(self, run):
+        # d413 flows from S6 to S10 in the paper run.
+        assert run.producer("d413") == "S6"
+        assert run.consumers("d413") == ["S10"]
+
+    def test_edge_data_missing(self, chain_run):
+        with pytest.raises(RunError, match="no edge"):
+            chain_run.edge_data("S2", "S1")
+
+    def test_unknown_node_queries(self, chain_run):
+        with pytest.raises(RunError):
+            chain_run.inputs_of("S9")
+        with pytest.raises(RunError):
+            chain_run.step("S9")
+
+    def test_counts(self, chain_run):
+        assert chain_run.num_steps() == 2
+        assert chain_run.num_edges() == 3
+        assert chain_run.data_ids() == {"d1", "d2", "d3", "d4"}
+
+    def test_stats(self, run):
+        stats = run.stats()
+        assert stats["steps"] == 10
+        assert stats["user_inputs"] == 136  # d1-d100, d202-d206, d415-d445
+        assert stats["final_outputs"] == 1
+
+
+class TestValidation:
+    def test_paper_run_valid(self, run):
+        run.validate()  # must not raise
+
+    def test_disconnected_step_rejected(self):
+        spec = linear_spec(2)
+        run = WorkflowRun(spec)
+        run.add_step("S1", "M1")
+        run.add_step("S2", "M2")
+        run.add_edge(INPUT, "S1", ["d1"])
+        run.add_edge("S1", "S2", ["d2"])
+        run.add_edge("S2", OUTPUT, ["d3"])
+        run.add_step("S3", "M1")  # never wired
+        with pytest.raises(RunError, match="unreachable"):
+            run.validate()
+
+    def test_edge_without_spec_counterpart_rejected(self):
+        spec = linear_spec(3)
+        run = WorkflowRun(spec)
+        run.add_step("S1", "M1")
+        run.add_step("S3", "M3")
+        run.add_edge(INPUT, "S1", ["d1"])
+        run.add_edge("S1", "S3", ["d2"])  # spec has no M1 -> M3 edge
+        run.add_edge("S3", OUTPUT, ["d3"])
+        with pytest.raises(RunError, match="no specification edge"):
+            run.validate()
+
+    def test_cycle_rejected(self):
+        from repro.core.spec import WorkflowSpec
+
+        loop = WorkflowSpec(
+            ["A", "B"],
+            [(INPUT, "A"), ("A", "B"), ("B", "A"), ("B", OUTPUT)],
+        )
+        run = WorkflowRun(loop)
+        run.add_step("S1", "A")
+        run.add_step("S2", "B")
+        run.add_edge(INPUT, "S1", ["d1"])
+        run.add_edge("S1", "S2", ["d2"])
+        run.add_edge("S2", "S1", ["d3"])  # loops must be unrolled, not cyclic
+        run.add_edge("S2", OUTPUT, ["d4"])
+        with pytest.raises(RunError, match="acyclic"):
+            run.validate()

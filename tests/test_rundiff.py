@@ -1,0 +1,109 @@
+"""Tests for run comparison through user views."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import RunError
+from repro.core.spec import linear_spec
+from repro.core.view import admin_view
+from repro.provenance.rundiff import diff_runs
+from repro.run.executor import ExecutionParams, simulate
+from repro.workloads.phylogenomic import (
+    joe_view,
+    mary_view,
+    phylogenomic_spec,
+)
+
+_PARAMS = ExecutionParams(
+    user_input_range=(2, 2),
+    data_per_edge_range=(1, 1),
+    loop_iterations_range=(1, 1),
+)
+
+
+@pytest.fixture
+def two_runs():
+    """Two runs of the phylogenomic spec: 2 vs 4 alignment iterations."""
+    spec = phylogenomic_spec()
+    run_a = simulate(spec, params=_PARAMS, rng=random.Random(1),
+                     run_id="week1", iterations={("M5", "M3"): 2}).run
+    run_b = simulate(spec, params=_PARAMS, rng=random.Random(1),
+                     run_id="week2", iterations={("M5", "M3"): 4}).run
+    return spec, run_a, run_b
+
+
+class TestDiff:
+    def test_identical_runs(self):
+        spec = linear_spec(3)
+        run_a = simulate(spec, params=_PARAMS, rng=random.Random(5),
+                         run_id="a").run
+        run_b = simulate(spec, params=_PARAMS, rng=random.Random(5),
+                         run_id="b").run
+        report = diff_runs(run_a, run_b, admin_view(spec))
+        assert report.identical()
+        assert report.changed_modules() == []
+
+    def test_loop_delta_visible_to_mary(self, two_runs):
+        spec, run_a, run_b = two_runs
+        report = diff_runs(run_a, run_b, mary_view(spec))
+        changed = {d.composite for d in report.changed_modules()}
+        # M11 executed 2 vs 4 times, M5 1 vs 3 times.
+        assert "M11" in changed
+        assert "M5" in changed
+        m11 = next(d for d in report.modules if d.composite == "M11")
+        assert (m11.executions_a, m11.executions_b) == (2, 4)
+
+    def test_loop_delta_hidden_from_joe(self, two_runs):
+        spec, run_a, run_b = two_runs
+        report = diff_runs(run_a, run_b, joe_view(spec))
+        # Joe's M10 groups the whole loop: one execution either way.
+        m10 = next(d for d in report.modules if d.composite == "M10")
+        assert (m10.executions_a, m10.executions_b) == (1, 1)
+        # The runs are indistinguishable at Joe's granularity (same seeds,
+        # same interface volumes).
+        assert report.identical()
+
+    def test_summary(self, two_runs):
+        spec, run_a, run_b = two_runs
+        report = diff_runs(run_a, run_b, mary_view(spec))
+        summary = report.summary()
+        assert summary["runs"] == ("week1", "week2")
+        assert not summary["identical"]
+        assert "M11" in summary["changed_modules"]
+
+    def test_edge_volume_delta(self):
+        spec = linear_spec(2)
+        run_a = simulate(
+            spec,
+            params=ExecutionParams(user_input_range=(2, 2),
+                                   data_per_edge_range=(1, 1),
+                                   loop_iterations_range=(1, 1)),
+            rng=random.Random(1), run_id="a",
+        ).run
+        run_b = simulate(
+            spec,
+            params=ExecutionParams(user_input_range=(5, 5),
+                                   data_per_edge_range=(3, 3),
+                                   loop_iterations_range=(1, 1)),
+            rng=random.Random(1), run_id="b",
+        ).run
+        report = diff_runs(run_a, run_b, admin_view(spec))
+        assert report.user_inputs == (2, 5)
+        changed = {(d.src, d.dst) for d in report.changed_edges()}
+        assert ("M1", "M2") in changed
+
+
+class TestGuards:
+    def test_mismatched_specs_rejected(self, two_runs):
+        spec, run_a, _run_b = two_runs
+        other = simulate(linear_spec(2), params=_PARAMS).run
+        with pytest.raises(RunError, match="different spec"):
+            diff_runs(run_a, other, joe_view(spec))
+
+    def test_mismatched_view_rejected(self, two_runs):
+        _spec, run_a, run_b = two_runs
+        with pytest.raises(RunError, match="does not match"):
+            diff_runs(run_a, run_b, admin_view(linear_spec(2)))

@@ -1,0 +1,175 @@
+"""Unit tests for the workflow-specification model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.core.spec import ENDPOINTS, INPUT, OUTPUT, WorkflowSpec, linear_spec
+
+
+class TestConstruction:
+    def test_minimal_spec(self):
+        spec = WorkflowSpec(["A"], [(INPUT, "A"), ("A", OUTPUT)])
+        assert spec.modules == {"A"}
+        assert len(spec) == 1
+        assert spec.num_edges() == 2
+
+    def test_linear_spec_helper(self):
+        spec = linear_spec(4)
+        assert sorted(spec.modules) == ["M1", "M2", "M3", "M4"]
+        assert spec.has_edge(INPUT, "M1")
+        assert spec.has_edge("M2", "M3")
+        assert spec.has_edge("M4", OUTPUT)
+        assert spec.is_acyclic()
+
+    def test_linear_spec_rejects_zero_length(self):
+        with pytest.raises(SpecificationError):
+            linear_spec(0)
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(SpecificationError, match="duplicate"):
+            WorkflowSpec(["A", "A"], [(INPUT, "A"), ("A", OUTPUT)])
+
+    def test_reserved_names_rejected(self):
+        for reserved in ENDPOINTS:
+            with pytest.raises(SpecificationError, match="reserved"):
+                WorkflowSpec([reserved], [(INPUT, reserved), (reserved, OUTPUT)])
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkflowSpec([""], [(INPUT, ""), ("", OUTPUT)])
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkflowSpec([42], [(INPUT, 42), (42, OUTPUT)])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown node"):
+            WorkflowSpec(["A"], [(INPUT, "A"), ("A", "B"), ("A", OUTPUT)])
+
+    def test_edge_into_input_rejected(self):
+        with pytest.raises(SpecificationError, match="incoming"):
+            WorkflowSpec(["A"], [(INPUT, "A"), ("A", INPUT), ("A", OUTPUT)])
+
+    def test_edge_out_of_output_rejected(self):
+        with pytest.raises(SpecificationError, match="outgoing"):
+            WorkflowSpec(["A"], [(INPUT, "A"), (OUTPUT, "A"), ("A", OUTPUT)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpecificationError, match="self-loop"):
+            WorkflowSpec(["A"], [(INPUT, "A"), ("A", "A"), ("A", OUTPUT)])
+
+    def test_unreachable_module_rejected(self):
+        with pytest.raises(SpecificationError, match="not reachable"):
+            WorkflowSpec(
+                ["A", "B"],
+                [(INPUT, "A"), ("A", OUTPUT), ("B", OUTPUT)],
+            )
+
+    def test_module_not_reaching_output_rejected(self):
+        with pytest.raises(SpecificationError, match="cannot reach"):
+            WorkflowSpec(
+                ["A", "B"],
+                [(INPUT, "A"), (INPUT, "B"), ("A", OUTPUT)],
+            )
+
+    def test_spec_without_modules_rejected(self):
+        with pytest.raises(SpecificationError):
+            WorkflowSpec([], [])
+
+
+class TestAccessors:
+    def test_successors_predecessors(self, diamond_spec):
+        assert sorted(diamond_spec.successors("A")) == ["B", "C"]
+        assert sorted(diamond_spec.predecessors("D")) == ["B", "C"]
+        assert diamond_spec.successors(INPUT) == ["A"]
+        assert diamond_spec.predecessors(OUTPUT) == ["D"]
+
+    def test_unknown_node_raises(self, diamond_spec):
+        with pytest.raises(SpecificationError):
+            diamond_spec.successors("nope")
+        with pytest.raises(SpecificationError):
+            diamond_spec.predecessors("nope")
+
+    def test_contains(self, diamond_spec):
+        assert "A" in diamond_spec
+        assert INPUT in diamond_spec
+        assert "Z" not in diamond_spec
+
+    def test_module_edges_excludes_endpoints(self, diamond_spec):
+        edges = set(diamond_spec.module_edges())
+        assert (INPUT, "A") not in edges
+        assert ("D", OUTPUT) not in edges
+        assert ("A", "B") in edges
+
+    def test_equality_and_hash(self):
+        first = linear_spec(3)
+        second = linear_spec(3, name="other-name")
+        assert first == second  # names do not participate in identity
+        assert hash(first) == hash(second)
+        assert first != linear_spec(4)
+        assert first != "not a spec"
+
+
+class TestCycles:
+    def test_acyclic_detection(self, diamond_spec, loop_spec):
+        assert diamond_spec.is_acyclic()
+        assert not loop_spec.is_acyclic()
+
+    def test_back_edges_on_dag_empty(self, diamond_spec):
+        assert diamond_spec.back_edges() == []
+
+    def test_back_edge_detection(self, loop_spec):
+        assert loop_spec.back_edges() == [("C", "A")]
+
+    def test_loop_body(self, loop_spec):
+        assert loop_spec.loop_body(("C", "A")) == {"A", "B", "C"}
+
+    def test_forward_graph_is_dag(self, loop_spec):
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(loop_spec.forward_graph())
+
+    def test_topological_order(self, diamond_spec):
+        order = diamond_spec.topological_order()
+        assert order[0] == INPUT
+        assert order[-1] == OUTPUT
+        assert order.index("A") < order.index("B") < order.index("D")
+
+    def test_topological_order_deterministic(self, loop_spec):
+        assert loop_spec.topological_order() == loop_spec.topological_order()
+
+    def test_partial_loop_body(self):
+        spec = WorkflowSpec(
+            ["A", "B", "C", "D"],
+            [
+                (INPUT, "A"),
+                ("A", "B"),
+                ("B", "C"),
+                ("C", "B"),  # loop over {B, C} only
+                ("C", "D"),
+                ("D", OUTPUT),
+            ],
+        )
+        assert spec.back_edges() == [("C", "B")]
+        assert spec.loop_body(("C", "B")) == {"B", "C"}
+
+
+class TestSerialisation:
+    def test_round_trip(self, diamond_spec):
+        restored = WorkflowSpec.from_dict(diamond_spec.to_dict())
+        assert restored == diamond_spec
+        assert restored.name == diamond_spec.name
+
+    def test_to_dict_is_sorted_and_json_safe(self, diamond_spec):
+        import json
+
+        payload = diamond_spec.to_dict()
+        assert payload["modules"] == sorted(payload["modules"])
+        json.dumps(payload)  # must not raise
+
+    def test_description_lists_edges(self, diamond_spec):
+        text = diamond_spec.subgraph_description()
+        assert "diamond" in text
+        assert "A -> B" in text

@@ -1,0 +1,158 @@
+"""Tests for structure mining (series-parallel decomposition)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.spec import INPUT, OUTPUT, WorkflowSpec, linear_spec
+from repro.core.structured import (
+    LoopRegion,
+    ModuleRegion,
+    ParallelRegion,
+    SeriesRegion,
+    is_structured,
+    mine_structure,
+)
+from repro.workloads.classes import WORKFLOW_CLASSES
+from repro.workloads.generator import generate_workflow
+from repro.workloads.library import corpus
+from repro.workloads.patterns import (
+    LoopPattern,
+    ParallelProcessPattern,
+    SequencePattern,
+    compose,
+)
+
+
+class TestBasicShapes:
+    def test_chain_is_one_sequence(self):
+        report = mine_structure(linear_spec(5))
+        assert report.structured
+        assert report.sequence_lengths == [5]
+        assert report.loops == []
+        assert report.parallel_regions == []
+        assert report.region.modules() == ["M1", "M2", "M3", "M4", "M5"]
+
+    def test_single_module(self):
+        report = mine_structure(linear_spec(1))
+        assert report.structured
+        assert report.sequence_lengths == [1]
+        assert isinstance(report.region, ModuleRegion)
+
+    def test_diamond(self, diamond_spec):
+        report = mine_structure(diamond_spec)
+        assert report.structured
+        assert report.parallel_regions == [2]
+        # A, then the parallel region, then D.
+        assert isinstance(report.region, SeriesRegion)
+        kinds = [child.kind for child in report.region.children]
+        assert kinds == ["module", "parallel", "module"]
+
+    def test_loop(self, loop_spec):
+        report = mine_structure(loop_spec)
+        assert report.structured
+        assert report.loops == [3]
+        assert isinstance(report.region, LoopRegion)
+        assert sorted(report.region.modules()) == ["A", "B", "C"]
+
+    def test_bypass_edge_is_empty_branch(self):
+        # input -> A -> B -> output with a shortcut A -> output... which is
+        # modelled as A -> C and A direct: use A->B->C plus A->C.
+        spec = WorkflowSpec(
+            ["A", "B", "C"],
+            [(INPUT, "A"), ("A", "B"), ("B", "C"), ("A", "C"), ("C", OUTPUT)],
+        )
+        report = mine_structure(spec)
+        assert report.structured
+        (parallel,) = [
+            child for child in report.region.children
+            if isinstance(child, ParallelRegion)
+        ]
+        assert None in parallel.branches  # the bypass
+        assert parallel.size() == 1  # just B
+
+
+class TestPatternRoundTrip:
+    """Mining recovers what the pattern composer built."""
+
+    def test_sequence_loop_parallel(self):
+        spec = compose([
+            SequencePattern(3),
+            LoopPattern(2),
+            ParallelProcessPattern(branches=3, branch_length=2),
+        ])
+        report = mine_structure(spec)
+        assert report.structured
+        assert report.loops == [2]
+        assert report.parallel_regions == [3]
+        # Every module lands in exactly one maximal sequence run (loop and
+        # parallel bodies included), so the run lengths sum to the size.
+        assert sum(report.sequence_lengths) == len(spec)
+
+    @pytest.mark.parametrize("class_name", sorted(WORKFLOW_CLASSES))
+    def test_all_generated_workflows_are_structured(self, class_name, rng):
+        workflow_class = WORKFLOW_CLASSES[class_name]
+        for _ in range(5):
+            generated = generate_workflow(workflow_class, rng, target_size=25)
+            report = mine_structure(generated.spec)
+            assert report.structured, generated.spec.name
+            # Loop count matches the generator's loop patterns.
+            loop_patterns = [
+                p for p in generated.patterns if p.kind == "loop"
+            ]
+            assert len(report.loops) == len(loop_patterns)
+
+    def test_module_conservation(self, rng):
+        generated = generate_workflow(WORKFLOW_CLASSES["Class3"], rng,
+                                      target_size=30)
+        report = mine_structure(generated.spec)
+        assert sorted(report.region.modules()) == sorted(generated.spec.modules)
+
+
+class TestUnstructured:
+    def test_phylogenomic_is_not_series_parallel(self, spec):
+        # M1 feeds both the annotation branch (M2) and the alignment (M3):
+        # the branches cross, so Fig. 1 is genuinely unstructured.
+        report = mine_structure(spec)
+        assert not report.structured
+        assert report.leftover_nodes  # the irreducible kernel
+        assert "M1" in report.leftover_nodes
+        # Loop statistics are still extracted.
+        assert report.loops == [3]
+
+    def test_crossing_braid(self):
+        spec = WorkflowSpec(
+            ["A", "B", "C", "D"],
+            [
+                (INPUT, "A"),
+                (INPUT, "B"),
+                ("A", "C"),
+                ("A", "D"),
+                ("B", "C"),
+                ("B", "D"),
+                ("C", OUTPUT),
+                ("D", OUTPUT),
+            ],
+        )
+        assert not is_structured(spec)
+
+    def test_corpus_mostly_structured(self):
+        reports = {e.spec.name: mine_structure(e.spec) for e in corpus()}
+        structured = [n for n, r in reports.items() if r.structured]
+        assert len(structured) >= 6
+        assert not reports["phylogenomic"].structured
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(class_seed=__import__("hypothesis").strategies.integers(0, 10_000))
+def test_mining_generated_specs_never_crashes(class_seed):
+    rng = random.Random(class_seed)
+    name = sorted(WORKFLOW_CLASSES)[class_seed % 4]
+    generated = generate_workflow(WORKFLOW_CLASSES[name], rng, target_size=15)
+    report = mine_structure(generated.spec)
+    assert report.structured
+    assert sorted(report.region.modules()) == sorted(generated.spec.modules)

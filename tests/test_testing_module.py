@@ -1,0 +1,87 @@
+"""Tests for the public test-substrate module (repro.testing)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.spec import INPUT, OUTPUT
+from repro.testing import (
+    build_random_spec,
+    random_spec,
+    simulate_small,
+    small_specs,
+    specs_with_relevant,
+)
+
+
+class TestBuildRandomSpec:
+    def test_minimal(self):
+        spec = build_random_spec(1, [], -1)
+        assert sorted(spec.modules) == ["M1"]
+        assert spec.has_edge(INPUT, "M1")
+        assert spec.has_edge("M1", OUTPUT)
+
+    def test_chain_backbone(self):
+        spec = build_random_spec(4, [], -1)
+        assert spec.has_edge("M1", "M2")
+        assert spec.has_edge("M3", "M4")
+        assert spec.is_acyclic()
+
+    def test_extra_edges_normalised(self):
+        # (3, 0) becomes a forward edge M1 -> M4; (2, 2) is dropped.
+        spec = build_random_spec(4, [(3, 0), (2, 2)], -1)
+        assert spec.has_edge("M1", "M4")
+
+    def test_loop_at(self):
+        spec = build_random_spec(4, [], 1)
+        assert spec.has_edge("M3", "M2")  # the back edge
+        assert not spec.is_acyclic()
+
+    def test_out_of_range_loop_ignored(self):
+        spec = build_random_spec(3, [], 5)
+        assert spec.is_acyclic()
+
+
+class TestRandomSpec:
+    def test_always_valid(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            spec = random_spec(rng)
+            assert 1 <= len(spec) <= 8  # validated by constructor
+
+    def test_no_loops_option(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            assert random_spec(rng, allow_loops=False).is_acyclic()
+
+
+class TestSimulateSmall:
+    def test_deterministic(self):
+        spec = build_random_spec(4, [(0, 2)], 1)
+        first = simulate_small(spec, seed=5)
+        second = simulate_small(spec, seed=5)
+        assert set(first.run.edges()) == set(second.run.edges())
+
+    def test_validates(self):
+        spec = build_random_spec(5, [], 2)
+        result = simulate_small(spec, seed=1)
+        result.run.validate()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(small_specs(max_modules=6))
+def test_small_specs_strategy_yields_valid_specs(spec):
+    # Construction already validates; check the size contract too.
+    assert 1 <= len(spec) <= 6
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs_with_relevant(max_modules=6))
+def test_specs_with_relevant_strategy_contract(case):
+    spec, relevant = case
+    assert relevant <= spec.modules

@@ -1,0 +1,114 @@
+"""Tests for the portable trace-file format."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.errors import RunError
+from repro.run.log import log_from_run, run_from_log
+from repro.run.trace import read_trace, trace_round_trip_equal, write_trace
+from repro.workloads.phylogenomic import phylogenomic_run, phylogenomic_spec
+
+
+@pytest.fixture
+def log():
+    return log_from_run(phylogenomic_run())
+
+
+class TestRoundTrip:
+    def test_stream_round_trip(self, log):
+        buffer = io.StringIO()
+        write_trace(log, buffer)
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        assert trace_round_trip_equal(log, restored)
+
+    def test_file_round_trip(self, log, tmp_path):
+        path = str(tmp_path / "run.trace")
+        write_trace(log, path)
+        restored = read_trace(path)
+        assert trace_round_trip_equal(log, restored)
+
+    def test_run_rebuilds_from_trace(self, log, tmp_path):
+        spec = phylogenomic_spec()
+        path = str(tmp_path / "run.trace")
+        write_trace(log, path)
+        rebuilt = run_from_log(read_trace(path), spec)
+        original = phylogenomic_run(spec)
+        assert set(rebuilt.edges()) == set(original.edges())
+
+    def test_header_first_line(self, log):
+        buffer = io.StringIO()
+        write_trace(log, buffer)
+        first = json.loads(buffer.getvalue().splitlines()[0])
+        assert first["kind"] == "header"
+        assert first["run_id"] == log.run_id
+
+
+class TestForeignTraces:
+    """Traces written by hand — the cross-system ingestion path."""
+
+    def test_minimal_foreign_trace(self):
+        text = "\n".join([
+            '{"kind": "header", "run_id": "ext", "format": 1}',
+            '{"kind": "user_input", "time": 1, "data_id": "d1", "who": "bob"}',
+            '{"kind": "start", "time": 2, "step_id": "S1", "module": "M1"}',
+            '{"kind": "read", "time": 3, "step_id": "S1", "data_id": "d1"}',
+            '{"kind": "write", "time": 4, "step_id": "S1", "data_id": "d2"}',
+            '{"kind": "final_output", "time": 5, "data_id": "d2"}',
+        ])
+        log = read_trace(io.StringIO(text))
+        assert log.run_id == "ext"
+        assert len(log) == 5
+        from repro.core.spec import linear_spec
+
+        run = run_from_log(log, linear_spec(1))
+        assert run.final_outputs() == {"d2"}
+
+    def test_blank_lines_ignored(self):
+        text = '{"kind": "header", "run_id": "x", "format": 1}\n\n' \
+               '{"kind": "user_input", "time": 1, "data_id": "d1"}\n'
+        log = read_trace(io.StringIO(text))
+        assert len(log) == 1
+
+
+class TestErrors:
+    def test_empty_trace(self):
+        with pytest.raises(RunError, match="empty"):
+            read_trace(io.StringIO(""))
+
+    def test_missing_header(self):
+        with pytest.raises(RunError, match="header"):
+            read_trace(io.StringIO(
+                '{"kind": "user_input", "time": 1, "data_id": "d1"}'
+            ))
+
+    def test_wrong_format_version(self):
+        with pytest.raises(RunError, match="unsupported trace format"):
+            read_trace(io.StringIO(
+                '{"kind": "header", "run_id": "x", "format": 99}'
+            ))
+
+    def test_unknown_kind(self):
+        text = '{"kind": "header", "run_id": "x", "format": 1}\n' \
+               '{"kind": "explode", "time": 1}'
+        with pytest.raises(RunError, match="unknown trace event"):
+            read_trace(io.StringIO(text))
+
+    def test_missing_field(self):
+        text = '{"kind": "header", "run_id": "x", "format": 1}\n' \
+               '{"kind": "read", "time": 1, "step_id": "S1"}'
+        with pytest.raises(RunError, match="lacks field"):
+            read_trace(io.StringIO(text))
+
+    def test_out_of_order_times(self):
+        text = '\n'.join([
+            '{"kind": "header", "run_id": "x", "format": 1}',
+            '{"kind": "user_input", "time": 5, "data_id": "d1"}',
+            '{"kind": "user_input", "time": 2, "data_id": "d2"}',
+        ])
+        with pytest.raises(RunError, match="appended after"):
+            read_trace(io.StringIO(text))

@@ -1,0 +1,184 @@
+"""Unit tests for user views and induced specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PartitionError, ViewError
+from repro.core.spec import INPUT, OUTPUT, linear_spec
+from repro.core.view import (
+    UserView,
+    admin_view,
+    blackbox_view,
+    view_from_partition,
+)
+
+
+class TestPartitionValidation:
+    def test_valid_partition(self, spec):
+        view = UserView(spec, {"G1": ["M1", "M2"], "G2": ["M3", "M4", "M5"],
+                               "G3": ["M6", "M7", "M8"]})
+        assert view.size() == 3
+        assert view.composite_of("M4") == "G2"
+
+    def test_missing_module_rejected(self, spec):
+        with pytest.raises(PartitionError, match="does not cover"):
+            UserView(spec, {"G1": ["M1"]})
+
+    def test_overlapping_composites_rejected(self, spec):
+        with pytest.raises(PartitionError, match="appears in"):
+            UserView(spec, {
+                "G1": ["M1", "M2", "M3", "M4"],
+                "G2": ["M4", "M5", "M6", "M7", "M8"],
+            })
+
+    def test_unknown_module_rejected(self, spec):
+        with pytest.raises(PartitionError, match="unknown module"):
+            UserView(spec, {"G1": sorted(spec.modules) + ["M99"]})
+
+    def test_empty_composite_rejected(self, spec):
+        with pytest.raises(PartitionError, match="empty"):
+            UserView(spec, {"G1": sorted(spec.modules), "G2": []})
+
+    def test_reserved_composite_name_rejected(self, spec):
+        with pytest.raises(ViewError, match="reserved"):
+            UserView(spec, {INPUT: sorted(spec.modules)})
+
+    def test_duplicate_composite_name_rejected(self, spec):
+        # Dict keys cannot collide, so exercise the internal guard through
+        # relabelled(), which can map two composites onto one name.
+        view = admin_view(spec)
+        with pytest.raises(ViewError, match="duplicate"):
+            view.relabelled({"M1": "X", "M2": "X"})
+
+
+class TestAccessors:
+    def test_composite_of_endpoints(self, joe):
+        assert joe.composite_of(INPUT) == INPUT
+        assert joe.composite_of(OUTPUT) == OUTPUT
+
+    def test_composite_of_unknown_module(self, joe):
+        with pytest.raises(ViewError):
+            joe.composite_of("M99")
+
+    def test_members_unknown_composite(self, joe):
+        with pytest.raises(ViewError):
+            joe.members("M99")
+
+    def test_sizes(self, joe, mary):
+        # The paper: Joe's view has size 4, Mary's size 5.
+        assert joe.size() == 4
+        assert mary.size() == 5
+        assert len(joe) == 4
+
+    def test_iteration_sorted(self, joe):
+        assert list(joe) == sorted(joe.composites)
+
+    def test_equality_ignores_names(self, spec, joe):
+        renamed = joe.relabelled({"M10": "Alignment", "M9": "TreeStuff"})
+        assert renamed == joe
+        assert hash(renamed) == hash(joe)
+
+    def test_inequality(self, joe, mary):
+        assert joe != mary
+        assert joe != "not a view"
+
+
+class TestRefines:
+    def test_admin_refines_everything(self, spec, joe):
+        assert admin_view(spec).refines(joe)
+        assert admin_view(spec).refines(blackbox_view(spec))
+        assert joe.refines(blackbox_view(spec))
+
+    def test_coarser_does_not_refine_finer(self, spec, joe):
+        assert not blackbox_view(spec).refines(joe)
+        assert not joe.refines(admin_view(spec))
+
+    def test_mary_refines_joe(self, joe, mary):
+        # Mary's M11 + M5 split Joe's M10; everything else coincides.
+        assert mary.refines(joe)
+        assert not joe.refines(mary)
+
+    def test_self_refinement(self, joe):
+        assert joe.refines(joe)
+
+    def test_crosswise_views_do_not_refine(self, spec):
+        left = UserView(spec, {"G1": ["M1", "M2"],
+                               "G2": ["M3", "M4", "M5", "M6", "M7", "M8"]})
+        right = UserView(spec, {"G1": ["M2", "M3"],
+                                "G2": ["M1", "M4", "M5", "M6", "M7", "M8"]})
+        assert not left.refines(right)
+        assert not right.refines(left)
+
+    def test_different_specs_never_refine(self, joe):
+        other = admin_view(linear_spec(3))
+        assert not joe.refines(other)
+
+
+class TestInducedSpec:
+    def test_joe_induced(self, joe):
+        induced = joe.induced_spec()
+        # Fig. 3(a): input feeds M1, M2 and M9 (lab annotations).
+        assert set(induced.successors(INPUT)) == {"M1", "M2", "M9"}
+        assert induced.has_edge("M1", "M10")
+        assert induced.has_edge("M10", "M9")
+        assert induced.has_edge("M2", "M9")
+        assert induced.has_edge("M9", OUTPUT)
+        # The alignment loop is internal to M10 and must disappear.
+        assert induced.is_acyclic()
+        assert len(induced) == 4
+
+    def test_mary_induced_keeps_loop(self, mary):
+        induced = mary.induced_spec()
+        # Fig. 3(b): the loop between M11 and M5 survives.
+        assert induced.has_edge("M11", "M5")
+        assert induced.has_edge("M5", "M11")
+        assert not induced.is_acyclic()
+
+    def test_blackbox_induced_is_single_module(self, spec):
+        induced = blackbox_view(spec).induced_spec()
+        assert len(induced) == 1
+        assert induced.has_edge(INPUT, "BlackBox")
+        assert induced.has_edge("BlackBox", OUTPUT)
+
+    def test_admin_induced_equals_spec(self, spec):
+        induced = admin_view(spec).induced_spec()
+        assert set(induced.edges()) == set(spec.edges())
+
+    def test_induced_edges_reverse_mapping(self, joe):
+        underlying = joe.induced_edges(("M10", "M9"))
+        assert underlying == [("M4", "M7")]
+
+
+class TestDerivedViews:
+    def test_merge(self, joe):
+        merged = joe.merge("M1", "M2", merged_name="G")
+        assert merged.size() == 3
+        assert merged.members("G") == {"M1", "M2"}
+
+    def test_merge_self_rejected(self, joe):
+        with pytest.raises(ViewError):
+            joe.merge("M1", "M1")
+
+    def test_merge_name_collision_rejected(self, joe):
+        with pytest.raises(ViewError, match="collides"):
+            joe.merge("M1", "M2", merged_name="M9")
+
+    def test_view_from_partition_names(self):
+        spec = linear_spec(4)
+        view = view_from_partition(spec, [{"M1"}, {"M2", "M3"}, {"M4"}])
+        assert view.composite_of("M1") == "M1"  # singleton keeps its name
+        assert view.composite_of("M2") == view.composite_of("M3") == "G1"
+        assert view.size() == 3
+
+
+class TestSerialisation:
+    def test_round_trip(self, spec, joe):
+        restored = UserView.from_dict(spec, joe.to_dict())
+        assert restored == joe
+        assert restored.name == "Joe"
+
+    def test_to_dict_shape(self, joe):
+        payload = joe.to_dict()
+        assert payload["spec"] == "phylogenomic"
+        assert payload["composites"]["M10"] == ["M3", "M4", "M5"]

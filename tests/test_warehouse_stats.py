@@ -1,0 +1,100 @@
+"""Tests for warehouse statistics and cross-run reporting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.run.executor import ExecutionParams, simulate
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.warehouse.stats import (
+    hottest_modules,
+    module_execution_counts,
+    run_stats,
+    runs_executing_module,
+    warehouse_report,
+)
+from repro.workloads.phylogenomic import (
+    joe_view,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+
+_PIN = ExecutionParams(
+    user_input_range=(2, 2),
+    data_per_edge_range=(1, 1),
+    loop_iterations_range=(1, 1),
+)
+
+
+@pytest.fixture
+def lab():
+    """A warehouse with the paper run plus two simulated runs."""
+    spec = phylogenomic_spec()
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    warehouse.store_view(joe_view(spec), spec_id, view_id="joe")
+    warehouse.store_run(phylogenomic_run(spec), spec_id)
+    for seed, iterations in ((1, 1), (2, 3)):
+        result = simulate(spec, params=_PIN, rng=random.Random(seed),
+                          run_id="sim%d" % seed,
+                          iterations={("M5", "M3"): iterations})
+        warehouse.store_run(result.run, spec_id)
+    return warehouse, spec_id
+
+
+class TestRunStats:
+    def test_paper_run(self, lab):
+        warehouse, _spec_id = lab
+        stats = run_stats(warehouse, "phylogenomic-run")
+        assert stats.steps == 10
+        assert stats.user_inputs == 136
+        assert stats.final_outputs == 1
+        assert stats.data_objects > 136
+
+    def test_report(self, lab):
+        warehouse, _spec_id = lab
+        report = warehouse_report(warehouse)
+        assert report.specs == 1
+        assert report.views == 1
+        assert report.runs == 3
+        assert report.total_steps == sum(r.steps for r in report.per_run)
+        # sim2 unrolled the loop three times: 13 steps vs the paper's 10.
+        assert report.largest_run.run_id == "sim2"
+        assert report.summary()["runs"] == 3
+
+    def test_empty_warehouse(self):
+        report = warehouse_report(InMemoryWarehouse())
+        assert report.runs == 0
+        assert report.largest_run is None
+
+
+class TestCrossRun:
+    def test_module_execution_counts(self, lab):
+        warehouse, spec_id = lab
+        counts = module_execution_counts(warehouse, spec_id)
+        # The paper run executed M3 twice (two loop iterations), sim2 ran
+        # the loop three times, sim1 once.
+        assert counts["M3"]["phylogenomic-run"] == 2
+        assert counts["M3"]["sim1"] == 1
+        assert counts["M3"]["sim2"] == 3
+        # M5 (exit-only module) runs k-1 times.
+        assert counts["M5"]["sim1"] == 0
+        assert counts["M5"]["sim2"] == 2
+        # Non-loop modules execute exactly once everywhere.
+        assert set(counts["M7"].values()) == {1}
+
+    def test_runs_executing_module(self, lab):
+        warehouse, spec_id = lab
+        assert runs_executing_module(warehouse, spec_id, "M5") == \
+            ["phylogenomic-run", "sim2"]
+        assert runs_executing_module(warehouse, spec_id, "M1") == \
+            ["phylogenomic-run", "sim1", "sim2"]
+
+    def test_hottest_modules(self, lab):
+        warehouse, spec_id = lab
+        hottest = hottest_modules(warehouse, spec_id, top=2)
+        # The loop modules dominate: M3 executed 2+1+3 = 6 times.
+        assert hottest[0] == ("M3", 6)
+        assert hottest[1][0] == "M4"

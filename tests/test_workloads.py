@@ -1,0 +1,248 @@
+"""Tests for patterns, workload classes, generators and the corpus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.builder import build_user_view
+from repro.core.errors import SpecificationError
+from repro.core.properties import satisfies_all
+from repro.core.spec import INPUT, OUTPUT
+from repro.run.executor import simulate
+from repro.workloads.classes import (
+    CLASS1,
+    CLASS2,
+    CLASS3,
+    CLASS4,
+    RUN_CLASSES,
+    RUN_MEDIUM,
+    RUN_SMALL,
+    WORKFLOW_CLASSES,
+    WorkflowClass,
+)
+from repro.workloads.generator import (
+    biologist_relevant,
+    generate_workflow,
+    generate_workflows,
+    random_relevant,
+)
+from repro.workloads.library import corpus, corpus_statistics
+from repro.workloads.patterns import (
+    LoopPattern,
+    ModuleNamer,
+    ParallelInputPattern,
+    ParallelProcessPattern,
+    SequencePattern,
+    SynchronizationPattern,
+    compose,
+    compose_detailed,
+    pattern_census,
+)
+from repro.workloads.runs import generate_run, generate_runs, run_statistics
+
+
+class TestPatterns:
+    def test_sequence(self):
+        frag = SequencePattern(3).realize(ModuleNamer())
+        assert frag.modules == ("M1", "M2", "M3")
+        assert frag.entries == ("M1",)
+        assert frag.exits == ("M3",)
+        assert ("M1", "M2") in frag.edges
+
+    def test_loop_has_back_edge(self):
+        frag = LoopPattern(3).realize(ModuleNamer())
+        assert ("M3", "M1") in frag.edges
+
+    def test_loop_needs_two_modules(self):
+        with pytest.raises(SpecificationError):
+            LoopPattern(1)
+
+    def test_parallel_process_shape(self):
+        pattern = ParallelProcessPattern(branches=2, branch_length=2)
+        assert pattern.size() == 6
+        frag = pattern.realize(ModuleNamer())
+        assert len(frag.entries) == 1  # the split
+        assert len(frag.exits) == 1  # the join
+
+    def test_parallel_input_exposes_entries(self):
+        pattern = ParallelInputPattern(branches=3, branch_length=1)
+        frag = pattern.realize(ModuleNamer())
+        assert len(frag.entries) == 3
+        assert len(frag.exits) == 1
+
+    def test_synchronization_unequal_branches(self):
+        pattern = SynchronizationPattern([1, 3])
+        assert pattern.size() == 5
+        frag = pattern.realize(ModuleNamer())
+        assert len(frag.entries) == 2
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(SpecificationError):
+            SequencePattern(0)
+        with pytest.raises(SpecificationError):
+            ParallelProcessPattern(1, 1)
+        with pytest.raises(SpecificationError):
+            SynchronizationPattern([2])
+
+    def test_compose_validates(self):
+        spec = compose([
+            SequencePattern(2),
+            LoopPattern(2),
+            ParallelProcessPattern(2, 1),
+        ])
+        assert len(spec) == 8
+        assert spec.has_edge(INPUT, "M1")
+        # The composed spec is a valid workflow by construction.
+        assert not spec.is_acyclic()  # contains the loop
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            compose([])
+
+    def test_compose_detailed_kind_map(self):
+        composed = compose_detailed([SequencePattern(2), LoopPattern(2)])
+        kinds = composed.kind_of()
+        assert kinds["M1"] == "sequence"
+        assert kinds["M3"] == "loop"
+
+    def test_pattern_census(self):
+        census = pattern_census([SequencePattern(1), SequencePattern(2),
+                                 LoopPattern(2)])
+        assert census == {"sequence": 2, "loop": 1}
+
+
+class TestClasses:
+    def test_frequencies_sum_to_one(self):
+        for workflow_class in WORKFLOW_CLASSES.values():
+            assert abs(sum(workflow_class.frequencies.values()) - 1) < 1e-9
+
+    def test_bad_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            WorkflowClass("X", "bad", {"sequence": 0.5}, 10)
+        with pytest.raises(ValueError, match="unknown"):
+            WorkflowClass("X", "bad", {"zigzag": 1.0}, 10)
+
+    def test_draw_kind_respects_support(self):
+        rng = random.Random(0)
+        kinds = {CLASS4.draw_kind(rng) for _ in range(200)}
+        assert kinds == {"loop", "sequence"}
+
+    def test_run_class_params(self):
+        params = RUN_SMALL.execution_params()
+        assert params.user_input_range == RUN_SMALL.user_input_range
+        assert params.max_steps == RUN_SMALL.max_nodes
+
+    def test_table_rows_present(self):
+        assert set(WORKFLOW_CLASSES) == {"Class1", "Class2", "Class3", "Class4"}
+        assert set(RUN_CLASSES) == {"small", "medium", "large"}
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("workflow_class", [CLASS1, CLASS2, CLASS3, CLASS4])
+    def test_generated_specs_are_valid(self, workflow_class, rng):
+        for generated in generate_workflows(workflow_class, 5, rng):
+            spec = generated.spec
+            assert len(spec) >= workflow_class.avg_size
+            # Validity is enforced by the WorkflowSpec constructor; also
+            # check the class tag and pattern accounting.
+            assert generated.workflow_class == workflow_class.name
+            assert set(generated.module_kinds) == spec.modules
+            freqs = generated.pattern_frequencies()
+            assert abs(sum(freqs.values()) - 1) < 1e-9
+
+    def test_class2_mostly_sequences(self, rng):
+        batch = generate_workflows(CLASS2, 20, rng, target_size=30)
+        census: dict = {}
+        for generated in batch:
+            for pattern in generated.patterns:
+                census[pattern.kind] = census.get(pattern.kind, 0) + 1
+        total = sum(census.values())
+        assert census["sequence"] / total > 0.6
+        assert set(census) <= {"sequence", "loop", "parallel_process"}
+
+    def test_class4_has_loops(self, rng):
+        generated = generate_workflow(CLASS4, rng, target_size=30)
+        assert not generated.spec.is_acyclic()
+
+    def test_generated_specs_executable(self, rng):
+        for workflow_class in (CLASS1, CLASS2, CLASS3, CLASS4):
+            generated = generate_workflow(workflow_class, rng)
+            result = simulate(generated.spec, rng=rng)
+            result.run.validate()
+
+    def test_builder_works_on_generated(self, rng):
+        generated = generate_workflow(CLASS3, rng, target_size=25)
+        relevant = generated.suggested_relevant
+        view = build_user_view(generated.spec, relevant)
+        assert satisfies_all(view, relevant)
+
+    def test_suggested_relevant_nonempty(self, rng):
+        for workflow_class in WORKFLOW_CLASSES.values():
+            generated = generate_workflow(workflow_class, rng)
+            assert generated.suggested_relevant
+            assert generated.suggested_relevant <= generated.spec.modules
+
+    def test_random_relevant_fractions(self, rng):
+        generated = generate_workflow(CLASS2, rng, target_size=20)
+        spec = generated.spec
+        assert random_relevant(spec, 0.0, rng) == frozenset()
+        assert random_relevant(spec, 1.0, rng) == spec.modules
+        half = random_relevant(spec, 0.5, rng)
+        assert len(half) == round(0.5 * len(spec))
+
+    def test_random_relevant_bad_fraction(self, rng):
+        generated = generate_workflow(CLASS2, rng)
+        with pytest.raises(ValueError):
+            random_relevant(generated.spec, 1.5, rng)
+
+    def test_scalability_sizes(self, rng):
+        # The scalability experiment generates specs of 50-1000 nodes.
+        generated = generate_workflow(CLASS2, rng, target_size=200)
+        assert len(generated.spec) >= 200
+
+
+class TestRunGeneration:
+    def test_small_runs_respect_caps(self, rng):
+        generated = generate_workflow(CLASS4, rng, target_size=20)
+        for result in generate_runs(generated.spec, RUN_SMALL, 5, rng):
+            assert result.run.num_steps() <= RUN_SMALL.max_nodes
+            assert result.run.num_edges() <= RUN_SMALL.max_edges
+            result.run.validate()
+
+    def test_medium_runs_larger_than_small(self, rng):
+        generated = generate_workflow(CLASS4, rng, target_size=20)
+        small = generate_run(generated.spec, RUN_SMALL, rng)
+        medium = generate_run(generated.spec, RUN_MEDIUM, rng)
+        assert medium.run.num_steps() >= small.run.num_steps()
+        assert len(medium.run.data_ids()) > len(small.run.data_ids())
+
+    def test_run_statistics(self, rng):
+        generated = generate_workflow(CLASS2, rng)
+        results = generate_runs(generated.spec, RUN_SMALL, 3, rng)
+        stats = run_statistics(results)
+        assert stats["runs"] == 3
+        assert stats["avg_steps"] > 0
+        assert stats["max_steps"] <= RUN_SMALL.max_nodes
+        assert run_statistics([]) == {}
+
+
+class TestCorpus:
+    def test_all_entries_valid_and_executable(self, rng):
+        for entry in corpus():
+            assert entry.relevant <= entry.spec.modules
+            result = simulate(entry.spec, rng=rng)
+            result.run.validate()
+
+    def test_views_build_on_corpus(self):
+        for entry in corpus():
+            view = build_user_view(entry.spec, entry.relevant)
+            assert satisfies_all(view, entry.relevant)
+
+    def test_corpus_statistics_match_paper_profile(self):
+        stats = corpus_statistics()
+        assert stats["workflows"] >= 8
+        # The paper's corpus averages around 12 modules.
+        assert 8 <= stats["avg_size"] <= 16
+        assert stats["with_loops"] >= 3
