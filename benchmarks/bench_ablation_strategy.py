@@ -68,6 +68,9 @@ def test_strategy_cost(benchmark, ablation_setup, strategy):
     assert len(sizes) == len(views)
     _TIMES[strategy] = benchmark.stats.stats.mean * 1000
     benchmark.extra_info["views"] = len(views)
+    stats = reasoner.stats()
+    _TIMES["%s_hit_rate" % strategy] = stats["composites"]["hit_rate"]
+    benchmark.extra_info["composite_hit_rate"] = stats["composites"]["hit_rate"]
 
 
 def test_strategies_agree_and_cached_wins(benchmark, ablation_setup):
@@ -87,8 +90,9 @@ def test_strategies_agree_and_cached_wins(benchmark, ablation_setup):
     if {"cached", "uncached"} <= set(_TIMES):
         print_table(
             "Strategy ablation: %d-view switch sequence" % len(views),
-            ["cached ms", "uncached ms", "speedup"],
+            ["cached ms", "uncached ms", "speedup", "cached hit rate"],
             [["%.2f" % _TIMES["cached"], "%.2f" % _TIMES["uncached"],
-              "%.1fx" % (_TIMES["uncached"] / max(_TIMES["cached"], 1e-9))]],
+              "%.1fx" % (_TIMES["uncached"] / max(_TIMES["cached"], 1e-9)),
+              "%.0f%%" % (100 * _TIMES.get("cached_hit_rate", 0.0))]],
         )
         assert _TIMES["cached"] < _TIMES["uncached"]

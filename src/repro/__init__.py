@@ -57,6 +57,14 @@ from .core import (
     spec_diff,
     view_from_partition,
 )
+from .obs import (
+    BoundedCache,
+    CacheStats,
+    MetricsRegistry,
+    format_stats,
+    get_registry,
+    timed,
+)
 from .provenance import (
     ProvenanceReasoner,
     ProvenanceResult,
@@ -96,6 +104,8 @@ from .zoom import GuardedWarehouse, Session, ViewPolicy
 __version__ = "1.0.0"
 
 __all__ = [
+    "BoundedCache",
+    "CacheStats",
     "CompositeRun",
     "CompositeStep",
     "EventLog",
@@ -104,6 +114,7 @@ __all__ = [
     "HiddenDataError",
     "INPUT",
     "InMemoryWarehouse",
+    "MetricsRegistry",
     "NrPathIndex",
     "OUTPUT",
     "ProvenanceReasoner",
@@ -131,6 +142,8 @@ __all__ = [
     "derivation_paths",
     "diff_runs",
     "export_opm",
+    "format_stats",
+    "get_registry",
     "immediate_provenance",
     "is_complete",
     "is_minimal",
@@ -154,6 +167,7 @@ __all__ = [
     "shortest_derivation",
     "simulate",
     "spec_diff",
+    "timed",
     "view_from_partition",
     "write_trace",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import timed
 from .errors import ViewError
 from .paths import NrPathIndex
 from .spec import WorkflowSpec
@@ -67,6 +68,7 @@ class RelevUserViewBuilder:
     # Public API
     # ------------------------------------------------------------------
 
+    @timed("view.build")
     def build(self, name: str = "UView") -> UserView:
         """Run the three steps and return the resulting user view."""
         if self._built is None:

@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 import networkx as nx
 
+from ..obs import timed
 from ..run.run import WorkflowRun
 from .errors import RunError
 from .spec import INPUT, OUTPUT
@@ -71,6 +72,7 @@ class CompositeRun:
     numbering the composite's executions in step order.
     """
 
+    @timed("composite.build")
     def __init__(self, run: WorkflowRun, view: UserView) -> None:
         if view.spec != run.spec:
             raise RunError("view and run refer to different specifications")

@@ -135,6 +135,23 @@ class UserView:
         """The partition as a set of member-sets (name-independent)."""
         return frozenset(self._members.values())
 
+    def presentation_key(self) -> Tuple[str, Tuple[Tuple[str, FrozenSet[str]], ...]]:
+        """Hashable identity *including* the view and composite names.
+
+        ``__eq__`` deliberately ignores names — two views inducing the same
+        partition are the same view.  Caches whose stored values carry the
+        names (composite-run structures, rendered provenance answers) must
+        key on this instead, or an equal-but-relabelled view would be served
+        an answer spelled with another view's composite names.
+        """
+        return (
+            self.name,
+            tuple(sorted(
+                (composite, members)
+                for composite, members in self._members.items()
+            )),
+        )
+
     def refines(self, other: "UserView") -> bool:
         """Whether this view is a refinement of ``other``.
 

@@ -1,0 +1,40 @@
+"""Observability primitives: bounded caches, metrics, and reporting.
+
+This package is self-contained (stdlib only, no imports from the rest of
+``repro``) so every layer — core algorithms, warehouse backends, the
+reasoner, the ZOOM session — can depend on it without cycles.
+
+* :class:`BoundedCache` — LRU cache with counters and invalidation hooks,
+  backing the reasoner's and session's memoisation.
+* :class:`MetricsRegistry` / :func:`timed` — counters and wall-clock
+  timers on the hot paths (view building, composite construction, the
+  UAdmin closure, view switches).
+* :func:`format_stats` — plain-text rendering of ``stats()`` snapshots
+  for the CLI and the benchmarks.
+"""
+
+from .cache import EVICTED, INVALIDATED, BoundedCache, CacheStats
+from .metrics import (
+    Counter,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    set_registry,
+    timed,
+)
+from .report import format_stats, hit_rate_summary
+
+__all__ = [
+    "BoundedCache",
+    "CacheStats",
+    "Counter",
+    "EVICTED",
+    "INVALIDATED",
+    "MetricsRegistry",
+    "Timer",
+    "format_stats",
+    "get_registry",
+    "hit_rate_summary",
+    "set_registry",
+    "timed",
+]

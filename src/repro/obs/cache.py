@@ -1,0 +1,232 @@
+"""A bounded LRU cache with hit/miss/eviction counters and hooks.
+
+The reasoner's memoisation (Section V: "compute UAdmin once, keep it in a
+temporary structure") was originally plain unbounded dicts — fine for one
+interactive session, untenable for a long-lived service answering queries
+over many runs.  :class:`BoundedCache` is the drop-in replacement used by
+:class:`~repro.provenance.reasoner.ProvenanceReasoner` and
+:class:`~repro.zoom.session.Session`:
+
+* least-recently-used eviction at a configurable capacity;
+* per-cache hit/miss/eviction counters, exposed as a :class:`CacheStats`
+  snapshot (what ``stats()`` on the reasoner and session aggregate);
+* invalidation hooks — callables fired whenever an entry leaves the cache
+  involuntarily (eviction) or explicitly (:meth:`invalidate`), which the
+  reasoner uses to cascade run evictions to dependent composite structures.
+
+The implementation is thread-safe; hooks are fired outside the lock so a
+hook may freely touch other caches (or this one).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Why an entry left the cache, as passed to invalidation hooks.
+EVICTED = "evicted"
+INVALIDATED = "invalidated"
+
+#: Hook signature: ``hook(key, value, reason)``.
+InvalidationHook = Callable[[K, V, str], None]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one cache's counters."""
+
+    name: str
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, ``0.0`` before the first lookup."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class BoundedCache(Generic[K, V]):
+    """An LRU-bounded mapping with counters and invalidation hooks.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; inserting beyond it evicts the least
+        recently used entry.  Must be at least 1.
+    name:
+        Label carried by :meth:`stats` snapshots and hook diagnostics.
+    """
+
+    def __init__(self, capacity: int = 256, name: str = "cache") -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1, got %r" % capacity)
+        self.name = name
+        self._capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._hooks: List[InvalidationHook] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> List[K]:
+        """Keys from least to most recently used."""
+        with self._lock:
+            return list(self._data)
+
+    def peek(self, key: K) -> Optional[V]:
+        """Read an entry without touching recency or counters."""
+        with self._lock:
+            return self._data.get(key)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                capacity=self._capacity,
+                size=len(self._data),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+    # ------------------------------------------------------------------
+    # Lookup and insertion
+    # ------------------------------------------------------------------
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """The entry for ``key`` (marked most recently used) or ``default``."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or overwrite ``key``, evicting the LRU entry if full."""
+        removed = []
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                evicted_key, evicted_value = self._data.popitem(last=False)
+                self._evictions += 1
+                removed.append((evicted_key, evicted_value))
+        self._fire(removed, EVICTED)
+
+    def get_or_build(self, key: K, factory: Callable[[], V]) -> V:
+        """The cached entry for ``key``, building and caching it on a miss.
+
+        The factory runs outside the lock, so concurrent misses on the
+        same key may build twice (last write wins) — acceptable for the
+        pure derivations cached here, and deadlock-free when the factory
+        itself touches caches.
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)  # type: ignore[arg-type]
+        if value is not sentinel:
+            return value  # type: ignore[return-value]
+        built = factory()
+        self.put(key, built)
+        return built
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def add_invalidation_hook(self, hook: InvalidationHook) -> None:
+        """Register ``hook(key, value, reason)`` for evictions/invalidations."""
+        self._hooks.append(hook)
+
+    def invalidate(self, key: K) -> bool:
+        """Explicitly drop ``key``; returns whether it was present."""
+        sentinel = object()
+        with self._lock:
+            value = self._data.pop(key, sentinel)
+        if value is sentinel:
+            return False
+        self._fire([(key, value)], INVALIDATED)  # type: ignore[list-item]
+        return True
+
+    def invalidate_where(self, predicate: Callable[[K], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count."""
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            removed = [(key, self._data.pop(key)) for key in doomed]
+        self._fire(removed, INVALIDATED)
+        return len(removed)
+
+    def clear(self) -> None:
+        """Drop every entry (without firing hooks); counters survive."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fire(self, removed: List[Tuple[K, V]], reason: str) -> None:
+        if not self._hooks or not removed:
+            return
+        for key, value in removed:
+            for hook in self._hooks:
+                hook(key, value, reason)

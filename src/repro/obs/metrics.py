@@ -1,0 +1,201 @@
+"""A minimal metrics registry: counters, timers, and a timing decorator.
+
+Zero hard dependencies — values accumulate in-process and are emitted, on
+request, through the standard :mod:`logging` machinery (logger
+``repro.obs.metrics``).  The hot paths of the reproduction are annotated
+with :func:`timed`:
+
+``view.build``
+    :meth:`repro.core.builder.RelevUserViewBuilder.build` — the Fig. 5
+    algorithm.
+``composite.build``
+    :class:`repro.core.composite.CompositeRun` construction — inducing a
+    run under a view.
+``reasoner.admin_deep``
+    The warehouse's recursive UAdmin closure (the expensive first query).
+``reasoner.view_switch``
+    Re-answering a deep query under a different view on a warm reasoner
+    (the paper's 13 ms interactivity claim).
+
+All timers live in a process-wide default registry (:func:`get_registry`);
+tests swap it out with :func:`set_registry`.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, TypeVar
+
+logger = logging.getLogger("repro.obs.metrics")
+
+F = TypeVar("F", bound=Callable)
+
+
+class Counter:
+    """A monotonically increasing (resettable) integer metric."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"count": self._value}
+
+
+class Timer:
+    """Accumulated wall-clock observations of one code path."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.last = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+            self.last = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = 0.0
+            self.last = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total * 1000, 3),
+            "mean_ms": round(self.mean * 1000, 3),
+            "min_ms": round(self.min * 1000, 3) if self.count else 0.0,
+            "max_ms": round(self.max * 1000, 3),
+            "last_ms": round(self.last * 1000, 3),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and timers, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = self._timers[name] = Timer(name)
+            return timer
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[Timer]:
+        """Context manager observing the elapsed wall-clock time."""
+        timer = self.timer(name)
+        started = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.observe(time.perf_counter() - started)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as plain dicts, counters and timers alike."""
+        with self._lock:
+            names = sorted(set(self._counters) | set(self._timers))
+            out: Dict[str, Dict[str, object]] = {}
+            for name in names:
+                merged: Dict[str, object] = {}
+                if name in self._counters:
+                    merged.update(self._counters[name].as_dict())
+                if name in self._timers:
+                    merged.update(self._timers[name].as_dict())
+                out[name] = merged
+            return out
+
+    def reset(self) -> None:
+        """Zero every metric (names survive)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for timer in self._timers.values():
+                timer.reset()
+
+    def log_snapshot(self, level: int = logging.DEBUG) -> None:
+        """Emit the current snapshot through ``repro.obs.metrics``."""
+        for name, values in self.snapshot().items():
+            logger.log(level, "%s %s", name, values)
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def timed(name: str) -> Callable[[F], F]:
+    """Decorator recording the wrapped callable's wall time under ``name``.
+
+    The registry is resolved at call time, so :func:`set_registry` affects
+    already-decorated functions.
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: object, **kwargs: object):
+            timer = get_registry().timer(name)
+            started = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                timer.observe(time.perf_counter() - started)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

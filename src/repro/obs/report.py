@@ -1,0 +1,63 @@
+"""Plain-text rendering of cache and metrics snapshots.
+
+Both :meth:`~repro.provenance.reasoner.ProvenanceReasoner.stats` and
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` return a mapping of
+names to flat dicts; :func:`format_stats` turns either into the aligned
+table the ``zoom stats --probe-run`` command and the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def format_stats(
+    stats: Mapping[str, Mapping[str, object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{name: {column: value}}`` as an aligned text table.
+
+    Columns are the union of every row's keys, in first-seen order, so
+    cache snapshots (hits/misses/evictions) and timer snapshots
+    (count/mean_ms/...) both render without configuration.
+    """
+    columns: List[str] = []
+    for row in stats.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    header = ["name"] + columns
+    rows = [
+        [name] + [
+            _format_value(row.get(column, "-")) for column in columns
+        ]
+        for name, row in stats.items()
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append("== %s ==" % title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def hit_rate_summary(stats: Mapping[str, Mapping[str, object]]) -> Dict[str, float]:
+    """Extract ``{cache_name: hit_rate}`` from a cache-stats mapping."""
+    out: Dict[str, float] = {}
+    for name, row in stats.items():
+        rate = row.get("hit_rate")
+        if isinstance(rate, (int, float)):
+            out[name] = float(rate)
+    return out

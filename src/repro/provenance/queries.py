@@ -18,7 +18,7 @@ from collections import deque
 from typing import Deque, Set
 
 from ..core.composite import CompositeRun
-from ..core.errors import HiddenDataError
+from ..core.errors import HiddenDataError, QueryError
 from ..core.spec import INPUT, OUTPUT
 from .result import ProvenanceResult, ProvenanceRow, ReverseProvenanceResult
 
@@ -137,6 +137,14 @@ def _consumers(composite_run: CompositeRun, data_id: str):
     graph = composite_run.graph
     out = []
     for _src, dst, payload in graph.out_edges(producer, data="data"):
+        if payload is None:
+            # Every induced edge must carry the set of data objects that
+            # crossed it; an edge without one would otherwise surface as a
+            # bare TypeError from the membership test below.
+            raise QueryError(
+                "induced edge %r -> %r under view %r has no data payload"
+                % (producer, dst, composite_run.view.name)
+            )
         if data_id in payload and dst != producer and dst != OUTPUT:
             out.append(dst)
     return sorted(out)

@@ -13,6 +13,16 @@ than the initial query (avg 13 ms vs up to seconds).  The
   switching the user view re-traverses only in-memory state;
 * ``strategy="uncached"`` disables all memoisation, giving the naive
   baseline the ablation benchmark compares against.
+
+All memoisation lives in bounded LRU caches
+(:class:`~repro.obs.cache.BoundedCache`): a long-lived reasoner serving
+many runs keeps at most ``run_cache_size`` materialised runs, and evicting
+a run cascades — its composite structures and UAdmin closures are
+invalidated in the same stroke, so the caches never hold derived state for
+a run that is no longer resident.  :meth:`stats` exposes per-cache hit,
+miss, eviction and size counters; the hot paths are timed in the default
+:class:`~repro.obs.metrics.MetricsRegistry` under ``reasoner.admin_deep``
+and ``reasoner.view_switch``.
 """
 
 from __future__ import annotations
@@ -22,12 +32,18 @@ from typing import Dict, Optional, Tuple
 from ..core.composite import CompositeRun
 from ..core.errors import QueryError
 from ..core.view import UserView, admin_view
+from ..obs import BoundedCache, get_registry
 from ..run.run import WorkflowRun
 from ..warehouse.base import ProvenanceWarehouse
 from .queries import deep_provenance, immediate_provenance, reverse_provenance
 from .result import ProvenanceResult, ReverseProvenanceResult
 
 _STRATEGIES = ("cached", "uncached")
+
+#: Default capacities: generous for one service process, but bounded.
+DEFAULT_RUN_CACHE_SIZE = 256
+DEFAULT_COMPOSITE_CACHE_SIZE = 1024
+DEFAULT_CLOSURE_CACHE_SIZE = 4096
 
 
 class ProvenanceReasoner:
@@ -41,10 +57,19 @@ class ProvenanceReasoner:
         ``"cached"`` (default) memoises materialised runs, composite-run
         structures and UAdmin closures; ``"uncached"`` recomputes
         everything on each query.
+    run_cache_size, composite_cache_size, closure_cache_size:
+        LRU capacities of the three caches (runs, per-view composite
+        structures, UAdmin closures).  Evicting a run invalidates its
+        dependent composite and closure entries.
     """
 
     def __init__(
-        self, warehouse: ProvenanceWarehouse, strategy: str = "cached"
+        self,
+        warehouse: ProvenanceWarehouse,
+        strategy: str = "cached",
+        run_cache_size: int = DEFAULT_RUN_CACHE_SIZE,
+        composite_cache_size: int = DEFAULT_COMPOSITE_CACHE_SIZE,
+        closure_cache_size: int = DEFAULT_CLOSURE_CACHE_SIZE,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise QueryError(
@@ -52,39 +77,74 @@ class ProvenanceReasoner:
             )
         self.warehouse = warehouse
         self.strategy = strategy
-        self._run_cache: Dict[str, WorkflowRun] = {}
-        self._composite_cache: Dict[Tuple[str, UserView], CompositeRun] = {}
-        self._admin_closure_cache: Dict[Tuple[str, str], ProvenanceResult] = {}
+        self._run_cache: BoundedCache[str, WorkflowRun] = BoundedCache(
+            run_cache_size, name="runs"
+        )
+        # Keyed on the view's *presentation* identity, not UserView
+        # equality: equal-but-relabelled views must not share an entry,
+        # or one would be served answers spelled with the other's
+        # composite names.
+        self._composite_cache: BoundedCache[
+            Tuple[str, object], CompositeRun
+        ] = BoundedCache(composite_cache_size, name="composites")
+        self._admin_closure_cache: BoundedCache[
+            Tuple[str, str], ProvenanceResult
+        ] = BoundedCache(closure_cache_size, name="closures")
+        # A run leaving the run cache (eviction or explicit invalidation)
+        # takes its derived state with it.
+        self._run_cache.add_invalidation_hook(self._on_run_removed)
 
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
 
+    def _on_run_removed(
+        self, run_id: str, _run: WorkflowRun, _reason: str
+    ) -> None:
+        self._composite_cache.invalidate_where(lambda key: key[0] == run_id)
+        self._admin_closure_cache.invalidate_where(lambda key: key[0] == run_id)
+
     def clear_cache(self) -> None:
-        """Drop all memoised state (used between benchmark repetitions)."""
-        self._run_cache.clear()
-        self._composite_cache.clear()
-        self._admin_closure_cache.clear()
+        """Drop all memoised state and zero the cache counters."""
+        for cache in self._caches():
+            cache.clear()
+            cache.reset_stats()
+
+    def invalidate_run(self, run_id: str) -> None:
+        """Drop one run's cached state (run, composites, closures).
+
+        Call after the underlying warehouse data for ``run_id`` changes —
+        e.g. new annotations or a re-execution stored under the same id —
+        so no stale derived state survives.
+        """
+        if not self._run_cache.invalidate(run_id):
+            # The run itself was not cached; derived state may still be.
+            self._on_run_removed(run_id, None, "invalidated")  # type: ignore[arg-type]
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-cache hit/miss/eviction/size counters, by cache name."""
+        return {
+            cache.name: cache.stats().as_dict() for cache in self._caches()
+        }
+
+    def _caches(self) -> Tuple[BoundedCache, ...]:
+        return (self._run_cache, self._composite_cache, self._admin_closure_cache)
 
     def _materialize_run(self, run_id: str) -> WorkflowRun:
         if self.strategy == "uncached":
             return self.warehouse.get_run(run_id)
-        run = self._run_cache.get(run_id)
-        if run is None:
-            run = self.warehouse.get_run(run_id)
-            self._run_cache[run_id] = run
-        return run
+        return self._run_cache.get_or_build(
+            run_id, lambda: self.warehouse.get_run(run_id)
+        )
 
     def composite_run(self, run_id: str, view: UserView) -> CompositeRun:
         """The (possibly cached) composite-execution structure of a run."""
         if self.strategy == "uncached":
             return CompositeRun(self._materialize_run(run_id), view)
-        key = (run_id, view)
-        composite = self._composite_cache.get(key)
-        if composite is None:
-            composite = CompositeRun(self._materialize_run(run_id), view)
-            self._composite_cache[key] = composite
-        return composite
+        return self._composite_cache.get_or_build(
+            (run_id, view.presentation_key()),
+            lambda: CompositeRun(self._materialize_run(run_id), view),
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -98,13 +158,14 @@ class ProvenanceReasoner:
         once per (run, data) pair.
         """
         if self.strategy == "uncached":
+            return self._timed_closure(run_id, data_id)
+        return self._admin_closure_cache.get_or_build(
+            (run_id, data_id), lambda: self._timed_closure(run_id, data_id)
+        )
+
+    def _timed_closure(self, run_id: str, data_id: str) -> ProvenanceResult:
+        with get_registry().time("reasoner.admin_deep"):
             return self.warehouse.admin_deep_provenance(run_id, data_id)
-        key = (run_id, data_id)
-        closure = self._admin_closure_cache.get(key)
-        if closure is None:
-            closure = self.warehouse.admin_deep_provenance(run_id, data_id)
-            self._admin_closure_cache[key] = closure
-        return closure
 
     def deep(
         self, run_id: str, data_id: str, view: Optional[UserView] = None
@@ -112,8 +173,9 @@ class ProvenanceReasoner:
         """Deep provenance of ``data_id`` under ``view`` (UAdmin if None)."""
         if view is None:
             return self.admin_deep(run_id, data_id)
-        composite = self.composite_run(run_id, view)
-        return deep_provenance(composite, data_id)
+        with get_registry().time("reasoner.view_switch"):
+            composite = self.composite_run(run_id, view)
+            return deep_provenance(composite, data_id)
 
     def immediate(
         self, run_id: str, data_id: str, view: Optional[UserView] = None

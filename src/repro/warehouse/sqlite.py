@@ -40,11 +40,32 @@ class SqliteWarehouse(ProvenanceWarehouse):
     path:
         Database location; ``":memory:"`` (default) keeps everything in
         RAM, any other string is a filesystem path.
+    timing:
+        When true, every SQL statement executed on this connection is
+        counted and timed in the default metrics registry under
+        ``warehouse.sql`` (via :meth:`sqlite3.Connection.set_trace_callback`
+        for the count and explicit timers on the closure queries).
+
+    Notes
+    -----
+    File-backed databases run in WAL journal mode with a 5 s busy timeout,
+    so concurrent readers never block a writer and a briefly locked
+    database retries instead of failing — the configuration a multi-session
+    service needs.  ``:memory:`` databases silently keep their native
+    journal mode.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:", timing: bool = False) -> None:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA busy_timeout = 5000")
+        self._conn.execute("PRAGMA synchronous = NORMAL")
+        if timing:
+            from ..obs import get_registry
+
+            counter = get_registry().counter("warehouse.sql")
+            self._conn.set_trace_callback(lambda _stmt: counter.increment())
         for statement in SQLITE_DDL:
             self._conn.execute(statement)
         self._conn.commit()
@@ -296,13 +317,23 @@ class SqliteWarehouse(ProvenanceWarehouse):
         )
 
     def producer_of(self, run_id: str, data_id: str) -> str:
-        row = self._conn.execute(
+        rows = self._conn.execute(
             "SELECT step_id FROM io WHERE run_id = ? AND data_id = ?"
             " AND direction = ?",
             (run_id, data_id, DIR_OUT),
-        ).fetchone()
-        if row is not None:
-            return row[0]
+        ).fetchall()
+        if len(rows) > 1:
+            # A data object with two producers violates the run model; a
+            # bare fetchone() would nondeterministically pick one and turn
+            # table corruption into silently wrong provenance.
+            raise WarehouseError(
+                "data %r in run %r has %d producing steps (%s); "
+                "the io table is corrupt"
+                % (data_id, run_id, len(rows),
+                   ", ".join(sorted(step for (step,) in rows)))
+            )
+        if rows:
+            return rows[0][0]
         user = self._conn.execute(
             "SELECT 1 FROM user_input WHERE run_id = ? AND data_id = ?",
             (run_id, data_id),

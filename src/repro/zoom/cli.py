@@ -267,11 +267,37 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _probe_caches(warehouse, run_id: str, relevant: Optional[List[str]]) -> None:
+    """Exercise a session against one run and print cache/timing stats.
+
+    Runs the showcase query cold, switches to UAdmin and back (the paper's
+    interactive pattern), and prints the session's per-cache counters plus
+    the hot-path timers — the quickest way to see hit rates on real data.
+    """
+    from ..obs import format_stats, get_registry
+
+    spec_id = warehouse.run_spec_id(run_id)
+    session = Session(warehouse, spec_id)
+    if relevant:
+        session.set_relevant(relevant)
+    session.final_output_provenance(run_id)   # cold: closure + materialise
+    session.final_output_provenance(run_id)   # warm: pure cache hits
+    modules = sorted(session.spec.modules)
+    session.flag(modules[0])                  # switch granularity ...
+    session.final_output_provenance(run_id)
+    session.unflag(modules[0])                # ... and back
+    session.final_output_provenance(run_id)
+    session.flag(modules[0])                  # back again: memoised view
+    session.final_output_provenance(run_id)
+    print(format_stats(session.stats(), title="session caches after probe"))
+    print(format_stats(get_registry().snapshot(), title="hot-path metrics"))
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Print aggregate statistics of a warehouse."""
     from ..warehouse.stats import hottest_modules, warehouse_report
 
-    with SqliteWarehouse(args.db) as warehouse:
+    with SqliteWarehouse(args.db, timing=args.probe_run is not None) as warehouse:
         report = warehouse_report(warehouse)
         print("warehouse %s" % args.db)
         print("  specs: %d, views: %d, runs: %d"
@@ -290,6 +316,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print("  %s hottest modules: %s"
                   % (spec_id,
                      ", ".join("%s (%d)" % pair for pair in hottest)))
+        if args.probe_run:
+            _probe_caches(warehouse, args.probe_run, args.relevant)
     return 0
 
 
@@ -404,6 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="aggregate warehouse statistics")
     stats.add_argument("--db", required=True)
+    stats.add_argument("--probe-run", default=None,
+                       help="run id: exercise a session against it and"
+                            " print cache hit rates and hot-path timings")
+    stats.add_argument("--relevant", nargs="*", default=None,
+                       help="modules flagged relevant during the probe")
 
     ingest = sub.add_parser("ingest",
                             help="load a JSON Lines trace into the warehouse")

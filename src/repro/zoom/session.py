@@ -16,6 +16,7 @@ from ..core.builder import RelevUserViewBuilder
 from ..core.errors import ViewError
 from ..core.spec import WorkflowSpec
 from ..core.view import UserView, admin_view
+from ..obs import BoundedCache
 from ..provenance.reasoner import ProvenanceReasoner
 from ..provenance.result import ProvenanceResult, ReverseProvenanceResult
 from ..warehouse.base import ProvenanceWarehouse
@@ -36,6 +37,9 @@ class Session:
     strategy:
         Reasoner caching strategy (see
         :class:`~repro.provenance.reasoner.ProvenanceReasoner`).
+    view_cache_size:
+        LRU capacity of the per-relevant-set view memo (the cache that
+        makes undo and back-and-forth exploration free).
     """
 
     def __init__(
@@ -44,6 +48,7 @@ class Session:
         spec_id: str,
         user: str = "user",
         strategy: str = "cached",
+        view_cache_size: int = 128,
     ) -> None:
         self.warehouse = warehouse
         self.spec_id = spec_id
@@ -54,9 +59,14 @@ class Session:
         self._view: Optional[UserView] = None
         # History of (relevant set, view) pairs; views are also memoised
         # by relevant set so undo and back-and-forth exploration never
-        # rebuild (the interactivity of Section IV).
+        # rebuild (the interactivity of Section IV).  The memo always
+        # holds the *latest* view shown for a relevant set — zoom_into,
+        # undo and use_view overwrite it — so returning to a relevant set
+        # restores exactly what the user last saw there.
         self._view_history: List[Tuple[FrozenSet[str], UserView]] = []
-        self._view_cache: Dict[FrozenSet[str], UserView] = {}
+        self._view_cache: BoundedCache[FrozenSet[str], UserView] = BoundedCache(
+            view_cache_size, name="views"
+        )
 
     # ------------------------------------------------------------------
     # Relevant-module management
@@ -92,13 +102,13 @@ class Session:
 
     def _rebuild(self) -> UserView:
         key = frozenset(self._relevant)
-        cached = self._view_cache.get(key)
-        if cached is None:
-            builder = RelevUserViewBuilder(self.spec, self._relevant)
-            cached = builder.build(name="%s-view" % self.user)
-            self._view_cache[key] = cached
-        self._view = cached
-        self._view_history.append((key, cached))
+        self._view = self._view_cache.get_or_build(
+            key,
+            lambda: RelevUserViewBuilder(self.spec, self._relevant).build(
+                name="%s-view" % self.user
+            ),
+        )
+        self._view_history.append((key, self._view))
         return self._view
 
     def zoom_into(
@@ -120,7 +130,10 @@ class Session:
         self._relevant |= set(relevant_within)
         key = frozenset(self._relevant)
         self._view = refined
-        self._view_cache.setdefault(key, refined)
+        # Overwrite, never setdefault: a builder-built view cached earlier
+        # for the same relevant set must not shadow the refinement, or
+        # flagging away and back would silently discard it.
+        self._view_cache.put(key, refined)
         self._view_history.append((key, refined))
         return refined
 
@@ -136,6 +149,9 @@ class Session:
             key, view = self._view_history[-1]
             self._relevant = set(key)
             self._view = view
+            # Re-sync the memo: the restored view is again the one the
+            # user sees for this relevant set.
+            self._view_cache.put(key, view)
         return self.view
 
     @property
@@ -157,6 +173,9 @@ class Session:
             )
         self._relevant = set()
         self._view = view
+        # The adopted view is what an empty relevant set now shows, so a
+        # no-op unflag cannot silently swap it for a freshly built one.
+        self._view_cache.put(frozenset(), view)
         self._view_history.append((frozenset(), view))
         return view
 
@@ -168,6 +187,23 @@ class Session:
         """Persist the current view definition in the warehouse."""
         identifier = view_id or "%s/%s" % (self.spec_id, self.view.name)
         return self.warehouse.store_view(self.view, self.spec_id, view_id=identifier)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-cache hit/miss/eviction/size counters for this session.
+
+        Combines the session's view memo (``views``) with the reasoner's
+        caches (``runs``, ``composites``, ``closures``); the mapping feeds
+        straight into :func:`repro.obs.format_stats`.
+        """
+        combined: Dict[str, Dict[str, object]] = {
+            self._view_cache.name: self._view_cache.stats().as_dict()
+        }
+        combined.update(self.reasoner.stats())
+        return combined
 
     # ------------------------------------------------------------------
     # Provenance queries at the current granularity

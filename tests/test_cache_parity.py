@@ -1,0 +1,192 @@
+"""Cached-vs-uncached parity and bounded-cache behaviour of the reasoner.
+
+The caches are an optimisation, never semantics: for any generated
+workload, the ``cached`` and ``uncached`` strategies must return identical
+deep, immediate and reverse answers — warm or cold, and under eviction
+pressure from a deliberately tiny capacity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_user_view
+from repro.core.view import admin_view
+from repro.provenance.reasoner import ProvenanceReasoner
+from repro.run.executor import ExecutionParams, simulate
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.workloads.phylogenomic import (
+    JOE_RELEVANT,
+    phylogenomic_run,
+    phylogenomic_spec,
+)
+
+from .conftest import specs_with_relevant
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_PARAMS = ExecutionParams(
+    user_input_range=(1, 3),
+    data_per_edge_range=(1, 3),
+    loop_iterations_range=(1, 3),
+)
+
+
+def _warehoused(spec, seed):
+    result = simulate(spec, params=_PARAMS, rng=random.Random(seed))
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(result.run, spec_id)
+    return warehouse, run_id, result.run
+
+
+@given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_strategies_agree_on_all_query_kinds(case, seed):
+    """deep / immediate / reverse parity across generated workloads."""
+    spec, relevant = case
+    warehouse, run_id, run = _warehoused(spec, seed)
+    view = build_user_view(spec, relevant)
+    cached = ProvenanceReasoner(warehouse, strategy="cached")
+    uncached = ProvenanceReasoner(warehouse, strategy="uncached")
+    targets = sorted(run.final_outputs())
+    sources = sorted(run.user_inputs())
+    for target in targets:
+        # Twice on the cached reasoner: the warm (pure cache) answer must
+        # equal both the cold one and the uncached baseline.
+        cold = cached.deep(run_id, target, view=view)
+        warm = cached.deep(run_id, target, view=view)
+        assert cold == warm == uncached.deep(run_id, target, view=view)
+        assert cached.deep(run_id, target) == uncached.deep(run_id, target)
+        assert cached.immediate(run_id, target, view=view) == \
+            uncached.immediate(run_id, target, view=view)
+    for source in sources:
+        assert cached.reverse(run_id, source, view=view) == \
+            uncached.reverse(run_id, source, view=view)
+
+
+@given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_parity_survives_eviction_pressure(case, seed):
+    """A capacity-1 reasoner evicts constantly yet stays correct."""
+    spec, relevant = case
+    warehouse, run_id, run = _warehoused(spec, seed)
+    tiny = ProvenanceReasoner(
+        warehouse, run_cache_size=1, composite_cache_size=1,
+        closure_cache_size=1,
+    )
+    reference = ProvenanceReasoner(warehouse, strategy="uncached")
+    views = [build_user_view(spec, relevant), admin_view(spec)]
+    for target in sorted(run.final_outputs()):
+        for view in views:
+            assert tiny.deep(run_id, target, view=view) == \
+                reference.deep(run_id, target, view=view)
+
+
+class TestBoundedReasonerCaches:
+    def _warehouse_with_runs(self, count):
+        spec = phylogenomic_spec()
+        warehouse = InMemoryWarehouse()
+        spec_id = warehouse.store_spec(spec)
+        run = phylogenomic_run(spec)
+        run_ids = [
+            warehouse.store_run(run, spec_id, run_id="run%d" % index)
+            for index in range(count)
+        ]
+        return warehouse, spec, run_ids
+
+    def test_run_capacity_is_respected_with_lru_order(self):
+        warehouse, spec, run_ids = self._warehouse_with_runs(3)
+        reasoner = ProvenanceReasoner(warehouse, run_cache_size=2)
+        view = admin_view(spec)
+        joe = build_user_view(spec, JOE_RELEVANT, name="joe")
+        reasoner.composite_run(run_ids[0], view)
+        reasoner.composite_run(run_ids[1], view)
+        # A composite miss on a new view re-touches run0 in the run cache
+        # (a composite *hit* never reaches it).
+        reasoner.composite_run(run_ids[0], joe)
+        reasoner.composite_run(run_ids[2], view)  # evicts run1 (LRU)
+        stats = reasoner.stats()
+        assert stats["runs"]["size"] == 2
+        assert stats["runs"]["evictions"] == 1
+        assert reasoner._run_cache.keys() == [run_ids[0], run_ids[2]]
+
+    def test_run_eviction_cascades_to_derived_caches(self):
+        warehouse, spec, run_ids = self._warehouse_with_runs(2)
+        reasoner = ProvenanceReasoner(warehouse, run_cache_size=1)
+        view = admin_view(spec)
+        reasoner.deep(run_ids[0], "d447", view=view)
+        reasoner.admin_deep(run_ids[0], "d447")
+        assert reasoner.stats()["composites"]["size"] == 1
+        assert reasoner.stats()["closures"]["size"] == 1
+        reasoner.deep(run_ids[1], "d447", view=view)  # evicts run0
+        composite_keys = reasoner._composite_cache.keys()
+        closure_keys = reasoner._admin_closure_cache.keys()
+        assert all(key[0] == run_ids[1] for key in composite_keys)
+        assert all(key[0] == run_ids[1] for key in closure_keys)
+
+    def test_invalidate_run_drops_derived_state(self):
+        warehouse, spec, run_ids = self._warehouse_with_runs(1)
+        reasoner = ProvenanceReasoner(warehouse)
+        view = admin_view(spec)
+        first = reasoner.composite_run(run_ids[0], view)
+        reasoner.admin_deep(run_ids[0], "d447")
+        reasoner.invalidate_run(run_ids[0])
+        assert reasoner.stats()["composites"]["size"] == 0
+        assert reasoner.stats()["closures"]["size"] == 0
+        assert reasoner.composite_run(run_ids[0], view) is not first
+
+    def test_clear_cache_resets_counters(self):
+        warehouse, spec, run_ids = self._warehouse_with_runs(1)
+        reasoner = ProvenanceReasoner(warehouse)
+        reasoner.deep(run_ids[0], "d447", view=admin_view(spec))
+        reasoner.deep(run_ids[0], "d447", view=admin_view(spec))
+        stats = reasoner.stats()
+        assert stats["composites"]["hits"] > 0 or stats["composites"]["misses"] > 0
+        reasoner.clear_cache()
+        for name in ("runs", "composites", "closures"):
+            row = reasoner.stats()[name]
+            assert (row["hits"], row["misses"], row["evictions"]) == (0, 0, 0)
+            assert row["size"] == 0
+
+    def test_equal_but_relabelled_views_do_not_share_answers(self):
+        """UserView equality ignores composite names; the cache must not.
+
+        Two views inducing the same partition under different labels used
+        to collide on one composite-cache slot, so the second view's
+        answers came back spelled with the first view's composite names.
+        """
+        from repro.core.view import blackbox_view
+
+        warehouse, spec, run_ids = self._warehouse_with_runs(1)
+        reasoner = ProvenanceReasoner(warehouse)
+        built = build_user_view(spec, frozenset(), name="UView")
+        boxed = blackbox_view(spec)
+        assert built == boxed and built.composites != boxed.composites
+        first = reasoner.deep(run_ids[0], "d447", view=built)
+        second = reasoner.deep(run_ids[0], "d447", view=boxed)
+        assert first.view_name == built.name
+        assert second.view_name == boxed.name
+        assert {row.module for row in first.rows} == set(built.composites)
+        assert {row.module for row in second.rows} == set(boxed.composites)
+
+    def test_stats_report_hits_and_misses_per_cache(self):
+        warehouse, spec, run_ids = self._warehouse_with_runs(1)
+        reasoner = ProvenanceReasoner(warehouse)
+        view = build_user_view(spec, JOE_RELEVANT)
+        reasoner.deep(run_ids[0], "d447", view=view)   # all misses
+        reasoner.deep(run_ids[0], "d447", view=view)   # composite hit
+        stats = reasoner.stats()
+        assert set(stats) == {"runs", "composites", "closures"}
+        assert stats["composites"] == {
+            "capacity": 1024, "size": 1, "hits": 1, "misses": 1,
+            "evictions": 0, "hit_rate": 0.5,
+        }
+        assert stats["runs"]["misses"] == 1

@@ -186,3 +186,22 @@ class TestPipeline:
         with SqliteWarehouse(new_db) as warehouse:
             assert warehouse.list_specs() == ["cli-wf"]
             assert len(warehouse.list_runs()) == 2
+
+
+class TestStatsProbe:
+    def test_probe_prints_cache_and_timing_stats(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        db = tmp_path / "wh.sqlite"
+        main(["generate", "--class", "Class2", "--seed", "5", "--name",
+              "probe-wf", "--out", str(spec_path)])
+        main(["load", "--db", str(db), "--spec", str(spec_path),
+              "--runs", "1"])
+        capsys.readouterr()
+        assert main(["stats", "--db", str(db),
+                     "--probe-run", "probe-wf/run1"]) == 0
+        out = capsys.readouterr().out
+        assert "session caches after probe" in out
+        assert "composites" in out and "hit_rate" in out
+        assert "hot-path metrics" in out
+        assert "reasoner.view_switch" in out
+        assert "warehouse.sql" in out

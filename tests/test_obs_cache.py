@@ -1,0 +1,178 @@
+"""Unit tests for the bounded LRU cache underpinning all memoisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import BoundedCache
+from repro.obs.cache import EVICTED, INVALIDATED
+
+
+class TestBasics:
+    def test_put_get_and_contains(self):
+        cache = BoundedCache(capacity=4, name="t")
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_get_default_on_miss(self):
+        cache = BoundedCache(capacity=2)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_overwrite_replaces_value(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedCache(capacity=0)
+
+    def test_get_or_build_builds_once(self):
+        cache = BoundedCache(capacity=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "built"
+
+        assert cache.get_or_build("k", factory) == "built"
+        assert cache.get_or_build("k", factory) == "built"
+        assert len(calls) == 1
+
+
+class TestLRU:
+    def test_capacity_is_a_hard_bound(self):
+        cache = BoundedCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = BoundedCache(capacity=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")           # a is now the most recently used
+        cache.put("d", 4)        # evicts b, the LRU entry
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.keys() == ["c", "a", "d"]
+
+    def test_put_refreshes_recency(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)       # overwrite refreshes a
+        cache.put("c", 3)        # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_peek_does_not_touch_recency(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        cache.put("c", 3)        # a is still LRU -> evicted
+        assert "a" not in cache
+
+
+class TestCounters:
+    def test_hits_misses_and_evictions(self):
+        cache = BoundedCache(capacity=2, name="counted")
+        cache.get("x")            # miss
+        cache.put("x", 1)
+        cache.get("x")            # hit
+        cache.put("y", 2)
+        cache.put("z", 3)         # evicts x
+        stats = cache.stats()
+        assert stats.name == "counted"
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 1)
+        assert stats.size == 2
+        assert stats.capacity == 2
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_zero_before_lookups(self):
+        assert BoundedCache(capacity=2).stats().hit_rate == 0.0
+
+    def test_peek_does_not_count(self):
+        cache = BoundedCache(capacity=2)
+        cache.peek("nope")
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_reset_stats_keeps_entries(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_stats()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+        assert "a" in cache
+
+    def test_clear_keeps_counters(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_as_dict_round_numbers(self):
+        cache = BoundedCache(capacity=8, name="d")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        payload = cache.stats().as_dict()
+        assert payload == {
+            "capacity": 8, "size": 1, "hits": 1, "misses": 1,
+            "evictions": 0, "hit_rate": 0.5,
+        }
+
+
+class TestInvalidation:
+    def test_invalidate_removes_and_reports(self):
+        cache = BoundedCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert "a" not in cache
+
+    def test_invalidate_where_predicate(self):
+        cache = BoundedCache(capacity=8)
+        for key in ("run1/a", "run1/b", "run2/a"):
+            cache.put(key, key)
+        removed = cache.invalidate_where(lambda k: k.startswith("run1"))
+        assert removed == 2
+        assert cache.keys() == ["run2/a"]
+
+    def test_hooks_fire_on_eviction_and_invalidation(self):
+        cache = BoundedCache(capacity=1)
+        events = []
+        cache.add_invalidation_hook(
+            lambda key, value, reason: events.append((key, value, reason))
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)          # evicts a
+        cache.invalidate("b")
+        assert events == [("a", 1, EVICTED), ("b", 2, INVALIDATED)]
+
+    def test_hook_may_touch_other_caches(self):
+        # The reasoner pattern: evicting from one cache cascades into
+        # another without deadlocking.
+        primary = BoundedCache(capacity=1)
+        derived = BoundedCache(capacity=8)
+        derived.put(("a", "x"), 1)
+        derived.put(("b", "y"), 2)
+        primary.add_invalidation_hook(
+            lambda key, _v, _r: derived.invalidate_where(
+                lambda pair: pair[0] == key
+            )
+        )
+        primary.put("a", object())
+        primary.put("b", object())   # evicts a -> cascades into derived
+        assert derived.keys() == [("b", "y")]

@@ -154,3 +154,15 @@ class TestReverseProvenance:
         result = reverse_provenance(admin_run, "d447")
         assert result.num_tuples() == 0
         assert result.final_outputs == {"d447"}
+
+
+class TestConsumersPayloadGuard:
+    def test_missing_edge_payload_raises_query_error(self, admin_run):
+        """An induced edge without a data payload must surface as a
+        QueryError, not a bare TypeError from ``data_id in None``."""
+        from repro.core.errors import QueryError
+
+        producer = admin_run.producer("d308")
+        admin_run.graph.add_edge(producer, "SX")  # no "data" attribute
+        with pytest.raises(QueryError, match="no data payload"):
+            reverse_provenance(admin_run, "d308")

@@ -212,3 +212,41 @@ class TestSqliteSpecifics:
             spec_id = warehouse.store_spec(spec)
         with SqliteWarehouse(path) as warehouse:
             assert warehouse.get_spec(spec_id) == spec
+
+    def test_multiple_producers_is_corruption_not_a_coin_flip(self):
+        """A bare fetchone() used to pick one producer nondeterministically;
+        a corrupt io table must be reported, not silently queried."""
+        spec = phylogenomic_spec()
+        run = phylogenomic_run(spec)
+        with SqliteWarehouse() as backend:
+            spec_id = backend.store_spec(spec)
+            run_id = backend.store_run(run, spec_id)
+            assert backend.producer_of(run_id, "d413") == "S6"
+            # Corrupt the table directly: a second producer for d413.
+            backend._conn.execute(
+                "INSERT INTO io (run_id, step_id, data_id, direction)"
+                " VALUES (?, ?, ?, ?)",
+                (run_id, "S2", "d413", "out"),
+            )
+            with pytest.raises(WarehouseError, match="2 producing steps"):
+                backend.producer_of(run_id, "d413")
+
+    def test_file_warehouse_uses_wal_and_busy_timeout(self, tmp_path):
+        path = str(tmp_path / "wal.sqlite")
+        with SqliteWarehouse(path) as backend:
+            (mode,) = backend._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode == "wal"
+            (timeout,) = backend._conn.execute("PRAGMA busy_timeout").fetchone()
+            assert timeout == 5000
+
+    def test_timing_counts_sql_statements(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            with SqliteWarehouse(timing=True) as backend:
+                backend.store_spec(linear_spec(2))
+            assert registry.counter("warehouse.sql").value > 0
+        finally:
+            set_registry(previous)

@@ -91,6 +91,54 @@ class TestViewBuilding:
         # Returning to the same relevant set reuses the memoised view.
         assert session.view is first
 
+    def test_zoom_into_overwrites_stale_cached_view(self, env):
+        """Regression: ``setdefault`` kept a builder-built view cached for
+        the same relevant set, so flagging away and back after a zoom
+        silently discarded the refinement."""
+        warehouse, _spec, spec_id, _run_id = env
+        session = Session(warehouse, spec_id, user="joe")
+        session.set_relevant(JOE_RELEVANT)
+        # Seed the view memo for JOE | {M5} with a builder-built view.
+        session.flag("M5")
+        session.unflag("M5")
+        alignment = session.view.composite_of("M3")
+        refined = session.zoom_into(alignment, {"M5"})
+        # Flag away and back: the refined view must be restored, not the
+        # builder-built one that was cached first.
+        session.unflag("M5")
+        session.flag("M5")
+        assert session.view is refined
+
+    def test_use_view_survives_noop_rebuild(self, env):
+        """The adopted view is what the empty relevant set now shows; a
+        no-op unflag must not swap it for a freshly built view."""
+        warehouse, _spec, spec_id, _run_id = env
+        session = Session(warehouse, spec_id, user="joe")
+        session.set_relevant(JOE_RELEVANT)
+        view_id = session.save_view()
+        other = Session(warehouse, spec_id, user="mary")
+        adopted = other.use_view(warehouse.get_view(view_id))
+        other.unflag()  # no-op rebuild of the (empty) relevant set
+        assert other.view is adopted
+
+    def test_stats_reports_every_cache(self, env):
+        warehouse, _spec, spec_id, run_id = env
+        session = Session(warehouse, spec_id)
+        session.set_relevant(JOE_RELEVANT)
+        session.deep_provenance(run_id, "d447")
+        session.deep_provenance(run_id, "d447")
+        session.flag("M5")
+        session.unflag("M5")
+        session.flag("M5")  # back to a memoised relevant set
+        stats = session.stats()
+        assert set(stats) == {"views", "runs", "composites", "closures"}
+        assert stats["views"]["hits"] >= 1
+        assert stats["composites"]["hits"] >= 1
+        assert stats["runs"]["misses"] == 1
+        for row in stats.values():
+            assert set(row) == {"capacity", "size", "hits", "misses",
+                                "evictions", "hit_rate"}
+
     def test_unknown_module_rejected(self, env):
         warehouse, _spec, spec_id, _run_id = env
         session = Session(warehouse, spec_id)
