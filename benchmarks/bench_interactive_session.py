@@ -11,7 +11,6 @@ user would feel and the growing answer size (the Fig. 11 effect, live).
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List
 
 import pytest

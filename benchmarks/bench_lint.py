@@ -1,0 +1,101 @@
+"""provlint cost — lint wall-time against spec size and run volume.
+
+The lint pass (docs/linting.md) is a constant number of linear graph
+traversals plus two reachability sweeps per spec, so its cost should grow
+roughly linearly with specification size and with event-log length.  This
+benchmark times ``lint_spec`` on generated specifications from 50 to 1000
+modules and ``lint_log`` on the simulated runs of a mid-size spec, then
+reprints the sweep as one table.  A super-linear regression here means a
+rule started re-walking the graph per node.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lint import Linter
+from repro.run.executor import ExecutionParams, simulate
+from repro.workloads.classes import CLASS2
+from repro.workloads.generator import generate_workflow
+
+from .conftest import print_table
+
+SIZES = [50, 100, 250, 500, 1000]
+
+_RESULTS = {}
+
+
+def _linter() -> Linter:
+    # Metrics off: the benchmark times the rules, not counter upkeep.
+    return Linter(emit_metrics=False)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_lint_spec_scaling(benchmark, size):
+    """Time one full spec lint at each specification size."""
+    rng = random.Random(size)
+    generated = generate_workflow(CLASS2, rng, target_size=size)
+    spec = generated.spec
+    linter = _linter()
+
+    report = benchmark(lambda: linter.lint_spec(spec))
+
+    assert report.ok()  # generated specs are clean (loops are info-only)
+    mean_ms = benchmark.stats.stats.mean * 1000
+    _RESULTS[size] = (len(spec), len(report.findings), mean_ms)
+    benchmark.extra_info["modules"] = len(spec)
+    print_table(
+        "Lint spec @ %d nodes" % size,
+        ["modules", "findings", "mean ms"],
+        [[len(spec), len(report.findings), "%.2f" % mean_ms]],
+    )
+    # Same generous bound as the builder benchmark: interactive even on
+    # slow machines, tight enough to catch a complexity regression.
+    assert mean_ms < 2000
+
+
+def test_lint_log_volume(benchmark):
+    """Time an event-log lint against a loop-heavy simulated run."""
+    rng = random.Random(7)
+    generated = generate_workflow(CLASS2, rng, target_size=100)
+    spec = generated.spec
+    result = simulate(
+        spec,
+        params=ExecutionParams(loop_iterations_range=(3, 5)),
+        rng=random.Random(8),
+        run_id="lint-bench",
+    )
+    log = result.log
+    linter = _linter()
+
+    report = benchmark(lambda: linter.lint_log(log, spec=spec))
+
+    assert report.ok()  # orphan-write warnings are fine; no errors
+    mean_ms = benchmark.stats.stats.mean * 1000
+    print_table(
+        "Lint log (%d events)" % len(log),
+        ["events", "steps", "findings", "mean ms"],
+        [[len(log), len(result.run.steps()), len(report.findings),
+          "%.2f" % mean_ms]],
+    )
+    assert mean_ms < 2000
+
+
+def test_lint_summary(benchmark):
+    """Aggregate view of the spec sweep (reprints all measured sizes)."""
+
+    def noop():
+        return sorted(_RESULTS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    rows = [
+        [size, _RESULTS[size][0], _RESULTS[size][1], "%.2f" % _RESULTS[size][2]]
+        for size in sorted(_RESULTS)
+    ]
+    print_table(
+        "Lint scalability summary (expect ~linear growth in spec size)",
+        ["target size", "modules", "findings", "mean ms"],
+        rows,
+    )

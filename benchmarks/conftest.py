@@ -25,12 +25,7 @@ import pytest
 from repro.core.builder import build_user_view
 from repro.core.view import UserView, admin_view, blackbox_view
 from repro.run.executor import SimulationResult
-from repro.workloads.classes import (
-    RUN_CLASSES,
-    WORKFLOW_CLASSES,
-    RunClass,
-    WorkflowClass,
-)
+from repro.workloads.classes import RUN_CLASSES, WORKFLOW_CLASSES
 from repro.workloads.generator import GeneratedWorkflow, generate_workflows
 from repro.workloads.runs import generate_run
 

@@ -57,6 +57,18 @@ from .core import (
     spec_diff,
     view_from_partition,
 )
+from .lint import (
+    Finding,
+    LintGateError,
+    LintReport,
+    Linter,
+    RuleConfig,
+    lint_log,
+    lint_run,
+    lint_spec,
+    lint_view,
+    lint_warehouse,
+)
 from .obs import (
     BoundedCache,
     CacheStats,
@@ -110,10 +122,14 @@ __all__ = [
     "CompositeStep",
     "EventLog",
     "ExecutionParams",
+    "Finding",
     "GuardedWarehouse",
     "HiddenDataError",
     "INPUT",
     "InMemoryWarehouse",
+    "LintGateError",
+    "LintReport",
+    "Linter",
     "MetricsRegistry",
     "NrPathIndex",
     "OUTPUT",
@@ -124,6 +140,7 @@ __all__ = [
     "ReexecutionPlanner",
     "RelevUserViewBuilder",
     "ReverseProvenanceResult",
+    "RuleConfig",
     "Session",
     "SimulationResult",
     "SpecificationError",
@@ -150,6 +167,11 @@ __all__ = [
     "is_structured",
     "is_well_formed",
     "linear_spec",
+    "lint_log",
+    "lint_run",
+    "lint_spec",
+    "lint_view",
+    "lint_warehouse",
     "load_warehouse",
     "local_search_minimize",
     "log_from_run",

@@ -9,15 +9,6 @@ minimum-view baseline.
 
 from .builder import RelevUserViewBuilder, build_user_view
 from .composite import CompositeRun, CompositeStep
-from .evolution import (
-    MigrationResult,
-    SpecDiff,
-    affected_composites,
-    migrate_relevant,
-    migrate_view,
-    spec_diff,
-)
-from .hierarchy import composite_subspec, refine_composite, zoom_path
 from .errors import (
     ExecutionError,
     HiddenDataError,
@@ -31,6 +22,15 @@ from .errors import (
     WarehouseError,
     ZoomError,
 )
+from .evolution import (
+    MigrationResult,
+    SpecDiff,
+    affected_composites,
+    migrate_relevant,
+    migrate_view,
+    spec_diff,
+)
+from .hierarchy import composite_subspec, refine_composite, zoom_path
 from .minimum import gap_example, minimum_view, minimum_view_size
 from .optimize import local_search_minimize, optimality_gap
 from .paths import NrPathIndex, has_nr_path, nr_reachable

@@ -1,0 +1,61 @@
+"""provlint — rule-based static analysis for provenance artifacts.
+
+The paper's guarantees (Section III's Properties 1-3, DAG runs, single
+producers, loop-unrolled logs) only hold on *valid* inputs.  This package
+turns validity into an auditable property: analyzers over all four
+artifact layers — specifications, runs/event logs, user views and whole
+warehouses — collect every diagnostic in one pass and report them with
+stable rule ids, severities and fix hints.
+
+Entry points:
+
+* :class:`Linter` / the ``lint_*`` functions — programmatic API;
+* ``zoom lint`` — the CLI front-end with text and JSON reporters;
+* ``strict=`` on :mod:`repro.warehouse.loader` — the ingestion gate;
+* :meth:`repro.zoom.session.Session.lint` — audit the active view.
+
+Rule catalogue: ``docs/linting.md`` (generated from :data:`RULES`).
+"""
+
+from .engine import (
+    Linter,
+    lint_log,
+    lint_run,
+    lint_spec,
+    lint_view,
+    lint_warehouse,
+)
+from .findings import (
+    ERROR,
+    INFO,
+    LAYERS,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    LintGateError,
+    LintReport,
+)
+from .registry import RULES, Rule, RuleConfig, RuleRegistry
+from .rules_run import RunFacts
+
+__all__ = [
+    "ERROR",
+    "Finding",
+    "INFO",
+    "LAYERS",
+    "LintGateError",
+    "LintReport",
+    "Linter",
+    "RULES",
+    "Rule",
+    "RuleConfig",
+    "RuleRegistry",
+    "RunFacts",
+    "SEVERITIES",
+    "WARNING",
+    "lint_log",
+    "lint_run",
+    "lint_spec",
+    "lint_view",
+    "lint_warehouse",
+]

@@ -1,0 +1,182 @@
+"""Findings and reports — the output side of provlint.
+
+A :class:`Finding` is one diagnostic: a stable rule id, a severity, the
+artifact it concerns (a spec name, run id, view id or warehouse), an
+optional location inside that artifact (a node, an edge, an event
+position, a table row) and a human-readable message with a fix hint.
+
+Unlike the fail-fast exceptions raised elsewhere in the library, a lint
+pass *collects* every diagnostic it can find in one traversal and returns
+them as a :class:`LintReport`; callers decide whether errors are fatal
+(the ``strict=`` ingestion gate) or merely counted (metrics).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core.errors import ZoomError
+
+#: Severity levels, ordered from most to least severe.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: All severities, in decreasing order of severity.
+SEVERITIES = (ERROR, WARNING, INFO)
+
+#: The four artifact layers provlint analyses.
+LAYER_SPEC = "spec"
+LAYER_RUN = "run"
+LAYER_VIEW = "view"
+LAYER_WAREHOUSE = "warehouse"
+
+LAYERS = (LAYER_SPEC, LAYER_RUN, LAYER_VIEW, LAYER_WAREHOUSE)
+
+
+class LintGateError(ZoomError):
+    """A strict ingestion gate rejected an artifact with error findings.
+
+    Raised by the ``strict=True`` paths of :mod:`repro.warehouse.loader`;
+    carries the offending :class:`LintReport` on ``.report``.
+    """
+
+    def __init__(self, message: str, report: "LintReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a lint rule."""
+
+    rule_id: str
+    severity: str
+    layer: str
+    subject: str
+    message: str
+    location: Optional[str] = None
+    hint: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by the JSON reporter)."""
+        payload: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "layer": self.layer,
+            "subject": self.subject,
+            "message": self.message,
+        }
+        if self.location is not None:
+            payload["location"] = self.location
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+    def __str__(self) -> str:
+        where = self.subject
+        if self.location:
+            where = "%s:%s" % (self.subject, self.location)
+        return "%s %s [%s] %s" % (self.rule_id, self.severity, where, self.message)
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of findings with aggregate helpers."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> "LintReport":
+        self.findings.extend(findings)
+        return self
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        self.findings.extend(other.findings)
+        return self
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def of_severity(self, severity: str) -> List[Finding]:
+        """Findings carrying one severity."""
+        return [f for f in self.findings if f.severity == severity]
+
+    def errors(self) -> List[Finding]:
+        """The error-severity findings (what a strict gate rejects on)."""
+        return self.of_severity(ERROR)
+
+    def warnings(self) -> List[Finding]:
+        return self.of_severity(WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == ERROR for f in self.findings)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Whether the artifact passes: no errors (strict: no findings)."""
+        if strict:
+            return not self.findings
+        return not self.has_errors
+
+    def rule_ids(self) -> List[str]:
+        """Sorted distinct rule ids appearing in the report."""
+        return sorted({f.rule_id for f in self.findings})
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        """Findings grouped by rule id."""
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.rule_id, []).append(finding)
+        return grouped
+
+    def counts(self) -> Dict[str, int]:
+        """Number of findings per severity (all severities present)."""
+        tally = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            tally[finding.severity] += 1
+        return tally
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form: findings plus a summary block."""
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "counts": self.counts(),
+                "rules": self.rule_ids(),
+                "ok": self.ok(),
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        """Plain-text rendering: one line per finding plus a summary."""
+        lines = [str(f) for f in self.sorted_findings()]
+        tally = self.counts()
+        lines.append(
+            "%d finding(s): %d error(s), %d warning(s), %d info"
+            % (len(self.findings), tally[ERROR], tally[WARNING], tally[INFO])
+        )
+        return "\n".join(lines)
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings ordered by severity, then rule id, then subject."""
+        rank = {severity: index for index, severity in enumerate(SEVERITIES)}
+        return sorted(
+            self.findings,
+            key=lambda f: (
+                rank[f.severity],
+                f.rule_id,
+                f.subject,
+                f.location or "",
+            ),
+        )

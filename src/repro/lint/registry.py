@@ -1,0 +1,134 @@
+"""The provlint rule registry: stable ids, severities, per-rule toggles.
+
+Every rule the analyzers can emit is declared here up front, in one
+catalogue, so that
+
+* rule ids are stable and collision-checked (``SPEC001``-style),
+* severities live in exactly one place,
+* ``--select`` / ``--ignore`` can validate the ids they are given, and
+* the documentation table in ``docs/linting.md`` can be cross-checked
+  against the code.
+
+Analyzer modules build findings through :meth:`RuleRegistry.finding`,
+which stamps the registered severity and layer onto the finding — an
+analyzer cannot emit an id it never declared.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from .findings import LAYERS, SEVERITIES, Finding
+
+_RULE_ID = re.compile(r"^[A-Z]{2,6}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Declaration of one lint rule."""
+
+    rule_id: str
+    layer: str
+    severity: str
+    summary: str
+
+    def __post_init__(self) -> None:
+        if not _RULE_ID.match(self.rule_id):
+            raise ValueError("malformed rule id %r" % self.rule_id)
+        if self.layer not in LAYERS:
+            raise ValueError("unknown layer %r for %s" % (self.layer, self.rule_id))
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                "unknown severity %r for %s" % (self.severity, self.rule_id)
+            )
+
+
+class RuleRegistry:
+    """All declared rules, addressable by id."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule_id: str, layer: str, severity: str, summary: str) -> Rule:
+        """Declare a rule; duplicate ids are programming errors."""
+        if rule_id in self._rules:
+            raise ValueError("duplicate rule id %r" % rule_id)
+        rule = Rule(rule_id, layer, severity, summary)
+        self._rules[rule_id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError("unknown lint rule %r" % rule_id) from None
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def all_rules(self) -> List[Rule]:
+        """Every declared rule, ordered by id."""
+        return [self._rules[rule_id] for rule_id in sorted(self._rules)]
+
+    def by_layer(self, layer: str) -> List[Rule]:
+        return [r for r in self.all_rules() if r.layer == layer]
+
+    def finding(
+        self,
+        rule_id: str,
+        subject: str,
+        message: str,
+        location: Optional[str] = None,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding, stamping the rule's severity and layer."""
+        rule = self.get(rule_id)
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            layer=rule.layer,
+            subject=subject,
+            message=message,
+            location=location,
+            hint=hint,
+        )
+
+
+#: The process-wide catalogue all analyzer modules register into.
+RULES = RuleRegistry()
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule enable/disable, mirroring ``--select`` / ``--ignore``.
+
+    ``select`` of ``None`` means "all rules"; ``ignore`` always wins over
+    ``select``.  Ids are validated against the registry so a typo fails
+    loudly instead of silently disabling nothing.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def build(
+        cls,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+        registry: RuleRegistry = RULES,
+    ) -> "RuleConfig":
+        """Validate ids against ``registry`` and build a config."""
+        selected = None if select is None else frozenset(select)
+        ignored = frozenset(ignore or ())
+        for rule_id in (selected or frozenset()) | ignored:
+            registry.get(rule_id)  # raises KeyError on unknown ids
+        return cls(select=selected, ignore=ignored)
+
+    def enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select is not None:
+            return rule_id in self.select
+        return True

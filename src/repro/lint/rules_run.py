@@ -1,0 +1,307 @@
+"""Run-layer lint rules (``RUN0xx``).
+
+The analyzer operates on :class:`RunFacts`, a neutral digest of a run's
+dataflow that can be extracted from three sources without executing
+anything:
+
+* an :class:`~repro.run.log.EventLog` (pre-ingestion lint of a workflow
+  trace — event positions are known, so time-ordering rules apply),
+* a constructed :class:`~repro.run.run.WorkflowRun` (auditing an in-memory
+  graph without tripping its fail-fast ``validate``),
+* the warehouse's ``step``/``io``/``user_input``/``final_output`` rows
+  (auditing provenance at rest; positions unknown).
+
+Spec-conformance rules fire only when the facts carry the specification's
+modules and edges; a warehouse whose spec rows are themselves corrupt
+still gets its dataflow audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..core.spec import ENDPOINTS, INPUT, OUTPUT, WorkflowSpec
+from ..run.log import EventLog
+from ..run.run import WorkflowRun
+from .findings import ERROR, LAYER_RUN, WARNING, Finding
+from .registry import RULES
+
+RULES.register("RUN010", LAYER_RUN, ERROR,
+               "duplicate step id (started twice or reserved)")
+RULES.register("RUN011", LAYER_RUN, ERROR,
+               "step executes a module the specification does not declare")
+RULES.register("RUN012", LAYER_RUN, ERROR,
+               "data object with more than one producer")
+RULES.register("RUN013", LAYER_RUN, ERROR,
+               "step reads a data object nothing produced")
+RULES.register("RUN014", LAYER_RUN, ERROR,
+               "data object read before it was written (log order)")
+RULES.register("RUN015", LAYER_RUN, ERROR,
+               "dataflow between steps is cyclic (run must be a DAG)")
+RULES.register("RUN016", LAYER_RUN, ERROR,
+               "read/write recorded for a step that never started")
+RULES.register("RUN017", LAYER_RUN, ERROR,
+               "final output was never produced")
+RULES.register("RUN018", LAYER_RUN, WARNING,
+               "orphan data: written but never read nor a final output")
+RULES.register("RUN019", LAYER_RUN, WARNING,
+               "dataflow edge has no corresponding specification edge")
+
+
+@dataclass
+class RunFacts:
+    """Everything the run rules need, decoupled from the source artifact.
+
+    ``reads``/``writes`` carry the event position when known (log lint)
+    and ``None`` when not (run graphs, warehouse rows); position-sensitive
+    rules simply skip positionless entries.
+    """
+
+    run_id: str
+    steps: List[Tuple[str, str]] = field(default_factory=list)  # (step, module)
+    reads: List[Tuple[Optional[int], str, str]] = field(default_factory=list)
+    writes: List[Tuple[Optional[int], str, str]] = field(default_factory=list)
+    user_inputs: List[str] = field(default_factory=list)
+    final_outputs: List[str] = field(default_factory=list)
+    spec_modules: Optional[FrozenSet[str]] = None
+    spec_edges: Optional[FrozenSet[Tuple[str, str]]] = None
+
+    @classmethod
+    def from_log(cls, log: EventLog, spec: Optional[WorkflowSpec] = None) -> "RunFacts":
+        facts = cls(run_id=log.run_id)
+        for position, event in enumerate(log):
+            if event.kind == "start":
+                facts.steps.append((event.step_id, event.module))
+            elif event.kind == "read":
+                facts.reads.append((position, event.step_id, event.data_id))
+            elif event.kind == "write":
+                facts.writes.append((position, event.step_id, event.data_id))
+            elif event.kind == "user_input":
+                facts.user_inputs.append(event.data_id)
+            elif event.kind == "final_output":
+                facts.final_outputs.append(event.data_id)
+        if spec is not None:
+            facts.attach_spec(spec.modules, spec.edges())
+        return facts
+
+    @classmethod
+    def from_run(cls, run: WorkflowRun) -> "RunFacts":
+        facts = cls(run_id=run.run_id)
+        for step in run.steps():
+            facts.steps.append((step.step_id, step.module))
+            for data_id in sorted(run.inputs_of(step.step_id)):
+                facts.reads.append((None, step.step_id, data_id))
+            for data_id in sorted(run.outputs_of(step.step_id)):
+                facts.writes.append((None, step.step_id, data_id))
+        facts.user_inputs = sorted(run.user_inputs())
+        facts.final_outputs = sorted(run.final_outputs())
+        facts.attach_spec(run.spec.modules, run.spec.edges())
+        return facts
+
+    @classmethod
+    def from_rows(
+        cls,
+        run_id: str,
+        steps: List[Tuple[str, str]],
+        io_rows: List[Tuple[str, str, str]],
+        user_inputs: FrozenSet[str],
+        final_outputs: FrozenSet[str],
+    ) -> "RunFacts":
+        """Digest warehouse rows (``io`` direction values: in/out)."""
+        facts = cls(run_id=run_id)
+        facts.steps = list(steps)
+        for step_id, data_id, direction in io_rows:
+            if direction == "out":
+                facts.writes.append((None, step_id, data_id))
+            else:
+                facts.reads.append((None, step_id, data_id))
+        facts.user_inputs = sorted(user_inputs)
+        facts.final_outputs = sorted(final_outputs)
+        return facts
+
+    def attach_spec(self, modules, edges) -> None:
+        """Enable the spec-conformance rules (RUN011, RUN019)."""
+        self.spec_modules = frozenset(modules)
+        self.spec_edges = frozenset(edges)
+
+
+def lint_run_facts(facts: RunFacts) -> List[Finding]:
+    """Run every ``RUN0xx`` rule over one digest."""
+    findings: List[Finding] = []
+    subject = facts.run_id
+
+    step_module: Dict[str, str] = {}
+    for step_id, module in facts.steps:
+        if step_id in step_module or step_id in ENDPOINTS:
+            findings.append(RULES.finding(
+                "RUN010", subject,
+                "step id %r is duplicated or reserved" % step_id,
+                location=step_id,
+                hint="every step needs a fresh id; 'input'/'output' are"
+                     " reserved",
+            ))
+            continue
+        step_module[step_id] = module
+        if facts.spec_modules is not None and module not in facts.spec_modules:
+            findings.append(RULES.finding(
+                "RUN011", subject,
+                "step %r executes unknown module %r" % (step_id, module),
+                location=step_id,
+                hint="the specification declares no such module",
+            ))
+
+    # Producers: first writer wins; later writers (or a write over a user
+    # input) are multi-producer violations.
+    producer: Dict[str, Tuple[Optional[int], str]] = {
+        data_id: (None, INPUT) for data_id in facts.user_inputs
+    }
+    write_position: Dict[str, int] = {}
+    for position, step_id, data_id in facts.writes:
+        if step_id not in step_module:
+            findings.append(RULES.finding(
+                "RUN016", subject,
+                "write of %r by unknown step %r" % (data_id, step_id),
+                location=step_id,
+                hint="no start event / step row declares this step",
+            ))
+        previous = producer.get(data_id)
+        if previous is not None and previous[1] != step_id:
+            findings.append(RULES.finding(
+                "RUN012", subject,
+                "data %r produced by both %r and %r"
+                % (data_id, previous[1], step_id),
+                location=data_id,
+                hint="every data object has at most one producer",
+            ))
+            continue
+        producer[data_id] = (position, step_id)
+        if position is not None and data_id not in write_position:
+            write_position[data_id] = position
+
+    for position, step_id, data_id in facts.reads:
+        if step_id not in step_module:
+            findings.append(RULES.finding(
+                "RUN016", subject,
+                "read of %r by unknown step %r" % (data_id, step_id),
+                location=step_id,
+                hint="no start event / step row declares this step",
+            ))
+        source = producer.get(data_id)
+        if source is None:
+            findings.append(RULES.finding(
+                "RUN013", subject,
+                "step %r reads %r which nothing produced"
+                % (step_id, data_id),
+                location=data_id,
+                hint="add the producing write or a user-input event",
+            ))
+        elif (
+            position is not None
+            and data_id in write_position
+            and write_position[data_id] > position
+        ):
+            findings.append(RULES.finding(
+                "RUN014", subject,
+                "step %r reads %r at event %d before its write at event %d"
+                % (step_id, data_id, position, write_position[data_id]),
+                location=data_id,
+                hint="logs must record writes before dependent reads",
+            ))
+
+    for data_id in facts.final_outputs:
+        if data_id not in producer:
+            findings.append(RULES.finding(
+                "RUN017", subject,
+                "final output %r was never produced" % data_id,
+                location=data_id,
+                hint="final outputs must be written by a step or supplied"
+                     " by the user",
+            ))
+
+    read_data: Set[str] = {data_id for _p, _s, data_id in facts.reads}
+    finals = set(facts.final_outputs)
+    for _position, step_id, data_id in facts.writes:
+        if data_id not in read_data and data_id not in finals:
+            findings.append(RULES.finding(
+                "RUN018", subject,
+                "data %r written by %r is never read and is not a final"
+                " output" % (data_id, step_id),
+                location=data_id,
+                hint="dead data inflates the warehouse; drop it or mark it"
+                     " final",
+            ))
+
+    findings.extend(_dataflow_findings(facts, step_module, producer))
+    return findings
+
+
+def _dataflow_findings(
+    facts: RunFacts,
+    step_module: Dict[str, str],
+    producer: Dict[str, Tuple[Optional[int], str]],
+) -> List[Finding]:
+    """RUN015 (cycles) and RUN019 (spec conformance) over the step graph."""
+    findings: List[Finding] = []
+    subject = facts.run_id
+    graph = nx.DiGraph()
+    graph.add_nodes_from(step_module)
+    edges: Set[Tuple[str, str]] = set()
+    for _position, step_id, data_id in facts.reads:
+        source = producer.get(data_id)
+        if source is None or source[1] == step_id:
+            continue
+        edges.add((source[1], step_id))
+    for data_id in facts.final_outputs:
+        source = producer.get(data_id)
+        if source is not None:
+            edges.add((source[1], OUTPUT))
+    graph.add_edges_from(edges)
+
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle_steps = sorted({
+            node
+            for scc in nx.strongly_connected_components(graph)
+            if len(scc) > 1
+            for node in scc
+        })
+        findings.append(RULES.finding(
+            "RUN015", subject,
+            "cyclic dataflow among steps %s" % ", ".join(cycle_steps),
+            hint="loops are unrolled into fresh steps; a run graph must be"
+                 " acyclic",
+        ))
+
+    if facts.spec_edges is not None:
+        for src, dst in sorted(edges):
+            src_mod = src if src in ENDPOINTS else step_module.get(src)
+            dst_mod = dst if dst in ENDPOINTS else step_module.get(dst)
+            if src_mod is None or dst_mod is None:
+                continue  # unknown step/module already reported
+            if facts.spec_modules is not None and (
+                src_mod not in facts.spec_modules | ENDPOINTS
+                or dst_mod not in facts.spec_modules | ENDPOINTS
+            ):
+                continue
+            if (src_mod, dst_mod) not in facts.spec_edges:
+                findings.append(RULES.finding(
+                    "RUN019", subject,
+                    "dataflow %s -> %s has no specification edge %s -> %s"
+                    % (src, dst, src_mod, dst_mod),
+                    location="%s->%s" % (src, dst),
+                    hint="the run exchanges data along a channel the"
+                         " specification does not declare",
+                ))
+    return findings
+
+
+def lint_log(log: EventLog, spec: Optional[WorkflowSpec] = None) -> List[Finding]:
+    """Lint an event log without reconstructing the run graph."""
+    return lint_run_facts(RunFacts.from_log(log, spec))
+
+
+def lint_run(run: WorkflowRun) -> List[Finding]:
+    """Lint a constructed run graph without raising on the first defect."""
+    return lint_run_facts(RunFacts.from_run(run))

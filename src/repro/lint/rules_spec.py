@@ -1,0 +1,161 @@
+"""Spec-layer lint rules (``SPEC0xx``).
+
+These rules analyse the *raw payload* of a specification — the JSON shape
+``{"name", "modules", "edges"}`` produced by ``WorkflowSpec.to_dict`` and
+stored row-for-row in the warehouse — rather than a constructed
+:class:`~repro.core.spec.WorkflowSpec`.  Construction is fail-fast and
+stops at the first violation; the linter instead reports every problem in
+one pass, and can therefore audit artifacts the constructor would refuse
+(a spec JSON file before ``zoom load``, corrupt ``module``/``spec_edge``
+rows at rest).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import networkx as nx
+
+from ..core.spec import ENDPOINTS, INPUT, OUTPUT, WorkflowSpec
+from .findings import ERROR, INFO, LAYER_SPEC, WARNING, Finding
+from .registry import RULES
+
+RULES.register("SPEC001", LAYER_SPEC, ERROR,
+               "module label is empty, not a string, or reserved")
+RULES.register("SPEC002", LAYER_SPEC, ERROR,
+               "duplicate module label")
+RULES.register("SPEC003", LAYER_SPEC, ERROR,
+               "edge references an unknown node (dangling edge)")
+RULES.register("SPEC004", LAYER_SPEC, ERROR,
+               "edge flows into the input node or out of the output node")
+RULES.register("SPEC005", LAYER_SPEC, ERROR,
+               "self-loop on a module")
+RULES.register("SPEC006", LAYER_SPEC, ERROR,
+               "module unreachable from the input node")
+RULES.register("SPEC007", LAYER_SPEC, ERROR,
+               "module cannot reach the output node")
+RULES.register("SPEC008", LAYER_SPEC, WARNING,
+               "specification declares no modules")
+RULES.register("SPEC009", LAYER_SPEC, INFO,
+               "specification contains loops (unrolled at execution time)")
+
+
+def spec_payload(spec: WorkflowSpec) -> Dict[str, object]:
+    """The raw payload of an already-constructed specification."""
+    return spec.to_dict()
+
+
+def lint_spec_payload(payload: Mapping[str, object]) -> List[Finding]:
+    """Run every ``SPEC0xx`` rule over one raw spec payload."""
+    findings: List[Finding] = []
+    subject = str(payload.get("name", "spec"))
+    raw_modules = list(payload.get("modules") or [])  # type: ignore[arg-type]
+    raw_edges = [tuple(e) for e in (payload.get("edges") or [])]  # type: ignore[union-attr]
+
+    modules: List[str] = []
+    seen: set = set()
+    for label in raw_modules:
+        if not isinstance(label, str) or not label or label in ENDPOINTS:
+            findings.append(RULES.finding(
+                "SPEC001", subject,
+                "invalid module label %r" % (label,),
+                hint="labels must be non-empty strings other than"
+                     " 'input'/'output'",
+            ))
+            continue
+        if label in seen:
+            findings.append(RULES.finding(
+                "SPEC002", subject,
+                "module %r declared more than once" % label,
+                location=label,
+                hint="drop the duplicate declaration",
+            ))
+            continue
+        seen.add(label)
+        modules.append(label)
+
+    if not modules:
+        findings.append(RULES.finding(
+            "SPEC008", subject,
+            "specification has no modules",
+            hint="a workflow needs at least one module between input and"
+                 " output",
+        ))
+
+    known = set(modules) | set(ENDPOINTS)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(known)
+    for edge in raw_edges:
+        if len(edge) != 2 or not all(isinstance(n, str) for n in edge):
+            findings.append(RULES.finding(
+                "SPEC003", subject,
+                "malformed edge %r" % (edge,),
+                hint="edges are (source, target) pairs of node labels",
+            ))
+            continue
+        src, dst = edge
+        edge_loc = "%s->%s" % (src, dst)
+        if src not in known or dst not in known:
+            unknown = sorted({n for n in (src, dst) if n not in known})
+            findings.append(RULES.finding(
+                "SPEC003", subject,
+                "edge references unknown node(s) %s" % ", ".join(
+                    repr(n) for n in unknown),
+                location=edge_loc,
+                hint="declare the module or remove the edge",
+            ))
+            continue
+        if dst == INPUT or src == OUTPUT:
+            findings.append(RULES.finding(
+                "SPEC004", subject,
+                "the input node must be the unique source and the output"
+                " node the unique sink",
+                location=edge_loc,
+                hint="input cannot receive edges; output cannot emit them",
+            ))
+            continue
+        if src == dst:
+            findings.append(RULES.finding(
+                "SPEC005", subject,
+                "self-loop on %r" % src,
+                location=edge_loc,
+                hint="loops must span at least two modules",
+            ))
+            continue
+        graph.add_edge(src, dst)
+
+    # Reachability over the tolerated edges: every module must lie on some
+    # input -> output path.
+    reach = set(nx.descendants(graph, INPUT)) | {INPUT}
+    coreach = set(nx.ancestors(graph, OUTPUT)) | {OUTPUT}
+    for module in modules:
+        if module not in reach:
+            findings.append(RULES.finding(
+                "SPEC006", subject,
+                "module %r is unreachable from the input node" % module,
+                location=module,
+                hint="connect it (transitively) to input, or remove it",
+            ))
+        if module not in coreach:
+            findings.append(RULES.finding(
+                "SPEC007", subject,
+                "module %r cannot reach the output node" % module,
+                location=module,
+                hint="connect it (transitively) to output, or remove it",
+            ))
+
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle_nodes = sorted({
+            node
+            for scc in nx.strongly_connected_components(graph)
+            if len(scc) > 1
+            for node in scc
+        })
+        findings.append(RULES.finding(
+            "SPEC009", subject,
+            "loop(s) among modules %s will be unrolled at execution time"
+            % ", ".join(cycle_nodes),
+            hint="informational: loops are legal in specifications",
+        ))
+
+    return findings

@@ -1,0 +1,217 @@
+"""View-layer lint rules (``VIEW0xx``).
+
+Two entry points:
+
+* :func:`lint_view_payload` audits the *raw* composite/member rows of a
+  stored view against a spec's module set — the partition laws a
+  constructed :class:`~repro.core.view.UserView` enforces fail-fast, here
+  collected exhaustively so corrupt ``view_member`` rows at rest surface
+  as findings instead of load-time exceptions;
+* :func:`lint_view` audits a constructed view, surfacing the paper's
+  Section III guarantees — Properties 1-3, minimality, manufactured
+  loops, connectivity of relevant composites — as lint findings instead
+  of test-only oracles.  Property rules need the relevant set; structural
+  rules (loops) apply regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+import networkx as nx
+
+from ..core.properties import (
+    _PairTables,
+    introduces_loop,
+    is_minimal,
+    is_well_formed,
+)
+from ..core.spec import ENDPOINTS
+from ..core.view import UserView
+from .findings import ERROR, LAYER_VIEW, WARNING, Finding
+from .registry import RULES
+
+RULES.register("VIEW020", LAYER_VIEW, ERROR,
+               "composite contains a module the specification lacks")
+RULES.register("VIEW021", LAYER_VIEW, ERROR,
+               "module assigned to more than one composite")
+RULES.register("VIEW022", LAYER_VIEW, ERROR,
+               "view does not cover every specification module")
+RULES.register("VIEW023", LAYER_VIEW, ERROR,
+               "composite name is reserved or composite is empty")
+RULES.register("VIEW024", LAYER_VIEW, ERROR,
+               "Property 1 violated: composite holds several relevant modules")
+RULES.register("VIEW025", LAYER_VIEW, ERROR,
+               "Property 2 violated: view invents dataflow between relevant"
+               " modules")
+RULES.register("VIEW026", LAYER_VIEW, ERROR,
+               "Property 3 violated: view loses dataflow between relevant"
+               " modules")
+RULES.register("VIEW027", LAYER_VIEW, WARNING,
+               "view is not minimal: some composites can be merged")
+RULES.register("VIEW028", LAYER_VIEW, WARNING,
+               "view introduces a loop the specification does not have")
+RULES.register("VIEW029", LAYER_VIEW, WARNING,
+               "relevant composite is not weakly connected in the"
+               " specification")
+
+
+def view_payload(view: UserView) -> Dict[str, List[str]]:
+    """Raw composite -> members mapping of a constructed view."""
+    return {c: sorted(view.members(c)) for c in sorted(view.composites)}
+
+
+def lint_view_payload(
+    name: str,
+    composites: Mapping[str, Iterable[str]],
+    spec_modules: FrozenSet[str],
+) -> List[Finding]:
+    """Audit raw composite/member rows against a module set."""
+    findings: List[Finding] = []
+    assigned: Dict[str, str] = {}
+    for composite in sorted(composites):
+        members = list(composites[composite])
+        if composite in ENDPOINTS or not members:
+            findings.append(RULES.finding(
+                "VIEW023", name,
+                "composite %r is reserved or empty" % composite,
+                location=composite,
+                hint="composites need a fresh name and at least one member",
+            ))
+        for module in members:
+            if module not in spec_modules:
+                findings.append(RULES.finding(
+                    "VIEW020", name,
+                    "composite %r contains unknown module %r"
+                    % (composite, module),
+                    location=composite,
+                    hint="the viewed specification declares no such module",
+                ))
+                continue
+            if module in assigned and assigned[module] != composite:
+                findings.append(RULES.finding(
+                    "VIEW021", name,
+                    "module %r appears in composites %r and %r"
+                    % (module, assigned[module], composite),
+                    location=module,
+                    hint="a view is a partition: each module belongs to"
+                         " exactly one composite",
+                ))
+                continue
+            assigned[module] = composite
+    missing = sorted(spec_modules - set(assigned))
+    if missing:
+        findings.append(RULES.finding(
+            "VIEW022", name,
+            "view does not cover modules %s" % ", ".join(missing),
+            hint="every specification module must belong to a composite",
+        ))
+    return findings
+
+
+def lint_view(
+    view: UserView,
+    relevant: Optional[Iterable[str]] = None,
+    check_minimality: bool = False,
+) -> List[Finding]:
+    """Audit a constructed view; property rules need ``relevant``."""
+    findings: List[Finding] = []
+    subject = view.name
+
+    if introduces_loop(view):
+        findings.append(RULES.finding(
+            "VIEW028", subject,
+            "the induced specification has a loop with no counterpart in"
+            " %r" % view.spec.name,
+            hint="a composite groups a module with one of its transitive"
+                 " consumers",
+        ))
+
+    if relevant is None:
+        return findings
+
+    rel = frozenset(relevant)
+    unknown = sorted(rel - view.spec.modules)
+    for module in unknown:
+        findings.append(RULES.finding(
+            "VIEW020", subject,
+            "relevant module %r is not in the specification" % module,
+            location=module,
+            hint="flag only declared modules as relevant",
+        ))
+    rel = rel & view.spec.modules
+
+    well_formed = is_well_formed(view, rel)
+    if not well_formed:
+        for composite in sorted(view.composites):
+            hits = sorted(view.members(composite) & rel)
+            if len(hits) > 1:
+                findings.append(RULES.finding(
+                    "VIEW024", subject,
+                    "composite %r contains relevant modules %s"
+                    % (composite, ", ".join(hits)),
+                    location=composite,
+                    hint="split the composite so each holds at most one"
+                         " relevant module (Property 1)",
+                ))
+        # Properties 2/3 are only defined for well-formed views.
+        return findings
+
+    tables = _PairTables(view, rel)
+    invented = False
+    lost = False
+    for edge in tables.surviving_edges():
+        ground = tables.ground_pairs(edge)
+        lifted = tables.lifted_pairs(edge)
+        if not invented and not lifted <= ground:
+            invented = True
+            findings.append(RULES.finding(
+                "VIEW025", subject,
+                "edge %s -> %s serves relevant pair(s) %s in the view but"
+                " not in the specification"
+                % (edge[0], edge[1],
+                   ", ".join(sorted("%s->%s" % p for p in lifted - ground))),
+                location="%s->%s" % edge,
+                hint="the grouping manufactures dataflow between relevant"
+                     " modules (Property 2)",
+            ))
+        if not lost and not ground <= lifted:
+            lost = True
+            findings.append(RULES.finding(
+                "VIEW026", subject,
+                "edge %s -> %s serves relevant pair(s) %s in the"
+                " specification but not in the view"
+                % (edge[0], edge[1],
+                   ", ".join(sorted("%s->%s" % p for p in ground - lifted))),
+                location="%s->%s" % edge,
+                hint="the grouping hides dataflow between relevant modules"
+                     " (Property 3)",
+            ))
+        if invented and lost:
+            break
+
+    if check_minimality and not invented and not lost:
+        if not is_minimal(view, rel):
+            findings.append(RULES.finding(
+                "VIEW027", subject,
+                "some pair of composites can be merged while preserving"
+                " Properties 1-3",
+                hint="run local_search_minimize or rebuild with"
+                     " RelevUserViewBuilder",
+            ))
+
+    undirected = view.spec.graph.to_undirected(as_view=True)
+    for composite in sorted(view.composites):
+        members = view.members(composite)
+        if not members & rel or len(members) == 1:
+            continue
+        if not nx.is_connected(undirected.subgraph(members)):
+            findings.append(RULES.finding(
+                "VIEW029", subject,
+                "relevant composite %r is not weakly connected" % composite,
+                location=composite,
+                hint="Properties 1-3 normally guarantee connectivity of"
+                     " relevant composites; this grouping was built another"
+                     " way",
+            ))
+    return findings

@@ -1,0 +1,247 @@
+"""Warehouse-layer lint rules (``WH0xx``) and the at-rest audit.
+
+:func:`lint_warehouse` sweeps every stored artifact through the raw-row
+accessors of :class:`~repro.warehouse.base.ProvenanceWarehouse` —
+``spec_rows``, ``view_rows`` and the step/io primitives — so a corrupted
+database is *audited*, not merely crashed into:
+
+* stored spec rows run through the ``SPEC0xx`` payload rules,
+* stored view rows run through the ``VIEW0xx`` partition rules (plus the
+  loop rule when the view still reconstructs),
+* stored run rows get the relational-integrity ``WH0xx`` rules below plus
+  the dataflow ``RUN0xx`` rules over the same rows.
+
+The referential-integrity rules mirror the corruption modes the paper's
+Oracle warehouse guards with constraints and this reproduction's SQLite
+schema cannot fully express (multi-producer data is a query-time property,
+not a key).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ZoomError
+from ..core.spec import INPUT
+from .findings import ERROR, LAYER_WAREHOUSE, WARNING, Finding
+from .registry import RULES
+from .rules_run import RunFacts, lint_run_facts
+from .rules_spec import lint_spec_payload
+from .rules_view import lint_view, lint_view_payload
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
+    from ..warehouse.base import ProvenanceWarehouse
+
+RULES.register("WH030", LAYER_WAREHOUSE, ERROR,
+               "io table records more than one producing step for a data"
+               " object")
+RULES.register("WH031", LAYER_WAREHOUSE, ERROR,
+               "step row references a module absent from the spec's module"
+               " table")
+RULES.register("WH032", LAYER_WAREHOUSE, ERROR,
+               "dangling io row: references a step the run does not declare")
+RULES.register("WH033", LAYER_WAREHOUSE, ERROR,
+               "io row reads a data object no row produces")
+RULES.register("WH034", LAYER_WAREHOUSE, ERROR,
+               "final_output row references a data object no row produces")
+RULES.register("WH035", LAYER_WAREHOUSE, ERROR,
+               "run references a specification the warehouse does not hold")
+RULES.register("WH036", LAYER_WAREHOUSE, ERROR,
+               "view references a specification the warehouse does not hold")
+RULES.register("WH037", LAYER_WAREHOUSE, WARNING,
+               "run has no step rows")
+
+
+def lint_run_rows(
+    run_id: str,
+    steps: Sequence[Tuple[str, str]],
+    io_rows: Sequence[Tuple[str, str, str]],
+    user_inputs: Sequence[str],
+    final_outputs: Sequence[str],
+    spec_modules: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Relational-integrity rules over one run's raw rows."""
+    findings: List[Finding] = []
+    step_ids = {step_id for step_id, _module in steps}
+
+    if not steps:
+        findings.append(RULES.finding(
+            "WH037", run_id,
+            "run has no step rows",
+            hint="an ingested run should carry at least one step",
+        ))
+
+    if spec_modules is not None:
+        for step_id, module in sorted(steps):
+            if module not in spec_modules:
+                findings.append(RULES.finding(
+                    "WH031", run_id,
+                    "step %r references module %r absent from the module"
+                    " table" % (step_id, module),
+                    location=step_id,
+                    hint="the step and module tables disagree; re-ingest"
+                         " the run",
+                ))
+
+    producers: Dict[str, List[str]] = {}
+    reads: List[Tuple[str, str]] = []
+    for step_id, data_id, direction in io_rows:
+        if step_id not in step_ids:
+            findings.append(RULES.finding(
+                "WH032", run_id,
+                "io row (%s, %s, %s) references an undeclared step"
+                % (step_id, data_id, direction),
+                location=step_id,
+                hint="delete the orphan row or restore the step row",
+            ))
+        if direction == "out":
+            producers.setdefault(data_id, []).append(step_id)
+        else:
+            reads.append((step_id, data_id))
+
+    produced = set(producers) | set(user_inputs)
+    for data_id, writers in sorted(producers.items()):
+        distinct = sorted(set(writers))
+        if len(distinct) > 1 or data_id in set(user_inputs):
+            owners = distinct + ([INPUT] if data_id in set(user_inputs) else [])
+            findings.append(RULES.finding(
+                "WH030", run_id,
+                "data %r has %d producers (%s)"
+                % (data_id, len(owners), ", ".join(owners)),
+                location=data_id,
+                hint="deep provenance over multi-producer data is"
+                     " ill-defined; repair the io table",
+            ))
+
+    for step_id, data_id in sorted(set(reads)):
+        if data_id not in produced:
+            findings.append(RULES.finding(
+                "WH033", run_id,
+                "io row reads %r which no out-row or user input produces"
+                % data_id,
+                location=data_id,
+                hint="restore the producing out-row or the user_input row",
+            ))
+
+    for data_id in sorted(final_outputs):
+        if data_id not in produced:
+            findings.append(RULES.finding(
+                "WH034", run_id,
+                "final output %r is produced by no io row" % data_id,
+                location=data_id,
+                hint="restore the producing out-row or drop the"
+                     " final_output row",
+            ))
+    return findings
+
+
+def lint_warehouse(
+    warehouse: ProvenanceWarehouse,
+    spec_ids: Optional[Sequence[str]] = None,
+    run_ids: Optional[Sequence[str]] = None,
+    check_minimality: bool = False,
+) -> List[Finding]:
+    """Audit every artifact a warehouse holds (optionally narrowed).
+
+    ``check_minimality`` is accepted for signature parity with the view
+    linter but stored views carry no relevant set, so only the structural
+    view rules apply here.
+    """
+    del check_minimality  # stored views have no relevant set to check
+    findings: List[Finding] = []
+    selected_specs = list(spec_ids) if spec_ids is not None else warehouse.list_specs()
+
+    spec_modules: Dict[str, Set[str]] = {}
+    spec_payloads: Dict[str, Dict[str, object]] = {}
+    for spec_id in selected_specs:
+        try:
+            payload = warehouse.spec_rows(spec_id)
+        except ZoomError:
+            continue  # unknown spec id: nothing to audit
+        spec_payloads[spec_id] = payload
+        spec_modules[spec_id] = {
+            m for m in payload.get("modules", []) if isinstance(m, str)
+        }
+        findings.extend(lint_spec_payload(payload))
+
+    for view_id in warehouse.list_views():
+        try:
+            view_spec_id, name, composites = warehouse.view_rows(view_id)
+        except ZoomError:
+            continue
+        if spec_ids is not None and view_spec_id not in selected_specs:
+            continue
+        if view_spec_id not in spec_modules:
+            try:
+                modules = set(warehouse.spec_rows(view_spec_id).get("modules", []))
+            except ZoomError:
+                findings.append(RULES.finding(
+                    "WH036", view_id,
+                    "view references unknown spec %r" % view_spec_id,
+                    hint="store the specification first or drop the view",
+                ))
+                continue
+            spec_modules[view_spec_id] = {
+                m for m in modules if isinstance(m, str)
+            }
+        payload_findings = lint_view_payload(
+            view_id, composites, frozenset(spec_modules[view_spec_id])
+        )
+        findings.extend(payload_findings)
+        if not payload_findings:
+            try:
+                view = warehouse.get_view(view_id)
+            except ZoomError:
+                view = None
+            if view is not None:
+                findings.extend(lint_view(view, relevant=None))
+
+    selected_runs = list(run_ids) if run_ids is not None else warehouse.list_runs()
+    for run_id in selected_runs:
+        try:
+            run_spec_id = warehouse.run_spec_id(run_id)
+        except ZoomError:
+            continue
+        if spec_ids is not None and run_spec_id not in selected_specs:
+            continue
+        modules = spec_modules.get(run_spec_id)
+        if modules is None and run_spec_id not in spec_payloads:
+            try:
+                payload = warehouse.spec_rows(run_spec_id)
+                modules = {
+                    m for m in payload.get("modules", [])
+                    if isinstance(m, str)
+                }
+                spec_modules[run_spec_id] = modules
+            except ZoomError:
+                findings.append(RULES.finding(
+                    "WH035", run_id,
+                    "run references unknown spec %r" % run_spec_id,
+                    hint="store the specification first or drop the run",
+                ))
+        steps = warehouse.steps_of_run(run_id)
+        io_rows = warehouse.io_rows(run_id)
+        user_inputs = sorted(warehouse.user_inputs(run_id))
+        final_outputs = sorted(warehouse.final_outputs(run_id))
+        findings.extend(lint_run_rows(
+            run_id, steps, io_rows, user_inputs, final_outputs,
+            spec_modules=modules,
+        ))
+        facts = RunFacts.from_rows(
+            run_id, list(steps), list(io_rows),
+            frozenset(user_inputs), frozenset(final_outputs),
+        )
+        payload = spec_payloads.get(run_spec_id)
+        if payload is not None:
+            facts.attach_spec(
+                spec_modules.get(run_spec_id, set()),
+                [tuple(e) for e in payload.get("edges", [])],
+            )
+        # Keep only the dataflow rules with no WH0xx counterpart: the
+        # integrity concepts (multi-producer, unknown module, dangling
+        # rows, unproduced reads/finals) were already reported at rest.
+        dataflow_only = {"RUN015", "RUN018", "RUN019"}
+        findings.extend(
+            f for f in lint_run_facts(facts) if f.rule_id in dataflow_only
+        )
+    return findings

@@ -28,7 +28,7 @@ import logging
 import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional, TypeVar
+from typing import Callable, Dict, Iterator, TypeVar
 
 logger = logging.getLogger("repro.obs.metrics")
 

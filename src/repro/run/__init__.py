@@ -2,12 +2,6 @@
 
 from .data import DataRegistry, UserInputMeta
 from .executor import ExecutionParams, SimulationResult, simulate
-from .replay import (
-    canonical_signature,
-    observed_iterations,
-    replay,
-    runs_equivalent,
-)
 from .log import (
     Event,
     EventLog,
@@ -18,6 +12,12 @@ from .log import (
     WriteEvent,
     log_from_run,
     run_from_log,
+)
+from .replay import (
+    canonical_signature,
+    observed_iterations,
+    replay,
+    runs_equivalent,
 )
 from .run import Step, WorkflowRun
 from .trace import read_trace, write_trace

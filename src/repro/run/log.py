@@ -180,35 +180,56 @@ def run_from_log(log: EventLog, spec: WorkflowSpec) -> WorkflowRun:
     data object is its producer; an edge ``s -> t`` labelled ``d`` exists
     whenever ``t`` read an object ``d`` written by ``s`` (or supplied by
     the user, in which case the edge leaves the ``input`` node).
+
+    Reconstruction is fail-fast: the first offending event raises
+    :class:`RunError`, and the message names that event's position in the
+    log and its kind, so a bad trace can be located without replaying it
+    by hand.  (To collect *every* defect of a log instead, use
+    :func:`repro.lint.lint_log`.)
     """
     run = WorkflowRun(spec, run_id=log.run_id)
     writer: Dict[str, str] = {}
-    for event in log:
+    for index, event in enumerate(log):
         if event.kind == "user_input":
             writer[event.data_id] = INPUT
         elif event.kind == "start":
-            run.add_step(event.step_id, event.module)
+            _positioned(run.add_step, index, event, event.step_id, event.module)
         elif event.kind == "write":
             if event.data_id in writer:
                 raise RunError(
-                    "data %r written twice (by %r and %r)"
-                    % (event.data_id, writer[event.data_id], event.step_id)
+                    "event %d (%s): data %r written twice (by %r and %r)"
+                    % (index, event.kind, event.data_id,
+                       writer[event.data_id], event.step_id)
                 )
             writer[event.data_id] = event.step_id
-    for event in log:
+    for index, event in enumerate(log):
         if event.kind == "read":
             source = writer.get(event.data_id)
             if source is None:
                 raise RunError(
-                    "step %r read %r which nothing produced"
-                    % (event.step_id, event.data_id)
+                    "event %d (%s): step %r read %r which nothing produced"
+                    % (index, event.kind, event.step_id, event.data_id)
                 )
-            run.add_edge(source, event.step_id, [event.data_id])
+            _positioned(
+                run.add_edge, index, event, source, event.step_id, [event.data_id]
+            )
         elif event.kind == "final_output":
             source = writer.get(event.data_id)
             if source is None:
                 raise RunError(
-                    "final output %r was never produced" % event.data_id
+                    "event %d (%s): final output %r was never produced"
+                    % (index, event.kind, event.data_id)
                 )
-            run.add_edge(source, OUTPUT, [event.data_id])
+            _positioned(
+                run.add_edge, index, event, source, OUTPUT, [event.data_id]
+            )
     return run
+
+
+def _positioned(action, index, event, *args):
+    """Run one reconstruction action, prefixing any RunError with the
+    offending event's log position and kind."""
+    try:
+        return action(*args)
+    except RunError as exc:
+        raise RunError("event %d (%s): %s" % (index, event.kind, exc)) from None

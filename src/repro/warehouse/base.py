@@ -195,6 +195,37 @@ class ProvenanceWarehouse(ABC):
         """
 
     # ------------------------------------------------------------------
+    # Raw-row access (auditing)
+    # ------------------------------------------------------------------
+
+    def spec_rows(self, spec_id: str) -> Dict[str, object]:
+        """The raw ``{"name", "modules", "edges"}`` payload of a spec.
+
+        Unlike :meth:`get_spec` this must not validate: it exposes the
+        stored rows as-is so :mod:`repro.lint` can audit a corrupted
+        warehouse instead of crashing into it.  The default implementation
+        round-trips through :meth:`get_spec` (backends holding model
+        objects cannot be corrupt); row stores override it with direct
+        table reads.
+        """
+        return self.get_spec(spec_id).to_dict()
+
+    def view_rows(self, view_id: str) -> Tuple[str, str, Dict[str, List[str]]]:
+        """Raw ``(spec_id, name, composite -> members)`` rows of a view.
+
+        Same contract as :meth:`spec_rows`: no validation, for auditing.
+        """
+        view = self.get_view(view_id)
+        for spec_id in self.list_specs():
+            if view_id in self.list_views(spec_id):
+                return (
+                    spec_id,
+                    view.name,
+                    {c: sorted(view.members(c)) for c in sorted(view.composites)},
+                )
+        raise self._missing("view", view_id)
+
+    # ------------------------------------------------------------------
     # Run reconstruction (shared implementation)
     # ------------------------------------------------------------------
 

@@ -5,6 +5,14 @@ specifications and view definitions, while run information arrives from
 workflow logs.  This module packages those ingestion paths: one call loads
 a specification together with its standard views, another loads a finished
 simulation (run + log), and :func:`load_dataset` ingests a whole workload.
+
+Every ingestion path runs the artifacts through :mod:`repro.lint` first.
+By default findings only *warn*: they are counted per rule id in the
+default metrics registry (``lint.<RULE_ID>`` counters) and ingestion
+proceeds — the behaviour a high-volume service wants.  Passing
+``strict=True`` turns the lint pass into a gate: error-severity findings
+reject the artifact with :class:`~repro.lint.findings.LintGateError`
+*before* anything touches the warehouse.
 """
 
 from __future__ import annotations
@@ -27,12 +35,20 @@ class LoadedSpec:
     run_ids: List[str] = field(default_factory=list)
 
 
+def _linter():
+    """The ingestion-gate linter (lazy import to avoid a package cycle)."""
+    from ..lint import Linter
+
+    return Linter()
+
+
 def load_spec(
     warehouse: ProvenanceWarehouse,
     spec: WorkflowSpec,
     views: Optional[Mapping[str, UserView]] = None,
     spec_id: Optional[str] = None,
     with_standard_views: bool = False,
+    strict: bool = False,
 ) -> LoadedSpec:
     """Store a specification and (optionally) a set of views.
 
@@ -49,7 +65,17 @@ def load_spec(
     with_standard_views:
         Also store the UAdmin and UBlackBox views under ids
         ``"<spec_id>/UAdmin"`` and ``"<spec_id>/UBlackBox"``.
+    strict:
+        Gate ingestion on the lint pass: reject the spec (or any supplied
+        view) carrying error-severity findings.  The default lints but
+        only counts findings in metrics.
     """
+    linter = _linter()
+    linter.gate(linter.lint_spec(spec), "spec %r" % spec.name, strict)
+    for view_id, view in (views or {}).items():
+        linter.gate(
+            linter.lint_view(view), "view %r (%s)" % (view.name, view_id), strict
+        )
     stored = LoadedSpec(spec_id=warehouse.store_spec(spec, spec_id=spec_id))
     if with_standard_views:
         admin = admin_view(spec)
@@ -70,15 +96,24 @@ def load_simulation(
     spec_id: str,
     run_id: Optional[str] = None,
     from_log: bool = False,
+    strict: bool = False,
 ) -> str:
     """Store one simulated execution against an already-stored spec.
 
     ``from_log=True`` ingests through the event log (exercising the
     reconstruction path a real deployment would use); the default stores
     the run graph directly — both produce identical warehouse contents.
+    ``strict=True`` rejects the artifact when the lint pass finds errors.
     """
+    linter = _linter()
     if from_log:
+        linter.gate(
+            linter.lint_log(result.log, result.run.spec),
+            "log %r" % result.log.run_id,
+            strict,
+        )
         return warehouse.store_log(result.log, spec_id, run_id=run_id)
+    linter.gate(linter.lint_run(result.run), "run %r" % result.run.run_id, strict)
     return warehouse.store_run(result.run, spec_id, run_id=run_id)
 
 
@@ -86,21 +121,28 @@ def load_dataset(
     warehouse: ProvenanceWarehouse,
     items: Iterable[Tuple[WorkflowSpec, Sequence[SimulationResult]]],
     with_standard_views: bool = True,
+    strict: bool = False,
 ) -> List[LoadedSpec]:
     """Ingest a collection of specifications, each with its runs.
 
     Run ids are qualified as ``"<spec_id>/<run_id>"`` so that several
     specifications can reuse the simulator's default run naming.
+    ``strict`` is forwarded to every :func:`load_spec` /
+    :func:`load_simulation` call.
     """
     loaded: List[LoadedSpec] = []
     for spec, simulations in items:
         record = load_spec(
-            warehouse, spec, with_standard_views=with_standard_views
+            warehouse, spec, with_standard_views=with_standard_views,
+            strict=strict,
         )
         for index, simulation in enumerate(simulations, start=1):
             run_id = "%s/run%d" % (record.spec_id, index)
             record.run_ids.append(
-                load_simulation(warehouse, simulation, record.spec_id, run_id=run_id)
+                load_simulation(
+                    warehouse, simulation, record.spec_id, run_id=run_id,
+                    strict=strict,
+                )
             )
         loaded.append(record)
     return loaded

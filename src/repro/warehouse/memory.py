@@ -92,6 +92,17 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             if spec_id is None or sid == spec_id
         )
 
+    def view_rows(self, view_id: str) -> Tuple[str, str, Dict[str, List[str]]]:
+        try:
+            spec_id, view = self._views[view_id]
+        except KeyError:
+            raise self._missing("view", view_id) from None
+        return (
+            spec_id,
+            view.name,
+            {c: sorted(view.members(c)) for c in sorted(view.composites)},
+        )
+
     # ------------------------------------------------------------------
     # Runs
     # ------------------------------------------------------------------

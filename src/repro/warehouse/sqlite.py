@@ -147,6 +147,33 @@ class SqliteWarehouse(ProvenanceWarehouse):
             )
         ]
 
+    def spec_rows(self, spec_id: str) -> Dict[str, object]:
+        """Raw module/spec_edge rows, unvalidated (lint audits at rest)."""
+        row = self._conn.execute(
+            "SELECT name FROM spec WHERE spec_id = ?", (spec_id,)
+        ).fetchone()
+        if row is None:
+            raise self._missing("spec", spec_id)
+        return {
+            "name": row[0],
+            "modules": [
+                m
+                for (m,) in self._conn.execute(
+                    "SELECT module FROM module WHERE spec_id = ?"
+                    " ORDER BY module",
+                    (spec_id,),
+                )
+            ],
+            "edges": [
+                (src, dst)
+                for src, dst in self._conn.execute(
+                    "SELECT src, dst FROM spec_edge WHERE spec_id = ?"
+                    " ORDER BY src, dst",
+                    (spec_id,),
+                )
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
@@ -194,6 +221,22 @@ class SqliteWarehouse(ProvenanceWarehouse):
         ):
             composites.setdefault(composite, []).append(module)
         return UserView(spec, composites, name=row[1])
+
+    def view_rows(self, view_id: str) -> Tuple[str, str, Dict[str, List[str]]]:
+        """Raw view_def/view_member rows, unvalidated (lint audits at rest)."""
+        row = self._conn.execute(
+            "SELECT spec_id, name FROM view_def WHERE view_id = ?", (view_id,)
+        ).fetchone()
+        if row is None:
+            raise self._missing("view", view_id)
+        composites: Dict[str, List[str]] = {}
+        for composite, module in self._conn.execute(
+            "SELECT composite, module FROM view_member WHERE view_id = ?"
+            " ORDER BY composite, module",
+            (view_id,),
+        ):
+            composites.setdefault(composite, []).append(module)
+        return row[0], row[1], composites
 
     def list_views(self, spec_id: Optional[str] = None) -> List[str]:
         if spec_id is None:

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..core.builder import build_user_view
 from ..core.spec import INPUT, OUTPUT, WorkflowSpec
 from ..core.view import UserView
-from ..core.builder import build_user_view
 from ..run.run import WorkflowRun
 
 #: Task descriptions, for display layers.

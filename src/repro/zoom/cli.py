@@ -13,6 +13,7 @@ Subcommands::
     zoom diff ...                     compare two runs through a view
     zoom stats ...                    aggregate warehouse statistics
     zoom ingest ...                   load a foreign JSON Lines trace
+    zoom lint ...                     statically analyse specs/warehouses
     zoom dump / zoom restore          archive a warehouse to/from JSON
 
 Every subcommand works against a SQLite warehouse file, so a shell session
@@ -332,6 +333,43 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Statically analyse a spec file and/or a warehouse (provlint)."""
+    from ..lint import RULES, LintReport, Linter, RuleConfig
+
+    if args.rules:
+        for rule in RULES.all_rules():
+            print("%-8s %-9s %-10s %s"
+                  % (rule.rule_id, rule.severity, rule.layer, rule.summary))
+        return 0
+    if not args.spec and not args.db:
+        print("zoom lint: provide --spec and/or --db (or --rules)",
+              file=sys.stderr)
+        return 2
+    try:
+        config = RuleConfig.build(select=args.select, ignore=args.ignore)
+    except KeyError as exc:
+        print("zoom lint: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    linter = Linter(config=config, check_minimality=args.minimality)
+    report = LintReport()
+    if args.spec:
+        with open(args.spec) as handle:
+            report.merge(linter.lint_spec(json.load(handle)))
+    if args.db:
+        with SqliteWarehouse(args.db) as warehouse:
+            report.merge(linter.lint_warehouse(
+                warehouse,
+                spec_ids=args.spec_id or None,
+                run_ids=args.run_id or None,
+            ))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 1 if args.strict and report.has_errors else 0
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     """Archive a SQLite warehouse to a JSON file."""
     from ..warehouse.jsonfile import save_warehouse
@@ -445,6 +483,30 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--trace", required=True)
     ingest.add_argument("--run-id", default=None)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of specs, runs, views and warehouses",
+    )
+    lint.add_argument("--spec", default=None,
+                      help="spec JSON file (from 'generate') to lint")
+    lint.add_argument("--db", default=None,
+                      help="SQLite warehouse to audit at rest")
+    lint.add_argument("--spec-id", nargs="*", default=None,
+                      help="restrict the warehouse audit to these specs")
+    lint.add_argument("--run-id", nargs="*", default=None,
+                      help="restrict the warehouse audit to these runs")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero when error-severity findings exist")
+    lint.add_argument("--select", nargs="*", default=None,
+                      help="enable only these rule ids")
+    lint.add_argument("--ignore", nargs="*", default=None,
+                      help="disable these rule ids")
+    lint.add_argument("--minimality", action="store_true",
+                      help="also run the quadratic minimality oracle")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     dump = sub.add_parser("dump", help="archive a warehouse to JSON")
     dump.add_argument("--db", required=True)
     dump.add_argument("--out", required=True)
@@ -468,6 +530,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "stats": _cmd_stats,
     "ingest": _cmd_ingest,
+    "lint": _cmd_lint,
     "dump": _cmd_dump,
     "restore": _cmd_restore,
 }

@@ -205,6 +205,22 @@ class Session:
         combined.update(self.reasoner.stats())
         return combined
 
+    def lint(self, check_minimality: bool = True):
+        """Audit the session's spec and active view; returns a lint report.
+
+        The view is checked against the *current* relevant set, so the
+        report says whether what the user is looking at still satisfies
+        Properties 1–3 (and, by default, minimality) for what they
+        flagged.  Diagnostics are collected, never raised — inspect the
+        returned :class:`~repro.lint.findings.LintReport`.
+        """
+        from ..lint import Linter
+
+        linter = Linter(check_minimality=check_minimality)
+        report = linter.lint_spec(self.spec)
+        report.merge(linter.lint_view(self.view, relevant=self.relevant))
+        return report
+
     # ------------------------------------------------------------------
     # Provenance queries at the current granularity
     # ------------------------------------------------------------------
