@@ -5,13 +5,33 @@ The paper reports average response times of 23 ms (small runs), 213 ms
 provenance of the run's final output — with every query under 30 s, using
 the compute-UAdmin-then-project strategy over the Oracle warehouse.
 
-Here the same query runs against the SQLite warehouse (recursive CTE) via
-the reasoner.  Absolute constants differ from the paper's hardware; the
-reproduced shape is the roughly order-of-magnitude growth from small to
-medium to large and the absolute numbers staying interactive.
+Here the same query runs against the SQLite warehouse under all three
+reasoner strategies:
+
+``cached`` / ``uncached``
+    the recursive-CTE closure (the paper's query plan), with and without
+    the reasoner's memoisation — the reasoner is re-created *cold* every
+    round, so ``cached`` pays the closure too and the two mostly tie;
+``indexed``
+    the materialised lineage-closure index
+    (:mod:`repro.provenance.index`): the closure was paid once at
+    ingestion time, each query is a single range scan.
+
+Two warehouses hold identical runs: the index is built only on the second,
+because the warehouse transparently serves ``admin_deep_provenance`` from
+an existing index — benchmarking ``cached`` against an indexed warehouse
+would measure the index twice, not the CTE.
+
+The final test writes ``BENCH_query_time.json`` (mean ms/query per kind
+and strategy) at the repository root and asserts the amortisation claim:
+on medium and large runs an indexed query is at least twice as fast as a
+cold cached one.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -21,46 +41,69 @@ from repro.warehouse.sqlite import SqliteWarehouse
 from .conftest import Workload, print_table
 
 KINDS = ["small", "medium", "large"]
+STRATEGIES = ["cached", "uncached", "indexed"]
 
 _TIMES = {}
 
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_query_time.json"
 
-@pytest.fixture(scope="module")
-def loaded_sqlite(workload: Workload):
+
+def _load(workload: Workload, index: bool):
     """A SQLite warehouse holding one run of each kind per workflow."""
     warehouse = SqliteWarehouse()
     handles = {kind: [] for kind in KINDS}
-    for class_name, item in workload.all_items():
+    for _class_name, item in workload.all_items():
         spec_id = warehouse.store_spec(item.generated.spec)
         for kind in KINDS:
             result = item.runs[kind][0]
             run_id = warehouse.store_run(result.run, spec_id,
                                          run_id=result.run.run_id)
-            handles[kind].append((run_id, item.ubio))
+            if index:
+                warehouse.build_lineage_index(run_id)
+            handles[kind].append(run_id)
+    return warehouse, handles
+
+
+@pytest.fixture(scope="module")
+def plain_sqlite(workload: Workload):
+    """Un-indexed warehouse: queries recurse (cached/uncached strategies)."""
+    warehouse, handles = _load(workload, index=False)
+    yield warehouse, handles
+    warehouse.close()
+
+
+@pytest.fixture(scope="module")
+def indexed_sqlite(workload: Workload):
+    """Warehouse with every run's lineage index prebuilt at ingestion."""
+    warehouse, handles = _load(workload, index=True)
     yield warehouse, handles
     warehouse.close()
 
 
 @pytest.mark.parametrize("kind", KINDS)
-def test_query_time_per_kind(benchmark, loaded_sqlite, kind):
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_query_time_per_kind(benchmark, plain_sqlite, indexed_sqlite,
+                             strategy, kind):
     """Deep provenance of the final output, cold reasoner each round."""
-    warehouse, handles = loaded_sqlite
+    warehouse, handles = (
+        indexed_sqlite if strategy == "indexed" else plain_sqlite
+    )
     runs = handles[kind]
 
     def query_all():
-        reasoner = ProvenanceReasoner(warehouse)  # cold caches
+        reasoner = ProvenanceReasoner(warehouse, strategy=strategy)  # cold
         total_tuples = 0
-        for run_id, ubio in runs:
-            total_tuples += reasoner.final_output_deep(run_id, view=ubio).num_tuples()
+        for run_id in runs:
+            total_tuples += reasoner.final_output_deep(run_id).num_tuples()
         return total_tuples
 
     total = benchmark(query_all)
     assert total >= 0
     per_query_ms = benchmark.stats.stats.mean * 1000 / len(runs)
-    _TIMES[kind] = per_query_ms
+    _TIMES[(kind, strategy)] = per_query_ms
     benchmark.extra_info["per_query_ms"] = per_query_ms
     print_table(
-        "Query time / %s runs" % kind,
+        "Query time / %s runs / %s strategy" % (kind, strategy),
         ["runs", "mean ms/query"],
         [[len(runs), "%.2f" % per_query_ms]],
     )
@@ -68,17 +111,35 @@ def test_query_time_per_kind(benchmark, loaded_sqlite, kind):
     assert per_query_ms < 30_000
 
 
-def test_query_time_growth(benchmark):
-    """Times grow with run kind (paper: 23 ms -> 213 ms -> 1.1 s)."""
+def test_query_time_report(benchmark):
+    """Emit BENCH_query_time.json; the index must amortise on big runs."""
 
     def snapshot():
         return dict(_TIMES)
 
     times = benchmark.pedantic(snapshot, rounds=1, iterations=1)
-    if len(times) == len(KINDS):
-        print_table(
-            "Query time growth (paper: ~10x then ~5x)",
-            KINDS,
-            [["%.2f ms" % times[k] for k in KINDS]],
+    if len(times) < len(KINDS) * len(STRATEGIES):
+        pytest.skip("needs the full (kind x strategy) matrix in one session")
+    payload = {
+        kind: {
+            strategy: round(times[(kind, strategy)], 3)
+            for strategy in STRATEGIES
+        }
+        for kind in KINDS
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print_table(
+        "Query time, mean ms/query (paper: 23 ms -> 213 ms -> 1.1 s)",
+        ["kind"] + STRATEGIES,
+        [[kind] + ["%.2f" % payload[kind][s] for s in STRATEGIES]
+         for kind in KINDS],
+    )
+    # Times grow with run kind under the recursive strategies.
+    assert payload["small"]["cached"] <= payload["medium"]["cached"] \
+        <= payload["large"]["cached"]
+    # The amortisation claim: once the ingestion-time closure is paid, a
+    # medium/large query from the index beats the cold recursive path 2x+.
+    for kind in ("medium", "large"):
+        assert payload[kind]["indexed"] * 2 <= payload[kind]["cached"], (
+            kind, payload[kind],
         )
-        assert times["small"] <= times["medium"] <= times["large"]

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
 from ..obs import timed
 from ..run.run import WorkflowRun
-from .errors import RunError
+from .errors import QueryError, RunError
 from .spec import INPUT, OUTPUT
 from .view import UserView
 
@@ -84,6 +84,9 @@ class CompositeRun:
         self._graph = nx.DiGraph()
         self._hidden: Set[str] = set()
         self._build_graph()
+        # Reverse consumer map, built lazily on the first reverse query:
+        # (producing virtual step, data id) -> consuming virtual steps.
+        self._consumer_map: Optional[Dict[Tuple[str, str], Set[str]]] = None
 
     # ------------------------------------------------------------------
     # Group construction
@@ -219,6 +222,36 @@ class CompositeRun:
         for _src, _dst, payload in self._graph.out_edges(cstep_id, data="data"):
             outputs |= payload
         return outputs
+
+    def consumers_of(self, data_id: str) -> List[str]:
+        """Virtual steps that received ``data_id`` over an induced edge.
+
+        Served from a reverse consumer map built once per composite run (on
+        the first call), so a reverse-provenance traversal costs one pass
+        over the induced edges instead of rescanning the producer's
+        out-edges for every data object it reaches.
+        """
+        if self._consumer_map is None:
+            self._consumer_map = self._build_consumer_map()
+        producer = self.producer(data_id)
+        return sorted(self._consumer_map.get((producer, data_id), ()))
+
+    def _build_consumer_map(self) -> Dict[Tuple[str, str], Set[str]]:
+        consumers: Dict[Tuple[str, str], Set[str]] = {}
+        for src, dst, payload in self._graph.edges(data="data"):
+            if payload is None:
+                # Every induced edge must carry the set of data objects
+                # that crossed it; an edge without one would otherwise
+                # surface as a bare TypeError when iterated.
+                raise QueryError(
+                    "induced edge %r -> %r under view %r has no data payload"
+                    % (src, dst, self.view.name)
+                )
+            if dst == OUTPUT or dst == src:
+                continue
+            for data_id in payload:
+                consumers.setdefault((src, data_id), set()).add(dst)
+        return consumers
 
     def edge_data(self, src: str, dst: str) -> FrozenSet[str]:
         """Data carried by one induced edge."""

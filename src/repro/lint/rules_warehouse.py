@@ -50,6 +50,9 @@ RULES.register("WH036", LAYER_WAREHOUSE, ERROR,
                "view references a specification the warehouse does not hold")
 RULES.register("WH037", LAYER_WAREHOUSE, WARNING,
                "run has no step rows")
+RULES.register("WH038", LAYER_WAREHOUSE, ERROR,
+               "materialised lineage index is stale: stored closure rows"
+               " disagree with the run's io rows")
 
 
 def lint_run_rows(
@@ -244,4 +247,45 @@ def lint_warehouse(
         findings.extend(
             f for f in lint_run_facts(facts) if f.rule_id in dataflow_only
         )
+        findings.extend(lint_lineage_index(
+            warehouse, run_id, steps, io_rows, user_inputs,
+        ))
     return findings
+
+
+def lint_lineage_index(
+    warehouse: ProvenanceWarehouse,
+    run_id: str,
+    steps: Sequence[Tuple[str, str]],
+    io_rows: Sequence[Tuple[str, str, str]],
+    user_inputs: Sequence[str],
+) -> List[Finding]:
+    """``WH038``: detect a stale materialised lineage index.
+
+    The index is *derived* state; after any out-of-band edit to a run's
+    rows it silently keeps answering with the old closure.  This rule
+    recomputes the closure from the current rows and compares it with what
+    the warehouse stores, row for row.  Runs whose rows cannot be closed
+    (cycles, multi-producer data — already reported by other rules) are
+    skipped rather than crashed into.
+    """
+    from ..provenance.index import closure_table_rows
+
+    try:
+        if not warehouse.has_lineage_index(run_id):
+            return []
+        stored = warehouse.lineage_rows_raw(run_id)
+        expected = closure_table_rows(run_id, steps, io_rows, user_inputs)
+    except ZoomError:
+        return []  # rows too corrupt to close; other rules report why
+    if stored == expected:
+        return []
+    missing = len(expected - stored)
+    extra = len(stored - expected)
+    return [RULES.finding(
+        "WH038", run_id,
+        "lineage index disagrees with the io rows:"
+        " %d row(s) missing, %d stale" % (missing, extra),
+        hint="rebuild with warehouse.build_lineage_index(run_id,"
+             " rebuild=True) or 'zoom index build --rebuild'",
+    )]

@@ -16,6 +16,14 @@ with :func:`timed`:
 ``reasoner.view_switch``
     Re-answering a deep query under a different view on a warm reasoner
     (the paper's 13 ms interactivity claim).
+``index.build``
+    Materialising a run's lineage-closure index
+    (:meth:`~repro.warehouse.base.ProvenanceWarehouse.build_lineage_index`).
+``index.lookup``
+    Serving a deep-provenance answer from the materialised index (the
+    ``indexed`` reasoner strategy); the companion ``index.hit`` /
+    ``index.miss`` counters record whether the warehouse closure was
+    answered from the index or by recursion.
 
 All timers live in a process-wide default registry (:func:`get_registry`);
 tests swap it out with :func:`set_registry`.

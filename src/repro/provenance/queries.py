@@ -18,8 +18,8 @@ from collections import deque
 from typing import Deque, Set
 
 from ..core.composite import CompositeRun
-from ..core.errors import HiddenDataError, QueryError
-from ..core.spec import INPUT, OUTPUT
+from ..core.errors import HiddenDataError
+from ..core.spec import INPUT
 from .result import ProvenanceResult, ProvenanceRow, ReverseProvenanceResult
 
 
@@ -115,7 +115,7 @@ def reverse_provenance(
         seen_data.add(current)
         if current in final_outputs:
             result.final_outputs.add(current)
-        for consumer in _consumers(composite_run, current):
+        for consumer in composite_run.consumers_of(current):
             result.rows.append(
                 ProvenanceRow(
                     step_id=consumer,
@@ -129,22 +129,3 @@ def reverse_provenance(
                 result.derived.update(outputs)
                 frontier.extend(outputs)
     return result
-
-
-def _consumers(composite_run: CompositeRun, data_id: str):
-    """Virtual steps that received ``data_id`` over an induced edge."""
-    producer = composite_run.producer(data_id)
-    graph = composite_run.graph
-    out = []
-    for _src, dst, payload in graph.out_edges(producer, data="data"):
-        if payload is None:
-            # Every induced edge must carry the set of data objects that
-            # crossed it; an edge without one would otherwise surface as a
-            # bare TypeError from the membership test below.
-            raise QueryError(
-                "induced edge %r -> %r under view %r has no data payload"
-                % (producer, dst, composite_run.view.name)
-            )
-        if data_id in payload and dst != producer and dst != OUTPUT:
-            out.append(dst)
-    return sorted(out)

@@ -21,7 +21,7 @@ creates a dataflow edge.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..core.errors import UnknownEntityError, WarehouseError
 from ..core.spec import INPUT, OUTPUT, WorkflowSpec
@@ -30,6 +30,9 @@ from ..provenance.result import ProvenanceResult
 from ..run.log import EventLog, run_from_log
 from ..run.run import WorkflowRun
 from .schema import DIR_OUT
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
+    from ..provenance.index import LineageClosure
 
 
 class ProvenanceWarehouse(ABC):
@@ -192,6 +195,83 @@ class ProvenanceWarehouse(ABC):
         One row per (step, input data object) pair in the transitive
         lineage; user inputs encountered along the way are reported in the
         result's ``user_inputs``.
+        """
+
+    # ------------------------------------------------------------------
+    # Materialized lineage-closure index
+    # ------------------------------------------------------------------
+
+    def build_lineage_index(self, run_id: str, rebuild: bool = False) -> int:
+        """Materialise (and persist) the run's lineage closure.
+
+        One topological pass over the run's rows
+        (:func:`~repro.provenance.index.compute_lineage_closure`), then one
+        bulk store; afterwards :meth:`admin_deep_provenance` answers from
+        the index with no recursion.  Idempotent: an already-indexed run is
+        left untouched unless ``rebuild`` is true.  Returns the number of
+        closure rows the index holds.  Build time accumulates under the
+        ``index.build`` timer.
+        """
+        from ..obs.metrics import get_registry  # late: keep import graph acyclic
+        from ..provenance.index import compute_lineage_closure
+
+        existing = self.lineage_row_count(run_id)
+        if existing is not None and not rebuild:
+            return existing
+        with get_registry().time("index.build"):
+            closure = compute_lineage_closure(self, run_id)
+            if existing is not None:
+                self.drop_lineage_index(run_id)
+            self._store_lineage_closure(closure)
+        return closure.num_rows()
+
+    @abstractmethod
+    def _store_lineage_closure(self, closure: "LineageClosure") -> None:
+        """Persist a freshly computed closure (internal; bulk, transactional)."""
+
+    @abstractmethod
+    def has_lineage_index(self, run_id: str) -> bool:
+        """Whether the run's lineage closure is materialised."""
+
+    @abstractmethod
+    def lineage_row_count(self, run_id: str) -> Optional[int]:
+        """Closure rows stored for a run, or ``None`` when not indexed."""
+
+    @abstractmethod
+    def drop_lineage_index(self, run_id: Optional[str] = None) -> List[str]:
+        """Discard the closure of one run (or of every run); returns the
+        run ids whose index was dropped."""
+
+    @abstractmethod
+    def lineage_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        """Deep provenance straight from the materialised closure.
+
+        Raises :class:`WarehouseError` when the run is not indexed — the
+        caller (reasoner or :meth:`admin_deep_provenance`) decides whether
+        to build or to fall back to recursion.
+        """
+
+    @abstractmethod
+    def lineage_rows_raw(self, run_id: str) -> Set[Tuple[str, str, str]]:
+        """The stored ``(data_id, step_id, data_in)`` closure rows, as-is.
+
+        No validation — :mod:`repro.lint` compares these against a fresh
+        recomputation to detect a stale index (rule ``WH038``).
+        """
+
+    def lineage_index_status(self) -> Dict[str, Optional[int]]:
+        """Per-run index state: closure row count, or ``None`` if unbuilt."""
+        return {
+            run_id: self.lineage_row_count(run_id)
+            for run_id in self.list_runs()
+        }
+
+    @abstractmethod
+    def delete_run(self, run_id: str) -> None:
+        """Remove a run and every dependent row (io, annotations, lineage).
+
+        Re-ingestion after a delete gets a clean slate; the lineage index
+        of the deleted run is dropped with it.
         """
 
     # ------------------------------------------------------------------

@@ -97,6 +97,7 @@ def load_simulation(
     run_id: Optional[str] = None,
     from_log: bool = False,
     strict: bool = False,
+    index: bool = False,
 ) -> str:
     """Store one simulated execution against an already-stored spec.
 
@@ -104,6 +105,8 @@ def load_simulation(
     reconstruction path a real deployment would use); the default stores
     the run graph directly — both produce identical warehouse contents.
     ``strict=True`` rejects the artifact when the lint pass finds errors.
+    ``index=True`` materialises the run's lineage-closure index right after
+    the store (ingestion-time indexing; see :mod:`repro.provenance.index`).
     """
     linter = _linter()
     if from_log:
@@ -112,9 +115,15 @@ def load_simulation(
             "log %r" % result.log.run_id,
             strict,
         )
-        return warehouse.store_log(result.log, spec_id, run_id=run_id)
-    linter.gate(linter.lint_run(result.run), "run %r" % result.run.run_id, strict)
-    return warehouse.store_run(result.run, spec_id, run_id=run_id)
+        stored = warehouse.store_log(result.log, spec_id, run_id=run_id)
+    else:
+        linter.gate(
+            linter.lint_run(result.run), "run %r" % result.run.run_id, strict
+        )
+        stored = warehouse.store_run(result.run, spec_id, run_id=run_id)
+    if index:
+        warehouse.build_lineage_index(stored)
+    return stored
 
 
 def load_dataset(
@@ -122,12 +131,13 @@ def load_dataset(
     items: Iterable[Tuple[WorkflowSpec, Sequence[SimulationResult]]],
     with_standard_views: bool = True,
     strict: bool = False,
+    index: bool = False,
 ) -> List[LoadedSpec]:
     """Ingest a collection of specifications, each with its runs.
 
     Run ids are qualified as ``"<spec_id>/<run_id>"`` so that several
     specifications can reuse the simulator's default run naming.
-    ``strict`` is forwarded to every :func:`load_spec` /
+    ``strict`` and ``index`` are forwarded to every :func:`load_spec` /
     :func:`load_simulation` call.
     """
     loaded: List[LoadedSpec] = []
@@ -136,12 +146,12 @@ def load_dataset(
             warehouse, spec, with_standard_views=with_standard_views,
             strict=strict,
         )
-        for index, simulation in enumerate(simulations, start=1):
-            run_id = "%s/run%d" % (record.spec_id, index)
+        for number, simulation in enumerate(simulations, start=1):
+            run_id = "%s/run%d" % (record.spec_id, number)
             record.run_ids.append(
                 load_simulation(
                     warehouse, simulation, record.spec_id, run_id=run_id,
-                    strict=strict,
+                    strict=strict, index=index,
                 )
             )
         loaded.append(record)

@@ -10,15 +10,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.errors import WarehouseError
 from ..core.spec import INPUT, WorkflowSpec
 from ..core.view import UserView
+from ..obs.metrics import get_registry
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
 from .base import ProvenanceWarehouse
 from .schema import DIR_IN, DIR_OUT
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
+    from ..provenance.index import LineageClosure
 
 
 @dataclass
@@ -35,15 +39,22 @@ class _RunRecord:
     final_outputs: Set[str] = field(default_factory=set)
     input_who: Dict[str, str] = field(default_factory=dict)
     annotations: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    # Materialized lineage closure (None until built): data -> ancestor
+    # steps / lineage user inputs, plus the expanded row count for status.
+    lineage_steps: Optional[Dict[str, FrozenSet[str]]] = None
+    lineage_inputs: Optional[Dict[str, FrozenSet[str]]] = None
+    lineage_row_count: int = 0
 
 
 class InMemoryWarehouse(ProvenanceWarehouse):
     """Dictionary-backed implementation of :class:`ProvenanceWarehouse`."""
 
-    def __init__(self) -> None:
+    def __init__(self, auto_index: bool = False) -> None:
         self._specs: Dict[str, WorkflowSpec] = {}
         self._views: Dict[str, Tuple[str, UserView]] = {}
         self._runs: Dict[str, _RunRecord] = {}
+        #: Build the lineage-closure index of every run at ingestion time.
+        self.auto_index = auto_index
 
     # ------------------------------------------------------------------
     # Specifications
@@ -132,6 +143,8 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             record.producer[data_id] = INPUT
         record.final_outputs = set(run.final_outputs())
         self._runs[identifier] = record
+        if self.auto_index:
+            self.build_lineage_index(identifier)
         return identifier
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
@@ -234,13 +247,82 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         )
 
     # ------------------------------------------------------------------
-    # Recursive closure (BFS)
+    # Materialized lineage-closure index
+    # ------------------------------------------------------------------
+
+    def _store_lineage_closure(self, closure: "LineageClosure") -> None:
+        record = self._record(closure.run_id)
+        record.lineage_steps = dict(closure.lineage_steps)
+        record.lineage_inputs = dict(closure.lineage_inputs)
+        record.lineage_row_count = closure.num_rows()
+
+    def has_lineage_index(self, run_id: str) -> bool:
+        return self._record(run_id).lineage_steps is not None
+
+    def lineage_row_count(self, run_id: str) -> Optional[int]:
+        record = self._record(run_id)
+        if record.lineage_steps is None:
+            return None
+        return record.lineage_row_count
+
+    def drop_lineage_index(self, run_id: Optional[str] = None) -> List[str]:
+        targets = [run_id] if run_id is not None else self.list_runs()
+        dropped: List[str] = []
+        for target in targets:
+            record = self._record(target)
+            if record.lineage_steps is None:
+                continue
+            record.lineage_steps = None
+            record.lineage_inputs = None
+            record.lineage_row_count = 0
+            dropped.append(target)
+        return dropped
+
+    def lineage_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        record = self._record(run_id)
+        if record.lineage_steps is None or record.lineage_inputs is None:
+            raise WarehouseError("run %r has no lineage index" % run_id)
+        if data_id not in record.producer:
+            raise self._missing("data", data_id)
+        result = ProvenanceResult(target=data_id, view_name="UAdmin")
+        for step_id in sorted(record.lineage_steps[data_id]):
+            module = record.steps[step_id]
+            for data_in in sorted(record.inputs[step_id]):
+                result.rows.append(
+                    ProvenanceRow(step_id=step_id, module=module, data_in=data_in)
+                )
+        result.user_inputs = set(record.lineage_inputs[data_id])
+        return result
+
+    def lineage_rows_raw(self, run_id: str) -> Set[Tuple[str, str, str]]:
+        record = self._record(run_id)
+        rows: Set[Tuple[str, str, str]] = set()
+        if record.lineage_steps is None or record.lineage_inputs is None:
+            return rows
+        for data_id, steps in record.lineage_steps.items():
+            for step_id in steps:
+                for data_in in record.inputs[step_id]:
+                    rows.add((data_id, step_id, data_in))
+            for user_input in record.lineage_inputs[data_id]:
+                rows.add((data_id, INPUT, user_input))
+        return rows
+
+    def delete_run(self, run_id: str) -> None:
+        self._record(run_id)  # raise for unknown ids
+        del self._runs[run_id]
+
+    # ------------------------------------------------------------------
+    # Recursive closure (BFS; served from the index when built)
     # ------------------------------------------------------------------
 
     def admin_deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
         record = self._record(run_id)
         if data_id not in record.producer:
             raise self._missing("data", data_id)
+        if record.lineage_steps is not None:
+            get_registry().counter("index.hit").increment()
+            return self.lineage_lookup(run_id, data_id)
+        get_registry().counter("index.miss").increment()
         result = ProvenanceResult(target=data_id, view_name="UAdmin")
         seen_data: Set[str] = set()
         seen_steps: Set[str] = set()

@@ -15,11 +15,12 @@ path for a persistent warehouse.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.errors import WarehouseError
 from ..core.spec import INPUT, WorkflowSpec
 from ..core.view import UserView
+from ..obs.metrics import get_registry
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
 from .base import ProvenanceWarehouse
@@ -28,8 +29,13 @@ from .schema import (
     DIR_OUT,
     SQLITE_DDL,
     SQLITE_DEEP_PROVENANCE,
+    SQLITE_LINEAGE_LOOKUP,
+    SQLITE_LINEAGE_LOOKUP_INPUTS,
     SQLITE_LINEAGE_USER_INPUTS,
 )
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
+    from ..provenance.index import LineageClosure
 
 
 class SqliteWarehouse(ProvenanceWarehouse):
@@ -45,6 +51,11 @@ class SqliteWarehouse(ProvenanceWarehouse):
         counted and timed in the default metrics registry under
         ``warehouse.sql`` (via :meth:`sqlite3.Connection.set_trace_callback`
         for the count and explicit timers on the closure queries).
+    auto_index:
+        When true, :meth:`store_run` materialises the lineage-closure
+        index of every run as it is ingested (see
+        :meth:`~repro.warehouse.base.ProvenanceWarehouse.build_lineage_index`),
+        trading ingestion time for constant-depth deep-provenance queries.
 
     Notes
     -----
@@ -55,15 +66,20 @@ class SqliteWarehouse(ProvenanceWarehouse):
     journal mode.
     """
 
-    def __init__(self, path: str = ":memory:", timing: bool = False) -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        timing: bool = False,
+        auto_index: bool = False,
+    ) -> None:
         self._conn = sqlite3.connect(path)
+        #: Build the lineage-closure index of every run at ingestion time.
+        self.auto_index = auto_index
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.execute("PRAGMA busy_timeout = 5000")
         self._conn.execute("PRAGMA synchronous = NORMAL")
         if timing:
-            from ..obs import get_registry
-
             counter = get_registry().counter("warehouse.sql")
             self._conn.set_trace_callback(lambda _stmt: counter.increment())
         for statement in SQLITE_DDL:
@@ -296,6 +312,8 @@ class SqliteWarehouse(ProvenanceWarehouse):
                 "INSERT INTO final_output (run_id, data_id) VALUES (?, ?)",
                 [(identifier, d) for d in sorted(run.final_outputs())],
             )
+        if self.auto_index:
+            self.build_lineage_index(identifier)
         return identifier
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
@@ -493,10 +511,115 @@ class SqliteWarehouse(ProvenanceWarehouse):
         return [subject for (subject,) in cursor]
 
     # ------------------------------------------------------------------
-    # Recursive closure (WITH RECURSIVE)
+    # Materialized lineage-closure index
+    # ------------------------------------------------------------------
+
+    def _store_lineage_closure(self, closure: "LineageClosure") -> None:
+        rows = [
+            (closure.run_id, data_id, step_id, data_in)
+            for data_id, step_id, data_in in closure.iter_table_rows()
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO lineage (run_id, data_id, step_id, data_in)"
+                " VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.execute(
+                "INSERT INTO lineage_meta (run_id, row_count) VALUES (?, ?)",
+                (closure.run_id, len(rows)),
+            )
+
+    def has_lineage_index(self, run_id: str) -> bool:
+        self._require("run_def", "run_id", run_id, "run")
+        return self._exists("lineage_meta", "run_id", run_id)
+
+    def lineage_row_count(self, run_id: str) -> Optional[int]:
+        self._require("run_def", "run_id", run_id, "run")
+        row = self._conn.execute(
+            "SELECT row_count FROM lineage_meta WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def drop_lineage_index(self, run_id: Optional[str] = None) -> List[str]:
+        if run_id is None:
+            targets = [
+                rid
+                for (rid,) in self._conn.execute(
+                    "SELECT run_id FROM lineage_meta ORDER BY run_id"
+                )
+            ]
+        else:
+            self._require("run_def", "run_id", run_id, "run")
+            targets = [run_id] if self._exists("lineage_meta", "run_id", run_id) else []
+        with self._conn:
+            for target in targets:
+                self._conn.execute(
+                    "DELETE FROM lineage WHERE run_id = ?", (target,)
+                )
+                self._conn.execute(
+                    "DELETE FROM lineage_meta WHERE run_id = ?", (target,)
+                )
+        return targets
+
+    def lineage_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        if not self.has_lineage_index(run_id):
+            raise WarehouseError("run %r has no lineage index" % run_id)
+        # Validate the data id first; a range scan over an unknown object
+        # would silently return an empty lineage.
+        self.producer_of(run_id, data_id)
+        params = {"run_id": run_id, "data_id": data_id, "input": INPUT}
+        result = ProvenanceResult(target=data_id, view_name="UAdmin")
+        for step_id, module, data_in in self._conn.execute(
+            SQLITE_LINEAGE_LOOKUP, params
+        ):
+            result.rows.append(
+                ProvenanceRow(step_id=step_id, module=module, data_in=data_in)
+            )
+        for (user_input,) in self._conn.execute(
+            SQLITE_LINEAGE_LOOKUP_INPUTS, params
+        ):
+            result.user_inputs.add(user_input)
+        return result
+
+    def lineage_rows_raw(self, run_id: str) -> Set[Tuple[str, str, str]]:
+        self._require("run_def", "run_id", run_id, "run")
+        return {
+            tuple(row)
+            for row in self._conn.execute(
+                "SELECT data_id, step_id, data_in FROM lineage"
+                " WHERE run_id = ?",
+                (run_id,),
+            )
+        }
+
+    def delete_run(self, run_id: str) -> None:
+        self._require("run_def", "run_id", run_id, "run")
+        with self._conn:
+            # Children first: every dependent table references run_def.
+            for table in (
+                "lineage",
+                "lineage_meta",
+                "annotation",
+                "final_output",
+                "user_input",
+                "io",
+                "step",
+                "run_def",
+            ):
+                self._conn.execute(
+                    "DELETE FROM %s WHERE run_id = ?" % table, (run_id,)
+                )
+
+    # ------------------------------------------------------------------
+    # Recursive closure (WITH RECURSIVE; served from the index when built)
     # ------------------------------------------------------------------
 
     def admin_deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
+        if self._exists("lineage_meta", "run_id", run_id):
+            get_registry().counter("index.hit").increment()
+            return self.lineage_lookup(run_id, data_id)
+        get_registry().counter("index.miss").increment()
         # Validate the data id first; the recursive query would silently
         # return an empty lineage for an unknown object.
         self.producer_of(run_id, data_id)

@@ -12,6 +12,7 @@ Subcommands::
     zoom plan ...                     re-execution plan after an input change
     zoom diff ...                     compare two runs through a view
     zoom stats ...                    aggregate warehouse statistics
+    zoom index ...                    manage the lineage-closure index
     zoom ingest ...                   load a foreign JSON Lines trace
     zoom lint ...                     statically analyse specs/warehouses
     zoom dump / zoom restore          archive a warehouse to/from JSON
@@ -100,13 +101,16 @@ def _cmd_load(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     with SqliteWarehouse(args.db) as warehouse:
         spec_id = warehouse.store_spec(spec)
-        for index in range(1, args.runs + 1):
+        for number in range(1, args.runs + 1):
             result = generate_run(
-                spec, run_class, rng, run_id="%s/run%d" % (spec_id, index)
+                spec, run_class, rng, run_id="%s/run%d" % (spec_id, number)
             )
             run_id = warehouse.store_run(result.run, spec_id)
             print("stored %s: %d steps, %d data objects"
                   % (run_id, result.run.num_steps(), len(result.run.data_ids())))
+            if args.index:
+                rows = warehouse.build_lineage_index(run_id)
+                print("  lineage index built: %d rows" % rows)
     print("spec %r and %d run(s) loaded into %s" % (spec_id, args.runs, args.db))
     return 0
 
@@ -142,7 +146,9 @@ def _cmd_prov(args: argparse.Namespace) -> int:
     """Answer a deep-provenance query through a view."""
     with SqliteWarehouse(args.db) as warehouse:
         spec_id = warehouse.run_spec_id(args.run_id)
-        session = Session(warehouse, spec_id, user=args.user)
+        session = Session(
+            warehouse, spec_id, user=args.user, strategy=args.strategy
+        )
         if args.view_id:
             session.use_view(warehouse.get_view(args.view_id))
         elif args.relevant:
@@ -322,6 +328,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    """Manage the materialised lineage-closure index of a warehouse."""
+    with SqliteWarehouse(args.db) as warehouse:
+        run_ids = args.run_id or warehouse.list_runs()
+        if args.action == "build":
+            for run_id in run_ids:
+                rows = warehouse.build_lineage_index(
+                    run_id, rebuild=args.rebuild
+                )
+                print("indexed %s: %d lineage rows" % (run_id, rows))
+        elif args.action == "drop":
+            dropped = []
+            for run_id in run_ids:
+                dropped.extend(warehouse.drop_lineage_index(run_id))
+            print("dropped lineage index of %d run(s)%s"
+                  % (len(dropped),
+                     ": %s" % ", ".join(dropped) if dropped else ""))
+        else:  # status
+            status = warehouse.lineage_index_status()
+            indexed = sum(1 for rows in status.values() if rows is not None)
+            print("lineage index: %d of %d run(s) indexed"
+                  % (indexed, len(status)))
+            for run_id in run_ids:
+                rows = status.get(run_id)
+                print("  %-24s %s"
+                      % (run_id,
+                         "not indexed" if rows is None
+                         else "%d rows" % rows))
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     """Load a foreign trace file (JSON Lines) into the warehouse."""
     from ..run.trace import read_trace
@@ -419,6 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--run-class", default="small", choices=sorted(RUN_CLASSES))
     load.add_argument("--runs", type=int, default=1)
     load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--index", action="store_true",
+                      help="materialise each run's lineage-closure index"
+                           " at ingestion time")
 
     view = sub.add_parser("view", help="build a user view from relevant modules")
     view.add_argument("--db", required=True)
@@ -439,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     prov.add_argument("--view-id", default=None)
     prov.add_argument("--user", default="user")
     prov.add_argument("--format", choices=["rows", "report"], default="rows")
+    prov.add_argument("--strategy", default="cached",
+                      choices=["cached", "uncached", "indexed"],
+                      help="reasoner strategy; 'indexed' serves from (and"
+                           " lazily builds) the lineage-closure index")
 
     dot = sub.add_parser("dot", help="render a stored spec or run as DOT")
     dot.add_argument("--db", required=True)
@@ -475,6 +519,17 @@ def build_parser() -> argparse.ArgumentParser:
                             " print cache hit rates and hot-path timings")
     stats.add_argument("--relevant", nargs="*", default=None,
                        help="modules flagged relevant during the probe")
+
+    index = sub.add_parser(
+        "index",
+        help="build, inspect or drop the materialised lineage-closure index",
+    )
+    index.add_argument("action", choices=["build", "status", "drop"])
+    index.add_argument("--db", required=True)
+    index.add_argument("--run-id", nargs="*", default=None,
+                       help="restrict to these runs (default: every run)")
+    index.add_argument("--rebuild", action="store_true",
+                       help="recompute even when an index already exists")
 
     ingest = sub.add_parser("ingest",
                             help="load a JSON Lines trace into the warehouse")
@@ -529,6 +584,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "diff": _cmd_diff,
     "stats": _cmd_stats,
+    "index": _cmd_index,
     "ingest": _cmd_ingest,
     "lint": _cmd_lint,
     "dump": _cmd_dump,

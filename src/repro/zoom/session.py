@@ -35,8 +35,11 @@ class Session:
     user:
         Display name of the user (view names derive from it).
     strategy:
-        Reasoner caching strategy (see
-        :class:`~repro.provenance.reasoner.ProvenanceReasoner`).
+        Reasoner caching strategy — ``"cached"``, ``"uncached"`` or
+        ``"indexed"`` (see
+        :class:`~repro.provenance.reasoner.ProvenanceReasoner`; the
+        indexed strategy serves deep provenance from the warehouse's
+        materialised lineage-closure index).
     view_cache_size:
         LRU capacity of the per-relevant-set view memo (the cache that
         makes undo and back-and-forth exploration free).
@@ -187,6 +190,16 @@ class Session:
         """Persist the current view definition in the warehouse."""
         identifier = view_id or "%s/%s" % (self.spec_id, self.view.name)
         return self.warehouse.store_view(self.view, self.spec_id, view_id=identifier)
+
+    def build_index(self, run_id: str, rebuild: bool = False) -> int:
+        """Materialise a run's lineage-closure index in the warehouse.
+
+        Returns the number of closure rows stored.  Any strategy benefits
+        (the warehouse serves :meth:`admin_deep_provenance` from the index
+        once built); the ``indexed`` strategy would otherwise build it
+        lazily on the run's first query.
+        """
+        return self.warehouse.build_lineage_index(run_id, rebuild=rebuild)
 
     # ------------------------------------------------------------------
     # Observability

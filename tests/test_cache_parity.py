@@ -1,9 +1,11 @@
-"""Cached-vs-uncached parity and bounded-cache behaviour of the reasoner.
+"""Strategy parity and bounded-cache behaviour of the reasoner.
 
-The caches are an optimisation, never semantics: for any generated
-workload, the ``cached`` and ``uncached`` strategies must return identical
-deep, immediate and reverse answers — warm or cold, and under eviction
-pressure from a deliberately tiny capacity.
+The caches and the lineage-closure index are optimisations, never
+semantics: for any generated workload, the ``cached``, ``uncached`` and
+``indexed`` strategies must return identical deep, immediate and reverse
+answers — warm or cold, under eviction pressure from a deliberately tiny
+capacity, and all of them must equal the reference semantics of
+:mod:`repro.provenance.queries` computed over the raw composite run.
 """
 
 from __future__ import annotations
@@ -14,7 +16,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.builder import build_user_view
+from repro.core.composite import CompositeRun
 from repro.core.view import admin_view
+from repro.provenance.queries import deep_provenance
 from repro.provenance.reasoner import ProvenanceReasoner
 from repro.run.executor import ExecutionParams, simulate
 from repro.warehouse.memory import InMemoryWarehouse
@@ -56,6 +60,9 @@ def test_strategies_agree_on_all_query_kinds(case, seed):
     view = build_user_view(spec, relevant)
     cached = ProvenanceReasoner(warehouse, strategy="cached")
     uncached = ProvenanceReasoner(warehouse, strategy="uncached")
+    indexed = ProvenanceReasoner(warehouse, strategy="indexed")
+    # The reference semantics, straight from queries.py over the raw run.
+    reference = CompositeRun(run, view)
     targets = sorted(run.final_outputs())
     sources = sorted(run.user_inputs())
     for target in targets:
@@ -64,12 +71,39 @@ def test_strategies_agree_on_all_query_kinds(case, seed):
         cold = cached.deep(run_id, target, view=view)
         warm = cached.deep(run_id, target, view=view)
         assert cold == warm == uncached.deep(run_id, target, view=view)
-        assert cached.deep(run_id, target) == uncached.deep(run_id, target)
+        assert cold == indexed.deep(run_id, target, view=view)
+        assert cold == deep_provenance(reference, target)
+        assert cached.deep(run_id, target) \
+            == uncached.deep(run_id, target) \
+            == indexed.deep(run_id, target)
         assert cached.immediate(run_id, target, view=view) == \
-            uncached.immediate(run_id, target, view=view)
+            uncached.immediate(run_id, target, view=view) == \
+            indexed.immediate(run_id, target, view=view)
     for source in sources:
         assert cached.reverse(run_id, source, view=view) == \
-            uncached.reverse(run_id, source, view=view)
+            uncached.reverse(run_id, source, view=view) == \
+            indexed.reverse(run_id, source, view=view)
+    # The indexed reasoner built the persistent index as a side effect.
+    assert warehouse.has_lineage_index(run_id)
+
+
+@given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
+@_SETTINGS
+def test_deep_many_matches_per_query_answers(case, seed):
+    """The batched API is the loop, per strategy and per view."""
+    spec, relevant = case
+    warehouse, run_id, run = _warehoused(spec, seed)
+    view = build_user_view(spec, relevant)
+    data_ids = sorted(run.final_outputs() | run.user_inputs())
+    reference = ProvenanceReasoner(warehouse, strategy="uncached")
+    for strategy in ("cached", "uncached", "indexed"):
+        reasoner = ProvenanceReasoner(warehouse, strategy=strategy)
+        for batch_view in (None, view):
+            batch = reasoner.deep_many(run_id, data_ids, view=batch_view)
+            assert sorted(batch) == data_ids
+            for data_id in data_ids:
+                assert batch[data_id] == \
+                    reference.deep(run_id, data_id, view=batch_view)
 
 
 @given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
@@ -82,12 +116,17 @@ def test_parity_survives_eviction_pressure(case, seed):
         warehouse, run_cache_size=1, composite_cache_size=1,
         closure_cache_size=1,
     )
+    tiny_indexed = ProvenanceReasoner(
+        warehouse, strategy="indexed", run_cache_size=1,
+        composite_cache_size=1, closure_cache_size=1,
+    )
     reference = ProvenanceReasoner(warehouse, strategy="uncached")
     views = [build_user_view(spec, relevant), admin_view(spec)]
     for target in sorted(run.final_outputs()):
         for view in views:
-            assert tiny.deep(run_id, target, view=view) == \
-                reference.deep(run_id, target, view=view)
+            expected = reference.deep(run_id, target, view=view)
+            assert tiny.deep(run_id, target, view=view) == expected
+            assert tiny_indexed.deep(run_id, target, view=view) == expected
 
 
 class TestBoundedReasonerCaches:
