@@ -98,6 +98,16 @@ class Linter:
             warehouse, spec_ids=spec_ids, run_ids=run_ids
         ))
 
+    def report_findings(self, findings: Sequence[Finding]) -> LintReport:
+        """Apply this linter's policy to findings computed elsewhere.
+
+        The batch-ingestion pipeline runs the raw rule functions in worker
+        threads/processes and reports here, in the parent, so rule
+        filtering and the ``lint.<RULE_ID>`` counters behave exactly as if
+        the artifact had been linted inline.
+        """
+        return self._report(list(findings))
+
     # ------------------------------------------------------------------
     # Gating
     # ------------------------------------------------------------------

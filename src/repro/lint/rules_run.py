@@ -238,6 +238,33 @@ def lint_run_facts(facts: RunFacts) -> List[Finding]:
     return findings
 
 
+def _is_acyclic(
+    nodes: Dict[str, str], edges: Set[Tuple[str, str]]
+) -> bool:
+    """Kahn's algorithm over plain dicts — the lint hot path.
+
+    Dataflow graphs are almost always DAGs, so the common case should not
+    pay for graph-object construction; endpoints appearing only in
+    ``edges`` (``output``) are picked up from the edge set itself.
+    """
+    indegree: Dict[str, int] = dict.fromkeys(nodes, 0)
+    successors: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        indegree.setdefault(src, 0)
+        indegree[dst] = indegree.get(dst, 0) + 1
+        successors.setdefault(src, []).append(dst)
+    ready = [node for node, degree in indegree.items() if degree == 0]
+    visited = 0
+    while ready:
+        node = ready.pop()
+        visited += 1
+        for nxt in successors.get(node, ()):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    return visited == len(indegree)
+
+
 def _dataflow_findings(
     facts: RunFacts,
     step_module: Dict[str, str],
@@ -246,8 +273,6 @@ def _dataflow_findings(
     """RUN015 (cycles) and RUN019 (spec conformance) over the step graph."""
     findings: List[Finding] = []
     subject = facts.run_id
-    graph = nx.DiGraph()
-    graph.add_nodes_from(step_module)
     edges: Set[Tuple[str, str]] = set()
     for _position, step_id, data_id in facts.reads:
         source = producer.get(data_id)
@@ -258,9 +283,13 @@ def _dataflow_findings(
         source = producer.get(data_id)
         if source is not None:
             edges.add((source[1], OUTPUT))
-    graph.add_edges_from(edges)
 
-    if not nx.is_directed_acyclic_graph(graph):
+    if not _is_acyclic(step_module, edges):
+        # Cycles are the exception: only then pay for the graph object and
+        # the SCC decomposition that names the offending steps.
+        graph = nx.DiGraph()
+        graph.add_nodes_from(step_module)
+        graph.add_edges_from(edges)
         cycle_steps = sorted({
             node
             for scc in nx.strongly_connected_components(graph)
@@ -275,14 +304,17 @@ def _dataflow_findings(
         ))
 
     if facts.spec_edges is not None:
+        allowed = (
+            None if facts.spec_modules is None
+            else facts.spec_modules | ENDPOINTS
+        )
         for src, dst in sorted(edges):
             src_mod = src if src in ENDPOINTS else step_module.get(src)
             dst_mod = dst if dst in ENDPOINTS else step_module.get(dst)
             if src_mod is None or dst_mod is None:
                 continue  # unknown step/module already reported
-            if facts.spec_modules is not None and (
-                src_mod not in facts.spec_modules | ENDPOINTS
-                or dst_mod not in facts.spec_modules | ENDPOINTS
+            if allowed is not None and (
+                src_mod not in allowed or dst_mod not in allowed
             ):
                 continue
             if (src_mod, dst_mod) not in facts.spec_edges:

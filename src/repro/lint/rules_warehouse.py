@@ -53,6 +53,9 @@ RULES.register("WH037", LAYER_WAREHOUSE, WARNING,
 RULES.register("WH038", LAYER_WAREHOUSE, ERROR,
                "materialised lineage index is stale: stored closure rows"
                " disagree with the run's io rows")
+RULES.register("WH039", LAYER_WAREHOUSE, WARNING,
+               "run is unindexed although the warehouse auto-indexes at"
+               " ingestion (auto_index=True)")
 
 
 def lint_run_rows(
@@ -250,7 +253,35 @@ def lint_warehouse(
         findings.extend(lint_lineage_index(
             warehouse, run_id, steps, io_rows, user_inputs,
         ))
+        findings.extend(lint_auto_index_gap(warehouse, run_id))
     return findings
+
+
+def lint_auto_index_gap(
+    warehouse: ProvenanceWarehouse, run_id: str
+) -> List[Finding]:
+    """``WH039``: an ``auto_index=True`` warehouse holding an unindexed run.
+
+    Every shipped ingestion path (``store_run``, the batch pipeline)
+    honours ``auto_index`` by building the lineage closure as the run goes
+    in, so an unindexed run on such a warehouse means some pipeline wrote
+    rows directly (e.g. a bare ``store_many``) and silently skipped the
+    build — queries quietly fall back to recursion.
+    """
+    if not getattr(warehouse, "auto_index", False):
+        return []
+    try:
+        if warehouse.has_lineage_index(run_id):
+            return []
+    except ZoomError:
+        return []  # unknown run: other rules report why
+    return [RULES.finding(
+        "WH039", run_id,
+        "run %r has no lineage index although the warehouse was opened"
+        " with auto_index=True" % run_id,
+        hint="an ingestion path skipped the index build; run 'zoom index"
+             " build' or rebuild via build_lineage_index(run_id)",
+    )]
 
 
 def lint_lineage_index(

@@ -24,6 +24,13 @@ with :func:`timed`:
     ``indexed`` reasoner strategy); the companion ``index.hit`` /
     ``index.miss`` counters record whether the warehouse closure was
     answered from the index or by recursion.
+``ingest.prepare`` / ``ingest.gate`` / ``ingest.write``
+    The three stages of the batch-ingestion pipeline
+    (:func:`repro.warehouse.pipeline.ingest_dataset`): waiting on a
+    prepared run (row shaping + lint + closure, possibly in a worker),
+    applying the lint gate to a batch, and the single-transaction bulk
+    write.  The companion counters ``ingest.runs`` / ``ingest.batches`` /
+    ``ingest.specs`` record throughput.
 
 All timers live in a process-wide default registry (:func:`get_registry`);
 tests swap it out with :func:`set_registry`.

@@ -214,10 +214,37 @@ class WorkflowRun:
         ``input``-to-``output`` path, or an edge's modules are not connected
         in the specification.
         """
-        if not nx.is_directed_acyclic_graph(self._graph):
+        # Hand-rolled Kahn/BFS over the adjacency mappings: validate() runs
+        # once per ingested run, and the generic graph-algorithm machinery
+        # dominated ingestion profiles at these graph sizes.
+        succ = self._graph.succ
+        pred = self._graph.pred
+        indegree = {node: len(pred[node]) for node in self._graph}
+        ready = [node for node, degree in indegree.items() if degree == 0]
+        visited = 0
+        while ready:
+            node = ready.pop()
+            visited += 1
+            for nxt in succ[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if visited != len(indegree):
             raise RunError("run graph must be acyclic (loops are unrolled)")
-        reach = set(nx.descendants(self._graph, INPUT)) | {INPUT}
-        coreach = set(nx.ancestors(self._graph, OUTPUT)) | {OUTPUT}
+        reach = {INPUT}
+        frontier = [INPUT]
+        while frontier:
+            for nxt in succ[frontier.pop()]:
+                if nxt not in reach:
+                    reach.add(nxt)
+                    frontier.append(nxt)
+        coreach = {OUTPUT}
+        frontier = [OUTPUT]
+        while frontier:
+            for prv in pred[frontier.pop()]:
+                if prv not in coreach:
+                    coreach.add(prv)
+                    frontier.append(prv)
         for node in self._graph.nodes:
             if node not in reach:
                 raise RunError("run node %r unreachable from input" % node)

@@ -15,6 +15,12 @@ from .jsonfile import (
 )
 from .loader import LoadedSpec, load_dataset, load_simulation, load_spec
 from .memory import InMemoryWarehouse
+from .pipeline import (
+    PreparedRun,
+    build_lineage_indexes,
+    ingest_dataset,
+    prepare_run,
+)
 from .schema import DIR_IN, DIR_OUT, SQLITE_DDL, SQLITE_DEEP_PROVENANCE
 from .sqlite import SqliteWarehouse
 from .stats import (
@@ -32,19 +38,23 @@ __all__ = [
     "DIR_OUT",
     "InMemoryWarehouse",
     "LoadedSpec",
+    "PreparedRun",
     "ProvenanceWarehouse",
     "RunStats",
     "SQLITE_DDL",
     "SQLITE_DEEP_PROVENANCE",
     "SqliteWarehouse",
     "WarehouseReport",
+    "build_lineage_indexes",
     "dump_warehouse",
     "hottest_modules",
+    "ingest_dataset",
     "load_dataset",
     "load_simulation",
     "load_spec",
     "load_warehouse",
     "module_execution_counts",
+    "prepare_run",
     "restore_warehouse",
     "run_stats",
     "runs_executing_module",

@@ -21,7 +21,19 @@ creates a dataflow edge.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Container,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.errors import UnknownEntityError, WarehouseError
 from ..core.spec import INPUT, OUTPUT, WorkflowSpec
@@ -33,6 +45,7 @@ from .schema import DIR_OUT
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
+    from .pipeline import PreparedRun
 
 
 class ProvenanceWarehouse(ABC):
@@ -104,6 +117,43 @@ class ProvenanceWarehouse(ABC):
         if who:
             self._set_user_input_who(stored, who)
         return stored
+
+    def store_many(self, prepared: Sequence["PreparedRun"]) -> List[str]:
+        """Bulk-store pre-shaped runs in one transaction (batch ingestion).
+
+        ``prepared`` rows come from the batch pipeline
+        (:mod:`repro.warehouse.pipeline`), which has already validated the
+        run graphs and matched them against their specs; backends only
+        enforce id freshness and spec existence, then commit every run of
+        the batch atomically — on any error nothing of the batch is
+        stored.  A prepared run carrying a ``closure`` gets its lineage
+        index persisted in the same transaction.  Unlike :meth:`store_run`
+        this primitive never consults ``auto_index`` — the pipeline
+        decides whether closures are computed (provlint's ``WH039`` flags
+        ingestion paths that skip them on an ``auto_index=True``
+        warehouse).
+
+        Both shipped backends implement it; third-party backends inherit
+        this default, which refuses rather than silently degrading.
+        """
+        raise NotImplementedError(
+            "%s does not implement bulk ingestion; use store_run"
+            % type(self).__name__
+        )
+
+    @contextmanager
+    def bulk_load(self) -> Iterator[None]:
+        """Bracket a large ingestion; backends may defer index maintenance.
+
+        The batch pipeline wraps its whole run over a dataset in this
+        context.  The default is a no-op; a backend opened in a bulk-load
+        profile may drop derived structures (secondary indexes) on entry
+        and rebuild them on exit, turning per-row index maintenance into
+        one sorted build.  Implementations must restore every structure on
+        exit even when the ingestion raised, so a failed load never leaves
+        the warehouse unindexed.
+        """
+        yield
 
     @abstractmethod
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
@@ -346,9 +396,18 @@ class ProvenanceWarehouse(ABC):
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _fresh_id(candidate: Optional[str], default: str, existing: Iterable[str]) -> str:
+    def _fresh_id(
+        candidate: Optional[str], default: str, existing: Container[str]
+    ) -> str:
+        """Resolve and uniqueness-check an identifier.
+
+        ``existing`` is probed with ``in`` directly — pass the live id
+        container (dict/set), or a precomputed set during batch loads.
+        Copying it into a fresh set per insert made every store O(n) and
+        large ``load_dataset`` calls quadratic.
+        """
         identifier = candidate or default
-        if identifier in set(existing):
+        if identifier in existing:
             raise WarehouseError("identifier %r already stored" % identifier)
         return identifier
 

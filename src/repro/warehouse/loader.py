@@ -132,14 +132,33 @@ def load_dataset(
     with_standard_views: bool = True,
     strict: bool = False,
     index: bool = False,
+    parallel: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> List[LoadedSpec]:
     """Ingest a collection of specifications, each with its runs.
 
-    Run ids are qualified as ``"<spec_id>/<run_id>"`` so that several
+    Run ids are qualified as ``"<spec_id>/run<N>"`` so that several
     specifications can reuse the simulator's default run naming.
     ``strict`` and ``index`` are forwarded to every :func:`load_spec` /
     :func:`load_simulation` call.
+
+    Passing ``parallel`` (prepare-stage worker count; ``0`` = inline) or
+    ``batch_size`` (runs per bulk transaction) routes the workload through
+    the batched pipeline of :func:`repro.warehouse.pipeline.ingest_dataset`,
+    which produces identical warehouse contents and lint findings several
+    times faster on large workloads.  With both left at ``None`` the
+    run-at-a-time loop below remains the reference semantics.
     """
+    if parallel is not None or batch_size is not None:
+        from .pipeline import DEFAULT_BATCH_SIZE, ingest_dataset
+
+        return ingest_dataset(
+            warehouse, items,
+            jobs=parallel or 0,
+            batch_size=batch_size or DEFAULT_BATCH_SIZE,
+            with_standard_views=with_standard_views,
+            strict=strict, index=index,
+        )
     loaded: List[LoadedSpec] = []
     for spec, simulations in items:
         record = load_spec(

@@ -10,7 +10,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.errors import WarehouseError
 from ..core.spec import INPUT, WorkflowSpec
@@ -23,6 +33,7 @@ from .schema import DIR_IN, DIR_OUT
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
+    from .pipeline import PreparedRun
 
 
 @dataclass
@@ -146,6 +157,49 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         if self.auto_index:
             self.build_lineage_index(identifier)
         return identifier
+
+    def store_many(self, prepared: Sequence["PreparedRun"]) -> List[str]:
+        """Bulk-store prepared runs; all-or-nothing, like one transaction.
+
+        Builds every :class:`_RunRecord` from the pre-shaped rows first
+        (checking id freshness against one precomputed set) and only then
+        publishes them into the run table, so a failing batch leaves the
+        warehouse untouched.  A prepared closure is installed directly —
+        its frozensets are shared, exactly as :meth:`_store_lineage_closure`
+        stores them.
+        """
+        batch = list(prepared)
+        existing = set(self._runs)
+        records: List[Tuple[str, _RunRecord]] = []
+        for p in batch:
+            if p.spec_id not in self._specs:
+                raise self._missing("spec", p.spec_id)
+            self._fresh_id(p.run_id, p.run_id, existing)
+            existing.add(p.run_id)
+            record = _RunRecord(spec_id=p.spec_id)
+            for step_id, module in p.step_rows:
+                record.steps[step_id] = module
+                record.inputs[step_id] = set()
+                record.outputs[step_id] = set()
+            for step_id, data_id, direction in p.io_rows:
+                record.io.append((step_id, data_id, direction))
+                if direction == DIR_OUT:
+                    record.outputs[step_id].add(data_id)
+                    record.producer[data_id] = step_id
+                else:
+                    record.inputs[step_id].add(data_id)
+            record.user_inputs = set(p.user_inputs)
+            for data_id in record.user_inputs:
+                record.producer[data_id] = INPUT
+            record.final_outputs = set(p.final_outputs)
+            if p.closure is not None:
+                record.lineage_steps = dict(p.closure.lineage_steps)
+                record.lineage_inputs = dict(p.closure.lineage_inputs)
+                record.lineage_row_count = p.closure.num_rows()
+            records.append((p.run_id, record))
+        for run_id, record in records:
+            self._runs[run_id] = record
+        return [run_id for run_id, _record in records]
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         return sorted(

@@ -1,0 +1,370 @@
+"""Batched, parallel ingestion: fan out the pure work, bulk-write the rows.
+
+:func:`load_dataset` is the reference ingestion semantics — one run at a
+time, one statement at a time.  This module is the high-volume path the
+ROADMAP's "sharding, batching, async" north star asks for.  It splits a
+workload into the two halves every provenance loader has:
+
+* **prepare** — per-run work that is a *pure function* of the run: graph
+  validation, shaping the relational rows (steps, io, user inputs, final
+  outputs), computing the raw lint findings over those rows, and — when
+  ingestion-time indexing is on — the lineage closure
+  (:func:`~repro.provenance.index.closure_from_rows`).  Pure work fans out
+  over a thread or process pool and arrives back in deterministic input
+  order.
+* **write** — committing a whole batch of prepared runs to the warehouse
+  in a single transaction through the backends' ``store_many`` bulk API
+  (prepared ``executemany`` over the pre-shaped tuples on SQLite).
+
+The pipeline guarantees **result parity with the serial path**: the same
+workload ingested through :func:`ingest_dataset` — at any ``jobs`` /
+``batch_size`` — produces byte-identical warehouse rows, identical lint
+findings and identical ``lint.<RULE_ID>`` metric counts as a plain
+:func:`~repro.warehouse.loader.load_dataset` call.  ``tests/test_pipeline.py``
+asserts this on generated workloads for both backends.
+
+The one *failure-path* difference is batch atomicity: the serial path
+commits run ``k`` before looking at run ``k+1``, so a mid-workload lint
+rejection leaves every earlier run stored.  Here a batch is gated as a
+unit **before** its single transaction, so a ``strict=True`` rejection (or
+an invalid run) aborts the whole failing batch — earlier batches stay
+committed, the failing batch leaves no partial rows behind.
+
+Per-stage observability lands in the default metrics registry:
+``ingest.prepare`` / ``ingest.gate`` / ``ingest.write`` timers and the
+``ingest.runs`` / ``ingest.batches`` / ``ingest.specs`` counters.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import RunError, WarehouseError, ZoomError
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from ..obs.metrics import get_registry
+from ..run.executor import SimulationResult
+from ..run.run import WorkflowRun
+from .base import ProvenanceWarehouse
+from .loader import LoadedSpec, load_spec
+from .schema import DIR_IN, DIR_OUT
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids import cycles
+    from ..lint.findings import Finding
+    from ..provenance.index import LineageClosure
+
+#: Default number of prepared runs committed per transaction.
+DEFAULT_BATCH_SIZE = 32
+
+
+@dataclass
+class PreparedRun:
+    """One run, reduced to the exact rows the warehouse will hold.
+
+    Produced by the prepare stage (possibly in a worker thread/process)
+    and consumed by the backends' ``store_many``.  ``findings`` are the
+    *raw* rule findings — the parent process applies the linter's config
+    and metrics policy so counters land in the right registry.
+    """
+
+    run_id: str                        #: warehouse id ("<spec_id>/runN")
+    spec_id: str
+    source_run_id: str                 #: the run graph's own id (lint subject)
+    step_rows: List[Tuple[str, str]] = field(default_factory=list)
+    io_rows: List[Tuple[str, str, str]] = field(default_factory=list)
+    user_inputs: List[str] = field(default_factory=list)
+    final_outputs: List[str] = field(default_factory=list)
+    findings: List["Finding"] = field(default_factory=list)
+    closure: Optional["LineageClosure"] = None
+    #: Deferred ``run.validate()`` failure: raised at gate time, *after*
+    #: the lint gate, mirroring the serial lint-then-store order.
+    error: Optional[Exception] = None
+
+
+@dataclass
+class _PrepareTask:
+    """Input of the prepare worker (picklable for process pools)."""
+
+    run: WorkflowRun
+    spec_id: str
+    run_id: str
+    index: bool
+
+
+def prepare_run(task: _PrepareTask) -> PreparedRun:
+    """The prepare stage: rows + lint facts + (optionally) the closure.
+
+    Pure function of the task — no warehouse access, no shared state — so
+    it parallelizes over threads or processes.  The rows are shaped exactly
+    once and shared by all three consumers (lint, store, closure); the
+    serial path extracts them from the graph twice and reads them back
+    from SQL a third time for the index build.
+    """
+    from ..lint.rules_run import RunFacts, lint_run_facts
+    from ..provenance.index import closure_from_rows
+
+    run = task.run
+    prepared = PreparedRun(
+        run_id=task.run_id, spec_id=task.spec_id, source_run_id=run.run_id
+    )
+    try:
+        run.validate()
+    except ZoomError as exc:
+        prepared.error = exc
+    # Shape rows straight off the adjacency maps: one dict walk per step
+    # instead of the per-step edge-view objects of inputs_of/outputs_of,
+    # which dominate the prepare profile at warehouse run counts.
+    pred = run.graph.pred
+    succ = run.graph.succ
+    for step in run.steps():
+        step_id = step.step_id
+        if step_id not in pred:
+            # Same failure the serial path's inputs_of() raises on a step
+            # table that disagrees with the graph.
+            raise RunError("unknown run node %r" % step_id)
+        prepared.step_rows.append((step_id, step.module))
+        ins: set = set()
+        for attrs in pred[step_id].values():
+            ins |= attrs["data"]
+        outs: set = set()
+        for attrs in succ[step_id].values():
+            outs |= attrs["data"]
+        for data_id in sorted(ins):
+            prepared.io_rows.append((step_id, data_id, DIR_IN))
+        for data_id in sorted(outs):
+            prepared.io_rows.append((step_id, data_id, DIR_OUT))
+    user_inputs: set = set()
+    for attrs in succ[INPUT].values():
+        user_inputs |= attrs["data"]
+    final_outputs: set = set()
+    for attrs in pred[OUTPUT].values():
+        final_outputs |= attrs["data"]
+    prepared.user_inputs = sorted(user_inputs)
+    prepared.final_outputs = sorted(final_outputs)
+
+    # Identical facts to RunFacts.from_run(run) — same row order, same
+    # spec attachment — so the findings match the serial lint_run() pass.
+    facts = RunFacts.from_rows(
+        run.run_id,
+        list(prepared.step_rows),
+        list(prepared.io_rows),
+        frozenset(prepared.user_inputs),
+        frozenset(prepared.final_outputs),
+    )
+    facts.attach_spec(run.spec.modules, run.spec.edges())
+    prepared.findings = lint_run_facts(facts)
+
+    if task.index and prepared.error is None:
+        prepared.closure = closure_from_rows(
+            task.run_id,
+            prepared.step_rows,
+            prepared.io_rows,
+            prepared.user_inputs,
+        )
+    return prepared
+
+
+def _make_executor(jobs: int, pool: str) -> Executor:
+    if pool == "process":
+        return ProcessPoolExecutor(max_workers=jobs)
+    if pool == "thread":
+        return ThreadPoolExecutor(max_workers=jobs)
+    raise ValueError("pool must be 'thread' or 'process', not %r" % pool)
+
+
+def ingest_dataset(
+    warehouse: ProvenanceWarehouse,
+    items: Iterable[Tuple[WorkflowSpec, Sequence[SimulationResult]]],
+    *,
+    jobs: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    with_standard_views: bool = True,
+    strict: bool = False,
+    index: bool = False,
+    pool: str = "thread",
+) -> List[LoadedSpec]:
+    """Ingest a workload through the batched, parallel pipeline.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count for the prepare stage.  ``0`` (the default) prepares
+        inline on the calling thread — still batched, no pool.  With
+        threads the prepare of batch *k+1* overlaps the SQLite commit of
+        batch *k*; a process pool adds true CPU parallelism at pickling
+        cost.
+    batch_size:
+        Runs per ``store_many`` transaction (and per strict-gate unit).
+    pool:
+        ``"thread"`` (default) or ``"process"``.
+    with_standard_views / strict / index:
+        As in :func:`~repro.warehouse.loader.load_dataset`.  When the
+        warehouse was opened with ``auto_index=True``, closures are
+        computed (and stored) exactly as if ``index=True`` — same contract
+        as the serial ``store_run`` path; provlint's ``WH039`` flags
+        ingestion paths that skip this.
+
+    Specs (with their views) are loaded first, serially, through
+    :func:`~repro.warehouse.loader.load_spec` — they are few and cheap.
+    Runs then flow through prepare -> gate -> bulk write in deterministic
+    workload order.  Returns one :class:`LoadedSpec` per item, exactly as
+    the serial path does.
+    """
+    from ..lint import Linter
+
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1, not %d" % batch_size)
+    registry = get_registry()
+    linter = Linter()
+    effective_index = index or bool(getattr(warehouse, "auto_index", False))
+
+    records: List[LoadedSpec] = []
+    tasks: List[_PrepareTask] = []
+    owners: List[LoadedSpec] = []  # owners[i] owns tasks[i]'s run id
+    for spec, simulations in items:
+        record = load_spec(
+            warehouse, spec, with_standard_views=with_standard_views,
+            strict=strict,
+        )
+        registry.counter("ingest.specs").increment()
+        records.append(record)
+        for number, simulation in enumerate(simulations, start=1):
+            run = simulation.run
+            if run.spec is not spec and run.spec != spec:
+                raise WarehouseError(
+                    "run %r does not match stored spec %r"
+                    % (run.run_id, record.spec_id)
+                )
+            run_id = "%s/run%d" % (record.spec_id, number)
+            tasks.append(_PrepareTask(
+                run=run, spec_id=record.spec_id, run_id=run_id,
+                index=effective_index,
+            ))
+            owners.append(record)
+
+    def _flush(batch: List[PreparedRun], batch_owners: List[LoadedSpec]) -> None:
+        with registry.time("ingest.gate"):
+            for prepared in batch:
+                report = linter.report_findings(prepared.findings)
+                linter.gate(
+                    report, "run %r" % prepared.source_run_id, strict
+                )
+                if prepared.error is not None:
+                    raise prepared.error
+        with registry.time("ingest.write"):
+            warehouse.store_many(batch)
+        registry.counter("ingest.batches").increment()
+        registry.counter("ingest.runs").increment(len(batch))
+        for prepared, owner in zip(batch, batch_owners):
+            owner.run_ids.append(prepared.run_id)
+
+    def _consume(results: Iterator[PreparedRun]) -> None:
+        batch: List[PreparedRun] = []
+        batch_owners: List[LoadedSpec] = []
+        prepare_timer = registry.timer("ingest.prepare")
+        position = 0
+        while True:
+            started = perf_counter()
+            prepared = next(results, None)
+            prepare_timer.observe(perf_counter() - started)
+            if prepared is None:
+                break
+            batch.append(prepared)
+            batch_owners.append(owners[position])
+            position += 1
+            if len(batch) >= batch_size:
+                _flush(batch, batch_owners)
+                batch, batch_owners = [], []
+        if batch:
+            _flush(batch, batch_owners)
+
+    with warehouse.bulk_load():
+        if jobs and jobs > 0:
+            with _make_executor(jobs, pool) as executor:
+                # map() preserves input order, so batches are committed in
+                # workload order no matter which worker finishes first.
+                _consume(iter(executor.map(prepare_run, tasks)))
+        else:
+            _consume(map(prepare_run, tasks))
+    return records
+
+
+def _closure_task(
+    args: Tuple[str, List[Tuple[str, str]], List[Tuple[str, str, str]], List[str]],
+) -> "LineageClosure":
+    from ..provenance.index import closure_from_rows
+
+    run_id, steps, io_rows, user_inputs = args
+    return closure_from_rows(run_id, steps, io_rows, user_inputs)
+
+
+def build_lineage_indexes(
+    warehouse: ProvenanceWarehouse,
+    run_ids: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 0,
+    rebuild: bool = False,
+) -> Dict[str, int]:
+    """Materialise the lineage index of many runs, fanning out the closures.
+
+    The closure of each run is a pure function of its rows, so with
+    ``jobs > 0`` the topological passes run concurrently while the parent
+    stores finished closures in run order.  ``jobs=0`` delegates to the
+    serial :meth:`~repro.warehouse.base.ProvenanceWarehouse.build_lineage_index`
+    reference path.  Returns ``run_id -> closure row count`` for every
+    requested run (already-indexed runs keep their count unless
+    ``rebuild``).
+    """
+    registry = get_registry()
+    targets = list(run_ids) if run_ids is not None else warehouse.list_runs()
+    results: Dict[str, int] = {}
+    if jobs <= 0:
+        for run_id in targets:
+            results[run_id] = warehouse.build_lineage_index(
+                run_id, rebuild=rebuild
+            )
+        return results
+
+    pending: List[str] = []
+    rows_args: List[Tuple[str, List[Tuple[str, str]],
+                          List[Tuple[str, str, str]], List[str]]] = []
+    for run_id in targets:
+        existing = warehouse.lineage_row_count(run_id)
+        if existing is not None and not rebuild:
+            results[run_id] = existing
+            continue
+        pending.append(run_id)
+        rows_args.append((
+            run_id,
+            warehouse.steps_of_run(run_id),
+            warehouse.io_rows(run_id),
+            sorted(warehouse.user_inputs(run_id)),
+        ))
+    with ThreadPoolExecutor(max_workers=jobs) as executor:
+        for run_id, closure in zip(pending, executor.map(_closure_task, rows_args)):
+            with registry.time("index.build"):
+                if warehouse.lineage_row_count(run_id) is not None:
+                    warehouse.drop_lineage_index(run_id)
+                warehouse._store_lineage_closure(closure)
+            results[run_id] = closure.num_rows()
+    return {run_id: results[run_id] for run_id in targets}
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "PreparedRun",
+    "build_lineage_indexes",
+    "ingest_dataset",
+    "prepare_run",
+]

@@ -35,6 +35,21 @@ DIR_IN = "in"
 #: ``direction`` value for a step writing a data object.
 DIR_OUT = "out"
 
+#: The secondary indexes over the ``io`` relation, by name.  Kept apart
+#: from :data:`SQLITE_DDL` so the bulk loader can drop and recreate them
+#: around a large ingestion (one sorted build beats per-row maintenance)
+#: without duplicating the definitions.
+SQLITE_IO_INDEXES: Tuple[Tuple[str, str], ...] = (
+    ("io_by_data", """
+    CREATE INDEX IF NOT EXISTS io_by_data
+        ON io (run_id, data_id, direction, step_id)
+    """),
+    ("io_by_step", """
+    CREATE INDEX IF NOT EXISTS io_by_step
+        ON io (run_id, step_id, direction, data_id)
+    """),
+)
+
 #: DDL creating all warehouse tables, executed once per SQLite connection.
 SQLITE_DDL: Tuple[str, ...] = (
     """
@@ -127,14 +142,8 @@ SQLITE_DDL: Tuple[str, ...] = (
     # on: deep provenance walks io by (run, data, direction) to find the
     # writer, then by (run, step, direction) to find that writer's reads —
     # one covering index per access path.
-    """
-    CREATE INDEX IF NOT EXISTS io_by_data
-        ON io (run_id, data_id, direction, step_id)
-    """,
-    """
-    CREATE INDEX IF NOT EXISTS io_by_step
-        ON io (run_id, step_id, direction, data_id)
-    """,
+    SQLITE_IO_INDEXES[0][1],
+    SQLITE_IO_INDEXES[1][1],
     # find_annotated probes by (run, key[, value]); the annotation PK only
     # covers the run prefix, so give the probe its own covering index.
     """

@@ -15,7 +15,18 @@ path for a persistent warehouse.
 from __future__ import annotations
 
 import sqlite3
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.errors import WarehouseError
 from ..core.spec import INPUT, WorkflowSpec
@@ -29,6 +40,7 @@ from .schema import (
     DIR_OUT,
     SQLITE_DDL,
     SQLITE_DEEP_PROVENANCE,
+    SQLITE_IO_INDEXES,
     SQLITE_LINEAGE_LOOKUP,
     SQLITE_LINEAGE_LOOKUP_INPUTS,
     SQLITE_LINEAGE_USER_INPUTS,
@@ -36,6 +48,7 @@ from .schema import (
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
+    from .pipeline import PreparedRun
 
 
 class SqliteWarehouse(ProvenanceWarehouse):
@@ -56,6 +69,17 @@ class SqliteWarehouse(ProvenanceWarehouse):
         index of every run as it is ingested (see
         :meth:`~repro.warehouse.base.ProvenanceWarehouse.build_lineage_index`),
         trading ingestion time for constant-depth deep-provenance queries.
+    bulk:
+        Open the connection in the **bulk-load pragma profile** for the
+        whole session: ``synchronous = OFF`` (the OS, not fsync, decides
+        when pages hit disk) and ``temp_store = MEMORY``.  Meant for
+        dedicated loader processes that can re-ingest after a crash; the
+        default service profile keeps ``synchronous = NORMAL``, the
+        durable setting WAL mode is designed for.  :meth:`store_many`
+        applies the same profile around each batch commit on a
+        non-``bulk`` connection and **restores ``synchronous = NORMAL``
+        afterwards**, so a service warehouse never stays in the relaxed
+        mode.
 
     Notes
     -----
@@ -63,7 +87,9 @@ class SqliteWarehouse(ProvenanceWarehouse):
     so concurrent readers never block a writer and a briefly locked
     database retries instead of failing — the configuration a multi-session
     service needs.  ``:memory:`` databases silently keep their native
-    journal mode.
+    journal mode.  All durability/journal pragma decisions live in
+    :meth:`_apply_session_pragmas` / :meth:`_bulk_writes`; nothing else
+    touches them.
     """
 
     def __init__(
@@ -71,20 +97,85 @@ class SqliteWarehouse(ProvenanceWarehouse):
         path: str = ":memory:",
         timing: bool = False,
         auto_index: bool = False,
+        bulk: bool = False,
     ) -> None:
         self._conn = sqlite3.connect(path)
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        self._conn.execute("PRAGMA journal_mode = WAL")
-        self._conn.execute("PRAGMA busy_timeout = 5000")
-        self._conn.execute("PRAGMA synchronous = NORMAL")
+        #: Session-wide bulk-load pragma profile (see class docstring).
+        self._bulk = bulk
+        self._apply_session_pragmas()
         if timing:
             counter = get_registry().counter("warehouse.sql")
             self._conn.set_trace_callback(lambda _stmt: counter.increment())
         for statement in SQLITE_DDL:
             self._conn.execute(statement)
         self._conn.commit()
+
+    def _apply_session_pragmas(self) -> None:
+        """The connection profile: WAL + busy retry, durability by mode.
+
+        * every session: ``foreign_keys = ON``, ``journal_mode = WAL``,
+          ``busy_timeout = 5000``;
+        * service profile (default): ``synchronous = NORMAL`` — with WAL,
+          commits are consistent across crashes and fsync happens at
+          checkpoint time;
+        * bulk profile (``bulk=True``): ``synchronous = OFF`` and
+          ``temp_store = MEMORY`` — maximum load throughput, crash safety
+          delegated to "re-run the loader".
+        """
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA busy_timeout = 5000")
+        if self._bulk:
+            self._conn.execute("PRAGMA synchronous = OFF")
+            self._conn.execute("PRAGMA temp_store = MEMORY")
+        else:
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+
+    @contextmanager
+    def _bulk_writes(self) -> Iterator[None]:
+        """Run one batch commit under the bulk profile, then restore.
+
+        On a ``bulk=True`` connection this is a no-op (the profile is
+        already session-wide).  Otherwise ``synchronous`` drops to ``OFF``
+        for the duration and is restored to ``NORMAL`` afterwards even on
+        error — one fsync policy decision, documented here, instead of
+        pragma statements scattered through the write paths.
+        """
+        if self._bulk:
+            yield
+            return
+        self._conn.execute("PRAGMA synchronous = OFF")
+        try:
+            yield
+        finally:
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+
+    @contextmanager
+    def bulk_load(self) -> Iterator[None]:
+        """Defer the ``io`` secondary indexes across a whole ingestion.
+
+        Only active on a ``bulk=True`` connection (the service profile
+        keeps every index live for concurrent readers): the two covering
+        indexes over ``io`` are dropped on entry and rebuilt on exit —
+        one sorted ``CREATE INDEX`` pass over the final relation instead
+        of two b-tree insertions per ``io`` row.  The rebuild runs in a
+        ``finally`` block, so even an ingestion that raises leaves the
+        warehouse fully indexed.
+        """
+        if not self._bulk:
+            yield
+            return
+        with self._conn:
+            for name, _ddl in SQLITE_IO_INDEXES:
+                self._conn.execute("DROP INDEX IF EXISTS %s" % name)
+        try:
+            yield
+        finally:
+            with self._conn:
+                for _name, ddl in SQLITE_IO_INDEXES:
+                    self._conn.execute(ddl)
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -315,6 +406,139 @@ class SqliteWarehouse(ProvenanceWarehouse):
         if self.auto_index:
             self.build_lineage_index(identifier)
         return identifier
+
+    def store_many(self, prepared: Sequence["PreparedRun"]) -> List[str]:
+        """Commit a batch of prepared runs in one transaction.
+
+        Five prepared ``executemany`` statements over the pre-shaped row
+        tuples (run_def, step, io, user_input, final_output), then — for
+        prepared runs carrying a closure — the compact lineage expansion
+        of :meth:`_insert_closure_compact`, all inside a single
+        transaction under the bulk pragma profile.  Id freshness is
+        checked against one precomputed set (batch + stored), so a batch
+        is O(batch) instead of O(batch * stored).
+        """
+        batch = list(prepared)
+        if not batch:
+            return []
+        known_specs = set(self.list_specs())
+        existing = set(self.list_runs())
+        for p in batch:
+            if p.spec_id not in known_specs:
+                raise self._missing("spec", p.spec_id)
+            self._fresh_id(p.run_id, p.run_id, existing)
+            existing.add(p.run_id)
+        with self._bulk_writes():
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO run_def (run_id, spec_id) VALUES (?, ?)",
+                    [(p.run_id, p.spec_id) for p in batch],
+                )
+                self._conn.executemany(
+                    "INSERT INTO step (run_id, step_id, module)"
+                    " VALUES (?, ?, ?)",
+                    [(p.run_id, step_id, module)
+                     for p in batch for step_id, module in p.step_rows],
+                )
+                self._conn.executemany(
+                    "INSERT INTO io (run_id, step_id, data_id, direction)"
+                    " VALUES (?, ?, ?, ?)",
+                    [(p.run_id, step_id, data_id, direction)
+                     for p in batch
+                     for step_id, data_id, direction in p.io_rows],
+                )
+                self._conn.executemany(
+                    "INSERT INTO user_input (run_id, data_id) VALUES (?, ?)",
+                    [(p.run_id, d) for p in batch for d in p.user_inputs],
+                )
+                self._conn.executemany(
+                    "INSERT INTO final_output (run_id, data_id) VALUES (?, ?)",
+                    [(p.run_id, d) for p in batch for d in p.final_outputs],
+                )
+                for p in batch:
+                    if p.closure is not None:
+                        self._insert_closure_compact(p.closure)
+        return [p.run_id for p in batch]
+
+    def _insert_closure_compact(self, closure: "LineageClosure") -> None:
+        """Expand and store a closure SQL-side, from its compact form.
+
+        The expanded ``lineage`` relation repeats each ancestor step's
+        input list once per descendant data object — for deep workflows
+        that is orders of magnitude more rows than the closure's compact
+        dict-of-shared-frozensets form holds.  Rather than expanding in
+        Python and pushing ~N*M tuples through ``executemany``
+        (:meth:`_store_lineage_closure`, the reference), this inserts only
+        the *distinct* ancestor sets into temp tables and lets one
+        ``INSERT ... SELECT`` join against ``io`` do the expansion in C.
+        The ``ORDER BY`` matters: the WITHOUT ROWID b-tree is filled in
+        key order instead of randomly.  Must run inside the caller's
+        transaction, after the run's ``io`` rows are inserted.
+        """
+        self._conn.execute(
+            "CREATE TEMP TABLE IF NOT EXISTS bulk_anc_set"
+            " (set_id INTEGER, step_id TEXT)"
+        )
+        self._conn.execute(
+            "CREATE TEMP TABLE IF NOT EXISTS bulk_data_set"
+            " (data_id TEXT, set_id INTEGER)"
+        )
+        self._conn.execute("DELETE FROM bulk_anc_set")
+        self._conn.execute("DELETE FROM bulk_data_set")
+        set_ids: Dict[FrozenSet[str], int] = {}
+        anc_rows: List[Tuple[int, str]] = []
+        data_rows: List[Tuple[str, int]] = []
+        for data_id, steps in closure.lineage_steps.items():
+            set_id = set_ids.get(steps)
+            if set_id is None:
+                set_id = set_ids[steps] = len(set_ids)
+                anc_rows.extend((set_id, step_id) for step_id in steps)
+            data_rows.append((data_id, set_id))
+        self._conn.executemany(
+            "INSERT INTO bulk_anc_set (set_id, step_id) VALUES (?, ?)",
+            anc_rows,
+        )
+        self._conn.executemany(
+            "INSERT INTO bulk_data_set (data_id, set_id) VALUES (?, ?)",
+            data_rows,
+        )
+        params = {"run_id": closure.run_id, "marker": INPUT, "dir_in": DIR_IN}
+        # (data, ancestor step, that step's input) expansion rows.
+        self._conn.execute(
+            "INSERT INTO lineage (run_id, data_id, step_id, data_in)"
+            " SELECT :run_id, d.data_id, a.step_id, io.data_id"
+            " FROM bulk_data_set AS d"
+            " JOIN bulk_anc_set AS a ON a.set_id = d.set_id"
+            " JOIN io ON io.run_id = :run_id AND io.step_id = a.step_id"
+            "  AND io.direction = :dir_in"
+            " ORDER BY d.data_id, a.step_id, io.data_id",
+            params,
+        )
+        # (data, 'input', user input) markers: a user input is in a data
+        # object's lineage exactly when some ancestor step reads it.
+        self._conn.execute(
+            "INSERT OR IGNORE INTO lineage (run_id, data_id, step_id, data_in)"
+            " SELECT DISTINCT :run_id, d.data_id, :marker, io.data_id"
+            " FROM bulk_data_set AS d"
+            " JOIN bulk_anc_set AS a ON a.set_id = d.set_id"
+            " JOIN io ON io.run_id = :run_id AND io.step_id = a.step_id"
+            "  AND io.direction = :dir_in"
+            " JOIN user_input AS u ON u.run_id = :run_id"
+            "  AND u.data_id = io.data_id",
+            params,
+        )
+        # A user input's own lineage is itself.
+        self._conn.execute(
+            "INSERT OR IGNORE INTO lineage (run_id, data_id, step_id, data_in)"
+            " SELECT :run_id, data_id, :marker, data_id"
+            " FROM user_input WHERE run_id = :run_id",
+            params,
+        )
+        self._conn.execute(
+            "INSERT INTO lineage_meta (run_id, row_count)"
+            " SELECT :run_id, COUNT(*) FROM lineage WHERE run_id = :run_id",
+            params,
+        )
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         if spec_id is None:

@@ -95,22 +95,53 @@ def _read_spec(path: str) -> WorkflowSpec:
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
-    """Simulate runs of a spec and load everything into a warehouse file."""
+    """Simulate runs of a spec and load everything into a warehouse file.
+
+    With ``--jobs`` and/or ``--batch`` the runs go through the batched
+    ingestion pipeline (identical warehouse contents, single-transaction
+    bulk writes); the default remains the serial run-at-a-time loop.
+    """
     spec = _read_spec(args.spec)
     run_class = RUN_CLASSES[args.run_class]
     rng = random.Random(args.seed)
+    use_pipeline = args.jobs > 0 or args.batch > 0
     with SqliteWarehouse(args.db) as warehouse:
-        spec_id = warehouse.store_spec(spec)
-        for number in range(1, args.runs + 1):
-            result = generate_run(
-                spec, run_class, rng, run_id="%s/run%d" % (spec_id, number)
-            )
-            run_id = warehouse.store_run(result.run, spec_id)
-            print("stored %s: %d steps, %d data objects"
-                  % (run_id, result.run.num_steps(), len(result.run.data_ids())))
-            if args.index:
-                rows = warehouse.build_lineage_index(run_id)
-                print("  lineage index built: %d rows" % rows)
+        if use_pipeline:
+            from ..warehouse.pipeline import DEFAULT_BATCH_SIZE, ingest_dataset
+
+            simulations = [
+                generate_run(
+                    spec, run_class, rng,
+                    run_id="%s/run%d" % (spec.name, number),
+                )
+                for number in range(1, args.runs + 1)
+            ]
+            record = ingest_dataset(
+                warehouse, [(spec, simulations)],
+                jobs=args.jobs, batch_size=args.batch or DEFAULT_BATCH_SIZE,
+                with_standard_views=False, index=args.index,
+            )[0]
+            spec_id = record.spec_id
+            for run_id, result in zip(record.run_ids, simulations):
+                print("stored %s: %d steps, %d data objects"
+                      % (run_id, result.run.num_steps(),
+                         len(result.run.data_ids())))
+                if args.index:
+                    print("  lineage index built: %d rows"
+                          % warehouse.lineage_row_count(run_id))
+        else:
+            spec_id = warehouse.store_spec(spec)
+            for number in range(1, args.runs + 1):
+                result = generate_run(
+                    spec, run_class, rng, run_id="%s/run%d" % (spec_id, number)
+                )
+                run_id = warehouse.store_run(result.run, spec_id)
+                print("stored %s: %d steps, %d data objects"
+                      % (run_id, result.run.num_steps(),
+                         len(result.run.data_ids())))
+                if args.index:
+                    rows = warehouse.build_lineage_index(run_id)
+                    print("  lineage index built: %d rows" % rows)
     print("spec %r and %d run(s) loaded into %s" % (spec_id, args.runs, args.db))
     return 0
 
@@ -331,12 +362,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     """Manage the materialised lineage-closure index of a warehouse."""
     with SqliteWarehouse(args.db) as warehouse:
-        run_ids = args.run_id or warehouse.list_runs()
+        run_ids = (
+            warehouse.list_runs() if args.all
+            else args.run_id or warehouse.list_runs()
+        )
         if args.action == "build":
-            for run_id in run_ids:
-                rows = warehouse.build_lineage_index(
-                    run_id, rebuild=args.rebuild
-                )
+            from ..warehouse.pipeline import build_lineage_indexes
+
+            results = build_lineage_indexes(
+                warehouse, run_ids, jobs=args.jobs, rebuild=args.rebuild
+            )
+            for run_id, rows in results.items():
                 print("indexed %s: %d lineage rows" % (run_id, rows))
         elif args.action == "drop":
             dropped = []
@@ -459,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--index", action="store_true",
                       help="materialise each run's lineage-closure index"
                            " at ingestion time")
+    load.add_argument("--jobs", type=int, default=0,
+                      help="prepare-stage workers for batched ingestion"
+                           " (0: serial reference path)")
+    load.add_argument("--batch", type=int, default=0,
+                      help="runs committed per bulk transaction (implies"
+                           " the batched pipeline; 0: default size when"
+                           " --jobs is set, else serial)")
 
     view = sub.add_parser("view", help="build a user view from relevant modules")
     view.add_argument("--db", required=True)
@@ -528,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--db", required=True)
     index.add_argument("--run-id", nargs="*", default=None,
                        help="restrict to these runs (default: every run)")
+    index.add_argument("--all", action="store_true",
+                       help="explicitly target every stored run (overrides"
+                            " --run-id)")
+    index.add_argument("--jobs", type=int, default=0,
+                       help="closure workers for 'build' (0: serial)")
     index.add_argument("--rebuild", action="store_true",
                        help="recompute even when an index already exists")
 
