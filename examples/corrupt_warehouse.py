@@ -19,7 +19,10 @@ Planted defects and the rules they trigger:
   undeclared module, an io row for a step that does not exist, a read of
   data nothing produced and a final output that was never written
   (``WH030``–``WH034``), plus a run row pointing at a spec id that is
-  not stored (``WH035``) and a stepless run (``WH037``).
+  not stored (``WH035``) and a stepless run (``WH037``);
+* a pending ingest-journal row for a run the warehouse never received —
+  the footprint of a bulk load killed between journalling and commit
+  (``WH041``, torn ingest).
 
 Usage::
 
@@ -124,6 +127,13 @@ def build(path: str) -> str:
         # -- a run whose spec row dangles (WH035) and that has no steps
         #    at all (WH037).
         db.execute("INSERT INTO run_def VALUES ('lost/run', 'no-such-spec')")
+
+        # -- a torn ingest (WH041): the journal promised 'healthy/run9'
+        #    but the load died before the batch committed.
+        db.execute(
+            "INSERT INTO _ingest_journal VALUES"
+            " ('healthy/run9', 'healthy', 'deadbeef', 1, 'pending')"
+        )
     db.close()
     return path
 

@@ -19,7 +19,7 @@ not a key).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, cast
 
 from ..core.errors import ZoomError
 from ..core.spec import INPUT
@@ -56,6 +56,12 @@ RULES.register("WH038", LAYER_WAREHOUSE, ERROR,
 RULES.register("WH039", LAYER_WAREHOUSE, WARNING,
                "run is unindexed although the warehouse auto-indexes at"
                " ingestion (auto_index=True)")
+RULES.register("WH040", LAYER_WAREHOUSE, WARNING,
+               "warehouse is missing an expected secondary index (a crashed"
+               " bulk load skipped the rebuild)")
+RULES.register("WH041", LAYER_WAREHOUSE, ERROR,
+               "ingest journal row references a run the warehouse does not"
+               " hold (torn ingest)")
 
 
 def lint_run_rows(
@@ -254,7 +260,72 @@ def lint_warehouse(
             warehouse, run_id, steps, io_rows, user_inputs,
         ))
         findings.extend(lint_auto_index_gap(warehouse, run_id))
+
+    if spec_ids is None and run_ids is None:
+        # Warehouse-wide physical checks only make sense on a full sweep;
+        # a narrowed audit should not drag in unrelated findings.
+        findings.extend(lint_integrity(warehouse))
+        findings.extend(lint_ingest_journal(warehouse))
     return findings
+
+
+def lint_integrity(warehouse: ProvenanceWarehouse) -> List[Finding]:
+    """``WH040``: expected secondary indexes the warehouse does not hold.
+
+    ``bulk_load()`` drops the ``io`` secondary indexes for the duration of
+    a bulk ingestion and rebuilds them in a ``finally`` — but a hard kill
+    skips ``finally``.  The startup probe repairs this on the next open;
+    this rule reports the live state in between (and on backends opened
+    without the probe), because every deep-provenance query silently
+    degrades to full scans while an index is missing.
+    """
+    report = warehouse.integrity_report()
+    missing = cast("Sequence[str]", report.get("missing_indexes") or ())
+    findings = [
+        RULES.finding(
+            "WH040", str(name),
+            "expected secondary index %r is missing" % str(name),
+            hint="run 'zoom recover' (or reopen the database) to rebuild it",
+        )
+        for name in missing
+    ]
+    if not report.get("ok", True):
+        findings.append(RULES.finding(
+            "WH040", "quick_check",
+            "PRAGMA quick_check reports physical corruption",
+            hint="restore from backup or re-ingest into a fresh database",
+        ))
+    return findings
+
+
+def lint_ingest_journal(warehouse: ProvenanceWarehouse) -> List[Finding]:
+    """``WH041``: journal rows whose run the warehouse does not hold.
+
+    The ingest journal records every run a bulk load intended to store; a
+    row with no matching ``run_def`` means the load tore — it crashed
+    after journalling but before (or during) the batch commit.  The data
+    is not corrupt, but the warehouse is *incomplete* relative to its own
+    manifest.
+    """
+    try:
+        entries = warehouse.journal_entries()
+    except ZoomError:
+        return []
+    if not entries:
+        return []
+    present = set(warehouse.list_runs())
+    return [
+        RULES.finding(
+            "WH041", entry.run_id,
+            "ingest journal holds a %s entry for run %r which the"
+            " warehouse does not hold (torn ingest)"
+            % (entry.state, entry.run_id),
+            hint="run 'zoom recover', then re-load the dataset with"
+                 " --resume to ingest the missing runs",
+        )
+        for entry in entries
+        if entry.run_id not in present
+    ]
 
 
 def lint_auto_index_gap(

@@ -23,6 +23,7 @@ from .metrics import (
     timed,
 )
 from .report import format_stats, hit_rate_summary
+from .retry import with_retries
 
 __all__ = [
     "BoundedCache",
@@ -37,4 +38,5 @@ __all__ = [
     "hit_rate_summary",
     "set_registry",
     "timed",
+    "with_retries",
 ]

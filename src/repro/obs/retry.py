@@ -1,0 +1,86 @@
+"""Retry-with-backoff for transient warehouse write failures.
+
+SQLite under WAL serialises writers: a concurrent loader (or an injected
+fault, see :mod:`repro.faults`) surfaces as ``sqlite3.OperationalError``
+with "database is locked" / "database is busy".  ``busy_timeout`` already
+absorbs short waits inside a single statement, but it cannot help when the
+error escapes a transaction — the whole batch must be re-run.  The
+:func:`with_retries` decorator does exactly that: it re-invokes the wrapped
+callable with exponential backoff plus jitter, counting every retry under
+``retry.attempts`` and every exhaustion under ``retry.giveup``.
+
+The sleeper and RNG are injectable so tests run in microseconds and stay
+deterministic.  Only errors matching ``is_transient`` are retried; anything
+else — including :class:`~repro.faults.InjectedCrash`, which is a
+``BaseException`` — propagates immediately.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import sqlite3
+import time
+from typing import Any, Callable, Optional, Tuple, Type, TypeVar
+
+from .metrics import get_registry
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Default predicate: retry only lock/busy contention, not real failures
+#: (disk I/O errors, malformed databases, syntax errors ...).
+def _default_is_transient(exc: BaseException) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+def with_retries(
+    attempts: int = 5,
+    *,
+    base_delay: float = 0.01,
+    max_delay: float = 0.5,
+    jitter: float = 0.25,
+    retry_on: Tuple[Type[BaseException], ...] = (sqlite3.OperationalError,),
+    is_transient: Optional[Callable[[BaseException], bool]] = None,
+    sleeper: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    metric_prefix: str = "retry",
+) -> Callable[[F], F]:
+    """Decorate a callable to retry transient failures with backoff.
+
+    ``attempts`` is the total number of invocations (so ``attempts=5``
+    means up to four retries).  Delay before retry *k* (1-based) is
+    ``min(max_delay, base_delay * 2**(k-1))`` scaled by ``1 + jitter*r``
+    with ``r`` uniform in [0, 1).  When every attempt fails the *original*
+    exception is re-raised, so callers see the same error type and message
+    they would without the decorator.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1, got %d" % attempts)
+    transient = is_transient or _default_is_transient
+    chooser = rng or random
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            registry = get_registry()
+            for attempt in range(1, attempts + 1):
+                try:
+                    return func(*args, **kwargs)
+                except retry_on as exc:
+                    if not transient(exc):
+                        raise
+                    if attempt == attempts:
+                        registry.counter("%s.giveup" % metric_prefix).increment()
+                        raise
+                    registry.counter("%s.attempts" % metric_prefix).increment()
+                    delay = min(max_delay, base_delay * (2 ** (attempt - 1)))
+                    sleeper(delay * (1.0 + jitter * chooser.random()))
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+__all__ = ["with_retries"]

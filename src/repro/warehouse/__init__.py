@@ -21,6 +21,17 @@ from .pipeline import (
     ingest_dataset,
     prepare_run,
 )
+from .recovery import (
+    JOURNAL_COMMITTED,
+    JOURNAL_PENDING,
+    JournalEntry,
+    QuarantineRecord,
+    RecoveryReport,
+    checksum_stored_run,
+    recover,
+    retry_quarantined,
+    run_checksum,
+)
 from .schema import DIR_IN, DIR_OUT, SQLITE_DDL, SQLITE_DEEP_PROVENANCE
 from .sqlite import SqliteWarehouse
 from .stats import (
@@ -37,15 +48,21 @@ __all__ = [
     "DIR_IN",
     "DIR_OUT",
     "InMemoryWarehouse",
+    "JOURNAL_COMMITTED",
+    "JOURNAL_PENDING",
+    "JournalEntry",
     "LoadedSpec",
     "PreparedRun",
     "ProvenanceWarehouse",
+    "QuarantineRecord",
+    "RecoveryReport",
     "RunStats",
     "SQLITE_DDL",
     "SQLITE_DEEP_PROVENANCE",
     "SqliteWarehouse",
     "WarehouseReport",
     "build_lineage_indexes",
+    "checksum_stored_run",
     "dump_warehouse",
     "hottest_modules",
     "ingest_dataset",
@@ -55,7 +72,10 @@ __all__ = [
     "load_warehouse",
     "module_execution_counts",
     "prepare_run",
+    "recover",
     "restore_warehouse",
+    "retry_quarantined",
+    "run_checksum",
     "run_stats",
     "runs_executing_module",
     "save_warehouse",

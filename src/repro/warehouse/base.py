@@ -46,6 +46,7 @@ from .schema import DIR_OUT
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
     from .pipeline import PreparedRun
+    from .recovery import JournalEntry, QuarantineRecord
 
 
 class ProvenanceWarehouse(ABC):
@@ -154,6 +155,66 @@ class ProvenanceWarehouse(ABC):
         the warehouse unindexed.
         """
         yield
+
+    # ------------------------------------------------------------------
+    # Ingest journal, quarantine and integrity (crash-safe ingestion)
+    # ------------------------------------------------------------------
+
+    def journal_begin(self, entries: Sequence["JournalEntry"]) -> None:
+        """Durably record runs about to be stored, in state ``pending``.
+
+        Written *before* the batch transaction commits, so a crash leaves
+        a pending row for every run whose fate is unknown —
+        :func:`~repro.warehouse.recovery.recover` settles them by
+        checksum.  Re-journalling an id overwrites its row.  The default
+        is a no-op: a backend without a journal still ingests, it just
+        cannot resume.
+        """
+
+    def journal_commit(self, run_ids: Sequence[str]) -> None:
+        """Flip journal rows to ``committed`` after their batch landed."""
+
+    def journal_discard(self, run_ids: Sequence[str]) -> None:
+        """Drop journal rows (a gated-out or quarantined run)."""
+
+    def journal_entries(
+        self, state: Optional[str] = None
+    ) -> List["JournalEntry"]:
+        """Journal rows, optionally filtered by state (default: empty)."""
+        return []
+
+    def quarantine_add(self, record: "QuarantineRecord") -> None:
+        """Persist a failed run's rows and reason for later inspection.
+
+        Backends without quarantine storage refuse, so
+        ``on_error="quarantine"`` never silently drops runs.
+        """
+        raise NotImplementedError(
+            "%s does not implement quarantine storage" % type(self).__name__
+        )
+
+    def quarantine_list(self) -> List[str]:
+        """Run ids currently quarantined (default: none)."""
+        return []
+
+    def quarantine_get(self, run_id: str) -> "QuarantineRecord":
+        """The quarantine record of one run."""
+        raise self._missing("quarantined run", run_id)
+
+    def quarantine_delete(self, run_id: str) -> None:
+        """Drop a quarantine record (after a successful retry)."""
+        raise self._missing("quarantined run", run_id)
+
+    def integrity_report(self, repair: bool = False) -> Dict[str, object]:
+        """Probe the warehouse's physical health.
+
+        Returns ``{"ok": bool, "missing_indexes": [...], "repaired":
+        [...]}``.  Backends with on-disk structures override this with a
+        real probe (``PRAGMA quick_check`` + expected-index check on
+        SQLite); the default reports healthy — an in-memory dict cannot
+        lose an index.
+        """
+        return {"ok": True, "missing_indexes": [], "repaired": []}
 
     @abstractmethod
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:

@@ -134,6 +134,8 @@ def load_dataset(
     index: bool = False,
     parallel: Optional[int] = None,
     batch_size: Optional[int] = None,
+    resume: bool = False,
+    on_error: str = "abort",
 ) -> List[LoadedSpec]:
     """Ingest a collection of specifications, each with its runs.
 
@@ -146,10 +148,19 @@ def load_dataset(
     ``batch_size`` (runs per bulk transaction) routes the workload through
     the batched pipeline of :func:`repro.warehouse.pipeline.ingest_dataset`,
     which produces identical warehouse contents and lint findings several
-    times faster on large workloads.  With both left at ``None`` the
-    run-at-a-time loop below remains the reference semantics.
+    times faster on large workloads.  ``resume=True`` (continue a crashed
+    load: recover the journal, skip already-committed runs) and
+    ``on_error="quarantine"`` (divert failing runs instead of aborting)
+    also route through the pipeline — the crash-safety machinery lives
+    there.  With everything left at the defaults the run-at-a-time loop
+    below remains the reference semantics.
     """
-    if parallel is not None or batch_size is not None:
+    if (
+        parallel is not None
+        or batch_size is not None
+        or resume
+        or on_error != "abort"
+    ):
         from .pipeline import DEFAULT_BATCH_SIZE, ingest_dataset
 
         return ingest_dataset(
@@ -158,6 +169,7 @@ def load_dataset(
             batch_size=batch_size or DEFAULT_BATCH_SIZE,
             with_standard_views=with_standard_views,
             strict=strict, index=index,
+            resume=resume, on_error=on_error,
         )
     loaded: List[LoadedSpec] = []
     for spec, simulations in items:

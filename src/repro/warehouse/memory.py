@@ -25,10 +25,13 @@ from typing import (
 from ..core.errors import WarehouseError
 from ..core.spec import INPUT, WorkflowSpec
 from ..core.view import UserView
+from ..faults import FaultPlan
 from ..obs.metrics import get_registry
+from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
 from .base import ProvenanceWarehouse
+from .recovery import JOURNAL_COMMITTED, JournalEntry, QuarantineRecord
 from .schema import DIR_IN, DIR_OUT
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
@@ -60,12 +63,28 @@ class _RunRecord:
 class InMemoryWarehouse(ProvenanceWarehouse):
     """Dictionary-backed implementation of :class:`ProvenanceWarehouse`."""
 
-    def __init__(self, auto_index: bool = False) -> None:
+    def __init__(
+        self, auto_index: bool = False, faults: Optional[FaultPlan] = None
+    ) -> None:
         self._specs: Dict[str, WorkflowSpec] = {}
         self._views: Dict[str, Tuple[str, UserView]] = {}
         self._runs: Dict[str, _RunRecord] = {}
+        #: Ingest journal (run id -> entry), the in-memory analogue of the
+        #: SQLite ``_ingest_journal`` table.  It lives and dies with the
+        #: process, so "crash recovery" here means recovering from an
+        #: aborted `ingest_dataset` call within the same process.
+        self._journal: Dict[str, JournalEntry] = {}
+        #: Quarantined runs (run id -> record).
+        self._quarantine: Dict[str, QuarantineRecord] = {}
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
+        #: Fault-injection schedule (tests only; ``None`` in production).
+        self.faults = faults
+
+    def _hit(self, site: str) -> None:
+        """Fire the fault plan at an instrumented site (no-op without one)."""
+        if self.faults is not None:
+            self.faults.hit(site)
 
     # ------------------------------------------------------------------
     # Specifications
@@ -158,6 +177,7 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             self.build_lineage_index(identifier)
         return identifier
 
+    @with_retries()
     def store_many(self, prepared: Sequence["PreparedRun"]) -> List[str]:
         """Bulk-store prepared runs; all-or-nothing, like one transaction.
 
@@ -168,6 +188,7 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         its frozensets are shared, exactly as :meth:`_store_lineage_closure`
         stores them.
         """
+        self._hit("store_many.begin")
         batch = list(prepared)
         existing = set(self._runs)
         records: List[Tuple[str, _RunRecord]] = []
@@ -197,9 +218,66 @@ class InMemoryWarehouse(ProvenanceWarehouse):
                 record.lineage_inputs = dict(p.closure.lineage_inputs)
                 record.lineage_row_count = p.closure.num_rows()
             records.append((p.run_id, record))
+        published = 0
         for run_id, record in records:
             self._runs[run_id] = record
+            published += 1
+            if published == 1:
+                # Unlike SQLite there is no transaction to roll a crash
+                # back: a kill here leaves the batch genuinely
+                # half-published, the state `recover()` settles by
+                # checksum (complete runs roll forward, the rest stay
+                # torn in the journal for a resumed load).
+                self._hit("store_many.mid")
         return [run_id for run_id, _record in records]
+
+    # ------------------------------------------------------------------
+    # Ingest journal and quarantine (crash-safe ingestion)
+    # ------------------------------------------------------------------
+
+    def journal_begin(self, entries: Sequence["JournalEntry"]) -> None:
+        for entry in entries:
+            self._journal[entry.run_id] = entry
+
+    def journal_commit(self, run_ids: Sequence[str]) -> None:
+        for run_id in run_ids:
+            entry = self._journal.get(run_id)
+            if entry is not None:
+                self._journal[run_id] = JournalEntry(
+                    run_id=entry.run_id, spec_id=entry.spec_id,
+                    checksum=entry.checksum, batch=entry.batch,
+                    state=JOURNAL_COMMITTED,
+                )
+
+    def journal_discard(self, run_ids: Sequence[str]) -> None:
+        for run_id in run_ids:
+            self._journal.pop(run_id, None)
+
+    def journal_entries(
+        self, state: Optional[str] = None
+    ) -> List["JournalEntry"]:
+        return [
+            entry
+            for run_id, entry in sorted(self._journal.items())
+            if state is None or entry.state == state
+        ]
+
+    def quarantine_add(self, record: "QuarantineRecord") -> None:
+        self._quarantine[record.run_id] = record
+
+    def quarantine_list(self) -> List[str]:
+        return sorted(self._quarantine)
+
+    def quarantine_get(self, run_id: str) -> "QuarantineRecord":
+        try:
+            return self._quarantine[run_id]
+        except KeyError:
+            raise self._missing("quarantined run", run_id) from None
+
+    def quarantine_delete(self, run_id: str) -> None:
+        if run_id not in self._quarantine:
+            raise self._missing("quarantined run", run_id)
+        del self._quarantine[run_id]
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         return sorted(
@@ -364,6 +442,8 @@ class InMemoryWarehouse(ProvenanceWarehouse):
     def delete_run(self, run_id: str) -> None:
         self._record(run_id)  # raise for unknown ids
         del self._runs[run_id]
+        self._journal.pop(run_id, None)
+        self._quarantine.pop(run_id, None)
 
     # ------------------------------------------------------------------
     # Recursive closure (BFS; served from the index when built)

@@ -30,9 +30,17 @@ unit **before** its single transaction, so a ``strict=True`` rejection (or
 an invalid run) aborts the whole failing batch — earlier batches stay
 committed, the failing batch leaves no partial rows behind.
 
+Every batch is also **journalled** (:mod:`repro.warehouse.recovery`):
+pending rows with content checksums before the commit, committed marks
+after — so a crashed load is repairable (``zoom recover``) and resumable
+(``ingest_dataset(resume=True)``), and ``on_error="quarantine"`` diverts
+failing runs into the warehouse quarantine instead of aborting the
+dataset.
+
 Per-stage observability lands in the default metrics registry:
 ``ingest.prepare`` / ``ingest.gate`` / ``ingest.write`` timers and the
-``ingest.runs`` / ``ingest.batches`` / ``ingest.specs`` counters.
+``ingest.runs`` / ``ingest.batches`` / ``ingest.specs`` /
+``ingest.skipped`` / ``ingest.quarantined`` counters.
 """
 
 from __future__ import annotations
@@ -53,11 +61,21 @@ from typing import (
 
 from ..core.errors import RunError, WarehouseError, ZoomError
 from ..core.spec import INPUT, OUTPUT, WorkflowSpec
+from ..core.view import admin_view, blackbox_view
+from ..faults import FaultPlan
+from ..faults import hit as fault_hit
 from ..obs.metrics import get_registry
 from ..run.executor import SimulationResult
 from ..run.run import WorkflowRun
 from .base import ProvenanceWarehouse
 from .loader import LoadedSpec, load_spec
+from .recovery import (
+    JournalEntry,
+    QuarantineRecord,
+    event_index_of,
+    recover,
+    run_checksum,
+)
 from .schema import DIR_IN, DIR_OUT
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids import cycles
@@ -90,6 +108,10 @@ class PreparedRun:
     #: Deferred ``run.validate()`` failure: raised at gate time, *after*
     #: the lint gate, mirroring the serial lint-then-store order.
     error: Optional[Exception] = None
+    #: Content hash of the shaped rows (:func:`~repro.warehouse.recovery.
+    #: run_checksum`), journalled before the batch commit so recovery can
+    #: tell a fully stored run from a half-applied one.
+    checksum: str = ""
 
 
 @dataclass
@@ -172,7 +194,33 @@ def prepare_run(task: _PrepareTask) -> PreparedRun:
             prepared.io_rows,
             prepared.user_inputs,
         )
+    prepared.checksum = run_checksum(
+        prepared.spec_id,
+        prepared.step_rows,
+        prepared.io_rows,
+        prepared.user_inputs,
+        prepared.final_outputs,
+    )
     return prepared
+
+
+def _prepare_quarantinable(task: _PrepareTask) -> PreparedRun:
+    """:func:`prepare_run` that converts its own failures into records.
+
+    Only used under ``on_error="quarantine"``: a raising worker would
+    poison the executor's result iterator and abort the whole dataset —
+    exactly what quarantine mode promises not to do.  Module-level so it
+    pickles for process pools.
+    """
+    try:
+        return prepare_run(task)
+    except ZoomError as exc:
+        prepared = PreparedRun(
+            run_id=task.run_id, spec_id=task.spec_id,
+            source_run_id=task.run.run_id,
+        )
+        prepared.error = exc
+        return prepared
 
 
 def _make_executor(jobs: int, pool: str) -> Executor:
@@ -181,6 +229,75 @@ def _make_executor(jobs: int, pool: str) -> Executor:
     if pool == "thread":
         return ThreadPoolExecutor(max_workers=jobs)
     raise ValueError("pool must be 'thread' or 'process', not %r" % pool)
+
+
+def _annotate_committed(exc: BaseException, committed: List[str]) -> None:
+    """Append the committed-so-far run ids to an aborting exception.
+
+    A mid-workload failure leaves every earlier batch committed; without
+    this note the caller has no record of how far the load got.  The
+    original exception object is re-raised unchanged in type (tests and
+    callers match on type and message), only its first arg is extended.
+    """
+    if not committed or not exc.args:
+        return
+    note = " [committed before failure: %s]" % ", ".join(committed)
+    exc.args = (str(exc.args[0]) + note,) + exc.args[1:]
+
+
+def _quarantine_prepared(
+    warehouse: ProvenanceWarehouse,
+    prepared: PreparedRun,
+    exc: BaseException,
+) -> None:
+    """Divert a failed run into the warehouse quarantine."""
+    warehouse.quarantine_add(QuarantineRecord(
+        run_id=prepared.run_id,
+        spec_id=prepared.spec_id,
+        source_run_id=prepared.source_run_id,
+        reason="%s: %s" % (type(exc).__name__, exc),
+        event_index=event_index_of(exc),
+        step_rows=list(prepared.step_rows),
+        io_rows=list(prepared.io_rows),
+        user_inputs=list(prepared.user_inputs),
+        final_outputs=list(prepared.final_outputs),
+        checksum=prepared.checksum,
+    ))
+    get_registry().counter("ingest.quarantined").increment()
+
+
+def _resumable_load_spec(
+    warehouse: ProvenanceWarehouse,
+    spec: WorkflowSpec,
+    with_standard_views: bool,
+    strict: bool,
+) -> LoadedSpec:
+    """:func:`load_spec` that tolerates a spec the crashed load stored.
+
+    An equal stored spec is reused (missing standard views are filled
+    in); a *conflicting* one is an error — resuming must never silently
+    mix two workloads under one id.
+    """
+    spec_id = spec.name
+    if spec_id not in warehouse.list_specs():
+        return load_spec(
+            warehouse, spec, with_standard_views=with_standard_views,
+            strict=strict,
+        )
+    if warehouse.get_spec(spec_id) != spec:
+        raise WarehouseError(
+            "cannot resume: stored spec %r differs from the workload's"
+            % spec_id
+        )
+    record = LoadedSpec(spec_id=spec_id)
+    if with_standard_views:
+        stored_views = set(warehouse.list_views(spec_id))
+        for view in (admin_view(spec), blackbox_view(spec)):
+            view_id = "%s/%s" % (spec_id, view.name)
+            if view_id not in stored_views:
+                warehouse.store_view(view, spec_id, view_id=view_id)
+            record.view_ids[view.name] = view_id
+    return record
 
 
 def ingest_dataset(
@@ -193,6 +310,9 @@ def ingest_dataset(
     strict: bool = False,
     index: bool = False,
     pool: str = "thread",
+    on_error: str = "abort",
+    resume: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> List[LoadedSpec]:
     """Ingest a workload through the batched, parallel pipeline.
 
@@ -214,29 +334,72 @@ def ingest_dataset(
         computed (and stored) exactly as if ``index=True`` — same contract
         as the serial ``store_run`` path; provlint's ``WH039`` flags
         ingestion paths that skip this.
+    on_error:
+        ``"abort"`` (default) keeps the historical semantics: the first
+        failing run aborts the load, with the committed-so-far run ids
+        appended to the exception message.  ``"quarantine"`` isolates
+        failing runs — lint-gate rejections, validation errors, per-run
+        storage failures — into the warehouse quarantine
+        (``zoom quarantine list|show|retry``) and keeps loading; each
+        diversion bumps the ``ingest.quarantined`` counter.
+    resume:
+        Continue a crashed load: first :func:`~repro.warehouse.recovery.
+        recover` settles the ingest journal (integrity repair, roll
+        forward/back), then every run the warehouse already holds is
+        skipped (``ingest.skipped`` counter; skipped runs are *not*
+        counted under ``ingest.runs``) and only the remainder is
+        prepared and stored.  Specs and views stored by the crashed
+        attempt are reused.
+    faults:
+        A :class:`~repro.faults.FaultPlan` for the pipeline-level fault
+        sites (``journal.pending``, ``journal.mark``, per-run failures).
+        Defaults to the warehouse's own ``faults`` attribute so one plan
+        covers both layers.
 
-    Specs (with their views) are loaded first, serially, through
-    :func:`~repro.warehouse.loader.load_spec` — they are few and cheap.
-    Runs then flow through prepare -> gate -> bulk write in deterministic
-    workload order.  Returns one :class:`LoadedSpec` per item, exactly as
-    the serial path does.
+    Every batch is journalled ``pending`` (run ids + content checksums)
+    before its transaction commits and marked ``committed`` after, so a
+    crash at any point is repairable by ``zoom recover`` and resumable
+    with ``resume=True`` — the chaos suite asserts convergence to the
+    uninterrupted result.  Specs (with their views) are loaded first,
+    serially — they are few and cheap.  Runs then flow through
+    prepare -> gate -> journal -> bulk write in deterministic workload
+    order.  Returns one :class:`LoadedSpec` per item, exactly as the
+    serial path does.
     """
     from ..lint import Linter
 
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1, not %d" % batch_size)
+    if on_error not in ("abort", "quarantine"):
+        raise ValueError(
+            "on_error must be 'abort' or 'quarantine', not %r" % on_error
+        )
     registry = get_registry()
     linter = Linter()
     effective_index = index or bool(getattr(warehouse, "auto_index", False))
+    plan = faults if faults is not None else getattr(warehouse, "faults", None)
+
+    already: frozenset = frozenset()
+    if resume:
+        recover(warehouse)
+        # After recovery every stored run is verified (journal-committed
+        # or checksum-matched), so presence alone is the skip criterion —
+        # it also covers runs a serial, journal-less path loaded.
+        already = frozenset(warehouse.list_runs())
 
     records: List[LoadedSpec] = []
     tasks: List[_PrepareTask] = []
     owners: List[LoadedSpec] = []  # owners[i] owns tasks[i]'s run id
     for spec, simulations in items:
-        record = load_spec(
-            warehouse, spec, with_standard_views=with_standard_views,
-            strict=strict,
-        )
+        if resume:
+            record = _resumable_load_spec(
+                warehouse, spec, with_standard_views, strict
+            )
+        else:
+            record = load_spec(
+                warehouse, spec, with_standard_views=with_standard_views,
+                strict=strict,
+            )
         registry.counter("ingest.specs").increment()
         records.append(record)
         for number, simulation in enumerate(simulations, start=1):
@@ -247,27 +410,87 @@ def ingest_dataset(
                     % (run.run_id, record.spec_id)
                 )
             run_id = "%s/run%d" % (record.spec_id, number)
+            if run_id in already:
+                record.run_ids.append(run_id)
+                registry.counter("ingest.skipped").increment()
+                continue
             tasks.append(_PrepareTask(
                 run=run, spec_id=record.spec_id, run_id=run_id,
                 index=effective_index,
             ))
             owners.append(record)
 
+    committed_ids: List[str] = []
+    batch_counter = [0]
+
     def _flush(batch: List[PreparedRun], batch_owners: List[LoadedSpec]) -> None:
+        batch_counter[0] += 1
+        survivors: List[PreparedRun] = []
+        survivor_owners: List[LoadedSpec] = []
         with registry.time("ingest.gate"):
-            for prepared in batch:
-                report = linter.report_findings(prepared.findings)
-                linter.gate(
-                    report, "run %r" % prepared.source_run_id, strict
-                )
-                if prepared.error is not None:
-                    raise prepared.error
-        with registry.time("ingest.write"):
-            warehouse.store_many(batch)
+            for prepared, owner in zip(batch, batch_owners):
+                try:
+                    if plan is not None:
+                        plan.check_run(prepared.run_id)
+                    report = linter.report_findings(prepared.findings)
+                    linter.gate(
+                        report, "run %r" % prepared.source_run_id, strict
+                    )
+                    if prepared.error is not None:
+                        raise prepared.error
+                except ZoomError as exc:
+                    if on_error == "quarantine":
+                        _quarantine_prepared(warehouse, prepared, exc)
+                        continue
+                    _annotate_committed(exc, committed_ids)
+                    raise
+                survivors.append(prepared)
+                survivor_owners.append(owner)
+        if not survivors:
+            return
+        warehouse.journal_begin([
+            JournalEntry(
+                run_id=p.run_id, spec_id=p.spec_id, checksum=p.checksum,
+                batch=batch_counter[0],
+            )
+            for p in survivors
+        ])
+        # Crash window: pending journal rows exist, the batch has not
+        # committed — the "torn journal" state WH041 reports and a
+        # resumed load re-ingests.
+        fault_hit(plan, "journal.pending")
+        stored: List[Tuple[PreparedRun, LoadedSpec]] = []
+        try:
+            with registry.time("ingest.write"):
+                warehouse.store_many(survivors)
+        except ZoomError as exc:
+            if on_error == "abort":
+                # The batch transaction stored nothing; its pending
+                # journal rows are a truthful record of the aborted
+                # intent (torn journal — resumable).
+                _annotate_committed(exc, committed_ids)
+                raise
+            # Quarantine mode: salvage the batch run by run, diverting
+            # only the runs that actually fail.
+            for prepared, owner in zip(survivors, survivor_owners):
+                try:
+                    warehouse.store_many([prepared])
+                except ZoomError as exc_run:
+                    warehouse.journal_discard([prepared.run_id])
+                    _quarantine_prepared(warehouse, prepared, exc_run)
+                else:
+                    stored.append((prepared, owner))
+        else:
+            stored = list(zip(survivors, survivor_owners))
+        # Crash window: the batch is durably committed but still marked
+        # pending — recovery rolls it forward by checksum.
+        fault_hit(plan, "journal.mark")
+        warehouse.journal_commit([p.run_id for p, _owner in stored])
         registry.counter("ingest.batches").increment()
-        registry.counter("ingest.runs").increment(len(batch))
-        for prepared, owner in zip(batch, batch_owners):
+        registry.counter("ingest.runs").increment(len(stored))
+        for prepared, owner in stored:
             owner.run_ids.append(prepared.run_id)
+            committed_ids.append(prepared.run_id)
 
     def _consume(results: Iterator[PreparedRun]) -> None:
         batch: List[PreparedRun] = []
@@ -289,14 +512,15 @@ def ingest_dataset(
         if batch:
             _flush(batch, batch_owners)
 
+    prepare = _prepare_quarantinable if on_error == "quarantine" else prepare_run
     with warehouse.bulk_load():
         if jobs and jobs > 0:
             with _make_executor(jobs, pool) as executor:
                 # map() preserves input order, so batches are committed in
                 # workload order no matter which worker finishes first.
-                _consume(iter(executor.map(prepare_run, tasks)))
+                _consume(iter(executor.map(prepare, tasks)))
         else:
-            _consume(map(prepare_run, tasks))
+            _consume(map(prepare, tasks))
     return records
 
 

@@ -173,6 +173,43 @@ SQLITE_DDL: Tuple[str, ...] = (
         row_count INTEGER NOT NULL
     )
     """,
+    # The ingest journal (repro.warehouse.recovery): one row per run a
+    # bulk load intends to store, written 'pending' before the batch
+    # commit and flipped to 'committed' after.  Deliberately NOT a
+    # foreign key into run_def — a torn journal (pending rows whose run
+    # never landed; lint rule WH041) must be representable so recovery
+    # and resumed loads can see it.
+    """
+    CREATE TABLE IF NOT EXISTS _ingest_journal (
+        run_id   TEXT PRIMARY KEY,
+        spec_id  TEXT NOT NULL,
+        checksum TEXT NOT NULL,
+        batch    INTEGER NOT NULL,
+        state    TEXT NOT NULL CHECK (state IN ('pending', 'committed'))
+    )
+    """,
+    # Quarantined runs (ingest_dataset(on_error="quarantine")): the shaped
+    # rows ride along as a JSON payload so `zoom quarantine retry` can
+    # re-gate and re-store without the original workload.
+    """
+    CREATE TABLE IF NOT EXISTS _ingest_quarantine (
+        run_id      TEXT PRIMARY KEY,
+        spec_id     TEXT NOT NULL,
+        reason      TEXT NOT NULL,
+        event_index INTEGER,
+        payload     TEXT NOT NULL
+    )
+    """,
+)
+
+#: Every secondary index the warehouse is expected to hold when healthy —
+#: what the startup integrity probe (and ``zoom recover``) verifies and
+#: recreates after a kill inside ``bulk_load`` skipped the rebuild.
+SQLITE_EXPECTED_INDEXES: Tuple[Tuple[str, str], ...] = SQLITE_IO_INDEXES + (
+    ("annotation_by_key", """
+    CREATE INDEX IF NOT EXISTS annotation_by_key
+        ON annotation (run_id, key, value, subject)
+    """),
 )
 
 #: Recursive deep-provenance query (the SQLite analogue of Oracle's

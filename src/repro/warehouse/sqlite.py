@@ -31,15 +31,19 @@ from typing import (
 from ..core.errors import WarehouseError
 from ..core.spec import INPUT, WorkflowSpec
 from ..core.view import UserView
+from ..faults import FaultPlan
 from ..obs.metrics import get_registry
+from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
 from .base import ProvenanceWarehouse
+from .recovery import JOURNAL_COMMITTED, JOURNAL_PENDING, JournalEntry, QuarantineRecord
 from .schema import (
     DIR_IN,
     DIR_OUT,
     SQLITE_DDL,
     SQLITE_DEEP_PROVENANCE,
+    SQLITE_EXPECTED_INDEXES,
     SQLITE_IO_INDEXES,
     SQLITE_LINEAGE_LOOKUP,
     SQLITE_LINEAGE_LOOKUP_INPUTS,
@@ -98,19 +102,93 @@ class SqliteWarehouse(ProvenanceWarehouse):
         timing: bool = False,
         auto_index: bool = False,
         bulk: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self._conn = sqlite3.connect(path)
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
         #: Session-wide bulk-load pragma profile (see class docstring).
         self._bulk = bulk
+        #: Fault-injection schedule (tests only; ``None`` in production).
+        self.faults = faults
+        #: Indexes the startup probe found missing on an existing database
+        #: (a kill inside ``bulk_load`` skipped the rebuild); the DDL pass
+        #: below recreates them immediately.
+        self.repaired_indexes: List[str] = []
         self._apply_session_pragmas()
         if timing:
             counter = get_registry().counter("warehouse.sql")
             self._conn.set_trace_callback(lambda _stmt: counter.increment())
+        self._startup_integrity()
         for statement in SQLITE_DDL:
             self._conn.execute(statement)
         self._conn.commit()
+
+    def _hit(self, site: str) -> None:
+        """Fire the fault plan at an instrumented site (no-op without one)."""
+        if self.faults is not None:
+            self.faults.hit(site)
+
+    def _startup_integrity(self) -> None:
+        """Probe an existing database before the DDL pass heals it.
+
+        On a fresh database (no ``io`` table yet) there is nothing to
+        probe.  Otherwise run the same check as :meth:`integrity_report`
+        and record which expected indexes were missing — the ``IF NOT
+        EXISTS`` DDL that follows recreates them, so the repair is counted
+        here (``warehouse.integrity.repaired``) and surfaced on
+        :attr:`repaired_indexes`.
+        """
+        tables = {
+            name
+            for (name,) in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if "io" not in tables:
+            return
+        report = self.integrity_report(repair=False)
+        missing = [str(name) for name in report["missing_indexes"]]  # type: ignore[union-attr]
+        if missing:
+            self.repaired_indexes = missing
+            get_registry().counter(
+                "warehouse.integrity.repaired"
+            ).increment(len(missing))
+
+    def integrity_report(self, repair: bool = False) -> Dict[str, object]:
+        """``PRAGMA quick_check`` plus the expected-index inventory.
+
+        Counted under ``warehouse.integrity.checks`` /
+        ``warehouse.integrity.failed`` / ``warehouse.integrity.repaired``.
+        With ``repair=True`` any missing expected index is recreated on
+        the spot (what ``zoom recover`` does).
+        """
+        registry = get_registry()
+        registry.counter("warehouse.integrity.checks").increment()
+        row = self._conn.execute("PRAGMA quick_check").fetchone()
+        ok = row is not None and row[0] == "ok"
+        if not ok:
+            registry.counter("warehouse.integrity.failed").increment()
+        names = {
+            name
+            for (name,) in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            )
+        }
+        missing = [
+            name for name, _ddl in SQLITE_EXPECTED_INDEXES if name not in names
+        ]
+        repaired: List[str] = []
+        if repair and missing:
+            with self._conn:
+                for name, ddl in SQLITE_EXPECTED_INDEXES:
+                    if name in missing:
+                        self._conn.execute(ddl)
+                        repaired.append(name)
+            registry.counter(
+                "warehouse.integrity.repaired"
+            ).increment(len(repaired))
+        return {"ok": ok, "missing_indexes": missing, "repaired": repaired}
 
     def _apply_session_pragmas(self) -> None:
         """The connection profile: WAL + busy retry, durability by mode.
@@ -173,6 +251,7 @@ class SqliteWarehouse(ProvenanceWarehouse):
         try:
             yield
         finally:
+            self._hit("bulk_load.rebuild")
             with self._conn:
                 for _name, ddl in SQLITE_IO_INDEXES:
                     self._conn.execute(ddl)
@@ -407,6 +486,7 @@ class SqliteWarehouse(ProvenanceWarehouse):
             self.build_lineage_index(identifier)
         return identifier
 
+    @with_retries()
     def store_many(self, prepared: Sequence["PreparedRun"]) -> List[str]:
         """Commit a batch of prepared runs in one transaction.
 
@@ -417,7 +497,13 @@ class SqliteWarehouse(ProvenanceWarehouse):
         transaction under the bulk pragma profile.  Id freshness is
         checked against one precomputed set (batch + stored), so a batch
         is O(batch) instead of O(batch * stored).
+
+        Transient lock/busy contention (another loader holding the write
+        lock) is retried with backoff by :func:`~repro.obs.retry.with_retries`
+        — safe because the transaction is atomic: a locked-out attempt
+        stored nothing.
         """
+        self._hit("store_many.begin")
         batch = list(prepared)
         if not batch:
             return []
@@ -434,6 +520,10 @@ class SqliteWarehouse(ProvenanceWarehouse):
                     "INSERT INTO run_def (run_id, spec_id) VALUES (?, ?)",
                     [(p.run_id, p.spec_id) for p in batch],
                 )
+                # A crash from here on aborts the whole transaction —
+                # SQLite rolls the batch back on recovery, exactly the
+                # hard-kill semantics the chaos suite simulates.
+                self._hit("store_many.mid")
                 self._conn.executemany(
                     "INSERT INTO step (run_id, step_id, module)"
                     " VALUES (?, ?, ?)",
@@ -539,6 +629,95 @@ class SqliteWarehouse(ProvenanceWarehouse):
             " SELECT :run_id, COUNT(*) FROM lineage WHERE run_id = :run_id",
             params,
         )
+
+    # ------------------------------------------------------------------
+    # Ingest journal and quarantine (crash-safe ingestion)
+    # ------------------------------------------------------------------
+
+    @with_retries()
+    def journal_begin(self, entries: Sequence["JournalEntry"]) -> None:
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO _ingest_journal"
+                " (run_id, spec_id, checksum, batch, state)"
+                " VALUES (?, ?, ?, ?, ?)",
+                [(e.run_id, e.spec_id, e.checksum, e.batch, JOURNAL_PENDING)
+                 for e in entries],
+            )
+
+    @with_retries()
+    def journal_commit(self, run_ids: Sequence[str]) -> None:
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE _ingest_journal SET state = ? WHERE run_id = ?",
+                [(JOURNAL_COMMITTED, run_id) for run_id in run_ids],
+            )
+
+    @with_retries()
+    def journal_discard(self, run_ids: Sequence[str]) -> None:
+        with self._conn:
+            self._conn.executemany(
+                "DELETE FROM _ingest_journal WHERE run_id = ?",
+                [(run_id,) for run_id in run_ids],
+            )
+
+    def journal_entries(
+        self, state: Optional[str] = None
+    ) -> List["JournalEntry"]:
+        if state is None:
+            cursor = self._conn.execute(
+                "SELECT run_id, spec_id, checksum, batch, state"
+                " FROM _ingest_journal ORDER BY run_id"
+            )
+        else:
+            cursor = self._conn.execute(
+                "SELECT run_id, spec_id, checksum, batch, state"
+                " FROM _ingest_journal WHERE state = ? ORDER BY run_id",
+                (state,),
+            )
+        return [
+            JournalEntry(run_id=r, spec_id=s, checksum=c, batch=b, state=st)
+            for r, s, c, b, st in cursor
+        ]
+
+    @with_retries()
+    def quarantine_add(self, record: "QuarantineRecord") -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO _ingest_quarantine"
+                " (run_id, spec_id, reason, event_index, payload)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (record.run_id, record.spec_id, record.reason,
+                 record.event_index, record.to_payload()),
+            )
+
+    def quarantine_list(self) -> List[str]:
+        return [
+            run_id
+            for (run_id,) in self._conn.execute(
+                "SELECT run_id FROM _ingest_quarantine ORDER BY run_id"
+            )
+        ]
+
+    def quarantine_get(self, run_id: str) -> "QuarantineRecord":
+        row = self._conn.execute(
+            "SELECT spec_id, reason, event_index, payload"
+            " FROM _ingest_quarantine WHERE run_id = ?",
+            (run_id,),
+        ).fetchone()
+        if row is None:
+            raise self._missing("quarantined run", run_id)
+        return QuarantineRecord.from_payload(
+            run_id, row[0], row[1], row[2], row[3]
+        )
+
+    def quarantine_delete(self, run_id: str) -> None:
+        with self._conn:
+            deleted = self._conn.execute(
+                "DELETE FROM _ingest_quarantine WHERE run_id = ?", (run_id,)
+            )
+            if deleted.rowcount == 0:
+                raise self._missing("quarantined run", run_id)
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         if spec_id is None:
@@ -821,6 +1000,8 @@ class SqliteWarehouse(ProvenanceWarehouse):
         self._require("run_def", "run_id", run_id, "run")
         with self._conn:
             # Children first: every dependent table references run_def.
+            # The journal and quarantine rows go too — deleting a run is
+            # a statement that the warehouse no longer tracks it at all.
             for table in (
                 "lineage",
                 "lineage_meta",
@@ -830,6 +1011,8 @@ class SqliteWarehouse(ProvenanceWarehouse):
                 "io",
                 "step",
                 "run_def",
+                "_ingest_journal",
+                "_ingest_quarantine",
             ):
                 self._conn.execute(
                     "DELETE FROM %s WHERE run_id = ?" % table, (run_id,)

@@ -100,11 +100,17 @@ def _cmd_load(args: argparse.Namespace) -> int:
     With ``--jobs`` and/or ``--batch`` the runs go through the batched
     ingestion pipeline (identical warehouse contents, single-transaction
     bulk writes); the default remains the serial run-at-a-time loop.
+    ``--resume`` (continue a crashed load) and ``--on-error quarantine``
+    (divert failing runs) always use the pipeline — the crash-safety
+    machinery lives there.
     """
     spec = _read_spec(args.spec)
     run_class = RUN_CLASSES[args.run_class]
     rng = random.Random(args.seed)
-    use_pipeline = args.jobs > 0 or args.batch > 0
+    use_pipeline = (
+        args.jobs > 0 or args.batch > 0
+        or args.resume or args.on_error != "abort"
+    )
     with SqliteWarehouse(args.db) as warehouse:
         if use_pipeline:
             from ..warehouse.pipeline import DEFAULT_BATCH_SIZE, ingest_dataset
@@ -120,15 +126,31 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 warehouse, [(spec, simulations)],
                 jobs=args.jobs, batch_size=args.batch or DEFAULT_BATCH_SIZE,
                 with_standard_views=False, index=args.index,
+                resume=args.resume, on_error=args.on_error,
             )[0]
             spec_id = record.spec_id
-            for run_id, result in zip(record.run_ids, simulations):
-                print("stored %s: %d steps, %d data objects"
-                      % (run_id, result.run.num_steps(),
-                         len(result.run.data_ids())))
+            by_id = {
+                "%s/run%d" % (spec_id, number): result
+                for number, result in enumerate(simulations, start=1)
+            }
+            for run_id in record.run_ids:
+                result = by_id.get(run_id)
+                if result is not None:
+                    print("stored %s: %d steps, %d data objects"
+                          % (run_id, result.run.num_steps(),
+                             len(result.run.data_ids())))
+                else:
+                    print("stored %s" % run_id)
                 if args.index:
                     print("  lineage index built: %d rows"
                           % warehouse.lineage_row_count(run_id))
+            quarantined = warehouse.quarantine_list()
+            if quarantined:
+                print("%d run(s) quarantined (inspect with"
+                      " 'zoom quarantine list'):" % len(quarantined))
+                for run_id in quarantined:
+                    record = warehouse.quarantine_get(run_id)
+                    print("  %s: %s" % (run_id, record.reason))
         else:
             spec_id = warehouse.store_spec(spec)
             for number in range(1, args.runs + 1):
@@ -443,6 +465,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if args.strict and report.has_errors else 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Repair a warehouse after a crashed load (journal + integrity)."""
+    from ..warehouse.recovery import recover
+
+    with SqliteWarehouse(args.db) as warehouse:
+        report = recover(warehouse)
+        print(report.summary())
+        return 0 if report.integrity_ok else 1
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    """Inspect and retry runs quarantined by ``load --on-error quarantine``."""
+    from ..warehouse.recovery import retry_quarantined
+
+    with SqliteWarehouse(args.db) as warehouse:
+        if args.action == "list":
+            run_ids = warehouse.quarantine_list()
+            if not run_ids:
+                print("quarantine empty")
+                return 0
+            for run_id in run_ids:
+                record = warehouse.quarantine_get(run_id)
+                where = ("" if record.event_index is None
+                         else " (event %d)" % record.event_index)
+                print("%s: %s%s" % (run_id, record.reason, where))
+            return 0
+        if args.action == "show":
+            if not args.run_id:
+                print("zoom quarantine show: --run-id is required",
+                      file=sys.stderr)
+                return 2
+            record = warehouse.quarantine_get(args.run_id)
+            print(json.dumps({
+                "run_id": record.run_id,
+                "spec_id": record.spec_id,
+                "source_run_id": record.source_run_id,
+                "reason": record.reason,
+                "event_index": record.event_index,
+                "steps": len(record.step_rows),
+                "io_rows": len(record.io_rows),
+                "user_inputs": len(record.user_inputs),
+                "final_outputs": len(record.final_outputs),
+            }, indent=2, sort_keys=True))
+            return 0
+        outcomes = retry_quarantined(
+            warehouse,
+            run_ids=[args.run_id] if args.run_id else None,
+            force=args.force,
+        )
+        if not outcomes:
+            print("quarantine empty")
+            return 0
+        for run_id in sorted(outcomes):
+            print("%s: %s" % (run_id, outcomes[run_id]))
+        return 0 if all(o == "stored" for o in outcomes.values()) else 1
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     """Archive a SQLite warehouse to a JSON file."""
     from ..warehouse.jsonfile import save_warehouse
@@ -502,6 +581,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="runs committed per bulk transaction (implies"
                            " the batched pipeline; 0: default size when"
                            " --jobs is set, else serial)")
+    load.add_argument("--resume", action="store_true",
+                      help="continue a crashed load: recover the ingest"
+                           " journal, then skip already-committed runs")
+    load.add_argument("--on-error", choices=["abort", "quarantine"],
+                      default="abort",
+                      help="what to do when a run fails ingestion:"
+                           " abort the load (default) or quarantine the"
+                           " run and continue")
 
     view = sub.add_parser("view", help="build a user view from relevant modules")
     view.add_argument("--db", required=True)
@@ -610,6 +697,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rules", action="store_true",
                       help="print the rule catalogue and exit")
 
+    recov = sub.add_parser(
+        "recover",
+        help="repair a warehouse after a crashed load (journal + indexes)",
+    )
+    recov.add_argument("--db", required=True)
+
+    quarantine = sub.add_parser(
+        "quarantine",
+        help="inspect and retry runs quarantined during ingestion",
+    )
+    quarantine.add_argument("action", choices=["list", "show", "retry"])
+    quarantine.add_argument("--db", required=True)
+    quarantine.add_argument("--run-id", default=None,
+                            help="restrict to one quarantined run"
+                                 " (required for 'show')")
+    quarantine.add_argument("--force", action="store_true",
+                            help="store on retry even when the lint gate"
+                                 " still finds errors")
+
     dump = sub.add_parser("dump", help="archive a warehouse to JSON")
     dump.add_argument("--db", required=True)
     dump.add_argument("--out", required=True)
@@ -635,6 +741,8 @@ _COMMANDS = {
     "index": _cmd_index,
     "ingest": _cmd_ingest,
     "lint": _cmd_lint,
+    "recover": _cmd_recover,
+    "quarantine": _cmd_quarantine,
     "dump": _cmd_dump,
     "restore": _cmd_restore,
 }
