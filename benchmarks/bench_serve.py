@@ -1,0 +1,133 @@
+"""Concurrent serving benchmark — ``BENCH_serve.json``.
+
+The paper's evaluation is single-user; this benchmark asks what the same
+warehouse sustains when served concurrently: a :class:`repro.serve.QueryService`
+with >= 4 worker threads answers a mixed load (deep provenance of the final
+output under UAdmin and UBio, reverse provenance, zoom across three views)
+pushed by twice as many client threads.  The same request sequence runs
+twice — cold (empty result cache) and hot (every answer cached) — and the
+payload records p50/p95/p99 latency and sustained QPS for both phases.
+
+Assertions:
+
+* zero ``sqlite3.ProgrammingError`` — the per-thread read-connection pool
+  really does end SQLite thread-affinity crashes;
+* zero other errors (no deadlocks: every request completes);
+* hot phase at least 5x faster than cold on mean latency — the per-view
+  result cache claim.
+
+Run standalone for CI (``python benchmarks/bench_serve.py --smoke``) or
+under pytest with the other benchmarks; both write ``BENCH_serve.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.serve.bench import run_serving_benchmark, smoke_params  # noqa: E402
+
+_JSON_PATH = _REPO_ROOT / "BENCH_serve.json"
+
+#: The cached-view hit path must beat the cold path by at least this much.
+MIN_HOT_SPEEDUP = 5.0
+
+#: The full (non-smoke) workload: every run kind, 4 workers, 8 clients.
+FULL_PARAMS = dict(
+    kinds=("small", "medium", "large"),
+    requests=300,
+    workers=4,
+    client_threads=8,
+    workflows_per_class=1,
+)
+
+
+def _write(payload: dict, out: Path) -> None:
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _print_summary(payload: dict) -> None:
+    print("\n== Concurrent serving (%d workers, %d clients) =="
+          % (payload["workers"], payload["client_threads"]))
+    header = "  %-6s %9s %9s %9s %9s %10s" % (
+        "phase", "p50 ms", "p95 ms", "p99 ms", "mean ms", "QPS")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for name in ("cold", "hot"):
+        phase = payload["phases"][name]
+        print("  %-6s %9.3f %9.3f %9.3f %9.3f %10.1f"
+              % (name, phase["p50_ms"], phase["p95_ms"], phase["p99_ms"],
+                 phase["mean_ms"], phase["qps"]))
+    print("  hot speedup: %.2fx   programming errors: %d   rejected retries: %d"
+          % (payload["hot_speedup"], payload["programming_errors"],
+             payload["phases"]["cold"]["admission_retries"]
+             + payload["phases"]["hot"]["admission_retries"]))
+
+
+def _check(payload: dict, smoke: bool) -> None:
+    assert payload["programming_errors"] == 0, (
+        "cross-thread sqlite access: %s" % payload["error_samples"]
+    )
+    assert payload["errors"] == 0, (
+        "serving errors (deadlock/timeout?): %s" % payload["error_samples"]
+    )
+    cold = payload["phases"]["cold"]
+    hot = payload["phases"]["hot"]
+    assert cold["completed"] == cold["requests"], "cold phase dropped requests"
+    assert hot["completed"] == hot["requests"], "hot phase dropped requests"
+    if not smoke:
+        assert payload["hot_speedup"] >= MIN_HOT_SPEEDUP, (
+            "cached-view hit path only %.2fx faster than cold (need >= %.1fx)"
+            % (payload["hot_speedup"], MIN_HOT_SPEEDUP)
+        )
+
+
+def test_bench_serve(record_property=None) -> None:
+    """Pytest entry point: full workload, writes BENCH_serve.json."""
+    payload = run_serving_benchmark(**FULL_PARAMS)
+    _write(payload, _JSON_PATH)
+    _print_summary(payload)
+    _check(payload, smoke=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI workload (small runs only)")
+    parser.add_argument("--out", default=str(_JSON_PATH),
+                        help="where to write the JSON payload")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override the worker-thread count")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="override requests per phase")
+    args = parser.parse_args(argv)
+
+    params = dict(smoke_params()) if args.smoke else dict(FULL_PARAMS)
+    if args.workers is not None:
+        params["workers"] = args.workers
+    if args.requests is not None:
+        params["requests"] = args.requests
+
+    payload = run_serving_benchmark(**params)
+    _write(payload, Path(args.out))
+    _print_summary(payload)
+    try:
+        _check(payload, smoke=args.smoke)
+    except AssertionError as exc:
+        print("FAILED: %s" % exc, file=sys.stderr)
+        return 1
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ reasoner, the ZOOM session — can depend on it without cycles.
 from .cache import EVICTED, INVALIDATED, BoundedCache, CacheStats
 from .metrics import (
     Counter,
+    Gauge,
     MetricsRegistry,
     Timer,
     get_registry,
@@ -30,6 +31,7 @@ __all__ = [
     "CacheStats",
     "Counter",
     "EVICTED",
+    "Gauge",
     "INVALIDATED",
     "MetricsRegistry",
     "Timer",

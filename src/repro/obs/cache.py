@@ -12,7 +12,13 @@ over many runs.  :class:`BoundedCache` is the drop-in replacement used by
   snapshot (what ``stats()`` on the reasoner and session aggregate);
 * invalidation hooks — callables fired whenever an entry leaves the cache
   involuntarily (eviction) or explicitly (:meth:`invalidate`), which the
-  reasoner uses to cascade run evictions to dependent composite structures.
+  reasoner uses to cascade run evictions to dependent composite structures;
+* per-scope **generation counters** closing the invalidate/repopulate race:
+  a builder that read its inputs *before* an invalidation must not publish
+  its (now stale) result *after* it.  :meth:`get_or_build` captures the
+  scope's generation before running the factory and drops the built value
+  at put time when :meth:`bump_generation` ran in between — the concurrent
+  reader still gets an answer, it just cannot poison the cache with it.
 
 The implementation is thread-safe; hooks are fired outside the lock so a
 hook may freely touch other caches (or this one).
@@ -55,6 +61,9 @@ class CacheStats:
     hits: int
     misses: int
     evictions: int
+    #: Built values discarded at put time because their scope's generation
+    #: advanced while the factory ran (the invalidate/repopulate race).
+    stale_drops: int = 0
 
     @property
     def lookups(self) -> int:
@@ -73,6 +82,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "stale_drops": self.stale_drops,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -99,7 +109,11 @@ class BoundedCache(Generic[K, V]):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._stale_drops = 0
         self._hooks: List[InvalidationHook] = []
+        # Per-scope generation counters (see bump_generation); only scopes
+        # that were ever bumped occupy a slot, so the dict stays small.
+        self._generations: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -136,6 +150,7 @@ class BoundedCache(Generic[K, V]):
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
+                stale_drops=self._stale_drops,
             )
 
     # ------------------------------------------------------------------
@@ -166,21 +181,61 @@ class BoundedCache(Generic[K, V]):
                 removed.append((evicted_key, evicted_value))
         self._fire(removed, EVICTED)
 
-    def get_or_build(self, key: K, factory: Callable[[], V]) -> V:
+    def get_or_build(
+        self,
+        key: K,
+        factory: Callable[[], V],
+        scope: Optional[Hashable] = None,
+    ) -> V:
         """The cached entry for ``key``, building and caching it on a miss.
 
         The factory runs outside the lock, so concurrent misses on the
         same key may build twice (last write wins) — acceptable for the
         pure derivations cached here, and deadlock-free when the factory
         itself touches caches.
+
+        ``scope`` closes the invalidate/repopulate race: the scope's
+        generation (:meth:`generation`) is captured *before* the factory
+        runs, and the built value is published only if no
+        :meth:`bump_generation` on that scope happened in between.  A
+        factory that read pre-invalidation state therefore cannot
+        re-poison the cache — its result is returned to the caller but
+        never stored (counted as a ``stale_drop``).
         """
         sentinel = object()
         value = self.get(key, sentinel)  # type: ignore[arg-type]
         if value is not sentinel:
             return value  # type: ignore[return-value]
+        token = None if scope is None else self.generation(scope)
         built = factory()
-        self.put(key, built)
+        if token is None or self.generation(scope) == token:
+            self.put(key, built)
+        else:
+            with self._lock:
+                self._stale_drops += 1
         return built
+
+    # ------------------------------------------------------------------
+    # Generations (stale-put protection)
+    # ------------------------------------------------------------------
+
+    def generation(self, scope: Hashable) -> int:
+        """The scope's current generation (0 until first bumped)."""
+        with self._lock:
+            return self._generations.get(scope, 0)
+
+    def bump_generation(self, scope: Hashable) -> int:
+        """Advance a scope's generation, fencing off in-flight builds.
+
+        Call *before* (or atomically with) dropping the scope's entries:
+        any :meth:`get_or_build` whose factory started under the old
+        generation will refuse to publish its result.  Returns the new
+        generation.
+        """
+        with self._lock:
+            value = self._generations.get(scope, 0) + 1
+            self._generations[scope] = value
+            return value
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -219,6 +274,7 @@ class BoundedCache(Generic[K, V]):
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._stale_drops = 0
 
     # ------------------------------------------------------------------
     # Internals

@@ -42,8 +42,9 @@ import functools
 import logging
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, TypeVar
+from typing import Callable, Deque, Dict, Iterator, TypeVar
 
 logger = logging.getLogger("repro.obs.metrics")
 
@@ -75,8 +76,43 @@ class Counter:
         return {"count": self._value}
 
 
+#: Recent observations a :class:`Timer` retains for percentile estimates.
+TIMER_SAMPLE_WINDOW = 2048
+
+
+class Gauge:
+    """A point-in-time numeric metric (e.g. sustained QPS, pool size)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> float:
+        with self._lock:
+            self._value = float(value)
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"value": round(self._value, 3)}
+
+
 class Timer:
-    """Accumulated wall-clock observations of one code path."""
+    """Accumulated wall-clock observations of one code path.
+
+    Beyond the running aggregates, the last :data:`TIMER_SAMPLE_WINDOW`
+    observations are retained in a ring buffer so callers can ask for tail
+    latency (:meth:`percentile`) — what the serving layer reports as
+    p50/p95/p99.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -86,6 +122,7 @@ class Timer:
         self.min = float("inf")
         self.max = 0.0
         self.last = 0.0
+        self._samples: Deque[float] = deque(maxlen=TIMER_SAMPLE_WINDOW)
 
     def observe(self, seconds: float) -> None:
         with self._lock:
@@ -94,6 +131,23 @@ class Timer:
             self.min = min(self.min, seconds)
             self.max = max(self.max, seconds)
             self.last = seconds
+            self._samples.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of the retained sample window.
+
+        Nearest-rank over the (bounded) recent window; ``0.0`` before the
+        first observation.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100], got %r" % q)
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
 
     @property
     def mean(self) -> float:
@@ -106,6 +160,7 @@ class Timer:
             self.min = float("inf")
             self.max = 0.0
             self.last = 0.0
+            self._samples.clear()
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -125,6 +180,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -140,6 +196,13 @@ class MetricsRegistry:
                 timer = self._timers[name] = Timer(name)
             return timer
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
+
     @contextmanager
     def time(self, name: str) -> Iterator[Timer]:
         """Context manager observing the elapsed wall-clock time."""
@@ -153,7 +216,9 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All metrics as plain dicts, counters and timers alike."""
         with self._lock:
-            names = sorted(set(self._counters) | set(self._timers))
+            names = sorted(
+                set(self._counters) | set(self._timers) | set(self._gauges)
+            )
             out: Dict[str, Dict[str, object]] = {}
             for name in names:
                 merged: Dict[str, object] = {}
@@ -161,6 +226,8 @@ class MetricsRegistry:
                     merged.update(self._counters[name].as_dict())
                 if name in self._timers:
                     merged.update(self._timers[name].as_dict())
+                if name in self._gauges:
+                    merged.update(self._gauges[name].as_dict())
                 out[name] = merged
             return out
 
@@ -171,6 +238,8 @@ class MetricsRegistry:
                 counter.reset()
             for timer in self._timers.values():
                 timer.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
 
     def log_snapshot(self, level: int = logging.DEBUG) -> None:
         """Emit the current snapshot through ``repro.obs.metrics``."""

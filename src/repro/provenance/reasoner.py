@@ -33,7 +33,7 @@ and ``reasoner.view_switch``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.composite import CompositeRun
 from ..core.errors import QueryError, UnknownEntityError
@@ -106,6 +106,11 @@ class ProvenanceReasoner:
         # Runs whose warehouse lineage index this reasoner has verified,
         # so the indexed strategy checks/builds at most once per run.
         self._indexed_runs: Set[str] = set()
+        # Callables fired (with the run id) by invalidate_run, so layers
+        # holding caches derived from this reasoner's answers — e.g. the
+        # serve layer's per-view result cache — drop theirs in the same
+        # stroke.
+        self._invalidation_listeners: List[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -129,6 +134,19 @@ class ProvenanceReasoner:
             cache.reset_stats()
         self._indexed_runs.clear()
 
+    def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
+        """Register ``listener(run_id)`` to be fired by :meth:`invalidate_run`."""
+        self._invalidation_listeners.append(listener)
+
+    def remove_invalidation_listener(
+        self, listener: Callable[[str], None]
+    ) -> None:
+        """Unregister a listener (no-op when it was never registered)."""
+        try:
+            self._invalidation_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def invalidate_run(self, run_id: str) -> None:
         """Drop one run's cached state (run, composites, closures).
 
@@ -137,7 +155,16 @@ class ProvenanceReasoner:
         so no stale derived state survives.  The run's *persistent* lineage
         index is dropped too: it was derived from the rows that changed.
         The next indexed query rebuilds it from the fresh rows.
+
+        The run's generation is bumped on every cache **first**, so a
+        concurrent ``get_or_build`` whose factory read the pre-invalidation
+        rows cannot publish its stale result afterwards (it is returned to
+        that one caller but never cached).  Registered invalidation
+        listeners fire last, giving higher layers (the serve result cache)
+        the same fan-out.
         """
+        for cache in self._caches():
+            cache.bump_generation(run_id)
         if not self._run_cache.invalidate(run_id):
             # The run itself was not cached; derived state may still be.
             self._on_run_removed(run_id, None, "invalidated")  # type: ignore[arg-type]
@@ -146,6 +173,8 @@ class ProvenanceReasoner:
             self.warehouse.drop_lineage_index(run_id)
         except UnknownEntityError:
             pass  # the run itself is gone; nothing left to drop
+        for listener in list(self._invalidation_listeners):
+            listener(run_id)
 
     def stats(self) -> Dict[str, Dict[str, object]]:
         """Per-cache hit/miss/eviction/size counters, by cache name."""
@@ -160,7 +189,7 @@ class ProvenanceReasoner:
         if self.strategy == "uncached":
             return self.warehouse.get_run(run_id)
         return self._run_cache.get_or_build(
-            run_id, lambda: self.warehouse.get_run(run_id)
+            run_id, lambda: self.warehouse.get_run(run_id), scope=run_id
         )
 
     def composite_run(self, run_id: str, view: UserView) -> CompositeRun:
@@ -170,6 +199,7 @@ class ProvenanceReasoner:
         return self._composite_cache.get_or_build(
             (run_id, view.presentation_key()),
             lambda: CompositeRun(self._materialize_run(run_id), view),
+            scope=run_id,
         )
 
     # ------------------------------------------------------------------
@@ -188,12 +218,16 @@ class ProvenanceReasoner:
         if self.strategy == "indexed":
             self._ensure_index(run_id)
             return self._admin_closure_cache.get_or_build(
-                (run_id, data_id), lambda: self._indexed_lookup(run_id, data_id)
+                (run_id, data_id),
+                lambda: self._indexed_lookup(run_id, data_id),
+                scope=run_id,
             )
         if self.strategy == "uncached":
             return self._timed_closure(run_id, data_id)
         return self._admin_closure_cache.get_or_build(
-            (run_id, data_id), lambda: self._timed_closure(run_id, data_id)
+            (run_id, data_id),
+            lambda: self._timed_closure(run_id, data_id),
+            scope=run_id,
         )
 
     def _ensure_index(self, run_id: str) -> None:

@@ -1,0 +1,34 @@
+"""Concurrent query serving over a provenance warehouse.
+
+The paper's prototype answers one biologist at a time; this package turns
+the reasoner into a small shared service: a pool of worker threads drains
+a bounded request queue, each worker reads through the warehouse's
+per-thread read-only connections (:class:`~repro.warehouse.sqlite.SqliteWarehouse`
+hands every non-owner thread its own WAL-mode ``query_only`` connection),
+and answers are memoised in a per-view result cache keyed on
+``(run_id, view.presentation_key(), query kind, data_id)``.
+
+* :class:`QueryService` — the service: ``start()``/``stop()`` (or use as a
+  context manager), ``submit()`` for a :class:`~concurrent.futures.Future`,
+  ``query()`` to block, ``warm()`` to pre-materialise runs and indexes on
+  the owner thread, ``stats()`` for latency percentiles and QPS.
+* :class:`ServiceError` / :class:`AdmissionError` — lifecycle and
+  admission-control failures (``AdmissionError`` means the bounded queue
+  was full; back off and retry).
+* :data:`QUERY_KINDS` — the request vocabulary (``"deep"``, ``"reverse"``,
+  ``"zoom"``).
+"""
+
+from .service import (
+    QUERY_KINDS,
+    AdmissionError,
+    QueryService,
+    ServiceError,
+)
+
+__all__ = [
+    "QUERY_KINDS",
+    "AdmissionError",
+    "QueryService",
+    "ServiceError",
+]

@@ -1,0 +1,343 @@
+"""Shared serving-benchmark harness for the CLI and ``benchmarks/bench_serve.py``.
+
+The workload models a lab of biologists hammering one warehouse: a mix of
+deep provenance of each run's final output (UAdmin and UBio — the paper's
+most expensive query, with a view switch), reverse provenance, and zoom
+queries alternating between views.  Two phases run the *same* request
+sequence through a :class:`~repro.serve.QueryService`:
+
+``cold``
+    fresh service, empty result cache — every answer is computed;
+``hot``
+    same service, same requests — every answer comes from the per-view
+    result cache, which is the tentpole's headline claim (>= 5x).
+
+Client threads pull requests off a shared work list and block on
+:meth:`QueryService.query`, retrying briefly when admission control
+rejects; per-request wall-clock latencies feed nearest-rank percentiles.
+Any cross-thread :class:`sqlite3.ProgrammingError` is counted separately
+and fails the run — that is exactly the bug the connection pool fixes.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.builder import build_user_view
+from ..core.view import UserView, blackbox_view
+from ..warehouse.base import ProvenanceWarehouse
+from ..warehouse.memory import InMemoryWarehouse
+from ..warehouse.sqlite import SqliteWarehouse
+from ..workloads.classes import RUN_CLASSES, WORKFLOW_CLASSES
+from ..workloads.generator import generate_workflows
+from ..workloads.runs import generate_run
+from .service import AdmissionError, QueryService
+
+#: Seed matching the benchmark conftest (ICDE 2008).
+DEFAULT_SEED = 20080407
+
+#: How long a client retries after an admission rejection before giving up.
+_RETRY_SECONDS = 5.0
+
+
+class RunHandle:
+    """One stored run with everything a request generator needs."""
+
+    __slots__ = ("run_id", "kind", "final_output", "some_input", "views")
+
+    def __init__(
+        self,
+        run_id: str,
+        kind: str,
+        final_output: str,
+        some_input: str,
+        views: Dict[str, Optional[UserView]],
+    ) -> None:
+        self.run_id = run_id
+        self.kind = kind
+        self.final_output = final_output
+        self.some_input = some_input
+        self.views = views
+
+
+def build_workload(
+    backend: str = "sqlite",
+    path: Optional[str] = None,
+    kinds: Tuple[str, ...] = ("small", "medium", "large"),
+    workflows_per_class: int = 1,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[ProvenanceWarehouse, List[RunHandle]]:
+    """Generate and store a serving workload; returns (warehouse, handles).
+
+    One run per workflow class and run kind, each with UAdmin (``None``),
+    UBio and UBlackbox views, so requests exercise genuine view switches.
+    """
+    rng = random.Random(seed)
+    if backend == "sqlite":
+        warehouse: ProvenanceWarehouse = SqliteWarehouse(path or ":memory:")
+    elif backend == "memory":
+        warehouse = InMemoryWarehouse()
+    else:
+        raise ValueError("unknown backend %r" % backend)
+    handles: List[RunHandle] = []
+    for class_name, workflow_class in sorted(WORKFLOW_CLASSES.items()):
+        for generated in generate_workflows(
+            workflow_class, workflows_per_class, rng, target_size=20
+        ):
+            spec_id = warehouse.store_spec(generated.spec)
+            views: Dict[str, Optional[UserView]] = {
+                "uadmin": None,
+                "ubio": build_user_view(
+                    generated.spec, generated.suggested_relevant, name="UBio"
+                ),
+                "ublackbox": blackbox_view(generated.spec),
+            }
+            for kind in kinds:
+                result = generate_run(
+                    generated.spec,
+                    RUN_CLASSES[kind],
+                    rng,
+                    run_id="%s-%s" % (generated.spec.name, kind),
+                )
+                run_id = warehouse.store_run(
+                    result.run, spec_id, run_id=result.run.run_id
+                )
+                outputs = sorted(warehouse.final_outputs(run_id))
+                inputs = sorted(result.run.user_inputs())
+                handles.append(
+                    RunHandle(
+                        run_id=run_id,
+                        kind=kind,
+                        final_output=outputs[0],
+                        some_input=inputs[0] if inputs else outputs[0],
+                        views=views,
+                    )
+                )
+    return warehouse, handles
+
+
+def build_requests(
+    handles: List[RunHandle],
+    count: int,
+    seed: int = DEFAULT_SEED,
+    kinds: Tuple[str, ...] = ("small", "medium", "large"),
+) -> List[Tuple[str, str, Optional[str], Optional[UserView]]]:
+    """A deterministic mixed request sequence over the stored runs.
+
+    Per draw: 40% deep provenance of the final output (half UAdmin, half
+    UBio), 20% reverse provenance of an input, 40% zoom across the three
+    views — roughly the interactive session of Section IV under load.
+    """
+    rng = random.Random(seed * 31 + count)
+    pool = [h for h in handles if h.kind in kinds]
+    if not pool:
+        raise ValueError("no runs of kinds %s in the workload" % (kinds,))
+    requests: List[Tuple[str, str, Optional[str], Optional[UserView]]] = []
+    for _ in range(count):
+        handle = rng.choice(pool)
+        roll = rng.random()
+        if roll < 0.2:
+            requests.append(("deep", handle.run_id, handle.final_output, None))
+        elif roll < 0.4:
+            requests.append(
+                ("deep", handle.run_id, handle.final_output, handle.views["ubio"])
+            )
+        elif roll < 0.6:
+            requests.append(
+                ("reverse", handle.run_id, handle.some_input, handle.views["ubio"])
+            )
+        else:
+            view_name = rng.choice(["uadmin", "ubio", "ublackbox"])
+            requests.append(("zoom", handle.run_id, None, handle.views[view_name]))
+    return requests
+
+
+def _drive(
+    service: QueryService,
+    requests: List[Tuple[str, str, Optional[str], Optional[UserView]]],
+    client_threads: int,
+) -> Dict[str, Any]:
+    """Push every request through the service from ``client_threads`` clients."""
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    latencies: List[float] = []
+    errors: List[str] = []
+    programming_errors = [0]
+    retried = [0]
+    collect = threading.Lock()
+
+    def client() -> None:
+        local: List[float] = []
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(requests):
+                    break
+                cursor["next"] = index + 1
+            kind, run_id, data_id, view = requests[index]
+            started = time.perf_counter()
+            deadline = started + _RETRY_SECONDS
+            while True:
+                try:
+                    service.query(kind, run_id, data_id=data_id, view=view)
+                except AdmissionError:
+                    with collect:
+                        retried[0] += 1
+                    if time.perf_counter() > deadline:
+                        with collect:
+                            errors.append("admission retry budget exhausted")
+                        break
+                    time.sleep(0.001)
+                    continue
+                except sqlite3.ProgrammingError as exc:
+                    with collect:
+                        programming_errors[0] += 1
+                        errors.append("ProgrammingError: %s" % exc)
+                    break
+                except Exception as exc:  # noqa: BLE001 - report, don't hang
+                    with collect:
+                        errors.append("%s: %s" % (type(exc).__name__, exc))
+                    break
+                else:
+                    local.append(time.perf_counter() - started)
+                    break
+        with collect:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client, name="bench-client-%d" % i)
+        for i in range(client_threads)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "latencies": latencies,
+        "errors": errors,
+        "programming_errors": programming_errors[0],
+        "admission_retries": retried[0],
+        "wall_seconds": wall,
+    }
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _phase_summary(raw: Dict[str, Any], requests: int) -> Dict[str, Any]:
+    ordered = sorted(raw["latencies"])
+    wall = raw["wall_seconds"]
+    return {
+        "requests": requests,
+        "completed": len(ordered),
+        "errors": len(raw["errors"]),
+        "programming_errors": raw["programming_errors"],
+        "admission_retries": raw["admission_retries"],
+        "wall_seconds": round(wall, 4),
+        "qps": round(len(ordered) / wall, 2) if wall > 0 else 0.0,
+        "mean_ms": round(sum(ordered) / len(ordered) * 1000.0, 3) if ordered else 0.0,
+        "p50_ms": round(_percentile(ordered, 50) * 1000.0, 3),
+        "p95_ms": round(_percentile(ordered, 95) * 1000.0, 3),
+        "p99_ms": round(_percentile(ordered, 99) * 1000.0, 3),
+    }
+
+
+def run_serving_benchmark(
+    backend: str = "sqlite",
+    path: Optional[str] = None,
+    kinds: Tuple[str, ...] = ("small", "medium", "large"),
+    workflows_per_class: int = 1,
+    requests: int = 200,
+    workers: int = 4,
+    client_threads: int = 8,
+    queue_size: int = 64,
+    strategy: str = "cached",
+    seed: int = DEFAULT_SEED,
+    warehouse: Optional[ProvenanceWarehouse] = None,
+    handles: Optional[List[RunHandle]] = None,
+) -> Dict[str, Any]:
+    """Run the cold/hot two-phase benchmark; returns the JSON payload.
+
+    Pass ``warehouse``/``handles`` to reuse a prebuilt workload (the CLI
+    does, to serve an existing database); otherwise one is generated.
+    """
+    own_warehouse = warehouse is None
+    if warehouse is None or handles is None:
+        warehouse, handles = build_workload(
+            backend=backend,
+            path=path,
+            kinds=kinds,
+            workflows_per_class=workflows_per_class,
+            seed=seed,
+        )
+    sequence = build_requests(handles, requests, seed=seed, kinds=kinds)
+    service = QueryService(
+        warehouse,
+        strategy=strategy,
+        workers=workers,
+        queue_size=queue_size,
+    )
+    try:
+        for handle in handles:
+            service.warm(
+                [handle.run_id],
+                views=[v for v in handle.views.values() if v is not None],
+            )
+        with service:
+            cold_raw = _drive(service, sequence, client_threads)
+            hot_raw = _drive(service, sequence, client_threads)
+        stats = service.stats()
+    finally:
+        service.close()
+        if own_warehouse:
+            close = getattr(warehouse, "close", None)
+            if close is not None:
+                close()
+    cold = _phase_summary(cold_raw, len(sequence))
+    hot = _phase_summary(hot_raw, len(sequence))
+    speedup = (
+        round(cold["mean_ms"] / hot["mean_ms"], 2) if hot["mean_ms"] > 0 else 0.0
+    )
+    return {
+        "benchmark": "serve",
+        "backend": backend,
+        "strategy": strategy,
+        "workers": workers,
+        "client_threads": client_threads,
+        "queue_size": queue_size,
+        "requests_per_phase": len(sequence),
+        "run_kinds": list(kinds),
+        "workflows_per_class": workflows_per_class,
+        "phases": {"cold": cold, "hot": hot},
+        "hot_speedup": speedup,
+        "sustained_qps": hot["qps"],
+        "errors": cold["errors"] + hot["errors"],
+        "error_samples": (cold_raw["errors"] + hot_raw["errors"])[:5],
+        "programming_errors": cold["programming_errors"] + hot["programming_errors"],
+        "service": {
+            "latency_ms": stats["latency_ms"],
+            "cache": stats["cache"],
+            "rejected": stats["rejected"],
+        },
+    }
+
+
+def smoke_params() -> Dict[str, Any]:
+    """Reduced parameters for CI: small runs only, fewer requests."""
+    return {
+        "kinds": ("small",),
+        "requests": 60,
+        "workers": 4,
+        "client_threads": 6,
+        "workflows_per_class": 1,
+    }

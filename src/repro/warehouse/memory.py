@@ -4,10 +4,18 @@ Stores the same relations as the SQLite backend in plain dictionaries with
 secondary indexes (producer-by-data, inputs/outputs-by-step) and computes
 the deep-provenance closure by breadth-first search.  This is the fastest
 backend for the interactive path and the reference for conformance tests.
+
+**Thread-affinity contract.**  Read methods are safe from any thread —
+records are fully built before they are published into the run table, so a
+concurrent reader sees either the whole run or no run.  Mutating methods
+serialize on an internal lock (the id-freshness check and the publish are
+one atomic step), mirroring the SQLite backend's single-writer discipline
+without its connection affinity.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -80,6 +88,9 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         self.auto_index = auto_index
         #: Fault-injection schedule (tests only; ``None`` in production).
         self.faults = faults
+        #: Serializes mutations so the freshness check and the publish are
+        #: atomic under concurrent writers (see module docstring).
+        self._mutate = threading.RLock()
 
     def _hit(self, site: str) -> None:
         """Fire the fault plan at an instrumented site (no-op without one)."""
@@ -91,8 +102,9 @@ class InMemoryWarehouse(ProvenanceWarehouse):
     # ------------------------------------------------------------------
 
     def store_spec(self, spec: WorkflowSpec, spec_id: Optional[str] = None) -> str:
-        identifier = self._fresh_id(spec_id, spec.name, self._specs)
-        self._specs[identifier] = spec
+        with self._mutate:
+            identifier = self._fresh_id(spec_id, spec.name, self._specs)
+            self._specs[identifier] = spec
         return identifier
 
     def get_spec(self, spec_id: str) -> WorkflowSpec:
@@ -116,8 +128,9 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             raise WarehouseError(
                 "view %r does not match stored spec %r" % (view.name, spec_id)
             )
-        identifier = self._fresh_id(view_id, view.name, self._views)
-        self._views[identifier] = (spec_id, view)
+        with self._mutate:
+            identifier = self._fresh_id(view_id, view.name, self._views)
+            self._views[identifier] = (spec_id, view)
         return identifier
 
     def get_view(self, view_id: str) -> UserView:
@@ -157,7 +170,6 @@ class InMemoryWarehouse(ProvenanceWarehouse):
                 "run %r does not match stored spec %r" % (run.run_id, spec_id)
             )
         run.validate()  # the warehouse only ever holds valid runs
-        identifier = self._fresh_id(run_id, run.run_id, self._runs)
         record = _RunRecord(spec_id=spec_id)
         for step in run.steps():
             record.steps[step.step_id] = step.module
@@ -172,7 +184,9 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         for data_id in record.user_inputs:
             record.producer[data_id] = INPUT
         record.final_outputs = set(run.final_outputs())
-        self._runs[identifier] = record
+        with self._mutate:
+            identifier = self._fresh_id(run_id, run.run_id, self._runs)
+            self._runs[identifier] = record
         if self.auto_index:
             self.build_lineage_index(identifier)
         return identifier
@@ -190,6 +204,13 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         """
         self._hit("store_many.begin")
         batch = list(prepared)
+        self._mutate.acquire()
+        try:
+            return self._store_many_locked(batch)
+        finally:
+            self._mutate.release()
+
+    def _store_many_locked(self, batch: List["PreparedRun"]) -> List[str]:
         existing = set(self._runs)
         records: List[Tuple[str, _RunRecord]] = []
         for p in batch:
@@ -440,10 +461,11 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         return rows
 
     def delete_run(self, run_id: str) -> None:
-        self._record(run_id)  # raise for unknown ids
-        del self._runs[run_id]
-        self._journal.pop(run_id, None)
-        self._quarantine.pop(run_id, None)
+        with self._mutate:
+            self._record(run_id)  # raise for unknown ids
+            del self._runs[run_id]
+            self._journal.pop(run_id, None)
+            self._quarantine.pop(run_id, None)
 
     # ------------------------------------------------------------------
     # Recursive closure (BFS; served from the index when built)

@@ -15,6 +15,8 @@ path for a persistent warehouse.
 from __future__ import annotations
 
 import sqlite3
+import threading
+import uuid
 from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
@@ -90,10 +92,24 @@ class SqliteWarehouse(ProvenanceWarehouse):
     File-backed databases run in WAL journal mode with a 5 s busy timeout,
     so concurrent readers never block a writer and a briefly locked
     database retries instead of failing — the configuration a multi-session
-    service needs.  ``:memory:`` databases silently keep their native
-    journal mode.  All durability/journal pragma decisions live in
+    service needs.  ``:memory:`` databases are opened through a
+    shared-cache URI so every connection of this warehouse object sees the
+    same database, and silently keep their native journal mode.  All
+    durability/journal pragma decisions live in
     :meth:`_apply_session_pragmas` / :meth:`_bulk_writes`; nothing else
     touches them.
+
+    **Thread-affinity contract.**  The thread that constructs the
+    warehouse owns the single *write* connection; every mutating method
+    (``store_*``, ``annotate``, ``delete_run``, journal/quarantine writes,
+    index builds and drops) must run on that thread.  *Read* methods are
+    safe from any thread: the first read from a foreign thread checks out
+    a dedicated read-only connection (``PRAGMA query_only = ON``) from the
+    per-thread pool, created by the same connection factory and counted
+    under ``warehouse.pool.readers``.  A write attempted from a foreign
+    thread fails fast with ``sqlite3.OperationalError`` (read-only
+    connection) instead of the historical cross-thread
+    ``sqlite3.ProgrammingError`` on reads.
     """
 
     def __init__(
@@ -104,7 +120,25 @@ class SqliteWarehouse(ProvenanceWarehouse):
         bulk: bool = False,
         faults: Optional[FaultPlan] = None,
     ) -> None:
-        self._conn = sqlite3.connect(path)
+        self._path = path
+        #: Shared-cache URI for in-memory databases, so reader connections
+        #: attach to the same database instead of fresh empty ones; the
+        #: uuid keeps distinct warehouse objects isolated from each other.
+        self._uri: Optional[str] = (
+            "file:zoom-mem-%s?mode=memory&cache=shared" % uuid.uuid4().hex
+            if path == ":memory:" else None
+        )
+        #: Statement counting requested (applied to reader connections too).
+        self._timing = timing
+        #: Thread that owns the write connection (see class docstring).
+        self._owner_thread = threading.get_ident()
+        #: Per-thread read-only connections, created lazily on first read
+        #: from a foreign thread.
+        self._thread_readers = threading.local()
+        #: Every reader ever handed out, so :meth:`close` can close them.
+        self._all_readers: List[sqlite3.Connection] = []
+        self._readers_lock = threading.Lock()
+        self._write_conn = self._connect()
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
         #: Session-wide bulk-load pragma profile (see class docstring).
@@ -118,11 +152,67 @@ class SqliteWarehouse(ProvenanceWarehouse):
         self._apply_session_pragmas()
         if timing:
             counter = get_registry().counter("warehouse.sql")
-            self._conn.set_trace_callback(lambda _stmt: counter.increment())
+            self._write_conn.set_trace_callback(
+                lambda _stmt: counter.increment()
+            )
         self._startup_integrity()
         for statement in SQLITE_DDL:
-            self._conn.execute(statement)
-        self._conn.commit()
+            self._write_conn.execute(statement)
+        self._write_conn.commit()
+
+    # ------------------------------------------------------------------
+    # Connection factory and per-thread read pool
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open one connection to this warehouse's database.
+
+        ``check_same_thread=False`` because thread safety is enforced by
+        this class's own discipline instead of sqlite3's blanket ban: the
+        write connection is only ever *used* by the owning thread, readers
+        are never shared between threads, and :meth:`close` may tear any
+        of them down from whichever thread calls it.
+        """
+        if self._uri is not None:
+            return sqlite3.connect(self._uri, uri=True, check_same_thread=False)
+        return sqlite3.connect(self._path, check_same_thread=False)
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """The calling thread's connection.
+
+        The owning thread gets the read/write connection; any other thread
+        gets its own read-only connection, checked out lazily.  Routing
+        through a property fixes the historical thread-affinity bug (every
+        cross-thread read died with ``ProgrammingError``) without touching
+        the query methods themselves.
+        """
+        if threading.get_ident() == self._owner_thread:
+            return self._write_conn
+        conn = getattr(self._thread_readers, "conn", None)
+        if conn is None:
+            conn = self._checkout_reader()
+            self._thread_readers.conn = conn
+        return conn
+
+    def _checkout_reader(self) -> sqlite3.Connection:
+        """Create, configure and register the calling thread's reader."""
+        conn = self._connect()
+        conn.execute("PRAGMA busy_timeout = 5000")
+        conn.execute("PRAGMA foreign_keys = ON")
+        # Readers must never write: a service worker that strays onto a
+        # mutating path fails fast instead of corrupting the single-writer
+        # discipline WAL mode relies on.
+        conn.execute("PRAGMA query_only = ON")
+        if self._timing:
+            counter = get_registry().counter("warehouse.sql")
+            conn.set_trace_callback(lambda _stmt: counter.increment())
+        with self._readers_lock:
+            self._all_readers.append(conn)
+        registry = get_registry()
+        registry.counter("warehouse.pool.readers").increment()
+        registry.gauge("warehouse.pool.size").set(len(self._all_readers))
+        return conn
 
     def _hit(self, site: str) -> None:
         """Fire the fault plan at an instrumented site (no-op without one)."""
@@ -241,6 +331,15 @@ class SqliteWarehouse(ProvenanceWarehouse):
         of two b-tree insertions per ``io`` row.  The rebuild runs in a
         ``finally`` block, so even an ingestion that raises leaves the
         warehouse fully indexed.
+
+        An ingestion that **raises** additionally demotes the connection
+        back to the durable service profile (``synchronous = NORMAL``,
+        default ``temp_store``): a failed bulk load may be followed by
+        service traffic on the same object, and the relaxed fsync policy
+        must not leak into it.  Only a genuine process kill (the chaos
+        suite's ``InjectedCrash`` before the rebuild) can leave the
+        profile and indexes behind — exactly the state the startup
+        integrity probe repairs.
         """
         if not self._bulk:
             yield
@@ -248,17 +347,32 @@ class SqliteWarehouse(ProvenanceWarehouse):
         with self._conn:
             for name, _ddl in SQLITE_IO_INDEXES:
                 self._conn.execute("DROP INDEX IF EXISTS %s" % name)
+        failed = False
         try:
             yield
+        except BaseException:
+            failed = True
+            raise
         finally:
             self._hit("bulk_load.rebuild")
             with self._conn:
                 for _name, ddl in SQLITE_IO_INDEXES:
                     self._conn.execute(ddl)
+            if failed:
+                self._bulk = False
+                self._conn.execute("PRAGMA synchronous = NORMAL")
+                self._conn.execute("PRAGMA temp_store = DEFAULT")
 
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._conn.close()
+        """Close the write connection and every checked-out reader."""
+        with self._readers_lock:
+            readers, self._all_readers = self._all_readers, []
+        for conn in readers:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover — already closed
+                pass
+        self._write_conn.close()
 
     def __enter__(self) -> "SqliteWarehouse":
         return self

@@ -15,6 +15,8 @@ Subcommands::
     zoom index ...                    manage the lineage-closure index
     zoom ingest ...                   load a foreign JSON Lines trace
     zoom lint ...                     statically analyse specs/warehouses
+    zoom serve ...                    answer a concurrent query load
+    zoom bench-serve ...              benchmark the query service
     zoom dump / zoom restore          archive a warehouse to/from JSON
 
 Every subcommand works against a SQLite warehouse file, so a shell session
@@ -522,6 +524,86 @@ def _cmd_quarantine(args: argparse.Namespace) -> int:
         return 0 if all(o == "stored" for o in outcomes.values()) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a mixed query load against an existing warehouse, concurrently."""
+    from ..serve import QueryService
+    from ..serve.bench import _drive, _phase_summary
+
+    with SqliteWarehouse(args.db) as warehouse:
+        run_ids = args.run_id or sorted(warehouse.list_runs())
+        if not run_ids:
+            print("no runs in %s" % args.db, file=sys.stderr)
+            return 1
+        requests = []
+        views = {}
+        for run_id in run_ids:
+            view = None
+            if args.relevant:
+                spec = warehouse.get_spec(warehouse.run_spec_id(run_id))
+                view = build_user_view(spec, args.relevant, name="UView")
+            views[run_id] = view
+            outputs = sorted(warehouse.final_outputs(run_id))
+            inputs = sorted(warehouse.user_inputs(run_id))
+            if outputs:
+                requests.append(("deep", run_id, outputs[0], view))
+            if inputs:
+                requests.append(("reverse", run_id, inputs[0], view))
+            if view is not None:
+                requests.append(("zoom", run_id, None, view))
+        sequence = [requests[i % len(requests)] for i in range(args.requests)]
+        service = QueryService(
+            warehouse,
+            strategy=args.strategy,
+            workers=args.workers,
+            queue_size=args.queue_size,
+        )
+        try:
+            for run_id in run_ids:
+                view = views[run_id]
+                service.warm([run_id], views=[view] if view is not None else [])
+            with service:
+                raw = _drive(service, sequence, args.clients)
+            summary = _phase_summary(raw, len(sequence))
+            summary["service"] = {
+                "qps": service.stats()["qps"],
+                "rejected": service.stats()["rejected"],
+            }
+        finally:
+            service.close()
+        print(json.dumps(summary, indent=2))
+        return 1 if raw["errors"] else 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Run the cold/hot serving benchmark and write BENCH_serve.json."""
+    from ..serve.bench import run_serving_benchmark, smoke_params
+
+    params = dict(
+        backend=args.backend,
+        strategy=args.strategy,
+        workers=args.workers,
+        client_threads=args.clients,
+        requests=args.requests,
+    )
+    if args.smoke:
+        smoke = smoke_params()
+        smoke.update(
+            workers=args.workers,
+            client_threads=args.clients,
+        )
+        params.update(smoke)
+    payload = run_serving_benchmark(**params)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    if payload["programming_errors"] or payload["errors"]:
+        print("serving benchmark saw errors", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     """Archive a SQLite warehouse to a JSON file."""
     from ..warehouse.jsonfile import save_warehouse
@@ -716,6 +798,39 @@ def build_parser() -> argparse.ArgumentParser:
                             help="store on retry even when the lint gate"
                                  " still finds errors")
 
+    serve = sub.add_parser(
+        "serve",
+        help="answer a concurrent mixed query load from a warehouse",
+    )
+    serve.add_argument("--db", required=True)
+    serve.add_argument("--run-id", action="append", default=None,
+                       help="serve only these runs (default: all)")
+    serve.add_argument("--relevant", nargs="*", default=None,
+                       help="build a user view from these modules and mix"
+                            " view queries into the load")
+    serve.add_argument("--strategy", default="cached",
+                       choices=["cached", "uncached", "indexed"])
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--clients", type=int, default=8)
+    serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument("--requests", type=int, default=100)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="benchmark the query service (cold vs hot cache, QPS)",
+    )
+    bench_serve.add_argument("--backend", default="sqlite",
+                             choices=["sqlite", "memory"])
+    bench_serve.add_argument("--strategy", default="cached",
+                             choices=["cached", "uncached", "indexed"])
+    bench_serve.add_argument("--workers", type=int, default=4)
+    bench_serve.add_argument("--clients", type=int, default=8)
+    bench_serve.add_argument("--requests", type=int, default=200)
+    bench_serve.add_argument("--smoke", action="store_true",
+                             help="reduced CI workload (small runs only)")
+    bench_serve.add_argument("--out", default=None,
+                             help="write the JSON payload here")
+
     dump = sub.add_parser("dump", help="archive a warehouse to JSON")
     dump.add_argument("--db", required=True)
     dump.add_argument("--out", required=True)
@@ -743,6 +858,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "recover": _cmd_recover,
     "quarantine": _cmd_quarantine,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
     "dump": _cmd_dump,
     "restore": _cmd_restore,
 }

@@ -191,6 +191,31 @@ class Session:
         identifier = view_id or "%s/%s" % (self.spec_id, self.view.name)
         return self.warehouse.store_view(self.view, self.spec_id, view_id=identifier)
 
+    def invalidate_run(self, run_id: str) -> None:
+        """Drop every cache layer's state for one run.
+
+        Fans out through the reasoner (runs, composites, closures, the
+        persistent lineage index) and from there to any registered
+        invalidation listener — a :class:`~repro.serve.QueryService`
+        sharing this session's reasoner drops its per-view result cache in
+        the same stroke.  Call after the warehouse rows of ``run_id``
+        change (re-ingestion, annotation rewrites, streaming appends).
+        """
+        self.reasoner.invalidate_run(run_id)
+
+    def serve(self, **kwargs) -> "object":
+        """A :class:`~repro.serve.QueryService` sharing this session's reasoner.
+
+        Queries answered by the service and by this session hit the same
+        run/composite/closure caches, and :meth:`invalidate_run` on either
+        side invalidates both.  Keyword arguments pass through to the
+        service constructor (``workers``, ``queue_size``, ...).  The
+        service is returned unstarted — use it as a context manager.
+        """
+        from ..serve import QueryService
+
+        return QueryService(self.warehouse, reasoner=self.reasoner, **kwargs)
+
     def build_index(self, run_id: str, rebuild: bool = False) -> int:
         """Materialise a run's lineage-closure index in the warehouse.
 

@@ -226,6 +226,6 @@ class TestBoundedReasonerCaches:
         assert set(stats) == {"runs", "composites", "closures"}
         assert stats["composites"] == {
             "capacity": 1024, "size": 1, "hits": 1, "misses": 1,
-            "evictions": 0, "hit_rate": 0.5,
+            "evictions": 0, "stale_drops": 0, "hit_rate": 0.5,
         }
         assert stats["runs"]["misses"] == 1

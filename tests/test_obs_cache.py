@@ -130,7 +130,7 @@ class TestCounters:
         payload = cache.stats().as_dict()
         assert payload == {
             "capacity": 8, "size": 1, "hits": 1, "misses": 1,
-            "evictions": 0, "hit_rate": 0.5,
+            "evictions": 0, "stale_drops": 0, "hit_rate": 0.5,
         }
 
 

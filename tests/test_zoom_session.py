@@ -137,7 +137,7 @@ class TestViewBuilding:
         assert stats["runs"]["misses"] == 1
         for row in stats.values():
             assert set(row) == {"capacity", "size", "hits", "misses",
-                                "evictions", "hit_rate"}
+                                "evictions", "stale_drops", "hit_rate"}
 
     def test_unknown_module_rejected(self, env):
         warehouse, _spec, spec_id, _run_id = env
