@@ -46,10 +46,11 @@ process leaves behind in WAL mode.
 from __future__ import annotations
 
 import sqlite3
-import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from .core.errors import RunError
+from .sanitize import YIELD_SITES, make_lock
 
 #: The instrumented fault sites, for reference and validation.
 SITES: Tuple[str, ...] = (
@@ -59,6 +60,10 @@ SITES: Tuple[str, ...] = (
     "journal.mark",
     "bulk_load.rebuild",
 )
+
+#: Every site a plan may schedule against: the crash/lock sites above plus
+#: the sanitizer's schedule-fuzzer yield sites (see ``repro.sanitize``).
+ALL_SITES: Tuple[str, ...] = SITES + YIELD_SITES
 
 
 class InjectedCrash(BaseException):
@@ -84,13 +89,14 @@ class FaultPlan:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._hits: Dict[str, int] = {}
-        self._crash_at: Dict[str, int] = {}        # site -> hit number
-        self._lock_at: Dict[str, int] = {}         # site -> remaining raises
-        self._fail_runs: Dict[str, str] = {}       # run id -> message
+        self._lock = make_lock("faults.plan")
+        self._hits: Dict[str, int] = {}            # guarded-by: _lock
+        self._crash_at: Dict[str, int] = {}        # guarded-by: _lock
+        self._lock_at: Dict[str, int] = {}         # guarded-by: _lock
+        self._fail_runs: Dict[str, str] = {}       # guarded-by: _lock
+        self._yield_at: Dict[Tuple[str, int], float] = {}  # guarded-by: _lock
         #: Chronological record of what actually fired (for assertions).
-        self.fired: List[str] = []
+        self.fired: List[str] = []                 # guarded-by: _lock
 
     # -- scheduling ----------------------------------------------------
 
@@ -99,7 +105,8 @@ class FaultPlan:
         if site not in SITES:
             raise ValueError("unknown fault site %r (known: %s)"
                              % (site, ", ".join(SITES)))
-        self._crash_at[site] = hit
+        with self._lock:
+            self._crash_at[site] = hit
         return self
 
     def lock_at(self, site: str, times: int = 1) -> "FaultPlan":
@@ -109,22 +116,57 @@ class FaultPlan:
         if site not in SITES:
             raise ValueError("unknown fault site %r (known: %s)"
                              % (site, ", ".join(SITES)))
-        self._lock_at[site] = times
+        with self._lock:
+            self._lock_at[site] = times
+        return self
+
+    def yield_at(self, site: str, hit: int = 1,
+                 duration: float = 0.01) -> "FaultPlan":
+        """Pause ``duration`` seconds on the ``hit``-th pass of ``site``.
+
+        The schedule fuzzer's injection primitive: a pause at an
+        instrumented yield site (``repro.sanitize.YIELD_SITES``) stretches
+        a race window so a concurrent thread lands inside it
+        deterministically.  A ``duration`` of zero still yields the GIL
+        (``time.sleep(0)``).  Unlike crashes, yields may be scheduled at
+        both the warehouse fault sites and the sanitizer yield sites.
+        """
+        if site not in ALL_SITES:
+            raise ValueError("unknown yield site %r (known: %s)"
+                             % (site, ", ".join(ALL_SITES)))
+        if duration < 0:
+            raise ValueError("duration must be >= 0, got %r" % duration)
+        with self._lock:
+            self._yield_at[(site, hit)] = duration
         return self
 
     def fail_run(self, run_id: str,
                  message: Optional[str] = None) -> "FaultPlan":
         """Schedule a per-run failure: the pipeline's gate stage raises a
         :class:`~repro.core.errors.RunError` for this warehouse run id."""
-        self._fail_runs[run_id] = (
-            message or "injected corrupt run %r" % run_id
-        )
+        with self._lock:
+            self._fail_runs[run_id] = (
+                message or "injected corrupt run %r" % run_id
+            )
         return self
+
+    def scheduled_yields(self) -> List[Tuple[str, int, float]]:
+        """Every ``yield_at`` entry as ``(site, hit, duration)`` triples."""
+        with self._lock:
+            return [
+                (site, hit, duration)
+                for (site, hit), duration in self._yield_at.items()
+            ]
 
     # -- firing (called by instrumented code) --------------------------
 
     def hit(self, site: str) -> None:
-        """Record a pass of ``site``; raise whatever is scheduled for it."""
+        """Record a pass of ``site``; raise or pause as scheduled.
+
+        The pause itself happens *outside* the plan's lock so concurrent
+        threads hitting other sites are never serialized by a sleeping
+        sibling.
+        """
         with self._lock:
             count = self._hits[site] = self._hits.get(site, 0) + 1
             remaining_locks = self._lock_at.get(site, 0)
@@ -138,13 +180,19 @@ class FaultPlan:
                 del self._crash_at[site]
                 self.fired.append("crash:%s" % site)
                 raise InjectedCrash(site)
+            pause = self._yield_at.pop((site, count), None)
+            if pause is not None:
+                self.fired.append("yield:%s@%d" % (site, count))
+        if pause is not None:
+            time.sleep(pause)
 
     def check_run(self, run_id: str) -> None:
         """Raise the scheduled failure of ``run_id``, if any (fires once)."""
         with self._lock:
             message = self._fail_runs.pop(run_id, None)
+            if message is not None:
+                self.fired.append("fail-run:%s" % run_id)
         if message is not None:
-            self.fired.append("fail-run:%s" % run_id)
             raise RunError(message)
 
     def pending(self) -> Dict[str, object]:
@@ -154,6 +202,10 @@ class FaultPlan:
                 "crash": dict(self._crash_at),
                 "lock": {s: n for s, n in self._lock_at.items() if n > 0},
                 "fail_run": dict(self._fail_runs),
+                "yield": {
+                    "%s@%d" % key: duration
+                    for key, duration in self._yield_at.items()
+                },
             }
 
 
@@ -163,4 +215,4 @@ def hit(plan: Optional[FaultPlan], site: str) -> None:
         plan.hit(site)
 
 
-__all__ = ["SITES", "FaultPlan", "InjectedCrash", "hit"]
+__all__ = ["ALL_SITES", "SITES", "FaultPlan", "InjectedCrash", "hit"]

@@ -21,6 +21,7 @@ from .engine import (
     Linter,
     lint_log,
     lint_run,
+    lint_source,
     lint_spec,
     lint_view,
     lint_warehouse,
@@ -55,6 +56,7 @@ __all__ = [
     "WARNING",
     "lint_log",
     "lint_run",
+    "lint_source",
     "lint_spec",
     "lint_view",
     "lint_warehouse",

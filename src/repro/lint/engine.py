@@ -24,8 +24,10 @@ from .findings import Finding, LintGateError, LintReport
 from .registry import RuleConfig
 from .rules_run import lint_log as _lint_log
 from .rules_run import lint_run as _lint_run
+from .rules_source import lint_source_paths as _lint_source_paths
 from .rules_spec import lint_spec_payload
 from .rules_view import lint_view as _lint_view
+from .rules_warehouse import DEFAULT_CLOSURE_ROW_THRESHOLD
 from .rules_warehouse import lint_warehouse as _lint_warehouse
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
@@ -55,10 +57,12 @@ class Linter:
         config: Optional[RuleConfig] = None,
         emit_metrics: bool = True,
         check_minimality: bool = False,
+        closure_row_threshold: int = DEFAULT_CLOSURE_ROW_THRESHOLD,
     ) -> None:
         self.config = config or RuleConfig()
         self.emit_metrics = emit_metrics
         self.check_minimality = check_minimality
+        self.closure_row_threshold = closure_row_threshold
 
     # ------------------------------------------------------------------
     # Per-layer entry points
@@ -95,8 +99,18 @@ class Linter:
     ) -> LintReport:
         """Audit a warehouse's raw rows across all four layers."""
         return self._report(_lint_warehouse(
-            warehouse, spec_ids=spec_ids, run_ids=run_ids
+            warehouse, spec_ids=spec_ids, run_ids=run_ids,
+            closure_row_threshold=self.closure_row_threshold,
         ))
+
+    def lint_source(self, paths: Sequence[str]) -> LintReport:
+        """Run the ``SRC0xx`` concurrency rules over Python source files.
+
+        ``paths`` mixes files and directory trees (recursed for
+        ``*.py``); the nested-``with`` lock-order graph spans the whole
+        set, so an ABBA pair split across modules is still caught.
+        """
+        return self._report(_lint_source_paths([str(p) for p in paths]))
 
     def report_findings(self, findings: Sequence[Finding]) -> LintReport:
         """Apply this linter's policy to findings computed elsewhere.
@@ -186,3 +200,8 @@ def lint_warehouse(
     return Linter(**kwargs).lint_warehouse(  # type: ignore[arg-type]
         warehouse, spec_ids=spec_ids, run_ids=run_ids
     )
+
+
+def lint_source(paths: Sequence[str], **kwargs: object) -> LintReport:
+    """Lint source files with the ``SRC0xx`` rules and a default policy."""
+    return Linter(**kwargs).lint_source(paths)  # type: ignore[arg-type]

@@ -27,13 +27,16 @@ INFO = "info"
 #: All severities, in decreasing order of severity.
 SEVERITIES = (ERROR, WARNING, INFO)
 
-#: The four artifact layers provlint analyses.
+#: The five artifact layers provlint analyses.  ``source`` is the odd one
+#: out: its subject is a Python file of this codebase itself (the
+#: concurrency rules ``SRC0xx``), not a stored provenance artifact.
 LAYER_SPEC = "spec"
 LAYER_RUN = "run"
 LAYER_VIEW = "view"
 LAYER_WAREHOUSE = "warehouse"
+LAYER_SOURCE = "source"
 
-LAYERS = (LAYER_SPEC, LAYER_RUN, LAYER_VIEW, LAYER_WAREHOUSE)
+LAYERS = (LAYER_SPEC, LAYER_RUN, LAYER_VIEW, LAYER_WAREHOUSE, LAYER_SOURCE)
 
 
 class LintGateError(ZoomError):

@@ -1,0 +1,600 @@
+"""Source-layer concurrency lint rules (``SRC05x``) over this codebase.
+
+The other provlint layers audit *stored artifacts*; this one audits the
+serving stack's own Python source for thread-safety hazards, using the
+comment annotations the code already carries:
+
+``# guarded-by: <lock>``
+    on a field's assignment: every *mutation* of the field must happen
+    inside ``with <lock>`` (reads are deliberately unchecked — the
+    codebase's write-locked / read-free structures rely on atomic CPython
+    reads).  The runtime twin of this contract is
+    :class:`repro.sanitize.GuardedState`.
+``# thread-owned``
+    on a field's assignment (e.g. a SQLite write connection): the field
+    may only be touched inside ``__init__`` or a method annotated
+    ``# owner-only`` — the blessed routing points that enforce thread
+    affinity at runtime.
+``# owner-only``
+    on a ``def`` line: marks that method as a blessed accessor of
+    thread-owned state.
+``# provlint: ignore=SRC0xx[,SRC0yy]``
+    on (or immediately above) a line: suppresses those rules there.
+
+The rules:
+
+``SRC050`` (error)
+    thread-owned attribute accessed outside ``__init__`` or an
+    ``# owner-only`` method.
+``SRC051`` (error)
+    bare ``<lock>.acquire()`` statement not immediately followed by a
+    ``try``/``finally`` that releases the same lock — an exception
+    between the two leaks the lock forever.
+``SRC052`` (error)
+    field with a ``# guarded-by:`` annotation mutated outside ``with``
+    on its declared guard.  ``__init__`` (the declaration site) and
+    methods named ``*_locked`` (contract: caller holds the lock) are
+    exempt.
+``SRC053`` (warning)
+    blocking call (``time.sleep``, ``open``, ``subprocess.*``,
+    ``socket.*``, ``requests.*``, ``urllib.*``, ``input``) inside a
+    ``with <lock>`` block — a sleeping thread must not serialize its
+    siblings.
+``SRC054`` (warning)
+    a lock is assigned but never acquired through ``with`` anywhere in
+    its module — only bare ``acquire``/``release`` pairs (or nothing at
+    all), so no ``__exit__``-safe acquisition exists.
+``SRC055`` (error)
+    statically nested ``with`` blocks acquire two locks in both orders
+    across the linted file set — the textbook ABBA deadlock, caught
+    without running anything.  The dynamic twin is the sanitizer's
+    lock-order graph.
+``SRC056`` (warning)
+    a hook/listener/callback is invoked while holding a lock — re-entrant
+    handlers touching the same structure deadlock or corrupt it; fire
+    outside the critical section (as ``BoundedCache._fire`` does).
+``SRC057`` (warning)
+    raw ``threading.Lock()`` / ``threading.RLock()`` construction; use
+    :func:`repro.sanitize.make_lock` so sanitize mode can instrument it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import ERROR, LAYER_SOURCE, WARNING, Finding
+from .registry import RULES
+
+RULES.register("SRC050", LAYER_SOURCE, ERROR,
+               "thread-owned attribute accessed outside __init__ or an"
+               " owner-only method")
+RULES.register("SRC051", LAYER_SOURCE, ERROR,
+               "bare lock.acquire() without an adjacent try/finally"
+               " release")
+RULES.register("SRC052", LAYER_SOURCE, ERROR,
+               "guarded-by field mutated outside 'with' on its declared"
+               " lock")
+RULES.register("SRC053", LAYER_SOURCE, WARNING,
+               "blocking call (sleep/IO) inside a locked region")
+RULES.register("SRC054", LAYER_SOURCE, WARNING,
+               "lock never acquired through 'with' (no __exit__-safe"
+               " acquisition)")
+RULES.register("SRC055", LAYER_SOURCE, ERROR,
+               "nested 'with' blocks acquire two locks in both orders"
+               " (static ABBA deadlock)")
+RULES.register("SRC056", LAYER_SOURCE, WARNING,
+               "hook/listener/callback invoked while holding a lock")
+RULES.register("SRC057", LAYER_SOURCE, WARNING,
+               "raw threading.Lock()/RLock(); use repro.sanitize.make_lock")
+
+_PRAGMA = re.compile(r"#\s*provlint:\s*ignore=([A-Z0-9,\s]+)")
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_THREAD_OWNED = re.compile(r"#\s*thread-owned\b")
+_OWNER_ONLY = re.compile(r"#\s*owner-only\b")
+
+#: Container methods that mutate their receiver (mirror of the runtime
+#: list in :mod:`repro.sanitize.guards`).
+_MUTATORS = frozenset({
+    "append", "add", "insert", "extend", "remove", "discard", "pop",
+    "popitem", "clear", "update", "setdefault", "move_to_end", "sort",
+})
+
+#: Dotted-name prefixes/names considered blocking for SRC053.
+_BLOCKING_EXACT = frozenset({"time.sleep", "open", "input", "sleep"})
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.")
+
+#: Substrings marking a callable as a hook-style re-entrancy hazard.
+_HOOKISH = ("hook", "listener", "callback", "notify")
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``time.sleep`` for ``time.sleep(...)``, ``open`` for ``open(...)``."""
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return "%s.%s" % (base, node.attr) if base else node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _bound_name(node: ast.AST) -> Optional[str]:
+    """The field name behind ``self.x`` / ``cls.x`` / bare ``x``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id in ("self", "cls"):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lock_factory_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a call to make_lock / threading.Lock / RLock."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func)
+    return dotted in ("make_lock", "threading.Lock", "threading.RLock",
+                      "Lock", "RLock")
+
+
+def _is_raw_threading_lock(node: ast.Call) -> bool:
+    return _dotted(node.func) in ("threading.Lock", "threading.RLock")
+
+
+class _Module:
+    """Everything collected about one source file before rule evaluation."""
+
+    def __init__(self, filename: str, text: str) -> None:
+        self.filename = filename
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=filename)
+        #: line -> rule ids suppressed there (the pragma's own line and
+        #: the line after it, so a pragma may sit above the statement).
+        self.pragmas: Dict[int, Set[str]] = {}
+        #: guarded field name -> (lock name, declaration line).
+        self.guarded: Dict[str, Tuple[str, int]] = {}
+        #: thread-owned field names.
+        self.thread_owned: Set[str] = set()
+        #: lock-ish names assigned in this module -> definition line.
+        self.locks: Dict[str, int] = {}
+        #: lock names that appear as a `with` context anywhere.
+        self.with_used: Set[str] = set()
+        self._collect()
+
+    # -- collection ----------------------------------------------------
+
+    def _line(self, number: int) -> str:
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+    def _comment_in_span(self, node: ast.stmt, pattern: "re.Pattern[str]"
+                         ) -> Optional["re.Match[str]"]:
+        """First match of ``pattern`` in the statement's line span."""
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        for number in range(node.lineno, end + 1):
+            match = pattern.search(self._line(number))
+            if match:
+                return match
+        return None
+
+    def _collect(self) -> None:
+        for number, line in enumerate(self.lines, start=1):
+            match = _PRAGMA.search(line)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                self.pragmas.setdefault(number, set()).update(rules)
+                self.pragmas.setdefault(number + 1, set()).update(rules)
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                names = [n for n in (_bound_name(t) for t in targets) if n]
+                match = self._comment_in_span(node, _GUARDED_BY)
+                if match:
+                    for name in names:
+                        self.guarded[name] = (match.group(1), node.lineno)
+                if self._comment_in_span(node, _THREAD_OWNED):
+                    self.thread_owned.update(names)
+                value = node.value
+                if value is not None and any(
+                    _is_lock_factory_call(sub) for sub in ast.walk(value)
+                ):
+                    for name in names:
+                        self.locks[name] = node.lineno
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    name = _bound_name(item.context_expr)
+                    if name:
+                        self.with_used.add(name)
+
+    def ignored(self, rule_id: str, lineno: int) -> bool:
+        return rule_id in self.pragmas.get(lineno, set())
+
+    def is_lockish(self, name: str) -> bool:
+        """Whether a `with`/acquire target is treated as a lock."""
+        if name in self.locks:
+            return True
+        if name in {lock for lock, _line in self.guarded.values()}:
+            return True
+        lowered = name.lower()
+        return "lock" in lowered or "mutex" in lowered or "mutate" in lowered
+
+
+class _Walker(ast.NodeVisitor):
+    """Scoped walk: tracks the held-lock stack and the enclosing method."""
+
+    def __init__(self, module: _Module, findings: List[Finding],
+                 order_edges: Dict[Tuple[str, str], str]) -> None:
+        self.module = module
+        self.findings = findings
+        #: shared across files: (held, acquired) -> "file:line" of first sight.
+        self.order_edges = order_edges
+        self.held: List[str] = []
+        self.func_stack: List[Tuple[str, bool]] = []  # (name, exempt)
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(self, rule_id: str, lineno: int, message: str,
+              hint: Optional[str] = None) -> None:
+        if self.module.ignored(rule_id, lineno):
+            return
+        self.findings.append(RULES.finding(
+            rule_id, self.module.filename, message,
+            location=str(lineno), hint=hint,
+        ))
+
+    def _in_exempt_method(self) -> bool:
+        """Inside ``__init__`` or a ``*_locked`` method (any level)."""
+        return any(exempt for _name, exempt in self.func_stack)
+
+    def _owner_only_names(self) -> Set[str]:
+        # cached on the module
+        cached = getattr(self.module, "_owner_only", None)
+        if cached is None:
+            cached = set()
+            for node in ast.walk(self.module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _OWNER_ONLY.search(self.module._line(node.lineno)):
+                        cached.add(node.name)
+            self.module._owner_only = cached  # type: ignore[attr-defined]
+        return cached
+
+    def _check_mutation(self, name: Optional[str], lineno: int,
+                        operation: str) -> None:
+        if name is None or name not in self.module.guarded:
+            return
+        lock, declared_at = self.module.guarded[name]
+        if lineno == declared_at:
+            return  # the declaration itself
+        if lock in self.held:
+            return
+        if self._in_exempt_method():
+            return
+        self._emit(
+            "SRC052", lineno,
+            "%s of %r outside 'with %s' (its declared guard)"
+            % (operation, name, lock),
+            hint="wrap the mutation in 'with %s', or move it into a"
+                 " *_locked helper whose callers hold the lock" % lock,
+        )
+
+    # -- scope management ----------------------------------------------
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+                        ) -> None:
+        exempt = node.name == "__init__" or node.name.endswith("_locked")
+        self.func_stack.append((node.name, exempt))
+        # The body runs at call time, not under any currently-open `with`.
+        held, self.held = self.held, []
+        try:
+            for child in node.body:
+                self.visit(child)
+        finally:
+            self.held = held
+            self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        held, self.held = self.held, []
+        try:
+            self.visit(node.body)
+        finally:
+            self.held = held
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            name = _bound_name(item.context_expr)
+            if name and self.module.is_lockish(name):
+                where = "%s:%d" % (self.module.filename, node.lineno)
+                for held in self.held + acquired:
+                    if held != name:
+                        self.order_edges.setdefault((held, name), where)
+                acquired.append(name)
+        self.held.extend(acquired)
+        try:
+            for child in node.body:
+                self.visit(child)
+        finally:
+            del self.held[len(self.held) - len(acquired):]
+
+    # -- rule checks ---------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        name = _bound_name(node)
+        if name in self.module.thread_owned:
+            inside_init = any(n == "__init__" for n, _e in self.func_stack)
+            if not inside_init and not (
+                self.func_stack
+                and self.func_stack[-1][0] in self._owner_only_names()
+            ):
+                self._emit(
+                    "SRC050", node.lineno,
+                    "thread-owned attribute %r accessed outside __init__"
+                    " or an '# owner-only' method" % name,
+                    hint="route access through the blessed accessor (e.g."
+                         " the _conn property) or annotate the method"
+                         " '# owner-only'",
+                )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno, operation="delete")
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.AST, lineno: int,
+                      operation: str = "assignment") -> None:
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._check_target(element, lineno, operation)
+            return
+        if isinstance(target, ast.Subscript):
+            self._check_mutation(_bound_name(target.value), lineno,
+                                 "item %s" % operation)
+            return
+        self._check_mutation(_bound_name(target), lineno, operation)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Mutator method on a guarded container: self._data.pop(...) etc.
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
+            self._check_mutation(
+                _bound_name(node.func.value), node.lineno,
+                "call to .%s()" % node.func.attr,
+            )
+        if isinstance(node, ast.Call) and _is_raw_threading_lock(node):
+            self._emit(
+                "SRC057", node.lineno,
+                "raw %s(); create locks through repro.sanitize.make_lock"
+                " so sanitize mode can instrument them"
+                % (_dotted(node.func) or "threading.Lock"),
+                hint="make_lock(name, recursive=...) returns the same"
+                     " plain lock outside sanitize mode",
+            )
+        if self.held:
+            dotted = _dotted(node.func) or ""
+            short = dotted.rsplit(".", 1)[-1]
+            if (dotted in _BLOCKING_EXACT or short in ("sleep",)
+                    or dotted.startswith(_BLOCKING_PREFIXES)):
+                self._emit(
+                    "SRC053", node.lineno,
+                    "blocking call %s(...) while holding lock(s) %s"
+                    % (dotted, ", ".join(self.held)),
+                    hint="move the sleep/IO outside the critical section"
+                         " (snapshot under the lock, act after releasing)",
+                )
+            lowered = short.lower()
+            if any(token in lowered for token in _HOOKISH):
+                self._emit(
+                    "SRC056", node.lineno,
+                    "%s(...) invoked while holding lock(s) %s — re-entrant"
+                    " handlers can deadlock" % (dotted, ", ".join(self.held)),
+                    hint="collect what to fire under the lock, fire after"
+                         " releasing (see BoundedCache._fire)",
+                )
+        self.generic_visit(node)
+
+
+def _check_bare_acquires(module: _Module, findings: List[Finding]) -> None:
+    """``SRC051``: bare ``x.acquire()`` statements without try/finally."""
+    for node in ast.walk(module.tree):
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list):
+                bodies.append(block)
+        for block in bodies:
+            for index, stmt in enumerate(block):
+                if not (isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Call)
+                        and isinstance(stmt.value.func, ast.Attribute)
+                        and stmt.value.func.attr == "acquire"):
+                    continue
+                owner = _bound_name(stmt.value.func.value)
+                if owner is None or not module.is_lockish(owner):
+                    continue
+                follower = block[index + 1] if index + 1 < len(block) else None
+                if _releases_in_finally(follower, owner):
+                    continue
+                if module.ignored("SRC051", stmt.lineno):
+                    continue
+                findings.append(RULES.finding(
+                    "SRC051", module.filename,
+                    "bare %s.acquire() without an immediately following"
+                    " try/finally that releases it — an exception leaks"
+                    " the lock" % owner,
+                    location=str(stmt.lineno),
+                    hint="prefer 'with %s:'; if acquire must be explicit,"
+                         " follow it with try/finally: %s.release()"
+                         % (owner, owner),
+                ))
+
+
+def _releases_in_finally(stmt: Optional[ast.stmt], owner: str) -> bool:
+    if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+        return False
+    for node in stmt.finalbody:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                    and _bound_name(sub.func.value) == owner):
+                return True
+    return False
+
+
+def _check_unsafe_locks(module: _Module, findings: List[Finding]) -> None:
+    """``SRC054``: assigned locks never acquired through ``with``."""
+    for name, lineno in sorted(module.locks.items()):
+        if name in module.with_used:
+            continue
+        if module.ignored("SRC054", lineno):
+            continue
+        findings.append(RULES.finding(
+            "SRC054", module.filename,
+            "lock %r is never acquired through 'with' in this module —"
+            " no __exit__-safe acquisition exists" % name,
+            location=str(lineno),
+            hint="acquire it with 'with %s:' at least somewhere, or"
+                 " document why bare acquire/release is required" % name,
+        ))
+
+
+def _order_cycle_findings(
+    order_edges: Dict[Tuple[str, str], str]
+) -> List[Finding]:
+    """``SRC055``: both orders observed between two (or more) locks."""
+    adjacency: Dict[str, Set[str]] = {}
+    for held, acquired in order_edges:
+        adjacency.setdefault(held, set()).add(acquired)
+
+    def reachable(start: str, goal: str) -> bool:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            here = frontier.pop()
+            for there in adjacency.get(here, ()):
+                if there == goal:
+                    return True
+                if there not in seen:
+                    seen.add(there)
+                    frontier.append(there)
+        return False
+
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, str]] = set()
+    for (held, acquired), where in sorted(order_edges.items()):
+        if (acquired, held) in reported:
+            continue
+        if reachable(acquired, held):
+            reported.add((held, acquired))
+            other = order_edges.get((acquired, held))
+            filename, _colon, line = where.rpartition(":")
+            findings.append(RULES.finding(
+                "SRC055", filename or where,
+                "lock order cycle: %r acquired while holding %r here, but"
+                " a path %s -> %s also exists%s"
+                % (acquired, held, acquired, held,
+                   " (opposite order at %s)" % other if other else ""),
+                location=line or None,
+                hint="pick one global acquisition order and document it"
+                     " where the locks are created",
+            ))
+    return findings
+
+
+def lint_source_text(
+    text: str,
+    filename: str = "<string>",
+    order_edges: Optional[Dict[Tuple[str, str], str]] = None,
+) -> List[Finding]:
+    """Run every SRC rule over one module's source text.
+
+    ``order_edges`` threads a shared nested-``with`` graph through a
+    multi-file pass (cycles are then reported by the caller); when
+    ``None``, cycles are detected within this module alone.
+    """
+    findings: List[Finding] = []
+    try:
+        module = _Module(filename, text)
+    except SyntaxError as exc:
+        # Not a rule violation: surface as an un-lintable file.
+        findings.append(RULES.finding(
+            "SRC054", filename,
+            "file could not be parsed: %s" % exc,
+            location=str(exc.lineno or 0),
+            hint="fix the syntax error, then re-lint",
+        ))
+        return findings
+    shared = order_edges if order_edges is not None else {}
+    walker = _Walker(module, findings, shared)
+    walker.visit(module.tree)
+    _check_bare_acquires(module, findings)
+    _check_unsafe_locks(module, findings)
+    if order_edges is None:
+        findings.extend(_order_cycle_findings(shared))
+    return findings
+
+
+def lint_source_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint ``.py`` files (files or directory trees) with every SRC rule.
+
+    The nested-``with`` lock-order graph is shared across the whole file
+    set, so an ABBA pair split between two modules is still caught.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    findings: List[Finding] = []
+    order_edges: Dict[Tuple[str, str], str] = {}
+    for filename in sorted(set(files)):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            findings.append(RULES.finding(
+                "SRC054", filename,
+                "file could not be read: %s" % exc,
+                hint="check the path passed to 'zoom lint --source'",
+            ))
+            continue
+        findings.extend(lint_source_text(
+            text, filename=filename, order_edges=order_edges,
+        ))
+    findings.extend(_order_cycle_findings(order_edges))
+    return findings

@@ -62,6 +62,16 @@ RULES.register("WH040", LAYER_WAREHOUSE, WARNING,
 RULES.register("WH041", LAYER_WAREHOUSE, ERROR,
                "ingest journal row references a run the warehouse does not"
                " hold (torn ingest)")
+RULES.register("WH042", LAYER_WAREHOUSE, WARNING,
+               "predicted lineage-closure row count exceeds the"
+               " materialisation budget")
+
+#: Default ceiling for :func:`lint_closure_budget`'s predicted row count.
+#: Chosen so the paper-scale workloads (hundreds of steps) pass with a
+#: wide margin while a pathological deep-chain run (whose closure is
+#: quadratic in its step count) trips it before ``build_lineage_index``
+#: materialises millions of rows.
+DEFAULT_CLOSURE_ROW_THRESHOLD = 250_000
 
 
 def lint_run_rows(
@@ -125,7 +135,7 @@ def lint_run_rows(
                      " ill-defined; repair the io table",
             ))
 
-    for step_id, data_id in sorted(set(reads)):
+    for _step_id, data_id in sorted(set(reads)):
         if data_id not in produced:
             findings.append(RULES.finding(
                 "WH033", run_id,
@@ -147,11 +157,92 @@ def lint_run_rows(
     return findings
 
 
+def lint_closure_budget(
+    run_id: str,
+    steps: Sequence[Tuple[str, str]],
+    io_rows: Sequence[Tuple[str, str, str]],
+    user_inputs: Sequence[str],
+    threshold: int = DEFAULT_CLOSURE_ROW_THRESHOLD,
+) -> List[Finding]:
+    """``WH042``: predict the lineage-closure row count, statically.
+
+    ``build_lineage_index`` stores one row per ``(data, ancestor)`` pair,
+    so a deep-chain run explodes quadratically.  This rule bounds the
+    closure *without computing it*: propagate, in topological order, an
+    upper bound on each step's reachable ancestor-set size —
+    ``ub(s) = 1 + sum(ub(parents))``, capped at the run's step count (a
+    set can never exceed it) — then charge every produced data object its
+    producer's bound.  The estimate is a true upper bound on the stored
+    rows, cheap enough to run at ingestion time, and runs whose rows do
+    not topologically sort (cycles — reported by other rules) are skipped.
+    """
+    if threshold <= 0 or not steps:
+        return []
+    step_ids = {step_id for step_id, _module in steps}
+    producer: Dict[str, str] = {}
+    consumers: Dict[str, List[str]] = {}
+    for step_id, data_id, direction in io_rows:
+        if step_id not in step_ids:
+            continue  # dangling row: WH032 reports it
+        if direction == "out":
+            producer.setdefault(data_id, step_id)
+        else:
+            consumers.setdefault(data_id, []).append(step_id)
+
+    parents: Dict[str, Set[str]] = {step_id: set() for step_id in step_ids}
+    children: Dict[str, Set[str]] = {step_id: set() for step_id in step_ids}
+    inputs = set(user_inputs)
+    for data_id, readers in consumers.items():
+        writer = producer.get(data_id)
+        if writer is None or data_id in inputs:
+            continue
+        for reader in readers:
+            if reader != writer:
+                parents[reader].add(writer)
+                children[writer].add(reader)
+
+    # Kahn topological sweep; a leftover step means a cycle -> skip.
+    pending = {step_id: len(parents[step_id]) for step_id in step_ids}
+    frontier = [step_id for step_id, count in pending.items() if count == 0]
+    cap = len(step_ids)
+    bound: Dict[str, int] = {}
+    ordered = 0
+    while frontier:
+        step_id = frontier.pop()
+        ordered += 1
+        bound[step_id] = min(
+            cap, 1 + sum(bound[parent] for parent in parents[step_id])
+        )
+        for child in children[step_id]:
+            pending[child] -= 1
+            if pending[child] == 0:
+                frontier.append(child)
+    if ordered != len(step_ids):
+        return []  # cyclic rows: RUN/WH integrity rules report why
+
+    predicted = sum(
+        bound.get(step_id, 1)
+        for data_id, step_id in producer.items()
+        if data_id not in inputs
+    )
+    if predicted <= threshold:
+        return []
+    return [RULES.finding(
+        "WH042", run_id,
+        "predicted lineage closure of ~%d row(s) exceeds the budget of %d"
+        % (predicted, threshold),
+        hint="serve this run with the 'cached' strategy instead of"
+             " materialising its index, or raise the threshold"
+             " (--closure-threshold / closure_row_threshold)",
+    )]
+
+
 def lint_warehouse(
     warehouse: ProvenanceWarehouse,
     spec_ids: Optional[Sequence[str]] = None,
     run_ids: Optional[Sequence[str]] = None,
     check_minimality: bool = False,
+    closure_row_threshold: int = DEFAULT_CLOSURE_ROW_THRESHOLD,
 ) -> List[Finding]:
     """Audit every artifact a warehouse holds (optionally narrowed).
 
@@ -260,6 +351,10 @@ def lint_warehouse(
             warehouse, run_id, steps, io_rows, user_inputs,
         ))
         findings.extend(lint_auto_index_gap(warehouse, run_id))
+        findings.extend(lint_closure_budget(
+            run_id, steps, io_rows, user_inputs,
+            threshold=closure_row_threshold,
+        ))
 
     if spec_ids is None and run_ids is None:
         # Warehouse-wide physical checks only make sense on a full sweep;

@@ -26,7 +26,6 @@ hook may freely touch other caches (or this one).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -39,6 +38,8 @@ from typing import (
     Tuple,
     TypeVar,
 )
+
+from ..sanitize import guard, make_lock, yield_point
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -104,16 +105,20 @@ class BoundedCache(Generic[K, V]):
             raise ValueError("cache capacity must be >= 1, got %r" % capacity)
         self.name = name
         self._capacity = capacity
-        self._data: "OrderedDict[K, V]" = OrderedDict()
-        self._lock = threading.RLock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._stale_drops = 0
+        self._lock = make_lock("cache.%s" % name, recursive=True)
+        self._data: "OrderedDict[K, V]" = guard(
+            OrderedDict(), self._lock, "cache.%s._data" % name
+        )  # guarded-by: _lock
+        self._hits = 0         # guarded-by: _lock
+        self._misses = 0       # guarded-by: _lock
+        self._evictions = 0    # guarded-by: _lock
+        self._stale_drops = 0  # guarded-by: _lock
+        # Hooks are append-only and fired outside the lock by design (a
+        # hook may touch this or other caches) — deliberately unguarded.
         self._hooks: List[InvalidationHook] = []
         # Per-scope generation counters (see bump_generation); only scopes
         # that were ever bumped occupy a slot, so the dict stays small.
-        self._generations: Dict[Hashable, int] = {}
+        self._generations: Dict[Hashable, int] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Introspection
@@ -207,7 +212,9 @@ class BoundedCache(Generic[K, V]):
         if value is not sentinel:
             return value  # type: ignore[return-value]
         token = None if scope is None else self.generation(scope)
+        yield_point("cache.get_or_build.factory")
         built = factory()
+        yield_point("cache.get_or_build.publish")
         if token is None or self.generation(scope) == token:
             self.put(key, built)
         else:
@@ -248,6 +255,7 @@ class BoundedCache(Generic[K, V]):
     def invalidate(self, key: K) -> bool:
         """Explicitly drop ``key``; returns whether it was present."""
         sentinel = object()
+        yield_point("cache.invalidate")
         with self._lock:
             value = self._data.pop(key, sentinel)
         if value is sentinel:

@@ -40,11 +40,12 @@ from __future__ import annotations
 
 import functools
 import logging
-import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Deque, Dict, Iterator, TypeVar
+
+from ..sanitize import guard, make_lock
 
 logger = logging.getLogger("repro.obs.metrics")
 
@@ -56,12 +57,12 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("metrics.counter.%s" % name)
+        self._value = 0  # guarded-by: _lock
 
     @property
     def value(self) -> int:
-        return self._value
+        return self._value  # lock-free read: int load is atomic under GIL
 
     def increment(self, amount: int = 1) -> int:
         with self._lock:
@@ -85,12 +86,12 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("metrics.gauge.%s" % name)
+        self._value = 0.0  # guarded-by: _lock
 
     @property
     def value(self) -> float:
-        return self._value
+        return self._value  # lock-free read: float load is atomic under GIL
 
     def set(self, value: float) -> float:
         with self._lock:
@@ -116,12 +117,12 @@ class Timer:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-        self.last = 0.0
+        self._lock = make_lock("metrics.timer.%s" % name)
+        self.count = 0             # guarded-by: _lock
+        self.total = 0.0           # guarded-by: _lock
+        self.min = float("inf")    # guarded-by: _lock
+        self.max = 0.0             # guarded-by: _lock
+        self.last = 0.0            # guarded-by: _lock
         self._samples: Deque[float] = deque(maxlen=TIMER_SAMPLE_WINDOW)
 
     def observe(self, seconds: float) -> None:
@@ -174,15 +175,34 @@ class Timer:
 
 
 class MetricsRegistry:
-    """Named counters and timers, created on first use."""
+    """Named counters and timers, created on first use.
+
+    Lookups of *existing* metrics are lock-free: the metric maps follow a
+    write-locked / read-free contract (mode ``"w"`` under the sanitizer) —
+    every insertion happens under ``_lock`` with a double-checked re-read,
+    while reads rely on CPython dict loads being atomic.  The serving hot
+    path calls :meth:`counter`/:meth:`timer` per request, so taking the
+    registry lock there would serialize unrelated worker threads on a
+    metric lookup.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._timers: Dict[str, Timer] = {}
-        self._gauges: Dict[str, Gauge] = {}
+        self._lock = make_lock("metrics.registry")
+        # Mutations guarded; reads deliberately lock-free (see class doc).
+        self._counters: Dict[str, Counter] = guard(
+            {}, self._lock, "metrics.registry._counters", mode="w"
+        )  # guarded-by: _lock
+        self._timers: Dict[str, Timer] = guard(
+            {}, self._lock, "metrics.registry._timers", mode="w"
+        )  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = guard(
+            {}, self._lock, "metrics.registry._gauges", mode="w"
+        )  # guarded-by: _lock
 
     def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter
         with self._lock:
             counter = self._counters.get(name)
             if counter is None:
@@ -190,6 +210,9 @@ class MetricsRegistry:
             return counter
 
     def timer(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is not None:
+            return timer
         with self._lock:
             timer = self._timers.get(name)
             if timer is None:
@@ -197,6 +220,9 @@ class MetricsRegistry:
             return timer
 
     def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge
         with self._lock:
             gauge = self._gauges.get(name)
             if gauge is None:

@@ -1,0 +1,83 @@
+"""Opt-in concurrency sanitizer for the serving stack (``REPRO_SANITIZE=1``).
+
+PR 6 made the warehouse and reasoner genuinely concurrent, and every one of
+its headline bugfixes — SQLite thread affinity, the bulk-pragma leak, the
+invalidate-vs-in-flight-build cache race — was a concurrency hazard found
+by hand.  This package turns that auditing into *tooling* with two sides:
+
+**Dynamic (this package).**  When the sanitizer is enabled (environment
+variable ``REPRO_SANITIZE=1``, or :func:`enable` from tests), every lock
+created through :func:`make_lock` becomes an :class:`InstrumentedLock`
+that records the global lock-acquisition-order graph
+(:class:`LockOrderGraph`) with cycle detection — a potential deadlock is
+reported as a :class:`SanitizerFinding` carrying *both* acquisition
+stacks.  Shared structures declared through :func:`guard` are wrapped in
+:class:`GuardedState` proxies that verify every access happens while the
+declared guard is held.  Violations accumulate in the process-wide
+:class:`SanitizerReport` (:func:`report`) and tick ``san.*`` counters in
+the metrics registry, so CI can assert "zero findings" after a stress run.
+
+**Schedule fuzzing.**  Instrumented yield points (:data:`YIELD_SITES`,
+fired through :func:`yield_point`) let a
+:class:`~repro.sanitize.fuzzer.ScheduleFuzzer` deterministically explore
+thread interleavings by injecting seeded pauses via
+:meth:`repro.faults.FaultPlan.yield_at` — the harness that re-derives
+PR 6's invalidate-vs-build race when its generation-token fix is removed.
+
+**Static.**  The companion lint layer (``repro.lint.rules_source``, rules
+``SRC050``–``SRC057``, ``zoom lint --source``) flags the same hazard
+classes at the source level, without running anything.
+
+This package is import-time stdlib-only (the metrics registry is reached
+lazily), so :mod:`repro.obs`, :mod:`repro.faults` and every warehouse
+backend can depend on it without cycles.
+
+When the sanitizer is *disabled* (the default), :func:`make_lock` returns
+plain :class:`threading.Lock`/:class:`threading.RLock` objects and
+:func:`guard` returns its argument unchanged — production pays nothing.
+"""
+
+from .fuzzer import FuzzOutcome, FuzzResult, ScheduleFuzzer
+from .guards import GuardedState, guard
+from .locks import InstrumentedLock, make_lock
+from .order import LockOrderGraph
+from .report import SanitizerFinding, SanitizerReport
+from .state import (
+    YIELD_SITES,
+    Sanitizer,
+    assert_unlocked,
+    clear_schedule,
+    enable,
+    enabled,
+    get_sanitizer,
+    held_locks,
+    install_schedule,
+    report,
+    reset,
+    yield_point,
+)
+
+__all__ = [
+    "FuzzOutcome",
+    "FuzzResult",
+    "GuardedState",
+    "InstrumentedLock",
+    "LockOrderGraph",
+    "Sanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "ScheduleFuzzer",
+    "YIELD_SITES",
+    "assert_unlocked",
+    "clear_schedule",
+    "enable",
+    "enabled",
+    "get_sanitizer",
+    "guard",
+    "held_locks",
+    "install_schedule",
+    "make_lock",
+    "report",
+    "reset",
+    "yield_point",
+]

@@ -1,0 +1,166 @@
+"""Deterministic schedule fuzzing over the instrumented yield sites.
+
+Races hide in *interleavings*, and interleavings under a free-running
+scheduler are unrepeatable.  The :class:`ScheduleFuzzer` makes them a
+seeded search space instead: each candidate schedule is a
+:class:`repro.faults.FaultPlan` carrying ``yield_at`` entries — "on the
+N-th pass of yield site S, pause for D seconds" — installed process-wide
+(:func:`~repro.sanitize.state.install_schedule`) while a caller-supplied
+scenario runs.  Pausing one thread inside a race window (for example
+between :meth:`BoundedCache.get_or_build`'s factory call and its publish)
+stretches the window from microseconds to milliseconds, so the other
+side of the race lands inside it reliably.
+
+Everything derives from one integer seed: the same seed explores the same
+schedules in the same order, so a failure is re-runnable by seed and
+schedule index alone — the property the acceptance test uses to re-derive
+PR 6's invalidate-vs-build race once the generation-token fix is removed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .state import YIELD_SITES, clear_schedule, install_schedule
+
+#: Pause lengths (seconds) a schedule may assign to a yield point.  Zero
+#: is a bare GIL yield; the longer pauses hold a thread inside a race
+#: window long enough for the other side to land deterministically.
+DEFAULT_DURATIONS: Tuple[float, ...] = (0.0, 0.002, 0.01, 0.04)
+
+#: A scenario runs once under one installed schedule and returns a failure
+#: description (e.g. "stale value served") or ``None`` when it held.
+Scenario = Callable[["object"], Optional[str]]
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """What one schedule did: its index, the injected yields, the verdict."""
+
+    schedule: int
+    yields: Tuple[Tuple[str, int, float], ...]
+    fired: Tuple[str, ...]
+    failure: Optional[str]
+
+
+@dataclass
+class FuzzResult:
+    """All outcomes of one :meth:`ScheduleFuzzer.run` sweep."""
+
+    seed: int
+    outcomes: List[FuzzOutcome] = field(default_factory=list)
+
+    def failures(self) -> List[FuzzOutcome]:
+        return [o for o in self.outcomes if o.failure is not None]
+
+    @property
+    def found(self) -> bool:
+        return bool(self.failures())
+
+    def first_failure(self) -> Optional[FuzzOutcome]:
+        failures = self.failures()
+        return failures[0] if failures else None
+
+    def summary(self) -> str:
+        failures = self.failures()
+        lines = [
+            "schedule %d (%s): %s"
+            % (o.schedule,
+               ", ".join("%s@%d+%.3fs" % y for y in o.yields),
+               o.failure)
+            for o in failures
+        ]
+        lines.append(
+            "%d/%d schedule(s) failed (seed %d)"
+            % (len(failures), len(self.outcomes), self.seed)
+        )
+        return "\n".join(lines)
+
+
+class ScheduleFuzzer:
+    """Seeded exploration of yield-point interleavings.
+
+    Parameters
+    ----------
+    seed:
+        Everything — which sites pause, on which hit, for how long — is a
+        pure function of this seed.
+    schedules:
+        How many candidate schedules one :meth:`run` sweep tries (the
+        "seed budget" of the acceptance criterion).
+    sites:
+        Yield sites eligible for pauses (default: all instrumented sites).
+    max_yields / max_hit:
+        At most this many pauses per schedule, each on a hit number in
+        ``[1, max_hit]`` of its site.
+    durations:
+        Pause lengths to draw from.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        schedules: int = 24,
+        sites: Sequence[str] = YIELD_SITES,
+        max_yields: int = 3,
+        max_hit: int = 4,
+        durations: Sequence[float] = DEFAULT_DURATIONS,
+    ) -> None:
+        if schedules < 1:
+            raise ValueError("schedules must be >= 1, got %d" % schedules)
+        if not sites:
+            raise ValueError("at least one yield site is required")
+        self.seed = seed
+        self.schedules = schedules
+        self.sites = tuple(sites)
+        self.max_yields = max(1, max_yields)
+        self.max_hit = max(1, max_hit)
+        self.durations = tuple(durations)
+
+    def plan_for(self, index: int) -> "object":
+        """The ``index``-th schedule as a ready-to-install ``FaultPlan``."""
+        from ..faults import FaultPlan  # lazy: keeps this package leaf-free
+
+        rng = random.Random("%d/%d" % (self.seed, index))
+        plan = FaultPlan()
+        for _ in range(rng.randint(1, self.max_yields)):
+            plan.yield_at(
+                rng.choice(self.sites),
+                hit=rng.randint(1, self.max_hit),
+                duration=rng.choice(self.durations),
+            )
+        return plan
+
+    def run(
+        self,
+        scenario: Scenario,
+        stop_on_failure: bool = False,
+    ) -> FuzzResult:
+        """Run ``scenario`` under every schedule; collect the verdicts.
+
+        The schedule is installed process-wide for the duration of each
+        scenario call (and always cleared afterwards), so the scenario's
+        worker threads hit the pauses without any plumbing.
+        """
+        result = FuzzResult(seed=self.seed)
+        for index in range(self.schedules):
+            plan = self.plan_for(index)
+            # Snapshot before running: fired pauses are consumed from the
+            # plan, and the outcome must record what was *injected*.
+            yields = tuple(sorted(plan.scheduled_yields()))  # type: ignore[attr-defined]
+            install_schedule(plan)
+            try:
+                failure = scenario(plan)
+            finally:
+                clear_schedule()
+            result.outcomes.append(FuzzOutcome(
+                schedule=index,
+                yields=yields,
+                fired=tuple(plan.fired),  # type: ignore[attr-defined]
+                failure=failure,
+            ))
+            if failure is not None and stop_on_failure:
+                break
+        return result

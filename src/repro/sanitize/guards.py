@@ -1,0 +1,146 @@
+"""Guarded-state proxies: verify that accesses hold the declared lock.
+
+A ``# guarded-by: <lock>`` comment (checked statically by lint rule
+``SRC052``) documents which lock protects a field; :class:`GuardedState`
+*enforces* the same contract at runtime.  Wrap the shared structure and
+its guard — every proxied operation first checks that the calling thread
+holds the guard, filing a ``guarded-state`` finding (with stack) when it
+does not.  The underlying operation still runs, so a violating program
+behaves exactly as before; the sanitizer observes, it does not mask.
+
+``mode`` selects the contract:
+
+``"rw"``
+    every access needs the guard (default — e.g. ``BoundedCache._data``,
+    ``SqliteWarehouse._all_readers``);
+``"w"``
+    only mutations need it — the contract of copy-on-write/lock-free-read
+    structures such as the metric maps of
+    :class:`~repro.obs.metrics.MetricsRegistry`, whose reads are
+    deliberately lock-free (CPython dict reads are atomic) while every
+    write happens under the registry lock.
+
+Use :func:`guard` rather than the class: it returns the object unchanged
+when the lock is not instrumented (sanitize mode off), so production
+call sites carry zero overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, TypeVar, cast
+
+from .locks import InstrumentedLock
+from .report import KIND_GUARDED_STATE, SanitizerFinding
+from .state import _capture_stack, get_sanitizer
+
+T = TypeVar("T")
+
+#: Method names that mutate the wrapped container.
+_MUTATORS = frozenset({
+    "append", "add", "insert", "extend", "remove", "discard", "pop",
+    "popitem", "clear", "update", "setdefault", "move_to_end", "sort",
+})
+
+
+class GuardedState:
+    """Attribute/item proxy that checks the guard before delegating."""
+
+    __slots__ = ("_gs_obj", "_gs_lock", "_gs_name", "_gs_mode")
+
+    def __init__(
+        self,
+        obj: object,
+        lock: InstrumentedLock,
+        name: str,
+        mode: str = "rw",
+    ) -> None:
+        if mode not in ("rw", "w"):
+            raise ValueError("GuardedState mode must be 'rw' or 'w', got %r" % mode)
+        object.__setattr__(self, "_gs_obj", obj)
+        object.__setattr__(self, "_gs_lock", lock)
+        object.__setattr__(self, "_gs_name", name)
+        object.__setattr__(self, "_gs_mode", mode)
+
+    # -- verification --------------------------------------------------
+
+    def _gs_verify(self, operation: str, mutating: bool) -> None:
+        if self._gs_mode == "w" and not mutating:
+            return
+        lock: InstrumentedLock = self._gs_lock
+        if lock.held_by_current_thread():
+            return
+        sanitizer = get_sanitizer()
+        if sanitizer is None:
+            return
+        sanitizer.report.add(SanitizerFinding(
+            kind=KIND_GUARDED_STATE,
+            subject=self._gs_name,
+            message=(
+                "%s of %r without holding its guard %r"
+                % ("mutation (%s)" % operation if mutating
+                   else "read (%s)" % operation,
+                   self._gs_name, lock.name)
+            ),
+            stack=_capture_stack(),
+            thread=threading.current_thread().name,
+        ))
+
+    # -- delegation ----------------------------------------------------
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._gs_obj, attr)
+        if callable(value):
+            mutating = attr in _MUTATORS
+
+            def checked(*args: Any, **kwargs: Any) -> Any:
+                self._gs_verify(attr, mutating)
+                return value(*args, **kwargs)
+
+            return checked
+        self._gs_verify(attr, False)
+        return value
+
+    def __getitem__(self, key: Any) -> Any:
+        self._gs_verify("__getitem__", False)
+        return self._gs_obj[key]  # type: ignore[index]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._gs_verify("__setitem__", True)
+        self._gs_obj[key] = value  # type: ignore[index]
+
+    def __delitem__(self, key: Any) -> None:
+        self._gs_verify("__delitem__", True)
+        del self._gs_obj[key]  # type: ignore[attr-defined]
+
+    def __contains__(self, key: Any) -> bool:
+        self._gs_verify("__contains__", False)
+        return key in self._gs_obj  # type: ignore[operator]
+
+    def __len__(self) -> int:
+        self._gs_verify("__len__", False)
+        return len(self._gs_obj)  # type: ignore[arg-type]
+
+    def __iter__(self) -> Iterator[Any]:
+        self._gs_verify("__iter__", False)
+        return iter(self._gs_obj)  # type: ignore[call-overload]
+
+    def __bool__(self) -> bool:
+        self._gs_verify("__bool__", False)
+        return bool(self._gs_obj)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return "<GuardedState %s guard=%s %r>" % (
+            self._gs_name, self._gs_lock.name, self._gs_obj,
+        )
+
+
+def guard(obj: T, lock: object, name: str, mode: str = "rw") -> T:
+    """Wrap ``obj`` in a :class:`GuardedState` when ``lock`` is instrumented.
+
+    With a plain lock (sanitize mode off) the object is returned as-is.
+    The cast keeps call sites typed as the underlying container.
+    """
+    if isinstance(lock, InstrumentedLock):
+        return cast(T, GuardedState(obj, lock, name, mode=mode))
+    return obj

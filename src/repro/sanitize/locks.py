@@ -1,0 +1,109 @@
+"""Instrumented drop-in lock wrappers and the :func:`make_lock` factory.
+
+Every lock in the serving stack is created through :func:`make_lock`
+(``repro.obs``, ``repro.serve``, the warehouse backends, ``repro.faults``).
+Outside sanitize mode the factory returns the plain
+:class:`threading.Lock`/:class:`threading.RLock` it always did; under
+``REPRO_SANITIZE=1`` it returns an :class:`InstrumentedLock` that
+
+* feeds every acquisition into the global lock-order graph (potential
+  deadlocks are reported with both acquisition stacks),
+* tracks per-thread ownership so :class:`~repro.sanitize.guards.GuardedState`
+  can verify guarded accesses, and
+* turns a guaranteed self-deadlock (re-acquiring a non-recursive lock the
+  thread already holds) into a finding plus ``RuntimeError`` instead of a
+  silent hang.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .state import get_sanitizer
+
+
+class InstrumentedLock:
+    """A :class:`threading.Lock`/`RLock` stand-in that reports to the
+    sanitizer.  API-compatible with the subset the codebase uses:
+    ``acquire``/``release``, the context-manager protocol and ``locked``.
+    """
+
+    __slots__ = ("name", "recursive", "_inner", "_depth")
+
+    def __init__(self, name: str, recursive: bool = False) -> None:
+        self.name = name
+        self.recursive = recursive
+        # The real lock under the instrumentation; acquired bare (never
+        # via `with`) because this class IS the context manager.
+        # provlint: ignore=SRC054,SRC057
+        self._inner = threading.RLock() if recursive else threading.Lock()
+        self._depth = threading.local()
+
+    def _held_depth(self) -> int:
+        return getattr(self._depth, "count", 0)
+
+    def held_by_current_thread(self) -> bool:
+        """Whether the calling thread currently holds this lock."""
+        return self._held_depth() > 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sanitizer = get_sanitizer()
+        first = self._held_depth() == 0
+        if sanitizer is not None and first:
+            sanitizer.before_acquire(self)
+        if not first and not self.recursive:
+            # Blocking here would hang forever; report and fail fast so
+            # the offending test finishes with a diagnosable error.
+            if sanitizer is not None:
+                sanitizer.self_deadlock(self)
+            raise RuntimeError(
+                "self-deadlock: lock %r re-acquired by its holder" % self.name
+            )
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._depth.count = self._held_depth() + 1
+            if sanitizer is not None and first:
+                sanitizer.pushed(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        depth = self._held_depth() - 1
+        self._depth.count = depth
+        if depth == 0:
+            sanitizer = get_sanitizer()
+            if sanitizer is not None:
+                sanitizer.popped(self)
+
+    def locked(self) -> bool:
+        """Best effort: held by *someone* (exact for non-recursive locks)."""
+        if not self.recursive:
+            return self._inner.locked()  # type: ignore[union-attr]
+        return self._held_depth() > 0
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return "<InstrumentedLock %s recursive=%s depth=%d>" % (
+            self.name, self.recursive, self._held_depth(),
+        )
+
+
+def make_lock(name: str, recursive: bool = False) -> Any:
+    """A named lock: instrumented under sanitize mode, plain otherwise.
+
+    The decision is taken at *creation* time, so long-lived objects built
+    before :func:`~repro.sanitize.state.enable` stay uninstrumented —
+    enable the sanitizer first, then construct the objects under test.
+    Returns ``Any`` because the two shapes share only the lock protocol.
+    """
+    if get_sanitizer() is not None:
+        return InstrumentedLock(name, recursive=recursive)
+    # provlint: ignore=SRC057
+    return threading.RLock() if recursive else threading.Lock()

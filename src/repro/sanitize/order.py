@@ -1,0 +1,99 @@
+"""The global lock-acquisition-order graph with cycle detection.
+
+Every time an :class:`~repro.sanitize.locks.InstrumentedLock` is acquired
+while the acquiring thread already holds another instrumented lock, the
+ordered pair ``(held, acquired)`` becomes an edge in this graph, stamped
+with the acquisition stack that first observed it.  A new edge that closes
+a cycle — some other thread (or code path) acquires the same locks in the
+opposite order — is a *potential deadlock*: neither execution has to hang
+for the hazard to be real, which is exactly why a sanitizer beats testing.
+
+The finding carries both stacks: the one that recorded the conflicting
+(reverse-path) edge and the one closing the cycle now.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .report import KIND_LOCK_ORDER, SanitizerFinding
+
+
+class LockOrderGraph:
+    """Directed graph over lock names; an edge ``a -> b`` means "``b`` was
+    acquired while ``a`` was held"."""
+
+    def __init__(self) -> None:
+        # Internal bookkeeping lock; deliberately a raw lock so observing
+        # the graph can never feed back into the graph itself.
+        self._lock = threading.Lock()  # provlint: ignore=SRC057
+        #: edge -> example acquisition stack (first observation wins).
+        self._edges: Dict[Tuple[str, str], str] = {}
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every observed ordered pair, sorted for stable assertions."""
+        with self._lock:
+            return sorted(self._edges)
+
+    def edge_stack(self, held: str, acquired: str) -> Optional[str]:
+        """The stack that first recorded ``(held, acquired)``, if any."""
+        with self._lock:
+            return self._edges.get((held, acquired))
+
+    def observe(
+        self, held: str, acquired: str, stack: str, thread: str
+    ) -> Optional[SanitizerFinding]:
+        """Record ``acquired``-while-holding-``held``; report new cycles.
+
+        Returns a lock-order finding when this edge closes a cycle that no
+        earlier observation already reported, ``None`` otherwise.
+        """
+        if held == acquired:
+            return None
+        with self._lock:
+            known = (held, acquired) in self._edges
+            if not known:
+                self._edges[(held, acquired)] = stack
+                path = self._path(acquired, held)
+            else:
+                path = None
+        if known or path is None:
+            return None
+        # ``path`` runs acquired -> ... -> held; together with the new
+        # edge held -> acquired it forms the cycle.  Show the stack of the
+        # first reverse edge as the conflicting acquisition.
+        reverse_edge = (path[0], path[1])
+        other = self.edge_stack(*reverse_edge) or ""
+        chain = " -> ".join([held, acquired] + path[1:])
+        return SanitizerFinding(
+            kind=KIND_LOCK_ORDER,
+            subject="%s <-> %s" % (held, acquired),
+            message=(
+                "potential deadlock: %r acquired while holding %r, but the"
+                " opposite order %s was also observed" % (acquired, held, chain)
+            ),
+            stack=stack,
+            other_stack=other,
+            thread=thread,
+        )
+
+    # -- internals (call with self._lock held) -------------------------
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A directed path ``start -> ... -> goal`` over recorded edges,
+        excluding the just-added edge's reverse; ``None`` when absent."""
+        adjacency: Dict[str, List[str]] = {}
+        for a, b in self._edges:
+            adjacency.setdefault(a, []).append(b)
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            for succ in adjacency.get(node, ()):
+                if succ == goal:
+                    return path + [succ]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None

@@ -1,0 +1,130 @@
+"""Sanitizer findings and the thread-safe report they accumulate in.
+
+A :class:`SanitizerFinding` is the dynamic analogue of a lint
+:class:`~repro.lint.findings.Finding`: a stable ``kind`` (what hazard
+class fired), the subject (a lock or guarded-state name), a message, and
+the captured stack(s) proving the claim.  Findings are collected in a
+:class:`SanitizerReport`; each addition ticks a ``san.<kind>`` counter in
+the default metrics registry (reached lazily to keep this module
+import-time stdlib-only).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: The hazard classes the sanitizer reports.
+KIND_LOCK_ORDER = "lock-order"
+KIND_SELF_DEADLOCK = "self-deadlock"
+KIND_GUARDED_STATE = "guarded-state"
+KIND_LOCK_HELD = "lock-held"
+
+KINDS = (KIND_LOCK_ORDER, KIND_SELF_DEADLOCK, KIND_GUARDED_STATE, KIND_LOCK_HELD)
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One dynamic concurrency-hazard observation."""
+
+    kind: str
+    subject: str
+    message: str
+    #: Stack of the thread that triggered the finding.
+    stack: str = ""
+    #: For lock-order findings: the earlier, conflicting acquisition stack.
+    other_stack: str = ""
+    thread: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "subject": self.subject,
+            "message": self.message,
+            "thread": self.thread,
+        }
+        if self.stack:
+            payload["stack"] = self.stack
+        if self.other_stack:
+            payload["other_stack"] = self.other_stack
+        return payload
+
+    def __str__(self) -> str:
+        return "san.%s [%s] %s" % (self.kind, self.subject, self.message)
+
+
+@dataclass
+class SanitizerReport:
+    """Thread-safe accumulator of sanitizer findings.
+
+    ``dedupe`` keeps the report readable under stress loads: the same
+    (kind, subject, message) triple is recorded once, with a repeat count.
+    """
+
+    dedupe: bool = True
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _findings: List[SanitizerFinding] = field(default_factory=list, repr=False)
+    _counts: Dict[Tuple[str, str, str], int] = field(default_factory=dict, repr=False)
+
+    def add(self, finding: SanitizerFinding) -> None:
+        key = (finding.kind, finding.subject, finding.message)
+        with self._lock:
+            seen = self._counts.get(key, 0)
+            self._counts[key] = seen + 1
+            if seen and self.dedupe:
+                fresh = False
+            else:
+                self._findings.append(finding)
+                fresh = True
+        if fresh:
+            _count(finding.kind)
+
+    def findings(self, kind: Optional[str] = None) -> List[SanitizerFinding]:
+        with self._lock:
+            found = list(self._findings)
+        if kind is not None:
+            found = [f for f in found if f.kind == kind]
+        return found
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._findings)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def counts(self) -> Dict[str, int]:
+        """Total observations (including deduplicated repeats) per kind."""
+        tally: Dict[str, int] = {}
+        with self._lock:
+            for (kind, _subject, _message), count in self._counts.items():
+                tally[kind] = tally.get(kind, 0) + count
+        return tally
+
+    def clear(self) -> None:
+        with self._lock:
+            self._findings.clear()
+            self._counts.clear()
+
+    def summary(self) -> str:
+        """One line per finding plus a per-kind tally."""
+        found = self.findings()
+        tally = self.counts()
+        suffix = (
+            " (%s)" % ", ".join("%s=%d" % (k, tally[k]) for k in sorted(tally))
+            if tally
+            else ""
+        )
+        lines = [str(f) for f in found]
+        lines.append("%d sanitizer finding(s)%s" % (len(found), suffix))
+        return "\n".join(lines)
+
+
+def _count(kind: str) -> None:
+    """Tick ``san.<kind>`` in the default registry (lazy import, no cycle)."""
+    try:
+        from ..obs import get_registry
+    except ImportError:  # pragma: no cover — only during interpreter teardown
+        return
+    get_registry().counter("san.%s" % kind).increment()

@@ -1,0 +1,247 @@
+"""Process-wide sanitizer state: enablement, held-lock stacks, yield points.
+
+The sanitizer is a singleton (:func:`get_sanitizer`) gated on the
+``REPRO_SANITIZE`` environment variable; tests flip it programmatically
+with :func:`enable` and wipe accumulated state with :func:`reset`.  The
+:class:`Sanitizer` owns the per-thread held-lock stack, the global
+:class:`~repro.sanitize.order.LockOrderGraph` and the
+:class:`~repro.sanitize.report.SanitizerReport`.
+
+Yield points (:func:`yield_point`) are the schedule fuzzer's hooks: cheap
+no-ops until a schedule — typically a :class:`repro.faults.FaultPlan`
+carrying ``yield_at`` entries — is installed with
+:func:`install_schedule`.  They are independent of the sanitizer proper,
+so interleavings can be fuzzed with or without guard verification.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import TYPE_CHECKING, List, Optional
+
+from .order import LockOrderGraph
+from .report import (
+    KIND_LOCK_HELD,
+    KIND_SELF_DEADLOCK,
+    SanitizerFinding,
+    SanitizerReport,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only
+    from .locks import InstrumentedLock
+
+#: Environment variable that opts the process into sanitize mode.
+ENV_FLAG = "REPRO_SANITIZE"
+
+#: Instrumented schedule-fuzzer yield sites.  ``cache.*`` bracket the
+#: invalidate/repopulate race window inside
+#: :meth:`repro.obs.BoundedCache.get_or_build`; ``serve.answer`` fires at
+#: the top of the query service's per-request answer path.
+YIELD_SITES = (
+    "cache.get_or_build.factory",
+    "cache.get_or_build.publish",
+    "cache.invalidate",
+    "serve.answer",
+)
+
+#: How many stack frames a captured acquisition stack retains.
+_STACK_LIMIT = 16
+
+
+def _capture_stack() -> str:
+    """The current stack, trimmed of the sanitizer's own frames."""
+    frames = traceback.format_stack(limit=_STACK_LIMIT)
+    kept = [
+        frame
+        for frame in frames
+        if ("repro/sanitize/" not in frame and "repro\\sanitize\\" not in frame)
+    ]
+    return "".join(kept)
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of currently-held instrumented locks."""
+
+    def __init__(self) -> None:
+        self.stack: List["InstrumentedLock"] = []
+
+
+class Sanitizer:
+    """Aggregates everything the dynamic side records for one process."""
+
+    def __init__(self) -> None:
+        self.graph = LockOrderGraph()
+        self.report = SanitizerReport()
+        self._held = _HeldStack()
+
+    # -- held-lock bookkeeping (driven by InstrumentedLock) ------------
+
+    def held(self) -> List["InstrumentedLock"]:
+        """Locks the calling thread holds, outermost first."""
+        return list(self._held.stack)
+
+    def held_names(self) -> List[str]:
+        return [lock.name for lock in self._held.stack]
+
+    def before_acquire(self, lock: "InstrumentedLock") -> None:
+        """Record the order edge (and hazards) before blocking on ``lock``."""
+        stack = self._held.stack
+        if not stack:
+            return
+        finding = self.graph.observe(
+            stack[-1].name,
+            lock.name,
+            _capture_stack(),
+            threading.current_thread().name,
+        )
+        if finding is not None:
+            self.report.add(finding)
+
+    def self_deadlock(self, lock: "InstrumentedLock") -> None:
+        """A non-recursive lock re-acquired by its holder: certain deadlock."""
+        self.report.add(SanitizerFinding(
+            kind=KIND_SELF_DEADLOCK,
+            subject=lock.name,
+            message=(
+                "non-recursive lock %r re-acquired by the thread already"
+                " holding it" % lock.name
+            ),
+            stack=_capture_stack(),
+            thread=threading.current_thread().name,
+        ))
+
+    def pushed(self, lock: "InstrumentedLock") -> None:
+        self._held.stack.append(lock)
+
+    def popped(self, lock: "InstrumentedLock") -> None:
+        stack = self._held.stack
+        # Out-of-order releases are legal (if unusual); remove wherever.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # -- assertions ----------------------------------------------------
+
+    def assert_unlocked(self, site: str) -> bool:
+        """File a finding when the calling thread holds any lock.
+
+        Used by hot paths (e.g. metric recording in the serve workers)
+        that must never run inside a critical section.  Returns whether
+        the assertion held.
+        """
+        names = self.held_names()
+        if not names:
+            return True
+        self.report.add(SanitizerFinding(
+            kind=KIND_LOCK_HELD,
+            subject=site,
+            message="%s reached while holding lock(s): %s"
+                    % (site, ", ".join(names)),
+            stack=_capture_stack(),
+            thread=threading.current_thread().name,
+        ))
+        return False
+
+
+# ----------------------------------------------------------------------
+# Module-level singleton and enablement
+# ----------------------------------------------------------------------
+
+_forced: Optional[bool] = None
+_instance: Optional[Sanitizer] = None
+_instance_lock = threading.Lock()  # provlint: ignore=SRC057
+
+
+def enabled() -> bool:
+    """Whether sanitize mode is on (forced flag beats the environment)."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+def enable(flag: Optional[bool] = True) -> Optional[bool]:
+    """Force sanitize mode on/off (``None`` restores the env default).
+
+    Returns the previous forced value so tests can restore it.  Locks
+    created while the sanitizer was off stay uninstrumented — enable
+    first, then build the objects under test.
+    """
+    global _forced
+    previous = _forced
+    _forced = flag
+    return previous
+
+
+def get_sanitizer() -> Optional[Sanitizer]:
+    """The process sanitizer, or ``None`` when sanitize mode is off."""
+    if not enabled():
+        return None
+    global _instance
+    if _instance is None:
+        with _instance_lock:
+            if _instance is None:
+                _instance = Sanitizer()
+    return _instance
+
+
+def reset() -> None:
+    """Drop all accumulated sanitizer state (graph, report, held stacks).
+
+    Call between tests; locks created earlier keep reporting into the
+    fresh instance because they resolve the singleton at acquire time.
+    """
+    global _instance
+    with _instance_lock:
+        _instance = None
+
+
+def report() -> SanitizerReport:
+    """The live report (an empty one when the sanitizer is off)."""
+    sanitizer = get_sanitizer()
+    if sanitizer is None:
+        return SanitizerReport()
+    return sanitizer.report
+
+
+def held_locks() -> List[str]:
+    """Names of instrumented locks the calling thread currently holds."""
+    sanitizer = get_sanitizer()
+    return [] if sanitizer is None else sanitizer.held_names()
+
+
+def assert_unlocked(site: str) -> bool:
+    """No-op when disabled; otherwise :meth:`Sanitizer.assert_unlocked`."""
+    sanitizer = get_sanitizer()
+    if sanitizer is None:
+        return True
+    return sanitizer.assert_unlocked(site)
+
+
+# ----------------------------------------------------------------------
+# Schedule-fuzzer yield points
+# ----------------------------------------------------------------------
+
+#: The installed schedule: any object with a ``hit(site)`` method —
+#: in practice a :class:`repro.faults.FaultPlan` with ``yield_at`` entries.
+_schedule: Optional[object] = None
+
+
+def install_schedule(plan: object) -> None:
+    """Route subsequent :func:`yield_point` calls through ``plan.hit``."""
+    global _schedule
+    _schedule = plan
+
+
+def clear_schedule() -> None:
+    global _schedule
+    _schedule = None
+
+
+def yield_point(site: str) -> None:
+    """Fire an instrumented interleaving point (no-op without a schedule)."""
+    plan = _schedule
+    if plan is not None:
+        plan.hit(site)  # type: ignore[attr-defined]

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.builder import build_user_view
 from ..core.view import UserView, blackbox_view
+from ..sanitize import make_lock
 from ..warehouse.base import ProvenanceWarehouse
 from ..warehouse.memory import InMemoryWarehouse
 from ..warehouse.sqlite import SqliteWarehouse
@@ -84,7 +85,7 @@ def build_workload(
     else:
         raise ValueError("unknown backend %r" % backend)
     handles: List[RunHandle] = []
-    for class_name, workflow_class in sorted(WORKFLOW_CLASSES.items()):
+    for _class_name, workflow_class in sorted(WORKFLOW_CLASSES.items()):
         for generated in generate_workflows(
             workflow_class, workflows_per_class, rng, target_size=20
         ):
@@ -162,13 +163,13 @@ def _drive(
     client_threads: int,
 ) -> Dict[str, Any]:
     """Push every request through the service from ``client_threads`` clients."""
-    cursor = {"next": 0}
-    cursor_lock = threading.Lock()
-    latencies: List[float] = []
-    errors: List[str] = []
-    programming_errors = [0]
-    retried = [0]
-    collect = threading.Lock()
+    cursor_lock = make_lock("bench.cursor")
+    collect = make_lock("bench.collect")
+    cursor = {"next": 0}             # guarded-by: cursor_lock
+    latencies: List[float] = []      # guarded-by: collect
+    errors: List[str] = []           # guarded-by: collect
+    programming_errors = [0]         # guarded-by: collect
+    retried = [0]                    # guarded-by: collect
 
     def client() -> None:
         local: List[float] = []

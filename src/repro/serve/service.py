@@ -35,7 +35,9 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 from ..core.errors import ZoomError
 from ..core.view import UserView
 from ..obs import BoundedCache, get_registry
+from ..obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from ..provenance.reasoner import ProvenanceReasoner
+from ..sanitize import assert_unlocked, make_lock, yield_point
 from ..warehouse.base import ProvenanceWarehouse
 
 #: The request vocabulary.  ``deep`` and ``reverse`` are the paper's
@@ -79,6 +81,40 @@ class _Request:
         self.future = future
 
 
+class _ServeMetrics:
+    """Cached handles to the service's hot-path metrics.
+
+    Resolving a metric through the registry costs a lookup per call, and
+    the worker loop records several metrics per request — so the service
+    binds each handle once and reuses it.  A cheap identity check against
+    the process-wide default registry keeps the handles honest when tests
+    swap it with :func:`~repro.obs.set_registry`.
+    """
+
+    __slots__ = (
+        "registry", "accepted", "rejected", "errors",
+        "invalidations", "latency", "qps",
+    )
+
+    def __init__(self) -> None:
+        self._bind(get_registry())
+
+    def _bind(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.accepted: Counter = registry.counter("serve.accepted")
+        self.rejected: Counter = registry.counter("serve.rejected")
+        self.errors: Counter = registry.counter("serve.errors")
+        self.invalidations: Counter = registry.counter("serve.invalidations")
+        self.latency: Timer = registry.timer("serve.latency")
+        self.qps: Gauge = registry.gauge("serve.qps")
+
+    def current(self) -> "_ServeMetrics":
+        registry = get_registry()
+        if registry is not self.registry:
+            self._bind(registry)
+        return self
+
+
 class QueryService:
     """A thread pool serving provenance queries with a shared result cache.
 
@@ -116,15 +152,21 @@ class QueryService:
             cache_size, name="serve.results"
         )
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue(maxsize=queue_size)
-        self._threads: list = []
-        self._running = False
-        self._lifecycle = threading.Lock()
-        self._counts = threading.Lock()
-        self._accepted = 0
-        self._rejected = 0
-        self._completed = 0
-        self._started_at: Optional[float] = None
-        self._elapsed = 0.0
+        # Lock order (enforced by the sanitizer's lock-order graph, see
+        # docs/sanitizer.md): ``_lifecycle`` strictly before ``_counts``.
+        # No code path may acquire ``_lifecycle`` while holding
+        # ``_counts`` — today neither is held while taking the other, and
+        # the regression test pins the documented direction.
+        self._lifecycle = make_lock("serve.lifecycle")
+        self._counts = make_lock("serve.counts")
+        self._threads: list = []             # guarded-by: _lifecycle
+        self._running = False                # guarded-by: _lifecycle
+        self._accepted = 0                   # guarded-by: _counts
+        self._rejected = 0                   # guarded-by: _counts
+        self._completed = 0                  # guarded-by: _counts
+        self._started_at: Optional[float] = None  # guarded-by: _lifecycle
+        self._elapsed = 0.0                  # guarded-by: _lifecycle
+        self._metrics = _ServeMetrics()
         self.reasoner.add_invalidation_listener(self._on_run_invalidated)
 
     # ------------------------------------------------------------------
@@ -164,7 +206,7 @@ class QueryService:
             self._queue.put(None)
         for thread in threads:
             thread.join()
-        get_registry().gauge("serve.qps").set(self.qps())
+        self._metrics.current().qps.set(self.qps())
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -213,13 +255,13 @@ class QueryService:
         except queue.Full:
             with self._counts:
                 self._rejected += 1
-            get_registry().counter("serve.rejected").increment()
+            self._metrics.current().rejected.increment()
             raise AdmissionError(
                 "request queue full (%d pending); retry later" % self._queue.maxsize
             ) from None
         with self._counts:
             self._accepted += 1
-        get_registry().counter("serve.accepted").increment()
+        self._metrics.current().accepted.increment()
         return future
 
     def query(
@@ -286,21 +328,24 @@ class QueryService:
             if not request.future.set_running_or_notify_cancel():
                 continue
             started = time.perf_counter()
+            metrics = self._metrics.current()
             try:
                 value = self._answer(request)
             except BaseException as exc:  # noqa: BLE001 - future carries it
-                get_registry().counter("serve.errors").increment()
+                metrics.errors.increment()
                 request.future.set_exception(exc)
             else:
                 request.future.set_result(value)
             finally:
-                get_registry().timer("serve.latency").observe(
-                    time.perf_counter() - started
-                )
+                # Metric recording must never happen inside a critical
+                # section — the sanitizer files a finding if it does.
+                assert_unlocked("serve.record-metrics")
+                metrics.latency.observe(time.perf_counter() - started)
                 with self._counts:
                     self._completed += 1
 
     def _answer(self, request: _Request) -> Any:
+        yield_point("serve.answer")
         key = (
             request.run_id,
             request.view.presentation_key() if request.view is not None else None,
@@ -339,7 +384,7 @@ class QueryService:
     def _on_run_invalidated(self, run_id: str) -> None:
         self._results.bump_generation(run_id)
         self._results.invalidate_where(lambda key: key[0] == run_id)
-        get_registry().counter("serve.invalidations").increment()
+        self._metrics.current().invalidations.increment()
 
     # ------------------------------------------------------------------
     # Observability
@@ -358,9 +403,10 @@ class QueryService:
 
     def stats(self) -> Dict[str, Any]:
         """Queue/throughput/latency/cache snapshot for dashboards and tests."""
-        timer = get_registry().timer("serve.latency")
+        metrics = self._metrics.current()
+        timer = metrics.latency
         qps = self.qps()
-        get_registry().gauge("serve.qps").set(qps)
+        metrics.qps.set(qps)
         with self._counts:
             accepted, rejected, completed = (
                 self._accepted,

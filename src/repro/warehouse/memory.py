@@ -15,7 +15,6 @@ without its connection affinity.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -38,6 +37,7 @@ from ..obs.metrics import get_registry
 from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
+from ..sanitize import guard, make_lock
 from .base import ProvenanceWarehouse
 from .recovery import JOURNAL_COMMITTED, JournalEntry, QuarantineRecord
 from .schema import DIR_IN, DIR_OUT
@@ -74,23 +74,36 @@ class InMemoryWarehouse(ProvenanceWarehouse):
     def __init__(
         self, auto_index: bool = False, faults: Optional[FaultPlan] = None
     ) -> None:
-        self._specs: Dict[str, WorkflowSpec] = {}
-        self._views: Dict[str, Tuple[str, UserView]] = {}
-        self._runs: Dict[str, _RunRecord] = {}
+        #: Serializes mutations so the freshness check and the publish are
+        #: atomic under concurrent writers (see module docstring).  Reads
+        #: stay lock-free — CPython dict loads are atomic — so the tables
+        #: follow the write-locked / read-free contract (sanitizer mode
+        #: ``"w"``).
+        self._mutate = make_lock("warehouse.mutate", recursive=True)
+        self._specs: Dict[str, WorkflowSpec] = guard(
+            {}, self._mutate, "memory._specs", mode="w"
+        )  # guarded-by: _mutate
+        self._views: Dict[str, Tuple[str, UserView]] = guard(
+            {}, self._mutate, "memory._views", mode="w"
+        )  # guarded-by: _mutate
+        self._runs: Dict[str, _RunRecord] = guard(
+            {}, self._mutate, "memory._runs", mode="w"
+        )  # guarded-by: _mutate
         #: Ingest journal (run id -> entry), the in-memory analogue of the
         #: SQLite ``_ingest_journal`` table.  It lives and dies with the
         #: process, so "crash recovery" here means recovering from an
         #: aborted `ingest_dataset` call within the same process.
-        self._journal: Dict[str, JournalEntry] = {}
+        self._journal: Dict[str, JournalEntry] = guard(
+            {}, self._mutate, "memory._journal", mode="w"
+        )  # guarded-by: _mutate
         #: Quarantined runs (run id -> record).
-        self._quarantine: Dict[str, QuarantineRecord] = {}
+        self._quarantine: Dict[str, QuarantineRecord] = guard(
+            {}, self._mutate, "memory._quarantine", mode="w"
+        )  # guarded-by: _mutate
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
         #: Fault-injection schedule (tests only; ``None`` in production).
         self.faults = faults
-        #: Serializes mutations so the freshness check and the publish are
-        #: atomic under concurrent writers (see module docstring).
-        self._mutate = threading.RLock()
 
     def _hit(self, site: str) -> None:
         """Fire the fault plan at an instrumented site (no-op without one)."""
@@ -257,22 +270,25 @@ class InMemoryWarehouse(ProvenanceWarehouse):
     # ------------------------------------------------------------------
 
     def journal_begin(self, entries: Sequence["JournalEntry"]) -> None:
-        for entry in entries:
-            self._journal[entry.run_id] = entry
+        with self._mutate:
+            for entry in entries:
+                self._journal[entry.run_id] = entry
 
     def journal_commit(self, run_ids: Sequence[str]) -> None:
-        for run_id in run_ids:
-            entry = self._journal.get(run_id)
-            if entry is not None:
-                self._journal[run_id] = JournalEntry(
-                    run_id=entry.run_id, spec_id=entry.spec_id,
-                    checksum=entry.checksum, batch=entry.batch,
-                    state=JOURNAL_COMMITTED,
-                )
+        with self._mutate:
+            for run_id in run_ids:
+                entry = self._journal.get(run_id)
+                if entry is not None:
+                    self._journal[run_id] = JournalEntry(
+                        run_id=entry.run_id, spec_id=entry.spec_id,
+                        checksum=entry.checksum, batch=entry.batch,
+                        state=JOURNAL_COMMITTED,
+                    )
 
     def journal_discard(self, run_ids: Sequence[str]) -> None:
-        for run_id in run_ids:
-            self._journal.pop(run_id, None)
+        with self._mutate:
+            for run_id in run_ids:
+                self._journal.pop(run_id, None)
 
     def journal_entries(
         self, state: Optional[str] = None
@@ -284,7 +300,8 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         ]
 
     def quarantine_add(self, record: "QuarantineRecord") -> None:
-        self._quarantine[record.run_id] = record
+        with self._mutate:
+            self._quarantine[record.run_id] = record
 
     def quarantine_list(self) -> List[str]:
         return sorted(self._quarantine)
@@ -296,9 +313,10 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             raise self._missing("quarantined run", run_id) from None
 
     def quarantine_delete(self, run_id: str) -> None:
-        if run_id not in self._quarantine:
-            raise self._missing("quarantined run", run_id)
-        del self._quarantine[run_id]
+        with self._mutate:
+            if run_id not in self._quarantine:
+                raise self._missing("quarantined run", run_id)
+            del self._quarantine[run_id]
 
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         return sorted(

@@ -38,6 +38,7 @@ from ..obs.metrics import get_registry
 from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
+from ..sanitize import guard, make_lock
 from .base import ProvenanceWarehouse
 from .recovery import JOURNAL_COMMITTED, JOURNAL_PENDING, JournalEntry, QuarantineRecord
 from .schema import (
@@ -134,11 +135,13 @@ class SqliteWarehouse(ProvenanceWarehouse):
         self._owner_thread = threading.get_ident()
         #: Per-thread read-only connections, created lazily on first read
         #: from a foreign thread.
-        self._thread_readers = threading.local()
+        self._thread_readers = threading.local()  # thread-owned
+        self._readers_lock = make_lock("warehouse.readers")
         #: Every reader ever handed out, so :meth:`close` can close them.
-        self._all_readers: List[sqlite3.Connection] = []
-        self._readers_lock = threading.Lock()
-        self._write_conn = self._connect()
+        self._all_readers: List[sqlite3.Connection] = guard(
+            [], self._readers_lock, "warehouse._all_readers"
+        )  # guarded-by: _readers_lock
+        self._write_conn = self._connect()  # thread-owned
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
         #: Session-wide bulk-load pragma profile (see class docstring).
@@ -178,7 +181,7 @@ class SqliteWarehouse(ProvenanceWarehouse):
         return sqlite3.connect(self._path, check_same_thread=False)
 
     @property
-    def _conn(self) -> sqlite3.Connection:
+    def _conn(self) -> sqlite3.Connection:  # owner-only
         """The calling thread's connection.
 
         The owning thread gets the read/write connection; any other thread
@@ -207,11 +210,14 @@ class SqliteWarehouse(ProvenanceWarehouse):
         if self._timing:
             counter = get_registry().counter("warehouse.sql")
             conn.set_trace_callback(lambda _stmt: counter.increment())
+        registry = get_registry()
         with self._readers_lock:
             self._all_readers.append(conn)
-        registry = get_registry()
+            pool_size = len(self._all_readers)
+        # Metrics are recorded outside the lock; the size was snapshotted
+        # inside it so the gauge never under-reports a concurrent checkout.
         registry.counter("warehouse.pool.readers").increment()
-        registry.gauge("warehouse.pool.size").set(len(self._all_readers))
+        registry.gauge("warehouse.pool.size").set(pool_size)
         return conn
 
     def _hit(self, site: str) -> None:
@@ -363,10 +369,11 @@ class SqliteWarehouse(ProvenanceWarehouse):
                 self._conn.execute("PRAGMA synchronous = NORMAL")
                 self._conn.execute("PRAGMA temp_store = DEFAULT")
 
-    def close(self) -> None:
+    def close(self) -> None:  # owner-only
         """Close the write connection and every checked-out reader."""
         with self._readers_lock:
-            readers, self._all_readers = self._all_readers, []
+            readers = list(self._all_readers)
+            self._all_readers.clear()
         for conn in readers:
             try:
                 conn.close()

@@ -439,8 +439,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print("%-8s %-9s %-10s %s"
                   % (rule.rule_id, rule.severity, rule.layer, rule.summary))
         return 0
-    if not args.spec and not args.db:
-        print("zoom lint: provide --spec and/or --db (or --rules)",
+    if not args.spec and not args.db and not args.source:
+        print("zoom lint: provide --spec, --db and/or --source (or --rules)",
               file=sys.stderr)
         return 2
     try:
@@ -449,6 +449,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print("zoom lint: %s" % exc.args[0], file=sys.stderr)
         return 2
     linter = Linter(config=config, check_minimality=args.minimality)
+    if args.closure_threshold is not None:
+        linter.closure_row_threshold = args.closure_threshold
     report = LintReport()
     if args.spec:
         with open(args.spec) as handle:
@@ -460,11 +462,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 spec_ids=args.spec_id or None,
                 run_ids=args.run_id or None,
             ))
+    if args.source:
+        report.merge(linter.lint_source(args.source))
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.to_text())
-    return 1 if args.strict and report.has_errors else 0
+    failed = args.strict and report.has_errors
+    if args.max_warnings is not None:
+        failed = failed or len(report.warnings()) > args.max_warnings
+    return 1 if failed else 0
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -767,9 +774,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict the warehouse audit to these specs")
     lint.add_argument("--run-id", nargs="*", default=None,
                       help="restrict the warehouse audit to these runs")
+    lint.add_argument("--source", nargs="*", default=None, metavar="PATH",
+                      help="Python files/directories to check with the"
+                           " SRC0xx concurrency rules (e.g. src/repro)")
+    lint.add_argument("--closure-threshold", type=int, default=None,
+                      metavar="ROWS",
+                      help="WH042 budget: warn when a run's predicted"
+                           " lineage-closure row count exceeds this")
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.add_argument("--strict", action="store_true",
                       help="exit nonzero when error-severity findings exist")
+    lint.add_argument("--max-warnings", type=int, default=None, metavar="N",
+                      help="exit nonzero when more than N warning-severity"
+                           " findings exist (0 = none tolerated)")
     lint.add_argument("--select", nargs="*", default=None,
                       help="enable only these rule ids")
     lint.add_argument("--ignore", nargs="*", default=None,

@@ -19,6 +19,29 @@ from repro.workloads.phylogenomic import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _sanitizer_findings_guard():
+    """Under ``REPRO_SANITIZE=1`` every test must finish finding-free.
+
+    This is what makes the sanitize-smoke CI job meaningful: any test
+    whose execution produces a lock-order, guarded-state, self-deadlock
+    or lock-held finding fails right here, with the report attached.
+    Inert when sanitize mode is off (the default), and satisfied by the
+    sanitizer's own tests because their fixtures ``reset()`` on teardown.
+    """
+    import repro.sanitize as sanitize
+
+    if not sanitize.enabled():
+        yield
+        return
+    before = sum(sanitize.report().counts().values())
+    yield
+    after = sum(sanitize.report().counts().values())
+    assert after <= before, (
+        "sanitizer findings during this test:\n%s" % sanitize.report().summary()
+    )
+
+
 @pytest.fixture
 def spec():
     """The paper's Fig. 1 phylogenomic specification."""

@@ -239,6 +239,33 @@ class TestLintCli:
                      "--ignore", "SPEC003"])
         assert code == 0
 
+    def test_source_gate_max_warnings(self, tmp_path, capsys):
+        """The CI source gate: --strict alone tolerates warning-severity
+        SRC findings; --max-warnings 0 rejects them."""
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+        )
+        # SRC054 + SRC057 are warnings: strict alone still exits 0.
+        assert main(["lint", "--source", str(bad), "--strict"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--source", str(bad), "--strict",
+                     "--max-warnings", "0"]) == 1
+        assert "SRC057" in capsys.readouterr().out
+        # A tolerant budget passes again.
+        assert main(["lint", "--source", str(bad), "--strict",
+                     "--max-warnings", "2"]) == 0
+
+    def test_max_warnings_counts_only_warnings(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text(json.dumps(
+            {"name": "w", "modules": ["A"],
+             "edges": [["input", "A"], ["A", "output"]]}))
+        assert main(["lint", "--spec", str(spec), "--max-warnings", "0"]) == 0
+
     def test_corrupt_db_json_meets_the_bar(self, corrupt_db, capsys):
         """The acceptance criterion: >= 8 distinct rules, all 4 layers."""
         assert main(["lint", "--db", corrupt_db, "--format", "json"]) == 0

@@ -1,0 +1,463 @@
+"""The ``SRC05x`` source-layer concurrency rules.
+
+Each rule gets a minimal triggering fixture and a clean counterpart, the
+pragma escape hatch is exercised, and the repository's own serving stack
+must lint clean — the same gate CI runs via ``zoom lint --source``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import Linter
+from repro.lint.rules_source import lint_source_paths, lint_source_text
+
+
+def ids(text, filename="mod.py"):
+    return {f.rule_id for f in lint_source_text(textwrap.dedent(text),
+                                                filename=filename)}
+
+
+def findings(text, filename="mod.py"):
+    return lint_source_text(textwrap.dedent(text), filename=filename)
+
+
+# ----------------------------------------------------------------------
+# SRC050: thread-owned attributes
+# ----------------------------------------------------------------------
+
+
+class TestSRC050:
+    def test_access_outside_owner_method_flagged(self):
+        assert "SRC050" in ids("""
+            class W:
+                def __init__(self):
+                    self._write_conn = object()  # thread-owned
+
+                def anywhere(self):
+                    return self._write_conn
+        """)
+
+    def test_init_and_owner_only_methods_are_blessed(self):
+        assert "SRC050" not in ids("""
+            class W:
+                def __init__(self):
+                    self._write_conn = object()  # thread-owned
+
+                def _conn(self):  # owner-only
+                    return self._write_conn
+        """)
+
+    def test_unannotated_attributes_are_free(self):
+        assert "SRC050" not in ids("""
+            class W:
+                def __init__(self):
+                    self._anything = object()
+
+                def anywhere(self):
+                    return self._anything
+        """)
+
+
+# ----------------------------------------------------------------------
+# SRC051: bare acquire without try/finally
+# ----------------------------------------------------------------------
+
+
+class TestSRC051:
+    def test_bare_acquire_flagged(self):
+        assert "SRC051" in ids("""
+            from repro.sanitize import make_lock
+
+            class C:
+                def __init__(self):
+                    self._lock = make_lock("c")
+
+                def leaky(self):
+                    self._lock.acquire()
+                    work()
+                    self._lock.release()
+        """)
+
+    def test_acquire_with_adjacent_try_finally_is_fine(self):
+        assert "SRC051" not in ids("""
+            from repro.sanitize import make_lock
+
+            class C:
+                def __init__(self):
+                    self._lock = make_lock("c")
+
+                def careful(self):
+                    self._lock.acquire()
+                    try:
+                        work()
+                    finally:
+                        self._lock.release()
+        """)
+
+    def test_non_lock_receiver_ignored(self):
+        # .acquire() on something that is not lock-ish is out of scope.
+        assert "SRC051" not in ids("""
+            def grab(resource):
+                resource.acquire()
+                use(resource)
+        """)
+
+
+# ----------------------------------------------------------------------
+# SRC052: guarded-by mutations
+# ----------------------------------------------------------------------
+
+
+_GUARDED_CLASS = """
+    from repro.sanitize import make_lock
+
+    class C:
+        def __init__(self):
+            self._lock = make_lock("c")
+            self._items = {}  # guarded-by: _lock
+
+        def used(self):
+            with self._lock:
+                return dict(self._items)
+%s
+"""
+
+
+class TestSRC052:
+    def test_unguarded_assignment_flagged(self):
+        assert "SRC052" in ids(_GUARDED_CLASS % """
+        def bad(self):
+            self._items["k"] = 1
+        """)
+
+    def test_unguarded_mutator_call_flagged(self):
+        assert "SRC052" in ids(_GUARDED_CLASS % """
+        def bad(self):
+            self._items.clear()
+        """)
+
+    def test_mutation_under_the_guard_is_fine(self):
+        assert "SRC052" not in ids(_GUARDED_CLASS % """
+        def good(self):
+            with self._lock:
+                self._items["k"] = 1
+                self._items.pop("k", None)
+        """)
+
+    def test_locked_suffix_methods_are_exempt(self):
+        # Contract: callers of *_locked helpers already hold the lock.
+        assert "SRC052" not in ids(_GUARDED_CLASS % """
+        def _put_locked(self, key):
+            self._items[key] = 1
+        """)
+
+    def test_reads_are_not_checked(self):
+        # Write-locked / read-free structures read without the guard.
+        assert "SRC052" not in ids(_GUARDED_CLASS % """
+        def read(self):
+            return self._items.get("k")
+        """)
+
+    def test_augmented_assignment_and_delete_flagged(self):
+        text = """
+            from repro.sanitize import make_lock
+
+            class C:
+                def __init__(self):
+                    self._lock = make_lock("c")
+                    self._count = 0  # guarded-by: _lock
+
+                def used(self):
+                    with self._lock:
+                        self._count += 1
+
+                def bad(self):
+                    self._count += 1
+        """
+        assert "SRC052" in ids(text)
+
+
+# ----------------------------------------------------------------------
+# SRC053: blocking calls under a lock
+# ----------------------------------------------------------------------
+
+
+class TestSRC053:
+    def test_sleep_under_lock_flagged(self):
+        assert "SRC053" in ids("""
+            import time
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def bad():
+                with lock:
+                    time.sleep(1)
+        """)
+
+    def test_subprocess_under_lock_flagged(self):
+        assert "SRC053" in ids("""
+            import subprocess
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def bad():
+                with lock:
+                    subprocess.run(["true"])
+        """)
+
+    def test_sleep_outside_lock_is_fine(self):
+        assert "SRC053" not in ids("""
+            import time
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def good():
+                with lock:
+                    snapshot = 1
+                time.sleep(snapshot)
+        """)
+
+    def test_nested_function_resets_held_set(self):
+        # The inner function runs at call time, not under the with.
+        assert "SRC053" not in ids("""
+            import time
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def outer():
+                with lock:
+                    def later():
+                        time.sleep(1)
+                    return later
+        """)
+
+
+# ----------------------------------------------------------------------
+# SRC054: locks never acquired via with
+# ----------------------------------------------------------------------
+
+
+class TestSRC054:
+    def test_with_less_lock_flagged(self):
+        assert "SRC054" in ids("""
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def bare():
+                lock.acquire()
+                try:
+                    pass
+                finally:
+                    lock.release()
+        """)
+
+    def test_with_acquisition_satisfies_the_rule(self):
+        assert "SRC054" not in ids("""
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def fine():
+                with lock:
+                    pass
+        """)
+
+    def test_syntax_error_surfaces_as_unlintable_file(self):
+        found = findings("def broken(:\n")
+        assert [f.rule_id for f in found] == ["SRC054"]
+        assert "could not be parsed" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# SRC055: static ABBA
+# ----------------------------------------------------------------------
+
+
+class TestSRC055:
+    def test_abba_within_one_module(self):
+        assert "SRC055" in ids("""
+            from repro.sanitize import make_lock
+
+            a = make_lock("a")
+            b = make_lock("b")
+
+            def one():
+                with a:
+                    with b:
+                        pass
+
+            def two():
+                with b:
+                    with a:
+                        pass
+        """)
+
+    def test_consistent_order_is_fine(self):
+        assert "SRC055" not in ids("""
+            from repro.sanitize import make_lock
+
+            a = make_lock("a")
+            b = make_lock("b")
+
+            def one():
+                with a:
+                    with b:
+                        pass
+
+            def two():
+                with a:
+                    with b:
+                        pass
+        """)
+
+    def test_abba_split_across_files(self, tmp_path):
+        common = "from repro.sanitize import make_lock\n" \
+                 "a = make_lock('a')\nb = make_lock('b')\n"
+        (tmp_path / "one.py").write_text(
+            common + "def one():\n    with a:\n        with b:\n            pass\n"
+        )
+        (tmp_path / "two.py").write_text(
+            common + "def two():\n    with b:\n        with a:\n            pass\n"
+        )
+        found = lint_source_paths([str(tmp_path)])
+        assert "SRC055" in {f.rule_id for f in found}
+
+
+# ----------------------------------------------------------------------
+# SRC056: hooks fired under a lock
+# ----------------------------------------------------------------------
+
+
+class TestSRC056:
+    def test_hook_call_under_lock_flagged(self):
+        assert "SRC056" in ids("""
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def bad(fire_hook):
+                with lock:
+                    fire_hook("k")
+        """)
+
+    def test_hook_call_after_release_is_fine(self):
+        assert "SRC056" not in ids("""
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def good(fire_hook):
+                with lock:
+                    doomed = ["k"]
+                for key in doomed:
+                    fire_hook(key)
+        """)
+
+
+# ----------------------------------------------------------------------
+# SRC057: raw threading locks
+# ----------------------------------------------------------------------
+
+
+class TestSRC057:
+    def test_raw_threading_lock_flagged(self):
+        text = """
+            import threading
+
+            lock = threading.Lock()
+
+            def fine():
+                with lock:
+                    pass
+        """
+        assert "SRC057" in ids(text)
+
+    def test_raw_rlock_flagged(self):
+        assert "SRC057" in ids("""
+            import threading
+
+            def build():
+                return threading.RLock()
+        """)
+
+    def test_make_lock_is_the_blessed_spelling(self):
+        assert "SRC057" not in ids("""
+            from repro.sanitize import make_lock
+
+            lock = make_lock("m")
+
+            def fine():
+                with lock:
+                    pass
+        """)
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self):
+        assert "SRC057" not in ids("""
+            import threading
+
+            lock = threading.Lock()  # provlint: ignore=SRC057
+
+            def fine():
+                with lock:
+                    pass
+        """)
+
+    def test_line_above_pragma_suppresses(self):
+        assert "SRC057" not in ids("""
+            import threading
+
+            # provlint: ignore=SRC057
+            lock = threading.Lock()
+
+            def fine():
+                with lock:
+                    pass
+        """)
+
+    def test_pragma_lists_multiple_rules(self):
+        assert ids("""
+            import threading
+
+            # provlint: ignore=SRC054,SRC057
+            lock = threading.Lock()
+        """) == set()
+
+    def test_pragma_only_silences_the_named_rule(self):
+        found = ids("""
+            import threading
+
+            lock = threading.Lock()  # provlint: ignore=SRC054
+        """)
+        assert "SRC057" in found
+        assert "SRC054" not in found
+
+
+# ----------------------------------------------------------------------
+# The repository's own source must be clean (the CI gate)
+# ----------------------------------------------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_lints_clean(self):
+        import os
+
+        package = os.path.join(
+            os.path.dirname(__file__), os.pardir, "src", "repro"
+        )
+        report = Linter(emit_metrics=False).lint_source([package])
+        assert report.findings == [], "\n".join(
+            str(f) for f in report.findings
+        )

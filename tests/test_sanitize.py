@@ -1,0 +1,423 @@
+"""The dynamic concurrency sanitizer: locks, order graph, guards, fuzzer.
+
+The acceptance-critical piece is at the bottom: with the PR 6
+generation-token fix in place the schedule fuzzer finds nothing, and with
+the fix reverted (``scope=None``, no ``bump_generation``) the same seed
+budget deterministically re-derives the invalidate-vs-build race
+("stale value served").
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.sanitize as sanitize
+from repro.faults import FaultPlan
+from repro.obs import get_registry
+from repro.obs.cache import BoundedCache
+from repro.sanitize import (
+    GuardedState,
+    InstrumentedLock,
+    LockOrderGraph,
+    SanitizerReport,
+    ScheduleFuzzer,
+    guard,
+    make_lock,
+)
+from repro.sanitize.report import (
+    KIND_GUARDED_STATE,
+    KIND_LOCK_HELD,
+    KIND_LOCK_ORDER,
+    KIND_SELF_DEADLOCK,
+    SanitizerFinding,
+)
+
+
+@pytest.fixture
+def sanitized():
+    """Sanitize mode forced on, with a pristine sanitizer instance."""
+    previous = sanitize.enable(True)
+    sanitize.reset()
+    try:
+        yield sanitize.get_sanitizer()
+    finally:
+        sanitize.reset()
+        sanitize.enable(previous)
+
+
+# ----------------------------------------------------------------------
+# InstrumentedLock and make_lock
+# ----------------------------------------------------------------------
+
+
+class TestInstrumentedLock:
+    def test_context_manager_tracks_ownership(self, sanitized):
+        lock = InstrumentedLock("t.lock")
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.held_by_current_thread()
+            assert sanitize.held_locks() == ["t.lock"]
+        assert not lock.held_by_current_thread()
+        assert sanitize.held_locks() == []
+
+    def test_explicit_acquire_release(self, sanitized):
+        lock = InstrumentedLock("t.lock")
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+
+    def test_self_deadlock_raises_and_reports(self, sanitized):
+        lock = InstrumentedLock("t.lock")
+        lock.acquire()
+        try:
+            with pytest.raises(RuntimeError, match="self-deadlock"):
+                lock.acquire()
+        finally:
+            lock.release()
+        findings = sanitized.report.findings(KIND_SELF_DEADLOCK)
+        assert len(findings) == 1
+        assert findings[0].subject == "t.lock"
+
+    def test_recursive_lock_reenters_silently(self, sanitized):
+        lock = InstrumentedLock("t.rlock", recursive=True)
+        with lock:
+            with lock:
+                assert lock.held_by_current_thread()
+                # One entry per lock, not per depth.
+                assert sanitize.held_locks() == ["t.rlock"]
+        assert not lock.held_by_current_thread()
+        assert not sanitized.report.findings()
+
+    def test_make_lock_instrumented_only_in_sanitize_mode(self, sanitized):
+        assert isinstance(make_lock("on"), InstrumentedLock)
+        previous = sanitize.enable(False)
+        try:
+            assert not isinstance(make_lock("off"), InstrumentedLock)
+        finally:
+            sanitize.enable(previous)
+
+
+# ----------------------------------------------------------------------
+# Lock-order graph
+# ----------------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_consistent_order_is_silent(self, sanitized):
+        a, b = InstrumentedLock("A"), InstrumentedLock("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert not sanitized.report.findings(KIND_LOCK_ORDER)
+        assert ("A", "B") in sanitized.graph.edges()
+
+    def test_reversed_order_reports_cycle_with_both_stacks(self, sanitized):
+        a, b = InstrumentedLock("A"), InstrumentedLock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        findings = sanitized.report.findings(KIND_LOCK_ORDER)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "potential deadlock" in finding.message
+        assert "'A'" in finding.message and "'B'" in finding.message
+        assert finding.stack, "missing the cycle-closing acquisition stack"
+        assert finding.other_stack, "missing the conflicting acquisition stack"
+
+    def test_transitive_cycle_detected(self, sanitized):
+        a, b, c = (InstrumentedLock(n) for n in "ABC")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:  # closes A -> B -> C -> A
+                pass
+        assert sanitized.report.findings(KIND_LOCK_ORDER)
+
+    def test_graph_unit_observe(self):
+        graph = LockOrderGraph()
+        assert graph.observe("A", "B", "stack-ab", "t0") is None
+        assert graph.observe("A", "A", "stack-aa", "t0") is None
+        finding = graph.observe("B", "A", "stack-ba", "t1")
+        assert finding is not None
+        assert finding.kind == KIND_LOCK_ORDER
+        assert finding.other_stack == "stack-ab"
+        # The same hazard is not re-reported for the known edge.
+        assert graph.observe("B", "A", "stack-ba2", "t1") is None
+
+
+# ----------------------------------------------------------------------
+# GuardedState
+# ----------------------------------------------------------------------
+
+
+class TestGuardedState:
+    def test_rw_mode_flags_unguarded_access(self, sanitized):
+        lock = InstrumentedLock("g.lock")
+        data = guard({}, lock, "g.data")
+        data["k"] = 1  # mutation without the guard
+        _ = data.get("k")  # read without the guard
+        findings = sanitized.report.findings(KIND_GUARDED_STATE)
+        operations = {f.message.split(" of ")[0] for f in findings}
+        assert any(op.startswith("mutation") for op in operations)
+        assert any(op.startswith("read") for op in operations)
+        # The operations still ran: observe, don't mask.
+        assert data["k"] == 1
+
+    def test_rw_mode_clean_under_guard(self, sanitized):
+        lock = InstrumentedLock("g.lock")
+        data = guard({}, lock, "g.data")
+        with lock:
+            data["k"] = 1
+            assert data["k"] == 1
+            assert "k" in data
+            assert len(data) == 1
+            data.pop("k")
+        assert not sanitized.report.findings(KIND_GUARDED_STATE)
+
+    def test_w_mode_allows_lock_free_reads(self, sanitized):
+        lock = InstrumentedLock("g.lock")
+        data = guard({"k": 1}, lock, "g.data", mode="w")
+        assert data.get("k") == 1  # lock-free read: fine
+        assert "k" in data
+        assert not sanitized.report.findings(KIND_GUARDED_STATE)
+        data["k2"] = 2  # lock-free write: finding
+        assert len(sanitized.report.findings(KIND_GUARDED_STATE)) == 1
+
+    def test_invalid_mode_rejected(self, sanitized):
+        lock = InstrumentedLock("g.lock")
+        with pytest.raises(ValueError):
+            GuardedState({}, lock, "g.data", mode="rx")
+
+    def test_guard_is_identity_outside_sanitize_mode(self):
+        previous = sanitize.enable(False)
+        try:
+            lock = make_lock("plain")
+            data = {}
+            assert guard(data, lock, "plain.data") is data
+        finally:
+            sanitize.enable(previous)
+
+
+# ----------------------------------------------------------------------
+# Report, counters, assertions
+# ----------------------------------------------------------------------
+
+
+def _finding(message="m"):
+    return SanitizerFinding(
+        kind=KIND_GUARDED_STATE, subject="s", message=message
+    )
+
+
+class TestReport:
+    def test_dedupe_keeps_one_finding_but_counts_repeats(self):
+        report = SanitizerReport()
+        for _ in range(3):
+            report.add(_finding())
+        assert len(report) == 1
+        assert report.counts() == {KIND_GUARDED_STATE: 3}
+        assert "guarded-state=3" in report.summary()
+
+    def test_distinct_messages_kept_separately(self):
+        report = SanitizerReport()
+        report.add(_finding("one"))
+        report.add(_finding("two"))
+        assert len(report) == 2
+        assert bool(report)
+
+    def test_clear(self):
+        report = SanitizerReport()
+        report.add(_finding())
+        report.clear()
+        assert len(report) == 0
+        assert not report
+
+    def test_to_dict_carries_stacks(self):
+        finding = SanitizerFinding(
+            kind=KIND_LOCK_ORDER, subject="A <-> B", message="m",
+            stack="s1", other_stack="s2", thread="t",
+        )
+        payload = finding.to_dict()
+        assert payload["stack"] == "s1"
+        assert payload["other_stack"] == "s2"
+
+    def test_san_counter_ticks_in_registry(self, sanitized):
+        counter = get_registry().counter("san.%s" % KIND_GUARDED_STATE)
+        before = counter.value
+        lock = InstrumentedLock("c.lock")
+        data = guard({}, lock, "c.data")
+        data["k"] = 1
+        assert counter.value == before + 1
+
+    def test_assert_unlocked(self, sanitized):
+        assert sanitize.assert_unlocked("free") is True
+        lock = InstrumentedLock("h.lock")
+        with lock:
+            assert sanitize.assert_unlocked("busy") is False
+        findings = sanitized.report.findings(KIND_LOCK_HELD)
+        assert len(findings) == 1
+        assert "h.lock" in findings[0].message
+
+    def test_module_api_inert_when_disabled(self):
+        previous = sanitize.enable(False)
+        try:
+            assert sanitize.get_sanitizer() is None
+            assert sanitize.held_locks() == []
+            assert sanitize.assert_unlocked("anywhere") is True
+            assert len(sanitize.report()) == 0
+        finally:
+            sanitize.enable(previous)
+
+
+# ----------------------------------------------------------------------
+# Schedule fuzzer
+# ----------------------------------------------------------------------
+
+
+class TestScheduleFuzzer:
+    def test_same_seed_same_schedules(self):
+        first = ScheduleFuzzer(seed=7, schedules=12)
+        second = ScheduleFuzzer(seed=7, schedules=12)
+        for index in range(12):
+            assert (
+                sorted(first.plan_for(index).scheduled_yields())
+                == sorted(second.plan_for(index).scheduled_yields())
+            )
+
+    def test_different_seeds_differ_somewhere(self):
+        sweep = lambda seed: [  # noqa: E731 - local shorthand
+            sorted(ScheduleFuzzer(seed=seed).plan_for(i).scheduled_yields())
+            for i in range(24)
+        ]
+        assert sweep(1) != sweep(2)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleFuzzer(schedules=0)
+        with pytest.raises(ValueError):
+            ScheduleFuzzer(sites=())
+
+    def test_unknown_yield_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().yield_at("not.a.site")
+
+    def test_yield_point_is_noop_without_schedule(self):
+        sanitize.clear_schedule()
+        sanitize.yield_point("cache.invalidate")  # must not raise
+
+    def test_installed_plan_fires_on_the_right_hit(self):
+        plan = FaultPlan()
+        plan.yield_at("cache.invalidate", hit=2, duration=0.0)
+        sanitize.install_schedule(plan)
+        try:
+            sanitize.yield_point("cache.invalidate")  # hit 1: no pause
+            assert plan.fired == []
+            sanitize.yield_point("cache.invalidate")  # hit 2: fires
+        finally:
+            sanitize.clear_schedule()
+        assert plan.fired == ["yield:cache.invalidate@2"]
+
+    def test_run_clears_schedule_and_records_outcomes(self):
+        fuzzer = ScheduleFuzzer(seed=3, schedules=4)
+        seen = []
+
+        def scenario(plan):
+            seen.append(sorted(plan.scheduled_yields()))
+            return None
+
+        result = fuzzer.run(scenario)
+        assert len(result.outcomes) == 4
+        assert not result.found
+        assert result.first_failure() is None
+        assert "0/4 schedule(s) failed" in result.summary()
+        # Replays are byte-identical.
+        assert seen == [
+            sorted(fuzzer.plan_for(i).scheduled_yields()) for i in range(4)
+        ]
+
+    def test_stop_on_failure_short_circuits(self):
+        fuzzer = ScheduleFuzzer(seed=3, schedules=10)
+        result = fuzzer.run(lambda plan: "boom", stop_on_failure=True)
+        assert len(result.outcomes) == 1
+        assert result.found
+        assert result.first_failure().failure == "boom"
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the fuzzer re-derives PR 6's invalidate-vs-build race
+# ----------------------------------------------------------------------
+
+
+def _race_scenario(fixed):
+    """The PR 6 race: a slow build racing an invalidation.
+
+    ``fixed=True`` is today's code path (run-scoped generation token,
+    bumped before the invalidation); ``fixed=False`` reverts the fix —
+    no scope, no bump — exactly the pre-PR 6 behaviour.
+    """
+
+    def scenario(plan):
+        source = {"v": "old"}
+        cache = BoundedCache(8, name="fuzz")
+        started = threading.Event()
+
+        def factory():
+            started.set()
+            return source["v"]
+
+        scope = "run" if fixed else None
+
+        def reader():
+            cache.get_or_build("k", factory, scope=scope)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert started.wait(5.0)
+        source["v"] = "new"
+        if fixed:
+            cache.bump_generation("run")
+        cache.invalidate("k")
+        thread.join(timeout=10)
+        after = cache.get_or_build("k", lambda: source["v"], scope=scope)
+        return "stale value served" if after != "new" else None
+
+    return scenario
+
+
+def _race_fuzzer():
+    # Fixed seed budget: 24 schedules over the two cache-side yield sites.
+    return ScheduleFuzzer(
+        seed=1,
+        schedules=24,
+        sites=("cache.get_or_build.publish", "cache.invalidate"),
+        max_yields=2,
+        max_hit=2,
+    )
+
+
+class TestRaceReproduction:
+    def test_generation_token_fix_survives_every_schedule(self):
+        result = _race_fuzzer().run(_race_scenario(fixed=True))
+        assert not result.found, result.summary()
+        assert len(result.outcomes) == 24
+
+    def test_reverted_fix_is_rediscovered_within_the_seed_budget(self):
+        result = _race_fuzzer().run(_race_scenario(fixed=False))
+        assert result.found, (
+            "the fuzzer failed to re-derive the invalidate-vs-build race"
+        )
+        failure = result.first_failure()
+        assert failure.failure == "stale value served"
+        assert failure.yields, "the failing schedule injected no pauses"
+        assert "stale value served" in result.summary()

@@ -1,0 +1,204 @@
+"""Invalidation-storm stress tests and the serve lock-order regression.
+
+Writer threads hammer ``invalidate_run`` while query threads hammer the
+service, on both backends, plain and under the sanitizer.  Every answer
+must match a serial reference (the derivations are pure, so invalidation
+can only cost recomputation, never change an answer), and the sanitized
+runs must finish with zero findings of any kind.
+
+The shutdown-ordering satellite rides along: a full start/serve/stop
+cycle under the sanitizer must never acquire ``serve.lifecycle`` while
+holding ``serve.counts`` — the documented order (see ``QueryService``)
+is lifecycle strictly before counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Tuple
+
+import pytest
+
+import repro.sanitize as sanitize
+from repro.provenance.reasoner import ProvenanceReasoner
+from repro.serve import AdmissionError, QueryService
+from repro.warehouse.memory import InMemoryWarehouse
+from repro.warehouse.sqlite import SqliteWarehouse
+
+WRITERS = 2
+QUERY_THREADS = 3
+ROUNDS = 4
+INVALIDATIONS_PER_WRITER = 25
+
+
+def _loaded(warehouse, spec, run):
+    spec_id = warehouse.store_spec(spec)
+    run_id = warehouse.store_run(run, spec_id)
+    return spec_id, run_id
+
+
+def _request_mix(warehouse, run_id, joe, mary):
+    output = sorted(warehouse.final_outputs(run_id))[0]
+    an_input = sorted(warehouse.user_inputs(run_id))[0]
+    return [
+        ("deep", run_id, output, None),
+        ("deep", run_id, output, joe),
+        ("reverse", run_id, an_input, None),
+        ("reverse", run_id, an_input, mary),
+        ("zoom", run_id, None, joe),
+        ("zoom", run_id, None, None),
+    ]
+
+
+def _serial_reference(warehouse, requests):
+    reasoner = ProvenanceReasoner(warehouse, strategy="cached")
+    answers = []
+    for kind, run_id, data_id, view in requests:
+        if kind == "deep":
+            answers.append(reasoner.deep(run_id, data_id, view=view))
+        elif kind == "reverse":
+            answers.append(reasoner.reverse(run_id, data_id, view=view))
+        else:
+            from repro.core.view import admin_view
+
+            target = view or admin_view(reasoner._materialize_run(run_id).spec)
+            composite = reasoner.composite_run(run_id, target)
+            answers.append(tuple(sorted(composite.visible_data())))
+    return answers
+
+
+def _canonical(answer) -> str:
+    if isinstance(answer, tuple):
+        return repr(answer)
+    rows = getattr(answer, "sorted_rows", None)
+    if rows is not None:
+        return repr([(r.step_id, r.module, sorted(r.data_in)) for r in rows()])
+    return repr(answer)
+
+
+def _make_warehouse(backend):
+    return SqliteWarehouse() if backend == "sqlite" else InMemoryWarehouse()
+
+
+def _run_storm(warehouse, spec, run, joe, mary):
+    """The storm proper; returns client errors (expected: none)."""
+    _spec_id, run_id = _loaded(warehouse, spec, run)
+    requests = _request_mix(warehouse, run_id, joe, mary)
+    reference = [_canonical(a) for a in _serial_reference(warehouse, requests)]
+
+    service = QueryService(warehouse, workers=3, queue_size=256)
+    errors: List[BaseException] = []
+    mismatches: List[Tuple[int, str]] = []
+    report_lock = threading.Lock()
+    stop_writers = threading.Event()
+
+    def writer() -> None:
+        for _ in range(INVALIDATIONS_PER_WRITER):
+            if stop_writers.is_set():
+                return
+            try:
+                service.invalidate_run(run_id)
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                with report_lock:
+                    errors.append(exc)
+                return
+            time.sleep(0.001)
+
+    def client(offset: int) -> None:
+        for step in range(ROUNDS * len(requests)):
+            index = (offset + step) % len(requests)
+            kind, rid, data_id, view = requests[index]
+            try:
+                answer = service.query(kind, rid, data_id=data_id, view=view)
+            except AdmissionError:
+                time.sleep(0.005)
+                continue
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                with report_lock:
+                    errors.append(exc)
+                return
+            canonical = _canonical(answer)
+            if canonical != reference[index]:
+                with report_lock:
+                    mismatches.append((index, canonical))
+
+    try:
+        with service:
+            threads = [
+                threading.Thread(target=writer, name="storm-writer-%d" % i)
+                for i in range(WRITERS)
+            ] + [
+                threading.Thread(target=client, args=(i,),
+                                 name="storm-client-%d" % i)
+                for i in range(QUERY_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive(), "%s hung" % thread.name
+    finally:
+        stop_writers.set()
+        service.close()
+        close = getattr(warehouse, "close", None)
+        if close:
+            close()
+
+    assert not errors, errors
+    assert not mismatches, (
+        "answers diverged from the serial reference amid invalidations: %r"
+        % mismatches[:3]
+    )
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+class TestInvalidationStorm:
+    def test_storm_plain(self, backend, spec, run, joe, mary):
+        _run_storm(_make_warehouse(backend), spec, run, joe, mary)
+
+    def test_storm_sanitized_zero_findings(self, backend, spec, run, joe, mary):
+        previous = sanitize.enable(True)
+        sanitize.reset()
+        try:
+            # Built *after* enable(): every make_lock site is instrumented.
+            _run_storm(_make_warehouse(backend), spec, run, joe, mary)
+            report = sanitize.report()
+            assert report.findings() == [], report.summary()
+        finally:
+            sanitize.reset()
+            sanitize.enable(previous)
+
+
+class TestServeLockOrderRegression:
+    def test_lifecycle_before_counts_across_full_cycle(self, spec, run):
+        """A start/serve/invalidate/stop cycle must respect the documented
+        ``serve.lifecycle`` -> ``serve.counts`` order (and produce no
+        lock-order findings at all)."""
+        previous = sanitize.enable(True)
+        sanitize.reset()
+        try:
+            warehouse = InMemoryWarehouse()
+            _spec_id, run_id = _loaded(warehouse, spec, run)
+            output = sorted(warehouse.final_outputs(run_id))[0]
+            service = QueryService(warehouse, workers=2)
+            try:
+                with service:
+                    service.query("deep", run_id, data_id=output)
+                    service.invalidate_run(run_id)
+                    service.query("deep", run_id, data_id=output)
+                service.stats()
+            finally:
+                service.close()
+
+            sanitizer = sanitize.get_sanitizer()
+            edges = sanitizer.graph.edges()
+            assert ("serve.counts", "serve.lifecycle") not in edges, (
+                "shutdown path acquired lifecycle while holding counts"
+            )
+            assert sanitizer.report.findings() == [], (
+                sanitizer.report.summary()
+            )
+        finally:
+            sanitize.reset()
+            sanitize.enable(previous)
