@@ -65,6 +65,9 @@ RULES.register("WH041", LAYER_WAREHOUSE, ERROR,
 RULES.register("WH042", LAYER_WAREHOUSE, WARNING,
                "predicted lineage-closure row count exceeds the"
                " materialisation budget")
+RULES.register("WH043", LAYER_WAREHOUSE, ERROR,
+               "materialised label index is stale or version-mismatched:"
+               " stored reachability labels disagree with the run's io rows")
 
 #: Default ceiling for :func:`lint_closure_budget`'s predicted row count.
 #: Chosen so the paper-scale workloads (hundreds of steps) pass with a
@@ -163,77 +166,50 @@ def lint_closure_budget(
     io_rows: Sequence[Tuple[str, str, str]],
     user_inputs: Sequence[str],
     threshold: int = DEFAULT_CLOSURE_ROW_THRESHOLD,
+    has_labels: bool = False,
 ) -> List[Finding]:
     """``WH042``: predict the lineage-closure row count, statically.
 
     ``build_lineage_index`` stores one row per ``(data, ancestor)`` pair,
     so a deep-chain run explodes quadratically.  This rule bounds the
-    closure *without computing it*: propagate, in topological order, an
-    upper bound on each step's reachable ancestor-set size —
-    ``ub(s) = 1 + sum(ub(parents))``, capped at the run's step count (a
-    set can never exceed it) — then charge every produced data object its
-    producer's bound.  The estimate is a true upper bound on the stored
-    rows, cheap enough to run at ingestion time, and runs whose rows do
-    not topologically sort (cycles — reported by other rules) are skipped.
+    closure *without computing it* via
+    :func:`~repro.provenance.labels.predict_closure_rows` — a topological
+    sweep propagating an upper bound on each step's ancestor-set size —
+    and charges every produced data object its producer's bound.  The
+    estimate is a true upper bound on the stored rows, cheap enough to run
+    at ingestion time; runs whose rows do not topologically sort (cycles —
+    reported by other rules) are skipped.  ``has_labels`` turns the
+    warning actionable: when the run already carries a label index the
+    finding says so, and otherwise it recommends building one — the
+    O(V) compact-label index answers the same queries without the
+    quadratic materialisation.
     """
+    from ..provenance.labels import predict_closure_rows
+
     if threshold <= 0 or not steps:
         return []
-    step_ids = {step_id for step_id, _module in steps}
-    producer: Dict[str, str] = {}
-    consumers: Dict[str, List[str]] = {}
-    for step_id, data_id, direction in io_rows:
-        if step_id not in step_ids:
-            continue  # dangling row: WH032 reports it
-        if direction == "out":
-            producer.setdefault(data_id, step_id)
-        else:
-            consumers.setdefault(data_id, []).append(step_id)
-
-    parents: Dict[str, Set[str]] = {step_id: set() for step_id in step_ids}
-    children: Dict[str, Set[str]] = {step_id: set() for step_id in step_ids}
-    inputs = set(user_inputs)
-    for data_id, readers in consumers.items():
-        writer = producer.get(data_id)
-        if writer is None or data_id in inputs:
-            continue
-        for reader in readers:
-            if reader != writer:
-                parents[reader].add(writer)
-                children[writer].add(reader)
-
-    # Kahn topological sweep; a leftover step means a cycle -> skip.
-    pending = {step_id: len(parents[step_id]) for step_id in step_ids}
-    frontier = [step_id for step_id, count in pending.items() if count == 0]
-    cap = len(step_ids)
-    bound: Dict[str, int] = {}
-    ordered = 0
-    while frontier:
-        step_id = frontier.pop()
-        ordered += 1
-        bound[step_id] = min(
-            cap, 1 + sum(bound[parent] for parent in parents[step_id])
-        )
-        for child in children[step_id]:
-            pending[child] -= 1
-            if pending[child] == 0:
-                frontier.append(child)
-    if ordered != len(step_ids):
+    predicted = predict_closure_rows(steps, io_rows, user_inputs)
+    if predicted is None:
         return []  # cyclic rows: RUN/WH integrity rules report why
-
-    predicted = sum(
-        bound.get(step_id, 1)
-        for data_id, step_id in producer.items()
-        if data_id not in inputs
-    )
     if predicted <= threshold:
         return []
+    if has_labels:
+        hint = ("a label index is already built for this run — serve it"
+                " with the 'labeled' (or 'auto') strategy instead of"
+                " materialising the closure, or raise the threshold"
+                " (--closure-threshold / closure_row_threshold)")
+    else:
+        hint = ("build the compact label index instead ('zoom index build"
+                " --kind labeled') and serve this run with the 'labeled'"
+                " (or 'auto') strategy, or raise the threshold"
+                " (--closure-threshold / closure_row_threshold)")
     return [RULES.finding(
         "WH042", run_id,
-        "predicted lineage closure of ~%d row(s) exceeds the budget of %d"
-        % (predicted, threshold),
-        hint="serve this run with the 'cached' strategy instead of"
-             " materialising its index, or raise the threshold"
-             " (--closure-threshold / closure_row_threshold)",
+        "predicted lineage closure of ~%d row(s) exceeds the budget of %d%s"
+        % (predicted, threshold,
+           " (a compact label index exists for this run)" if has_labels
+           else ""),
+        hint=hint,
     )]
 
 
@@ -350,10 +326,18 @@ def lint_warehouse(
         findings.extend(lint_lineage_index(
             warehouse, run_id, steps, io_rows, user_inputs,
         ))
+        findings.extend(lint_label_index(
+            warehouse, run_id, steps, io_rows, user_inputs,
+        ))
         findings.extend(lint_auto_index_gap(warehouse, run_id))
+        try:
+            has_labels = warehouse.has_label_index(run_id)
+        except ZoomError:
+            has_labels = False
         findings.extend(lint_closure_budget(
             run_id, steps, io_rows, user_inputs,
             threshold=closure_row_threshold,
+            has_labels=has_labels,
         ))
 
     if spec_ids is None and run_ids is None:
@@ -485,4 +469,59 @@ def lint_lineage_index(
         " %d row(s) missing, %d stale" % (missing, extra),
         hint="rebuild with warehouse.build_lineage_index(run_id,"
              " rebuild=True) or 'zoom index build --rebuild'",
+    )]
+
+
+def lint_label_index(
+    warehouse: ProvenanceWarehouse,
+    run_id: str,
+    steps: Sequence[Tuple[str, str]],
+    io_rows: Sequence[Tuple[str, str, str]],
+    user_inputs: Sequence[str],
+) -> List[Finding]:
+    """``WH043``: detect a stale or version-mismatched label index.
+
+    The ``WH038`` mirror for the compact reachability labels: the label
+    table is derived state, so an out-of-band edit to the run's rows (or
+    an encoding change between releases) leaves it silently answering
+    with the wrong reachability.  The rule recomputes the labels from the
+    current rows and compares them with what the warehouse stores, row
+    for row, and additionally checks the persisted encoding version
+    against the library's.  Runs whose rows cannot be labeled (cycles,
+    multi-producer data — already reported by other rules) are skipped
+    rather than crashed into.
+    """
+    from ..provenance.labels import LABELS_VERSION, label_table_rows
+
+    try:
+        if not warehouse.has_label_index(run_id):
+            return []
+        version = warehouse.label_index_version(run_id)
+    except ZoomError:
+        return []
+    if version != LABELS_VERSION:
+        return [RULES.finding(
+            "WH043", run_id,
+            "label index was written with encoding version %s but the"
+            " library expects %d" % (version, LABELS_VERSION),
+            hint="rebuild with warehouse.build_label_index(run_id,"
+                 " rebuild=True) or 'zoom index build --kind labeled"
+                 " --rebuild'",
+        )]
+    try:
+        stored = warehouse.label_rows_raw(run_id)
+        expected = label_table_rows(run_id, steps, io_rows, user_inputs)
+    except ZoomError:
+        return []  # rows too corrupt to label; other rules report why
+    if stored == expected:
+        return []
+    missing = len(expected - stored)
+    extra = len(stored - expected)
+    return [RULES.finding(
+        "WH043", run_id,
+        "label index disagrees with the io rows:"
+        " %d row(s) missing, %d stale" % (missing, extra),
+        hint="rebuild with warehouse.build_label_index(run_id,"
+             " rebuild=True) or 'zoom index build --kind labeled"
+             " --rebuild'",
     )]

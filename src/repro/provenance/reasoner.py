@@ -18,7 +18,14 @@ than the initial query (avg 13 ms vs up to seconds).  The
   :mod:`repro.provenance.index`), built lazily on a run's first query and
   persisted, so even a cold process answers deep provenance with an
   indexed range lookup instead of recursion — and view-level answers are
-  projected from those lookups through the cached composite structure.
+  projected from those lookups through the cached composite structure;
+* ``strategy="labeled"`` keeps the indexed strategy's query shape but
+  serves UAdmin closures from the compact reachability labels of
+  :mod:`repro.provenance.labels` — O(V) stored rows per run instead of the
+  closure's O(reachable-pairs), per Bao & Davidson's labeling schemes;
+* ``strategy="auto"`` picks per run: labeled when the predicted closure
+  row count (lint rule ``WH042``'s estimator) exceeds the materialisation
+  budget, indexed otherwise.
 
 All memoisation lives in bounded LRU caches
 (:class:`~repro.obs.cache.BoundedCache`): a long-lived reasoner serving
@@ -42,10 +49,11 @@ from ..obs import BoundedCache, get_registry
 from ..run.run import WorkflowRun
 from ..warehouse.base import ProvenanceWarehouse
 from .index import project_closure
+from .labels import predict_closure_rows
 from .queries import deep_provenance, immediate_provenance, reverse_provenance
 from .result import ProvenanceResult, ReverseProvenanceResult
 
-_STRATEGIES = ("cached", "uncached", "indexed")
+_STRATEGIES = ("cached", "uncached", "indexed", "labeled", "auto")
 
 #: Default capacities: generous for one service process, but bounded.
 DEFAULT_RUN_CACHE_SIZE = 256
@@ -66,11 +74,20 @@ class ProvenanceReasoner:
         everything on each query; ``"indexed"`` memoises like ``cached``
         *and* serves UAdmin closures from the warehouse's materialised
         lineage index, building it (once, persistently) on a run's first
-        query.
+        query; ``"labeled"`` does the same from the compact reachability
+        labels (``build_label_index`` / ``label_lookup``); ``"auto"``
+        resolves to labeled or indexed per run, by the predicted closure
+        row count against ``closure_row_threshold``.
     run_cache_size, composite_cache_size, closure_cache_size:
         LRU capacities of the three caches (runs, per-view composite
         structures, UAdmin closures).  Evicting a run invalidates its
         dependent composite and closure entries.
+    closure_row_threshold:
+        The ``strategy="auto"`` budget: a run whose predicted closure
+        exceeds this many rows is served from labels.  ``None`` (default)
+        uses lint rule ``WH042``'s
+        :data:`~repro.lint.rules_warehouse.DEFAULT_CLOSURE_ROW_THRESHOLD`,
+        so the reasoner switches exactly where the linter starts warning.
     """
 
     def __init__(
@@ -80,6 +97,7 @@ class ProvenanceReasoner:
         run_cache_size: int = DEFAULT_RUN_CACHE_SIZE,
         composite_cache_size: int = DEFAULT_COMPOSITE_CACHE_SIZE,
         closure_cache_size: int = DEFAULT_CLOSURE_CACHE_SIZE,
+        closure_row_threshold: Optional[int] = None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise QueryError(
@@ -106,6 +124,12 @@ class ProvenanceReasoner:
         # Runs whose warehouse lineage index this reasoner has verified,
         # so the indexed strategy checks/builds at most once per run.
         self._indexed_runs: Set[str] = set()
+        # Same memo for the label index (labeled/auto strategies).
+        self._labeled_runs: Set[str] = set()
+        # strategy="auto": the per-run labeled/indexed decision, memoised
+        # so the row-count prediction runs once per run per reasoner.
+        self.closure_row_threshold = closure_row_threshold
+        self._auto_choice: Dict[str, str] = {}
         # Callables fired (with the run id) by invalidate_run, so layers
         # holding caches derived from this reasoner's answers — e.g. the
         # serve layer's per-view result cache — drop theirs in the same
@@ -133,6 +157,8 @@ class ProvenanceReasoner:
             cache.clear()
             cache.reset_stats()
         self._indexed_runs.clear()
+        self._labeled_runs.clear()
+        self._auto_choice.clear()
 
     def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
         """Register ``listener(run_id)`` to be fired by :meth:`invalidate_run`."""
@@ -169,8 +195,14 @@ class ProvenanceReasoner:
             # The run itself was not cached; derived state may still be.
             self._on_run_removed(run_id, None, "invalidated")  # type: ignore[arg-type]
         self._indexed_runs.discard(run_id)
+        self._labeled_runs.discard(run_id)
+        self._auto_choice.pop(run_id, None)
         try:
             self.warehouse.drop_lineage_index(run_id)
+        except UnknownEntityError:
+            pass  # the run itself is gone; nothing left to drop
+        try:
+            self.warehouse.drop_label_index(run_id)
         except UnknownEntityError:
             pass  # the run itself is gone; nothing left to drop
         for listener in list(self._invalidation_listeners):
@@ -212,23 +244,68 @@ class ProvenanceReasoner:
         This is the recursive-SQL (or BFS) query whose cost dominates the
         paper's response-time experiment; under the cached strategy it runs
         once per (run, data) pair.  Under the indexed strategy it is a
-        range lookup in the materialised lineage index (built on the run's
-        first query, persisted in the warehouse).
+        range lookup in the materialised lineage index; under the labeled
+        strategy an upward traversal over the compact reachability labels
+        (both built on the run's first query, persisted in the warehouse).
         """
-        if self.strategy == "indexed":
+        strategy = self._resolve_strategy(run_id)
+        if strategy == "indexed":
             self._ensure_index(run_id)
             return self._admin_closure_cache.get_or_build(
                 (run_id, data_id),
                 lambda: self._indexed_lookup(run_id, data_id),
                 scope=run_id,
             )
-        if self.strategy == "uncached":
+        if strategy == "labeled":
+            self._ensure_labels(run_id)
+            return self._admin_closure_cache.get_or_build(
+                (run_id, data_id),
+                lambda: self._labeled_lookup(run_id, data_id),
+                scope=run_id,
+            )
+        if strategy == "uncached":
             return self._timed_closure(run_id, data_id)
         return self._admin_closure_cache.get_or_build(
             (run_id, data_id),
             lambda: self._timed_closure(run_id, data_id),
             scope=run_id,
         )
+
+    def _resolve_strategy(self, run_id: str) -> str:
+        """The concrete strategy serving this run (settles ``"auto"``).
+
+        ``auto`` decides per run, once: labeled when ``WH042``'s predicted
+        closure row count exceeds the budget (materialising the closure is
+        exactly what the linter warns against), indexed otherwise.  Runs
+        whose rows do not topologically sort fall through to indexed — the
+        build will report the corruption either way.
+        """
+        if self.strategy != "auto":
+            return self.strategy
+        choice = self._auto_choice.get(run_id)
+        if choice is None:
+            predicted = predict_closure_rows(
+                self.warehouse.steps_of_run(run_id),
+                self.warehouse.io_rows(run_id),
+                sorted(self.warehouse.user_inputs(run_id)),
+            )
+            threshold = self._auto_threshold()
+            choice = (
+                "labeled"
+                if predicted is not None and predicted > threshold
+                else "indexed"
+            )
+            self._auto_choice[run_id] = choice
+        return choice
+
+    def _auto_threshold(self) -> int:
+        if self.closure_row_threshold is not None:
+            return self.closure_row_threshold
+        # Late import: repro.lint pulls in the warehouse layer at import
+        # time, so binding it eagerly here would cycle the import graph.
+        from ..lint.rules_warehouse import DEFAULT_CLOSURE_ROW_THRESHOLD
+
+        return DEFAULT_CLOSURE_ROW_THRESHOLD
 
     def _ensure_index(self, run_id: str) -> None:
         """Build (or verify, once per reasoner) the run's lineage index."""
@@ -237,9 +314,34 @@ class ProvenanceReasoner:
         self.warehouse.build_lineage_index(run_id)
         self._indexed_runs.add(run_id)
 
+    def _ensure_labels(self, run_id: str) -> None:
+        """Build (or verify, once per reasoner) the run's label index."""
+        if run_id in self._labeled_runs:
+            return
+        self.warehouse.build_label_index(run_id)
+        self._labeled_runs.add(run_id)
+
+    def ensure_run_ready(self, run_id: str) -> None:
+        """Materialise whatever persistent index the strategy serves from.
+
+        The owner-thread prebuild hook: index and label builds are
+        warehouse *writes*, so a multi-threaded caller (the serve layer's
+        ``warm()``) runs this on the owning thread before fanning queries
+        out to workers.  A no-op for the cached/uncached strategies.
+        """
+        strategy = self._resolve_strategy(run_id)
+        if strategy == "indexed":
+            self._ensure_index(run_id)
+        elif strategy == "labeled":
+            self._ensure_labels(run_id)
+
     def _indexed_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
         with get_registry().time("index.lookup"):
             return self.warehouse.lineage_lookup(run_id, data_id)
+
+    def _labeled_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        with get_registry().time("labels.lookup"):
+            return self.warehouse.label_lookup(run_id, data_id)
 
     def _timed_closure(self, run_id: str, data_id: str) -> ProvenanceResult:
         with get_registry().time("reasoner.admin_deep"):
@@ -253,7 +355,7 @@ class ProvenanceReasoner:
             return self.admin_deep(run_id, data_id)
         with get_registry().time("reasoner.view_switch"):
             composite = self.composite_run(run_id, view)
-            if self.strategy == "indexed":
+            if self._resolve_strategy(run_id) in ("indexed", "labeled"):
                 return project_closure(
                     composite,
                     lambda d: self.admin_deep(run_id, d),
@@ -269,22 +371,29 @@ class ProvenanceReasoner:
     ) -> Dict[str, ProvenanceResult]:
         """Deep provenance of many objects of one run, batched.
 
-        Per-query setup is paid once for the whole batch: the lineage
-        index is verified/built once (indexed strategy) and the composite
-        structure is materialised once per call even under the uncached
-        strategy — the batch is one query, not N.
+        Per-query setup is paid once for the whole batch: the lineage (or
+        label) index is verified/built once and the composite structure is
+        materialised once per call even under the uncached strategy — the
+        batch is one query, not N.  Duplicate data ids are answered once:
+        the batch is deduplicated (first-occurrence order) before fan-out,
+        so a duplicate-heavy batch costs one computation — not one memo
+        probe, or under the uncached strategy one recomputation, per copy.
         """
+        deduped = list(dict.fromkeys(data_ids))
         results: Dict[str, ProvenanceResult] = {}
-        if self.strategy == "indexed":
+        strategy = self._resolve_strategy(run_id)
+        if strategy == "indexed":
             self._ensure_index(run_id)
+        elif strategy == "labeled":
+            self._ensure_labels(run_id)
         if view is None:
-            for data_id in data_ids:
+            for data_id in deduped:
                 results[data_id] = self.admin_deep(run_id, data_id)
             return results
         composite = self.composite_run(run_id, view)
-        for data_id in data_ids:
+        for data_id in deduped:
             with get_registry().time("reasoner.view_switch"):
-                if self.strategy == "indexed":
+                if strategy in ("indexed", "labeled"):
                     results[data_id] = project_closure(
                         composite,
                         lambda d: self.admin_deep(run_id, d),

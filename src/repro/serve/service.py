@@ -18,10 +18,11 @@ One service owns:
   slow in-flight build can never resurrect a stale answer.
 
 Thread-affinity contract: workers only *read*.  Anything that writes —
-building a lineage index, dropping it during invalidation — must happen on
-the thread that created the warehouse.  :meth:`warm` exists precisely for
-that: call it from the owner thread before :meth:`start` when using the
-``indexed`` strategy, so workers find the index already built.
+building a lineage or label index, dropping one during invalidation — must
+happen on the thread that created the warehouse.  :meth:`warm` exists
+precisely for that: call it from the owner thread before :meth:`start`
+when using the ``indexed``, ``labeled`` or ``auto`` strategies, so workers
+find the index already built.
 """
 
 from __future__ import annotations
@@ -288,16 +289,16 @@ class QueryService:
     ) -> None:
         """Pre-materialise runs (and optionally composites) for serving.
 
-        Must run on the warehouse's owner thread: under the ``indexed``
-        strategy this *builds* each run's lineage-closure index, a write
-        that workers' read-only connections would refuse.  Passing views
-        additionally pre-builds each ``(run, view)`` composite so the
-        first concurrent burst starts hot.
+        Must run on the warehouse's owner thread: under the ``indexed``,
+        ``labeled`` and ``auto`` strategies this *builds* each run's
+        persistent index (lineage closure or reachability labels), a
+        write that workers' read-only connections would refuse.  Passing
+        views additionally pre-builds each ``(run, view)`` composite so
+        the first concurrent burst starts hot.
         """
         views = list(views)
         for run_id in run_ids:
-            if self.reasoner.strategy == "indexed":
-                self.reasoner._ensure_index(run_id)
+            self.reasoner.ensure_run_ready(run_id)
             self.reasoner._materialize_run(run_id)
             for view in views:
                 if view is not None:
@@ -308,8 +309,8 @@ class QueryService:
 
         Delegates to the reasoner, whose listener fan-out reaches this
         service's result cache (and any other service sharing the
-        reasoner).  Call from the warehouse owner thread — the ``indexed``
-        strategy drops the persistent lineage index, which is a write.
+        reasoner).  Call from the warehouse owner thread — dropping a
+        persistent lineage or label index is a write.
         """
         self.reasoner.invalidate_run(run_id)
 

@@ -45,6 +45,7 @@ from .schema import DIR_OUT
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
+    from ..provenance.labels import LineageLabels
     from .pipeline import PreparedRun
     from .recovery import JournalEntry, QuarantineRecord
 
@@ -374,6 +375,82 @@ class ProvenanceWarehouse(ABC):
         """Per-run index state: closure row count, or ``None`` if unbuilt."""
         return {
             run_id: self.lineage_row_count(run_id)
+            for run_id in self.list_runs()
+        }
+
+    # ------------------------------------------------------------------
+    # Compact reachability labels (the closure's O(V) twin)
+    # ------------------------------------------------------------------
+
+    def build_label_index(self, run_id: str, rebuild: bool = False) -> int:
+        """Materialise (and persist) the run's reachability labels.
+
+        One topological pass
+        (:func:`~repro.provenance.labels.compute_lineage_labels`), then one
+        bulk store; afterwards :meth:`label_lookup` answers deep provenance
+        from O(V) stored rows instead of the closure's O(reachable-pairs).
+        Idempotent: an already-labelled run is left untouched unless
+        ``rebuild`` is true.  Returns the number of label rows (one per
+        step).  Build time accumulates under the ``labels.build`` timer.
+        """
+        from ..obs.metrics import get_registry  # late: keep import graph acyclic
+        from ..provenance.labels import compute_lineage_labels
+
+        existing = self.label_row_count(run_id)
+        if existing is not None and not rebuild:
+            return existing
+        with get_registry().time("labels.build"):
+            labels = compute_lineage_labels(self, run_id)
+            if existing is not None:
+                self.drop_label_index(run_id)
+            self._store_lineage_labels(labels)
+        return labels.num_rows()
+
+    @abstractmethod
+    def _store_lineage_labels(self, labels: "LineageLabels") -> None:
+        """Persist freshly computed labels (internal; bulk, transactional)."""
+
+    @abstractmethod
+    def has_label_index(self, run_id: str) -> bool:
+        """Whether the run's reachability labels are materialised."""
+
+    @abstractmethod
+    def label_row_count(self, run_id: str) -> Optional[int]:
+        """Label rows stored for a run, or ``None`` when not labelled."""
+
+    @abstractmethod
+    def label_index_version(self, run_id: str) -> Optional[int]:
+        """The :data:`~repro.provenance.labels.LABELS_VERSION` the stored
+        labels were computed under, or ``None`` when not labelled (lint
+        rule ``WH043`` compares it with the code's)."""
+
+    @abstractmethod
+    def drop_label_index(self, run_id: Optional[str] = None) -> List[str]:
+        """Discard the labels of one run (or of every run); returns the
+        run ids whose labels were dropped."""
+
+    @abstractmethod
+    def label_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        """Deep provenance from the stored labels: an upward traversal
+        over tree-parent + remainder edges, touching only the ancestors.
+
+        Row-identical to :meth:`lineage_lookup`.  Raises
+        :class:`WarehouseError` when the run carries no label index.
+        """
+
+    @abstractmethod
+    def label_rows_raw(self, run_id: str) -> Set[Tuple[str, int, int, str, str]]:
+        """The stored ``(step_id, pre, post, parent, remainder)`` label
+        rows, as-is.
+
+        No validation — :mod:`repro.lint` compares these against a fresh
+        labelling to detect a stale label index (rule ``WH043``).
+        """
+
+    def label_index_status(self) -> Dict[str, Optional[int]]:
+        """Per-run label state: label row count, or ``None`` if unbuilt."""
+        return {
+            run_id: self.label_row_count(run_id)
             for run_id in self.list_runs()
         }
 

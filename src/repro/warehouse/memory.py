@@ -44,6 +44,7 @@ from .schema import DIR_IN, DIR_OUT
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
+    from ..provenance.labels import LineageLabels
     from .pipeline import PreparedRun
 
 
@@ -66,6 +67,9 @@ class _RunRecord:
     lineage_steps: Optional[Dict[str, FrozenSet[str]]] = None
     lineage_inputs: Optional[Dict[str, FrozenSet[str]]] = None
     lineage_row_count: int = 0
+    # Compact reachability labels (None until built): the frozen
+    # LineageLabels structure, served as-is by label_lookup.
+    labels: Optional["LineageLabels"] = None
 
 
 class InMemoryWarehouse(ProvenanceWarehouse):
@@ -251,6 +255,8 @@ class InMemoryWarehouse(ProvenanceWarehouse):
                 record.lineage_steps = dict(p.closure.lineage_steps)
                 record.lineage_inputs = dict(p.closure.lineage_inputs)
                 record.lineage_row_count = p.closure.num_rows()
+            if p.labels is not None:
+                record.labels = p.labels
             records.append((p.run_id, record))
         published = 0
         for run_id, record in records:
@@ -477,6 +483,49 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             for user_input in record.lineage_inputs[data_id]:
                 rows.add((data_id, INPUT, user_input))
         return rows
+
+    # ------------------------------------------------------------------
+    # Compact reachability labels
+    # ------------------------------------------------------------------
+
+    def _store_lineage_labels(self, labels: "LineageLabels") -> None:
+        self._record(labels.run_id).labels = labels
+
+    def has_label_index(self, run_id: str) -> bool:
+        return self._record(run_id).labels is not None
+
+    def label_row_count(self, run_id: str) -> Optional[int]:
+        labels = self._record(run_id).labels
+        return None if labels is None else labels.num_rows()
+
+    def label_index_version(self, run_id: str) -> Optional[int]:
+        labels = self._record(run_id).labels
+        return None if labels is None else labels.version
+
+    def drop_label_index(self, run_id: Optional[str] = None) -> List[str]:
+        targets = [run_id] if run_id is not None else self.list_runs()
+        dropped: List[str] = []
+        for target in targets:
+            record = self._record(target)
+            if record.labels is None:
+                continue
+            record.labels = None
+            dropped.append(target)
+        return dropped
+
+    def label_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        record = self._record(run_id)
+        if record.labels is None:
+            raise WarehouseError("run %r has no label index" % run_id)
+        if data_id not in record.producer:
+            raise self._missing("data", data_id)
+        return record.labels.result_for(data_id)
+
+    def label_rows_raw(self, run_id: str) -> Set[Tuple[str, int, int, str, str]]:
+        labels = self._record(run_id).labels
+        if labels is None:
+            return set()
+        return set(labels.iter_table_rows())
 
     def delete_run(self, run_id: str) -> None:
         with self._mutate:

@@ -81,6 +81,7 @@ from .schema import DIR_IN, DIR_OUT
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids import cycles
     from ..lint.findings import Finding
     from ..provenance.index import LineageClosure
+    from ..provenance.labels import LineageLabels
 
 #: Default number of prepared runs committed per transaction.
 DEFAULT_BATCH_SIZE = 32
@@ -105,6 +106,7 @@ class PreparedRun:
     final_outputs: List[str] = field(default_factory=list)
     findings: List["Finding"] = field(default_factory=list)
     closure: Optional["LineageClosure"] = None
+    labels: Optional["LineageLabels"] = None
     #: Deferred ``run.validate()`` failure: raised at gate time, *after*
     #: the lint gate, mirroring the serial lint-then-store order.
     error: Optional[Exception] = None
@@ -122,6 +124,7 @@ class _PrepareTask:
     spec_id: str
     run_id: str
     index: bool
+    labels: bool = False
 
 
 def prepare_run(task: _PrepareTask) -> PreparedRun:
@@ -135,6 +138,7 @@ def prepare_run(task: _PrepareTask) -> PreparedRun:
     """
     from ..lint.rules_run import RunFacts, lint_run_facts
     from ..provenance.index import closure_from_rows
+    from ..provenance.labels import labels_from_rows
 
     run = task.run
     prepared = PreparedRun(
@@ -189,6 +193,13 @@ def prepare_run(task: _PrepareTask) -> PreparedRun:
 
     if task.index and prepared.error is None:
         prepared.closure = closure_from_rows(
+            task.run_id,
+            prepared.step_rows,
+            prepared.io_rows,
+            prepared.user_inputs,
+        )
+    if task.labels and prepared.error is None:
+        prepared.labels = labels_from_rows(
             task.run_id,
             prepared.step_rows,
             prepared.io_rows,
@@ -309,6 +320,7 @@ def ingest_dataset(
     with_standard_views: bool = True,
     strict: bool = False,
     index: bool = False,
+    labels: bool = False,
     pool: str = "thread",
     on_error: str = "abort",
     resume: bool = False,
@@ -334,6 +346,12 @@ def ingest_dataset(
         computed (and stored) exactly as if ``index=True`` — same contract
         as the serial ``store_run`` path; provlint's ``WH039`` flags
         ingestion paths that skip this.
+    labels:
+        Also compute the compact reachability labels
+        (:func:`~repro.provenance.labels.labels_from_rows`) in the prepare
+        stage and persist them with the batch, so ``strategy="labeled"``
+        queries never pay a first-query build.  Orthogonal to ``index``:
+        either, both, or neither may be materialised at ingestion time.
     on_error:
         ``"abort"`` (default) keeps the historical semantics: the first
         failing run aborts the load, with the committed-so-far run ids
@@ -416,7 +434,7 @@ def ingest_dataset(
                 continue
             tasks.append(_PrepareTask(
                 run=run, spec_id=record.spec_id, run_id=run_id,
-                index=effective_index,
+                index=effective_index, labels=labels,
             ))
             owners.append(record)
 
@@ -533,38 +551,64 @@ def _closure_task(
     return closure_from_rows(run_id, steps, io_rows, user_inputs)
 
 
+def _labels_task(
+    args: Tuple[str, List[Tuple[str, str]], List[Tuple[str, str, str]], List[str]],
+) -> "LineageLabels":
+    from ..provenance.labels import labels_from_rows
+
+    run_id, steps, io_rows, user_inputs = args
+    return labels_from_rows(run_id, steps, io_rows, user_inputs)
+
+
 def build_lineage_indexes(
     warehouse: ProvenanceWarehouse,
     run_ids: Optional[Sequence[str]] = None,
     *,
     jobs: int = 0,
     rebuild: bool = False,
+    kind: str = "closure",
 ) -> Dict[str, int]:
-    """Materialise the lineage index of many runs, fanning out the closures.
+    """Materialise the lineage index of many runs, fanning out the builds.
 
-    The closure of each run is a pure function of its rows, so with
-    ``jobs > 0`` the topological passes run concurrently while the parent
-    stores finished closures in run order.  ``jobs=0`` delegates to the
-    serial :meth:`~repro.warehouse.base.ProvenanceWarehouse.build_lineage_index`
-    reference path.  Returns ``run_id -> closure row count`` for every
+    Both index kinds — the ``"closure"`` (pairwise lineage rows) and the
+    ``"labeled"`` compact reachability labels — are pure functions of a
+    run's rows, so with ``jobs > 0`` the topological passes run
+    concurrently while the parent stores finished structures in run
+    order.  ``jobs=0`` delegates to the serial
+    :meth:`~repro.warehouse.base.ProvenanceWarehouse.build_lineage_index` /
+    :meth:`~repro.warehouse.base.ProvenanceWarehouse.build_label_index`
+    reference paths.  Returns ``run_id -> stored row count`` for every
     requested run (already-indexed runs keep their count unless
     ``rebuild``).
     """
+    if kind not in ("closure", "labeled"):
+        raise ValueError(
+            "kind must be 'closure' or 'labeled', not %r" % kind
+        )
     registry = get_registry()
     targets = list(run_ids) if run_ids is not None else warehouse.list_runs()
     results: Dict[str, int] = {}
     if jobs <= 0:
         for run_id in targets:
-            results[run_id] = warehouse.build_lineage_index(
-                run_id, rebuild=rebuild
-            )
+            if kind == "labeled":
+                results[run_id] = warehouse.build_label_index(
+                    run_id, rebuild=rebuild
+                )
+            else:
+                results[run_id] = warehouse.build_lineage_index(
+                    run_id, rebuild=rebuild
+                )
         return results
 
+    row_count = (
+        warehouse.label_row_count if kind == "labeled"
+        else warehouse.lineage_row_count
+    )
     pending: List[str] = []
     rows_args: List[Tuple[str, List[Tuple[str, str]],
                           List[Tuple[str, str, str]], List[str]]] = []
     for run_id in targets:
-        existing = warehouse.lineage_row_count(run_id)
+        existing = row_count(run_id)
         if existing is not None and not rebuild:
             results[run_id] = existing
             continue
@@ -576,12 +620,24 @@ def build_lineage_indexes(
             sorted(warehouse.user_inputs(run_id)),
         ))
     with ThreadPoolExecutor(max_workers=jobs) as executor:
-        for run_id, closure in zip(pending, executor.map(_closure_task, rows_args)):
-            with registry.time("index.build"):
-                if warehouse.lineage_row_count(run_id) is not None:
-                    warehouse.drop_lineage_index(run_id)
-                warehouse._store_lineage_closure(closure)
-            results[run_id] = closure.num_rows()
+        if kind == "labeled":
+            for run_id, labels in zip(
+                pending, executor.map(_labels_task, rows_args)
+            ):
+                with registry.time("labels.build"):
+                    if warehouse.label_row_count(run_id) is not None:
+                        warehouse.drop_label_index(run_id)
+                    warehouse._store_lineage_labels(labels)
+                results[run_id] = labels.num_rows()
+        else:
+            for run_id, closure in zip(
+                pending, executor.map(_closure_task, rows_args)
+            ):
+                with registry.time("index.build"):
+                    if warehouse.lineage_row_count(run_id) is not None:
+                        warehouse.drop_lineage_index(run_id)
+                    warehouse._store_lineage_closure(closure)
+                results[run_id] = closure.num_rows()
     return {run_id: results[run_id] for run_id in targets}
 
 

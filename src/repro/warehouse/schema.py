@@ -173,6 +173,32 @@ SQLITE_DDL: Tuple[str, ...] = (
         row_count INTEGER NOT NULL
     )
     """,
+    # The compact reachability labels (repro.provenance.labels): one row
+    # per step — interval [pre, post] over the spanning forest plus the
+    # tree parent and the space-joined non-tree remainder set.  O(V) rows
+    # where the lineage closure is O(V·E); WITHOUT ROWID clusters a run's
+    # labels into one range scan.
+    """
+    CREATE TABLE IF NOT EXISTS lineage_labels (
+        run_id      TEXT NOT NULL REFERENCES run_def(run_id),
+        step_id     TEXT NOT NULL,
+        pre         INTEGER NOT NULL,
+        post        INTEGER NOT NULL,
+        tree_parent TEXT NOT NULL,
+        remainder   TEXT NOT NULL,
+        PRIMARY KEY (run_id, step_id)
+    ) WITHOUT ROWID
+    """,
+    # One row per labelled run: existence check plus the encoding version
+    # the labels were computed under (lint rule WH043 compares it with
+    # repro.provenance.labels.LABELS_VERSION).
+    """
+    CREATE TABLE IF NOT EXISTS labels_meta (
+        run_id    TEXT PRIMARY KEY REFERENCES run_def(run_id),
+        version   INTEGER NOT NULL,
+        row_count INTEGER NOT NULL
+    )
+    """,
     # The ingest journal (repro.warehouse.recovery): one row per run a
     # bulk load intends to store, written 'pending' before the batch
     # commit and flipped to 'committed' after.  Deliberately NOT a

@@ -55,6 +55,7 @@ from .schema import (
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycle
     from ..provenance.index import LineageClosure
+    from ..provenance.labels import LineageLabels
     from .pipeline import PreparedRun
 
 
@@ -669,6 +670,8 @@ class SqliteWarehouse(ProvenanceWarehouse):
                 for p in batch:
                     if p.closure is not None:
                         self._insert_closure_compact(p.closure)
+                    if p.labels is not None:
+                        self._insert_label_rows(p.labels)
         return [p.run_id for p in batch]
 
     def _insert_closure_compact(self, closure: "LineageClosure") -> None:
@@ -1117,6 +1120,110 @@ class SqliteWarehouse(ProvenanceWarehouse):
             )
         }
 
+    # ------------------------------------------------------------------
+    # Compact reachability labels
+    # ------------------------------------------------------------------
+
+    def _insert_label_rows(self, labels: "LineageLabels") -> None:
+        """Insert one run's label rows; runs inside the caller's transaction."""
+        rows = [
+            (labels.run_id, step_id, pre, post, parent, remainder)
+            for step_id, pre, post, parent, remainder
+            in labels.iter_table_rows()
+        ]
+        self._conn.executemany(
+            "INSERT INTO lineage_labels"
+            " (run_id, step_id, pre, post, tree_parent, remainder)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.execute(
+            "INSERT INTO labels_meta (run_id, version, row_count)"
+            " VALUES (?, ?, ?)",
+            (labels.run_id, labels.version, len(rows)),
+        )
+
+    def _store_lineage_labels(self, labels: "LineageLabels") -> None:
+        with self._conn:
+            self._insert_label_rows(labels)
+
+    def has_label_index(self, run_id: str) -> bool:
+        self._require("run_def", "run_id", run_id, "run")
+        return self._exists("labels_meta", "run_id", run_id)
+
+    def label_row_count(self, run_id: str) -> Optional[int]:
+        self._require("run_def", "run_id", run_id, "run")
+        row = self._conn.execute(
+            "SELECT row_count FROM labels_meta WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def label_index_version(self, run_id: str) -> Optional[int]:
+        self._require("run_def", "run_id", run_id, "run")
+        row = self._conn.execute(
+            "SELECT version FROM labels_meta WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def drop_label_index(self, run_id: Optional[str] = None) -> List[str]:
+        if run_id is None:
+            targets = [
+                rid
+                for (rid,) in self._conn.execute(
+                    "SELECT run_id FROM labels_meta ORDER BY run_id"
+                )
+            ]
+        else:
+            self._require("run_def", "run_id", run_id, "run")
+            targets = [run_id] if self._exists("labels_meta", "run_id", run_id) else []
+        with self._conn:
+            for target in targets:
+                self._conn.execute(
+                    "DELETE FROM lineage_labels WHERE run_id = ?", (target,)
+                )
+                self._conn.execute(
+                    "DELETE FROM labels_meta WHERE run_id = ?", (target,)
+                )
+        return targets
+
+    def label_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
+        from ..provenance.labels import labels_from_stored
+
+        version = self.label_index_version(run_id)
+        if version is None:
+            raise WarehouseError("run %r has no label index" % run_id)
+        # Validate the data id first; rehydration would otherwise report
+        # an unknown object as "not covered" instead of unknown.
+        self.producer_of(run_id, data_id)
+        label_rows = [
+            (step_id, pre, post, parent, remainder)
+            for step_id, pre, post, parent, remainder in self._conn.execute(
+                "SELECT step_id, pre, post, tree_parent, remainder"
+                " FROM lineage_labels WHERE run_id = ?",
+                (run_id,),
+            )
+        ]
+        labels = labels_from_stored(
+            run_id,
+            label_rows,
+            self.steps_of_run(run_id),
+            self.io_rows(run_id),
+            sorted(self.user_inputs(run_id)),
+            version=version,
+        )
+        return labels.result_for(data_id)
+
+    def label_rows_raw(self, run_id: str) -> Set[Tuple[str, int, int, str, str]]:
+        self._require("run_def", "run_id", run_id, "run")
+        return {
+            tuple(row)
+            for row in self._conn.execute(
+                "SELECT step_id, pre, post, tree_parent, remainder"
+                " FROM lineage_labels WHERE run_id = ?",
+                (run_id,),
+            )
+        }
+
     def delete_run(self, run_id: str) -> None:
         self._require("run_def", "run_id", run_id, "run")
         with self._conn:
@@ -1126,6 +1233,8 @@ class SqliteWarehouse(ProvenanceWarehouse):
             for table in (
                 "lineage",
                 "lineage_meta",
+                "lineage_labels",
+                "labels_meta",
                 "annotation",
                 "final_output",
                 "user_input",

@@ -384,7 +384,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    """Manage the materialised lineage-closure index of a warehouse."""
+    """Manage the materialised lineage indexes of a warehouse.
+
+    ``--kind closure`` (default) targets the pairwise lineage-closure
+    index; ``--kind labeled`` the compact reachability-label index.
+    """
+    labeled = args.kind == "labeled"
     with SqliteWarehouse(args.db) as warehouse:
         run_ids = (
             warehouse.list_runs() if args.all
@@ -394,22 +399,32 @@ def _cmd_index(args: argparse.Namespace) -> int:
             from ..warehouse.pipeline import build_lineage_indexes
 
             results = build_lineage_indexes(
-                warehouse, run_ids, jobs=args.jobs, rebuild=args.rebuild
+                warehouse, run_ids, jobs=args.jobs, rebuild=args.rebuild,
+                kind=args.kind,
             )
             for run_id, rows in results.items():
-                print("indexed %s: %d lineage rows" % (run_id, rows))
+                if labeled:
+                    print("labeled %s: %d label rows" % (run_id, rows))
+                else:
+                    print("indexed %s: %d lineage rows" % (run_id, rows))
         elif args.action == "drop":
             dropped = []
             for run_id in run_ids:
-                dropped.extend(warehouse.drop_lineage_index(run_id))
-            print("dropped lineage index of %d run(s)%s"
-                  % (len(dropped),
+                if labeled:
+                    dropped.extend(warehouse.drop_label_index(run_id))
+                else:
+                    dropped.extend(warehouse.drop_lineage_index(run_id))
+            print("dropped %s index of %d run(s)%s"
+                  % ("label" if labeled else "lineage", len(dropped),
                      ": %s" % ", ".join(dropped) if dropped else ""))
         else:  # status
-            status = warehouse.lineage_index_status()
+            status = (
+                warehouse.label_index_status() if labeled
+                else warehouse.lineage_index_status()
+            )
             indexed = sum(1 for rows in status.values() if rows is not None)
-            print("lineage index: %d of %d run(s) indexed"
-                  % (indexed, len(status)))
+            print("%s index: %d of %d run(s) indexed"
+                  % ("label" if labeled else "lineage", indexed, len(status)))
             for run_id in run_ids:
                 rows = status.get(run_id)
                 print("  %-24s %s"
@@ -699,9 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
     prov.add_argument("--user", default="user")
     prov.add_argument("--format", choices=["rows", "report"], default="rows")
     prov.add_argument("--strategy", default="cached",
-                      choices=["cached", "uncached", "indexed"],
+                      choices=["cached", "uncached", "indexed", "labeled",
+                               "auto"],
                       help="reasoner strategy; 'indexed' serves from (and"
-                           " lazily builds) the lineage-closure index")
+                           " lazily builds) the lineage-closure index,"
+                           " 'labeled' from the compact reachability"
+                           " labels, 'auto' picks per run by predicted"
+                           " closure size")
 
     dot = sub.add_parser("dot", help="render a stored spec or run as DOT")
     dot.add_argument("--db", required=True)
@@ -741,10 +760,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     index = sub.add_parser(
         "index",
-        help="build, inspect or drop the materialised lineage-closure index",
+        help="build, inspect or drop the materialised lineage indexes",
     )
     index.add_argument("action", choices=["build", "status", "drop"])
     index.add_argument("--db", required=True)
+    index.add_argument("--kind", choices=["closure", "labeled"],
+                       default="closure",
+                       help="which index: the pairwise lineage closure"
+                            " (default) or the compact reachability labels")
     index.add_argument("--run-id", nargs="*", default=None,
                        help="restrict to these runs (default: every run)")
     index.add_argument("--all", action="store_true",
@@ -826,7 +849,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="build a user view from these modules and mix"
                             " view queries into the load")
     serve.add_argument("--strategy", default="cached",
-                       choices=["cached", "uncached", "indexed"])
+                       choices=["cached", "uncached", "indexed", "labeled",
+                                "auto"])
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--clients", type=int, default=8)
     serve.add_argument("--queue-size", type=int, default=64)
@@ -839,7 +863,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--backend", default="sqlite",
                              choices=["sqlite", "memory"])
     bench_serve.add_argument("--strategy", default="cached",
-                             choices=["cached", "uncached", "indexed"])
+                             choices=["cached", "uncached", "indexed",
+                                      "labeled", "auto"])
     bench_serve.add_argument("--workers", type=int, default=4)
     bench_serve.add_argument("--clients", type=int, default=8)
     bench_serve.add_argument("--requests", type=int, default=200)

@@ -35,11 +35,12 @@ class Session:
     user:
         Display name of the user (view names derive from it).
     strategy:
-        Reasoner caching strategy — ``"cached"``, ``"uncached"`` or
-        ``"indexed"`` (see
+        Reasoner caching strategy — ``"cached"``, ``"uncached"``,
+        ``"indexed"``, ``"labeled"`` or ``"auto"`` (see
         :class:`~repro.provenance.reasoner.ProvenanceReasoner`; the
         indexed strategy serves deep provenance from the warehouse's
-        materialised lineage-closure index).
+        materialised lineage-closure index, the labeled one from the
+        compact reachability labels, and auto picks per run).
     view_cache_size:
         LRU capacity of the per-relevant-set view memo (the cache that
         makes undo and back-and-forth exploration free).
@@ -216,14 +217,24 @@ class Session:
 
         return QueryService(self.warehouse, reasoner=self.reasoner, **kwargs)
 
-    def build_index(self, run_id: str, rebuild: bool = False) -> int:
-        """Materialise a run's lineage-closure index in the warehouse.
+    def build_index(
+        self, run_id: str, rebuild: bool = False, kind: str = "closure"
+    ) -> int:
+        """Materialise a run's lineage index in the warehouse.
 
-        Returns the number of closure rows stored.  Any strategy benefits
-        (the warehouse serves :meth:`admin_deep_provenance` from the index
-        once built); the ``indexed`` strategy would otherwise build it
-        lazily on the run's first query.
+        ``kind="closure"`` (default) builds the pairwise lineage-closure
+        index; ``kind="labeled"`` the compact reachability labels.
+        Returns the number of rows stored.  Any strategy benefits from
+        the closure (the warehouse serves :meth:`admin_deep_provenance`
+        from it once built); the ``indexed``/``labeled`` strategies would
+        otherwise build their index lazily on the run's first query.
         """
+        if kind == "labeled":
+            return self.warehouse.build_label_index(run_id, rebuild=rebuild)
+        if kind != "closure":
+            raise ValueError(
+                "kind must be 'closure' or 'labeled', not %r" % kind
+            )
         return self.warehouse.build_lineage_index(run_id, rebuild=rebuild)
 
     # ------------------------------------------------------------------

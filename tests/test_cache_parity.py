@@ -1,10 +1,11 @@
 """Strategy parity and bounded-cache behaviour of the reasoner.
 
-The caches and the lineage-closure index are optimisations, never
-semantics: for any generated workload, the ``cached``, ``uncached`` and
-``indexed`` strategies must return identical deep, immediate and reverse
-answers — warm or cold, under eviction pressure from a deliberately tiny
-capacity, and all of them must equal the reference semantics of
+The caches, the lineage-closure index and the compact reachability
+labels are optimisations, never semantics: for any generated workload,
+the ``cached``, ``uncached``, ``indexed``, ``labeled`` and ``auto``
+strategies must return identical deep, immediate and reverse answers —
+warm or cold, under eviction pressure from a deliberately tiny capacity,
+and all of them must equal the reference semantics of
 :mod:`repro.provenance.queries` computed over the raw composite run.
 """
 
@@ -61,6 +62,14 @@ def test_strategies_agree_on_all_query_kinds(case, seed):
     cached = ProvenanceReasoner(warehouse, strategy="cached")
     uncached = ProvenanceReasoner(warehouse, strategy="uncached")
     indexed = ProvenanceReasoner(warehouse, strategy="indexed")
+    labeled = ProvenanceReasoner(warehouse, strategy="labeled")
+    # closure_row_threshold=0 forces every auto decision to "labeled",
+    # so the auto path is exercised end to end rather than collapsing
+    # into the already-covered indexed one.
+    auto = ProvenanceReasoner(
+        warehouse, strategy="auto", closure_row_threshold=0
+    )
+    materialised = (indexed, labeled, auto)
     # The reference semantics, straight from queries.py over the raw run.
     reference = CompositeRun(run, view)
     targets = sorted(run.final_outputs())
@@ -71,20 +80,26 @@ def test_strategies_agree_on_all_query_kinds(case, seed):
         cold = cached.deep(run_id, target, view=view)
         warm = cached.deep(run_id, target, view=view)
         assert cold == warm == uncached.deep(run_id, target, view=view)
-        assert cold == indexed.deep(run_id, target, view=view)
+        for reasoner in materialised:
+            assert cold == reasoner.deep(run_id, target, view=view)
         assert cold == deep_provenance(reference, target)
-        assert cached.deep(run_id, target) \
-            == uncached.deep(run_id, target) \
-            == indexed.deep(run_id, target)
-        assert cached.immediate(run_id, target, view=view) == \
-            uncached.immediate(run_id, target, view=view) == \
-            indexed.immediate(run_id, target, view=view)
+        admin = cached.deep(run_id, target)
+        assert admin == uncached.deep(run_id, target)
+        for reasoner in materialised:
+            assert admin == reasoner.deep(run_id, target)
+        immediate = cached.immediate(run_id, target, view=view)
+        assert immediate == uncached.immediate(run_id, target, view=view)
+        for reasoner in materialised:
+            assert immediate == reasoner.immediate(run_id, target, view=view)
     for source in sources:
-        assert cached.reverse(run_id, source, view=view) == \
-            uncached.reverse(run_id, source, view=view) == \
-            indexed.reverse(run_id, source, view=view)
-    # The indexed reasoner built the persistent index as a side effect.
+        reverse = cached.reverse(run_id, source, view=view)
+        assert reverse == uncached.reverse(run_id, source, view=view)
+        for reasoner in materialised:
+            assert reverse == reasoner.reverse(run_id, source, view=view)
+    # The indexed/labeled reasoners built their persistent structures as
+    # a side effect (auto, forced labeled, shares the label index).
     assert warehouse.has_lineage_index(run_id)
+    assert warehouse.has_label_index(run_id)
 
 
 @given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
@@ -96,14 +111,45 @@ def test_deep_many_matches_per_query_answers(case, seed):
     view = build_user_view(spec, relevant)
     data_ids = sorted(run.final_outputs() | run.user_inputs())
     reference = ProvenanceReasoner(warehouse, strategy="uncached")
-    for strategy in ("cached", "uncached", "indexed"):
-        reasoner = ProvenanceReasoner(warehouse, strategy=strategy)
+    for strategy in ("cached", "uncached", "indexed", "labeled", "auto"):
+        reasoner = ProvenanceReasoner(
+            warehouse, strategy=strategy,
+            closure_row_threshold=0 if strategy == "auto" else None,
+        )
         for batch_view in (None, view):
             batch = reasoner.deep_many(run_id, data_ids, view=batch_view)
             assert sorted(batch) == data_ids
             for data_id in data_ids:
                 assert batch[data_id] == \
                     reference.deep(run_id, data_id, view=batch_view)
+
+
+def test_deep_many_dedupes_repeated_pairs_before_fanout():
+    """A duplicate-heavy batch computes each unique pair exactly once.
+
+    Regression: ``deep_many`` used to fan every copy out to
+    ``admin_deep``, so a batch with N duplicates cost N-1 pointless memo
+    probes (and N-1 recomputations under the uncached strategy).  The
+    closures-cache counters prove the fix: all unique pairs miss once,
+    nothing hits.
+    """
+    spec = phylogenomic_spec()
+    warehouse = InMemoryWarehouse()
+    spec_id = warehouse.store_spec(spec)
+    run = phylogenomic_run(spec)
+    run_id = warehouse.store_run(run, spec_id)
+    unique = sorted(run.final_outputs() | run.user_inputs())
+    heavy = unique * 5 + list(reversed(unique)) * 3
+    reasoner = ProvenanceReasoner(warehouse, strategy="cached")
+    batch = reasoner.deep_many(run_id, heavy)
+    assert sorted(batch) == unique
+    closures = reasoner.stats()["closures"]
+    assert closures["misses"] == len(unique)
+    assert closures["hits"] == 0
+    # The deduped batch still answers exactly like the per-query API.
+    reference = ProvenanceReasoner(warehouse, strategy="uncached")
+    for data_id in unique:
+        assert batch[data_id] == reference.deep(run_id, data_id)
 
 
 @given(specs_with_relevant(), st.integers(min_value=0, max_value=3))
@@ -120,6 +166,10 @@ def test_parity_survives_eviction_pressure(case, seed):
         warehouse, strategy="indexed", run_cache_size=1,
         composite_cache_size=1, closure_cache_size=1,
     )
+    tiny_labeled = ProvenanceReasoner(
+        warehouse, strategy="labeled", run_cache_size=1,
+        composite_cache_size=1, closure_cache_size=1,
+    )
     reference = ProvenanceReasoner(warehouse, strategy="uncached")
     views = [build_user_view(spec, relevant), admin_view(spec)]
     for target in sorted(run.final_outputs()):
@@ -127,6 +177,7 @@ def test_parity_survives_eviction_pressure(case, seed):
             expected = reference.deep(run_id, target, view=view)
             assert tiny.deep(run_id, target, view=view) == expected
             assert tiny_indexed.deep(run_id, target, view=view) == expected
+            assert tiny_labeled.deep(run_id, target, view=view) == expected
 
 
 class TestBoundedReasonerCaches:

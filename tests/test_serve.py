@@ -302,8 +302,11 @@ def _canonical(answer) -> str:
 
 
 class TestConcurrencyParity:
+    @pytest.mark.parametrize("strategy", ["cached", "labeled"])
     @pytest.mark.parametrize("backend", ["sqlite", "memory"])
-    def test_concurrent_answers_match_serial(self, backend, spec, run, joe, mary):
+    def test_concurrent_answers_match_serial(
+        self, backend, strategy, spec, run, joe, mary
+    ):
         warehouse = (
             SqliteWarehouse() if backend == "sqlite" else InMemoryWarehouse()
         )
@@ -311,7 +314,12 @@ class TestConcurrencyParity:
         requests = _request_mix(warehouse, run_id, joe, mary)
         reference = [_canonical(a) for a in _serial_reference(warehouse, requests)]
 
-        service = QueryService(warehouse, workers=4, queue_size=64)
+        service = QueryService(
+            warehouse, strategy=strategy, workers=4, queue_size=64
+        )
+        # Labeled index builds are warehouse writes; warm() runs them on
+        # the owner thread so the read-only workers find labels in place.
+        service.warm([run_id])
         collected: List[Tuple[int, str]] = []
         errors: List[BaseException] = []
         lock = threading.Lock()
