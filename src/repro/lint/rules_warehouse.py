@@ -68,6 +68,12 @@ RULES.register("WH042", LAYER_WAREHOUSE, WARNING,
 RULES.register("WH043", LAYER_WAREHOUSE, ERROR,
                "materialised label index is stale or version-mismatched:"
                " stored reachability labels disagree with the run's io rows")
+RULES.register("WH044", LAYER_WAREHOUSE, ERROR,
+               "shard layout disagrees with the manifest: a declared shard"
+               " file is missing or an undeclared one is present")
+RULES.register("WH045", LAYER_WAREHOUSE, WARNING,
+               "shard imbalance: one shard owns disproportionately many"
+               " runs (beyond the configured skew factor)")
 
 #: Default ceiling for :func:`lint_closure_budget`'s predicted row count.
 #: Chosen so the paper-scale workloads (hundreds of steps) pass with a
@@ -75,6 +81,18 @@ RULES.register("WH043", LAYER_WAREHOUSE, ERROR,
 #: quadratic in its step count) trips it before ``build_lineage_index``
 #: materialises millions of rows.
 DEFAULT_CLOSURE_ROW_THRESHOLD = 250_000
+
+#: Default skew factor for :func:`lint_shard_topology` (``WH045``): the
+#: busiest shard may own up to this multiple of the mean runs-per-shard
+#: before the imbalance is reported.  Hash routing stays well under it;
+#: spec-affinity routing with one dominant workflow trips it.
+DEFAULT_SHARD_SKEW = 2.0
+
+#: Minimum runs per shard (on average) before ``WH045`` engages — at low
+#: volume even uniform hash routing shows multinomial noise well past any
+#: reasonable skew factor, and a handful of runs is not an imbalance
+#: worth rebalancing anyway.
+SHARD_SKEW_MIN_RUNS_PER_SHARD = 8
 
 
 def lint_run_rows(
@@ -219,6 +237,7 @@ def lint_warehouse(
     run_ids: Optional[Sequence[str]] = None,
     check_minimality: bool = False,
     closure_row_threshold: int = DEFAULT_CLOSURE_ROW_THRESHOLD,
+    shard_skew_factor: float = DEFAULT_SHARD_SKEW,
 ) -> List[Finding]:
     """Audit every artifact a warehouse holds (optionally narrowed).
 
@@ -345,6 +364,9 @@ def lint_warehouse(
         # a narrowed audit should not drag in unrelated findings.
         findings.extend(lint_integrity(warehouse))
         findings.extend(lint_ingest_journal(warehouse))
+        findings.extend(
+            lint_shard_topology(warehouse, skew_factor=shard_skew_factor)
+        )
     return findings
 
 
@@ -405,6 +427,82 @@ def lint_ingest_journal(warehouse: ProvenanceWarehouse) -> List[Finding]:
         for entry in entries
         if entry.run_id not in present
     ]
+
+
+def lint_shard_topology(
+    warehouse: ProvenanceWarehouse,
+    skew_factor: float = DEFAULT_SHARD_SKEW,
+) -> List[Finding]:
+    """``WH044``/``WH045``: shard layout and balance of a federation.
+
+    Only engages on warehouses exposing ``shard_health()`` (the sharded
+    facade); the single-file backends have no layout to disagree with.
+
+    ``WH044`` (error) fires when the directory disagrees with the
+    manifest: a declared shard file was missing at open (the backend
+    recreated it *empty*, so its runs are gone) or is missing now, or an
+    undeclared ``shard-*.db`` is present (a manifest edited after the
+    fact, or files copied in from another federation — either way the
+    router will never look at it).
+
+    ``WH045`` (warning) fires when the busiest shard owns more than
+    ``skew_factor`` times the mean runs-per-shard (once the federation
+    holds enough runs for the ratio to mean anything): ingest and
+    scatter-gather latency degrade toward the single-file case because
+    one writer does most of the work.
+    """
+    health_probe = getattr(warehouse, "shard_health", None)
+    if not callable(health_probe):
+        return []
+    try:
+        health = health_probe()
+    except ZoomError:
+        return []
+    findings: List[Finding] = []
+    declared = int(cast(int, health.get("declared", 0)))
+    for name in cast("Sequence[str]", health.get("missing") or ()):
+        findings.append(RULES.finding(
+            "WH044", str(name),
+            "manifest declares shard file %r but the directory does not"
+            " hold it (its runs are unreachable)" % str(name),
+            hint="restore the shard file from backup, or re-load the"
+                 " dataset with --resume to re-ingest the lost runs",
+        ))
+    for name in cast("Sequence[str]", health.get("extra") or ()):
+        findings.append(RULES.finding(
+            "WH044", str(name),
+            "directory holds shard file %r which the manifest (shards=%d)"
+            " does not declare — the router never consults it"
+            % (str(name), declared),
+            hint="the manifest and directory disagree; remove the stray"
+                 " file or recreate the federation with the intended"
+                 " shard count",
+        ))
+    runs_per_shard = cast(
+        "Dict[object, int]", health.get("runs_per_shard") or {}
+    )
+    counts = [int(c) for c in runs_per_shard.values()]
+    if counts and len(counts) > 1:
+        total = sum(counts)
+        mean = total / len(counts)
+        busiest = max(counts)
+        if (
+            mean >= SHARD_SKEW_MIN_RUNS_PER_SHARD
+            and busiest > skew_factor * mean
+        ):
+            hot = max(runs_per_shard, key=lambda k: runs_per_shard[k])
+            findings.append(RULES.finding(
+                "WH045", "shard-%s" % hot,
+                "shard %s owns %d of %d runs (%.1fx the per-shard mean of"
+                " %.1f, skew factor %.1f)"
+                % (hot, busiest, total, busiest / mean if mean else 0.0,
+                   mean, skew_factor),
+                hint="check the router (spec-affinity routing skews when"
+                     " one workflow dominates); 'zoom shard"
+                     " rebalance-check' quantifies a re-rout under more"
+                     " shards",
+            ))
+    return findings
 
 
 def lint_auto_index_gap(

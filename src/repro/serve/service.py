@@ -403,7 +403,12 @@ class QueryService:
         return completed / elapsed
 
     def stats(self) -> Dict[str, Any]:
-        """Queue/throughput/latency/cache snapshot for dashboards and tests."""
+        """Queue/throughput/latency/cache snapshot for dashboards and tests.
+
+        When the warehouse is a sharded federation its merged per-shard
+        metrics are included under ``"shards"``, so one call reports the
+        whole stack: queue, caches, reasoner, and storage fan-out.
+        """
         metrics = self._metrics.current()
         timer = metrics.latency
         qps = self.qps()
@@ -414,7 +419,7 @@ class QueryService:
                 self._rejected,
                 self._completed,
             )
-        return {
+        out: Dict[str, Any] = {
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),
             "queue_size": self._queue.maxsize,
@@ -430,3 +435,7 @@ class QueryService:
             "cache": self._results.stats().as_dict(),
             "reasoner": self.reasoner.stats(),
         }
+        shard_stats = getattr(self.warehouse, "shard_stats", None)
+        if callable(shard_stats):
+            out["shards"] = shard_stats()
+        return out

@@ -33,6 +33,15 @@ from .recovery import (
     run_checksum,
 )
 from .schema import DIR_IN, DIR_OUT, SQLITE_DDL, SQLITE_DEEP_PROVENANCE
+from .sharded import (
+    DEFAULT_SHARD_COUNT,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    ROUTERS,
+    ShardedWarehouse,
+    hash_router,
+    spec_router,
+)
 from .sqlite import SqliteWarehouse
 from .stats import (
     RunStats,
@@ -45,9 +54,13 @@ from .stats import (
 )
 
 __all__ = [
+    "DEFAULT_SHARD_COUNT",
     "DIR_IN",
     "DIR_OUT",
     "InMemoryWarehouse",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "ROUTERS",
     "JOURNAL_COMMITTED",
     "JOURNAL_PENDING",
     "JournalEntry",
@@ -59,11 +72,13 @@ __all__ = [
     "RunStats",
     "SQLITE_DDL",
     "SQLITE_DEEP_PROVENANCE",
+    "ShardedWarehouse",
     "SqliteWarehouse",
     "WarehouseReport",
     "build_lineage_indexes",
     "checksum_stored_run",
     "dump_warehouse",
+    "hash_router",
     "hottest_modules",
     "ingest_dataset",
     "load_dataset",
@@ -79,5 +94,6 @@ __all__ = [
     "run_stats",
     "runs_executing_module",
     "save_warehouse",
+    "spec_router",
     "warehouse_report",
 ]

@@ -1,0 +1,348 @@
+"""Unit tests for the sharded warehouse: layout, routing, lint, metrics.
+
+The :class:`~repro.warehouse.sharded.ShardedWarehouse` facade must be a
+drop-in :class:`~repro.warehouse.base.ProvenanceWarehouse`: runs land on
+exactly one shard (decided by a process-stable router), specs and views
+replicate everywhere, cross-run listings merge deterministically, and
+the persisted ``shard_manifest.json`` rejects any reopen that would
+misroute runs.  Byte-level parity with the single-file backend is the
+companion suite's job (``test_shard_parity.py``); this one covers the
+mechanics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.errors import WarehouseError
+from repro.lint import Linter, lint_warehouse
+from repro.warehouse.loader import load_dataset
+from repro.warehouse.sharded import (
+    DEFAULT_SHARD_COUNT,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    ROUTERS,
+    ShardedWarehouse,
+    hash_router,
+    spec_router,
+)
+from repro.warehouse.sqlite import SqliteWarehouse
+from repro.workloads.classes import RUN_CLASSES, WORKFLOW_CLASSES
+from repro.workloads.generator import generate_workflow
+from repro.workloads.runs import generate_run
+from repro.zoom.cli import main
+
+
+def small_workload(n_specs=2, n_runs=4, size=10, seed=11):
+    rng = random.Random(seed)
+    classes = sorted(WORKFLOW_CLASSES)
+    items = []
+    for i in range(n_specs):
+        generated = generate_workflow(
+            WORKFLOW_CLASSES[classes[i % len(classes)]], rng,
+            target_size=size, name="wf%d" % i,
+        )
+        runs = [
+            generate_run(generated.spec, RUN_CLASSES["small"], rng,
+                         run_id="r%d" % n)
+            for n in range(n_runs)
+        ]
+        items.append((generated.spec, runs))
+    return items
+
+
+@pytest.fixture
+def loaded(tmp_path):
+    """A 4-shard federation holding the small workload."""
+    warehouse = ShardedWarehouse(str(tmp_path / "fed"), shards=4)
+    load_dataset(warehouse, small_workload(), batch_size=3)
+    yield warehouse
+    warehouse.close()
+
+
+class TestRouting:
+    def test_routers_are_process_stable(self):
+        # Regression pin: these buckets must never move between runs,
+        # platforms or PYTHONHASHSEED values — a reopened federation
+        # depends on it.
+        assert hash_router("wf0/r0", 4) == hash_router("wf0/r0", 4)
+        assert spec_router("wf0/r1", 4) == spec_router("wf0/r2", 4)
+        assert 0 <= hash_router("anything", 7) < 7
+
+    def test_spec_router_colocates_a_spec_runs(self, tmp_path):
+        warehouse = ShardedWarehouse(
+            str(tmp_path / "fed"), shards=4, router="spec"
+        )
+        try:
+            load_dataset(warehouse, small_workload(n_specs=1, n_runs=6))
+            counts = warehouse.runs_per_shard()
+            assert sorted(counts.values(), reverse=True)[0] == 6
+            assert sum(counts.values()) == 6
+        finally:
+            warehouse.close()
+
+    def test_unknown_router_name_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError, match="unknown routing scheme"):
+            ShardedWarehouse(str(tmp_path / "fed"), router="zorp")
+
+    def test_custom_callable_router(self, tmp_path):
+        warehouse = ShardedWarehouse(
+            str(tmp_path / "fed"), shards=2,
+            router=lambda run_id, shards: 0,
+        )
+        try:
+            assert warehouse.routing == "custom"
+            load_dataset(warehouse, small_workload(n_specs=1, n_runs=3))
+            assert warehouse.runs_per_shard() == {0: 3, 1: 0}
+        finally:
+            warehouse.close()
+
+    def test_router_out_of_range_rejected(self, tmp_path):
+        warehouse = ShardedWarehouse(
+            str(tmp_path / "fed"), shards=2,
+            router=lambda run_id, shards: 99,
+        )
+        try:
+            with pytest.raises(WarehouseError, match="shard 99"):
+                warehouse.shard_index("wf0/r0")
+        finally:
+            warehouse.close()
+
+
+class TestManifest:
+    def test_fresh_federation_writes_manifest(self, tmp_path):
+        with ShardedWarehouse(str(tmp_path / "fed"), shards=3) as warehouse:
+            assert warehouse.shard_count == 3
+        path = tmp_path / "fed" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["shards"] == 3
+        assert manifest["routing"] == "hash"
+        assert "labels_version" in manifest
+
+    def test_default_shard_count(self, tmp_path):
+        with ShardedWarehouse(str(tmp_path / "fed")) as warehouse:
+            assert warehouse.shard_count == DEFAULT_SHARD_COUNT
+
+    def test_reopen_uses_manifest_count(self, tmp_path, loaded):
+        directory = loaded.directory
+        runs = loaded.list_runs()
+        loaded.close()
+        with ShardedWarehouse(directory) as reopened:
+            assert reopened.shard_count == 4
+            assert reopened.list_runs() == runs
+
+    def test_reopen_honours_recorded_routing(self, tmp_path):
+        ShardedWarehouse(
+            str(tmp_path / "fed"), shards=2, router="spec"
+        ).close()
+        with ShardedWarehouse(str(tmp_path / "fed")) as reopened:
+            assert reopened.routing == "spec"
+
+    def test_reopen_custom_routing_needs_the_callable(self, tmp_path):
+        ShardedWarehouse(
+            str(tmp_path / "fed"), shards=2, router=lambda r, s: 0
+        ).close()
+        with pytest.raises(WarehouseError, match="custom router"):
+            ShardedWarehouse(str(tmp_path / "fed"))
+        with ShardedWarehouse(
+            str(tmp_path / "fed"), router=lambda r, s: 0
+        ) as reopened:
+            assert reopened.routing == "custom"
+
+    def test_reopen_with_conflicting_count_refused(self, tmp_path):
+        ShardedWarehouse(str(tmp_path / "fed"), shards=2).close()
+        with pytest.raises(WarehouseError, match="misroute"):
+            ShardedWarehouse(str(tmp_path / "fed"), shards=8)
+
+    def test_reopen_with_conflicting_routing_refused(self, tmp_path):
+        ShardedWarehouse(str(tmp_path / "fed"), shards=2).close()
+        with pytest.raises(WarehouseError, match="routing"):
+            ShardedWarehouse(str(tmp_path / "fed"), router="spec")
+
+    def test_unsupported_manifest_version_refused(self, tmp_path):
+        ShardedWarehouse(str(tmp_path / "fed"), shards=2).close()
+        path = tmp_path / "fed" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["version"] = 99
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(WarehouseError, match="v99"):
+            ShardedWarehouse(str(tmp_path / "fed"))
+
+    def test_shard_files_without_manifest_refused(self, tmp_path):
+        ShardedWarehouse(str(tmp_path / "fed"), shards=2).close()
+        os.remove(str(tmp_path / "fed" / MANIFEST_NAME))
+        with pytest.raises(WarehouseError, match="no %s" % MANIFEST_NAME):
+            ShardedWarehouse(str(tmp_path / "fed"))
+
+    def test_bad_shard_count_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError, match=">= 1"):
+            ShardedWarehouse(str(tmp_path / "fed"), shards=0)
+
+
+class TestFacade:
+    def test_runs_partitioned_specs_replicated(self, loaded):
+        counts = loaded.runs_per_shard()
+        assert sum(counts.values()) == 8
+        # Every shard can answer spec lookups on its own: specs and
+        # views are replicated, only runs are partitioned.
+        for shard in loaded._warehouses:
+            assert sorted(shard.list_specs()) == ["wf0", "wf1"]
+
+    def test_per_run_reads_route_to_owner(self, loaded):
+        for run_id in loaded.list_runs():
+            owner = loaded._warehouses[loaded.shard_index(run_id)]
+            assert run_id in owner.list_runs()
+            assert loaded.io_rows(run_id) == owner.io_rows(run_id)
+
+    def test_listings_merge_all_shards(self, loaded):
+        merged = set()
+        for shard in loaded._warehouses:
+            merged.update(shard.list_runs())
+        assert loaded.list_runs() == sorted(merged)
+        assert len(merged) == 8
+
+    def test_delete_run_only_touches_owner(self, loaded):
+        victim = loaded.list_runs()[0]
+        before = loaded.runs_per_shard()
+        loaded.delete_run(victim)
+        after = loaded.runs_per_shard()
+        owner = loaded.shard_index(victim)
+        assert after[owner] == before[owner] - 1
+        assert sum(after.values()) == 7
+
+    def test_shard_health_reports_layout(self, loaded):
+        health = loaded.shard_health()
+        assert health["declared"] == 4
+        assert health["routing"] == "hash"
+        assert health["missing"] == []
+        assert health["extra"] == []
+        assert sum(health["runs_per_shard"].values()) == 8
+
+    def test_shard_stats_merges_metrics(self, loaded):
+        stats = loaded.shard_stats()
+        assert stats["shards"] == 4
+        merged = stats["merged"]
+        # The ingest counters of all shards sum up in the merged view.
+        assert merged["ingest.runs"]["count"] == 8
+        per_run = sum(
+            snap["count"]
+            for name, snap in stats["per_shard"].items()
+            if name.endswith(".ingest.runs")
+        )
+        assert per_run == 8
+
+    def test_close_is_idempotent(self, tmp_path):
+        warehouse = ShardedWarehouse(str(tmp_path / "fed"), shards=2)
+        warehouse.close()
+        warehouse.close()
+
+
+class TestShardLint:
+    def test_clean_federation_has_no_shard_findings(self, loaded):
+        report = lint_warehouse(loaded)
+        assert not [f for f in report.findings
+                    if f.rule_id in ("WH044", "WH045")]
+
+    def test_wh044_fires_on_missing_shard_file(self, loaded):
+        directory = loaded.directory
+        loaded.close()
+        os.remove(os.path.join(directory, "shard-002.db"))
+        with ShardedWarehouse(directory) as reopened:
+            report = lint_warehouse(reopened)
+            hits = [f for f in report.findings if f.rule_id == "WH044"]
+            assert hits and "shard-002.db" in hits[0].message
+
+    def test_wh044_fires_on_extra_shard_file(self, loaded):
+        with open(os.path.join(loaded.directory, "shard-009.db"), "w"):
+            pass
+        report = lint_warehouse(loaded)
+        hits = [f for f in report.findings if f.rule_id == "WH044"]
+        assert hits and "shard-009.db" in hits[0].message
+
+    def test_wh045_fires_on_gross_imbalance(self, tmp_path):
+        # A router that sends everything to shard 0 is the worst case
+        # the skew rule exists for.
+        warehouse = ShardedWarehouse(
+            str(tmp_path / "fed"), shards=4,
+            router=lambda run_id, shards: 0,
+        )
+        try:
+            load_dataset(
+                warehouse, small_workload(n_specs=2, n_runs=20, size=6)
+            )
+            report = lint_warehouse(warehouse)
+            assert [f for f in report.findings if f.rule_id == "WH045"]
+            # A permissive skew factor silences it.
+            lenient = Linter(shard_skew_factor=100.0).lint_warehouse(warehouse)
+            assert not [f for f in lenient.findings if f.rule_id == "WH045"]
+        finally:
+            warehouse.close()
+
+    def test_single_file_backend_emits_no_shard_rules(self, tmp_path):
+        with SqliteWarehouse(str(tmp_path / "single.db")) as warehouse:
+            load_dataset(warehouse, small_workload(n_specs=1, n_runs=2))
+            report = lint_warehouse(warehouse)
+        assert not [f for f in report.findings
+                    if f.rule_id in ("WH044", "WH045")]
+
+
+class TestShardCli:
+    def test_load_shards_and_status(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        generated = generate_workflow(
+            WORKFLOW_CLASSES["Class2"], random.Random(0), name="cliwf"
+        )
+        spec_path.write_text(json.dumps(generated.spec.to_dict()))
+        fed = str(tmp_path / "fed")
+        assert main(["load", "--db", fed, "--spec", str(spec_path),
+                     "--runs", "4", "--shards", "2"]) == 0
+        assert os.path.isfile(os.path.join(fed, MANIFEST_NAME))
+        assert main(["shard", "status", "--db", fed]) == 0
+        out = capsys.readouterr().out
+        assert "shards:    2" in out
+        assert "routing: hash" in out
+
+    def test_status_flags_missing_file(self, tmp_path, capsys):
+        fed = str(tmp_path / "fed")
+        ShardedWarehouse(fed, shards=3).close()
+        os.remove(os.path.join(fed, "shard-001.db"))
+        assert main(["shard", "status", "--db", fed]) == 1
+        assert "MISSING shard-001.db" in capsys.readouterr().out
+
+    def test_rebalance_check_reports_migration(self, tmp_path, capsys):
+        fed = str(tmp_path / "fed")
+        warehouse = ShardedWarehouse(fed, shards=2)
+        load_dataset(warehouse, small_workload(n_specs=1, n_runs=8))
+        warehouse.close()
+        assert main(["shard", "rebalance-check", "--db", fed,
+                     "--shards", "4", "--skew", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "rebalance 2 -> 4 shard(s):" in out
+        # Doubling a hash federation moves roughly half the runs; at the
+        # very least the migration count is on the report.
+        assert "would move" in out
+
+    def test_shard_command_refuses_plain_file(self, tmp_path, capsys):
+        db = str(tmp_path / "single.db")
+        SqliteWarehouse(db).close()
+        assert main(["shard", "status", "--db", db]) == 2
+        assert "not a sharded warehouse" in capsys.readouterr().err
+
+    def test_lint_shard_skew_flag(self, tmp_path, capsys):
+        # Spec-affinity routing with a single dominant workflow is the
+        # realistic skew scenario WH045 documents: every run lands on
+        # one shard, and the CLI reopen honours the recorded scheme.
+        fed = str(tmp_path / "fed")
+        warehouse = ShardedWarehouse(fed, shards=4, router="spec")
+        load_dataset(warehouse, small_workload(n_specs=1, n_runs=40, size=6))
+        warehouse.close()
+        assert main(["lint", "--db", fed, "--select", "WH045",
+                     "--max-warnings", "0"]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--db", fed, "--select", "WH045",
+                     "--shard-skew", "1000", "--max-warnings", "0"]) == 0
