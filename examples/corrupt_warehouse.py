@@ -22,7 +22,11 @@ Planted defects and the rules they trigger:
   not stored (``WH035``) and a stepless run (``WH037``);
 * a pending ingest-journal row for a run the warehouse never received —
   the footprint of a bulk load killed between journalling and commit
-  (``WH041``, torn ingest).
+  (``WH041``, torn ingest);
+* a streaming run left open at rest — its producer died without
+  finalizing (``WH046``) — and a second open stream whose lineage index
+  was last maintained an epoch behind the committed rows, the footprint
+  of a crash between the epoch commit and the index delta (``WH047``).
 
 With ``--sharded`` the script instead vandalises a sharded federation:
 a healthy spec-routed load whose runs all pile onto one shard
@@ -53,7 +57,9 @@ import sys
 from repro.core.spec import INPUT, OUTPUT, WorkflowSpec
 from repro.core.view import UserView
 from repro.run.executor import simulate
+from repro.run.log import EventLog
 from repro.warehouse.sqlite import SqliteWarehouse
+from repro.warehouse.streaming import StreamingIngestor, chunk_log
 
 
 def build(path: str) -> str:
@@ -74,6 +80,22 @@ def build(path: str) -> str:
         view_id="healthy/ok-view",
     )
     warehouse.store_run(simulate(spec).run, spec_id, run_id="healthy/run1")
+
+    # Two streaming runs, appended through the official protocol but
+    # never finalized — the footprint of producers that died mid-run.
+    ingestor = StreamingIngestor(warehouse)
+    for run_id in ("healthy/stream1", "healthy/stream2"):
+        log = EventLog()
+        log.user_input("d0")
+        log.start("st1", "A")
+        log.read("st1", "d0")
+        log.write("st1", "d1")
+        ingestor.open_run(run_id, spec_id)
+        for chunk in chunk_log(log):
+            ingestor.ingest_events(run_id, chunk)
+    # stream2 additionally carries a lineage index, so winding its
+    # delta watermark back (below) makes the index verifiably stale.
+    warehouse.build_lineage_index("healthy/stream2")
     warehouse.close()
 
     # Now the vandalism, straight into the tables.
@@ -144,6 +166,20 @@ def build(path: str) -> str:
         db.execute(
             "INSERT INTO _ingest_journal VALUES"
             " ('healthy/run9', 'healthy', 'deadbeef', 1, 'pending')"
+        )
+
+        # -- abandoned streams (WH046): both open-run rows are aged an
+        #    hour so the default --open-run-age of 0 and any realistic
+        #    threshold both flag them.
+        db.execute(
+            "UPDATE _stream_state SET opened_at = opened_at - 3600"
+        )
+        # -- a trailing index watermark (WH047): the epoch committed but
+        #    the crash hit before the incremental index maintenance, so
+        #    stream2's lineage index still answers for the epoch before.
+        db.execute(
+            "UPDATE _stream_state SET delta_epoch = epoch - 1"
+            " WHERE run_id = 'healthy/stream2'"
         )
     db.close()
     return path

@@ -30,6 +30,30 @@ Instrumented sites (see :data:`SITES`):
     deferred ``io`` secondary indexes are recreated — a crash here leaves
     the warehouse unindexed, the state the startup integrity probe and
     ``zoom recover`` repair.
+``stream.epoch.pending``
+    A streaming append's journal entry was durably re-written ``pending``
+    but no epoch rows are stored yet — a crash here is the streaming
+    flavour of the torn journal; recovery *truncates* back to the last
+    committed epoch.
+``stream.append``
+    Inside :meth:`~repro.warehouse.base.ProvenanceWarehouse.stream_apply`,
+    after the epoch's delta rows entered the transaction but before it
+    commits — the site for both hard kills (the transaction rolls back)
+    and injected lock errors on the open-run row (absorbed by
+    ``with_retries``).
+``stream.epoch.mark``
+    The epoch's rows and stream state committed atomically but the journal
+    entry is still ``pending`` — recovery rolls the epoch *forward* by
+    checksum.
+``stream.delta``
+    The epoch is journalled committed but the incremental lineage/label
+    index deltas did not run — the warehouse's ``delta_epoch`` trails its
+    committed epoch (lint rule ``WH047``); recovery drops the stale
+    indexes so they rebuild lazily.
+``stream.finalize``
+    Inside :meth:`~repro.warehouse.streaming.StreamingIngestor.finalize_run`,
+    before the open-run state row is deleted — the run stays open
+    (lint rule ``WH046``) and a replayed finalize converges.
 
 A sixth failure mode, per-run corruption, is scheduled with
 :meth:`FaultPlan.fail_run` and raised by the pipeline's gate stage — under
@@ -59,6 +83,11 @@ SITES: Tuple[str, ...] = (
     "journal.pending",
     "journal.mark",
     "bulk_load.rebuild",
+    "stream.epoch.pending",
+    "stream.append",
+    "stream.epoch.mark",
+    "stream.delta",
+    "stream.finalize",
 )
 
 #: Every site a plan may schedule against: the crash/lock sites above plus

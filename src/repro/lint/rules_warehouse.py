@@ -74,6 +74,12 @@ RULES.register("WH044", LAYER_WAREHOUSE, ERROR,
 RULES.register("WH045", LAYER_WAREHOUSE, WARNING,
                "shard imbalance: one shard owns disproportionately many"
                " runs (beyond the configured skew factor)")
+RULES.register("WH046", LAYER_WAREHOUSE, WARNING,
+               "streaming run is still open at rest (its producer crashed"
+               " or never finalized)")
+RULES.register("WH047", LAYER_WAREHOUSE, ERROR,
+               "streaming run's index deltas trail its committed epoch"
+               " (lineage/label indexes are stale)")
 
 #: Default ceiling for :func:`lint_closure_budget`'s predicted row count.
 #: Chosen so the paper-scale workloads (hundreds of steps) pass with a
@@ -93,6 +99,12 @@ DEFAULT_SHARD_SKEW = 2.0
 #: reasonable skew factor, and a handful of runs is not an imbalance
 #: worth rebalancing anyway.
 SHARD_SKEW_MIN_RUNS_PER_SHARD = 8
+
+#: Default age (seconds since ``opened_at``) before ``WH046`` reports an
+#: open streaming run.  Zero flags *every* open run — right for an
+#: at-rest audit, where no producer can still be appending; raise it
+#: (``--open-run-age``) when auditing a warehouse with live producers.
+DEFAULT_OPEN_RUN_AGE = 0.0
 
 
 def lint_run_rows(
@@ -238,6 +250,7 @@ def lint_warehouse(
     check_minimality: bool = False,
     closure_row_threshold: int = DEFAULT_CLOSURE_ROW_THRESHOLD,
     shard_skew_factor: float = DEFAULT_SHARD_SKEW,
+    open_run_age: float = DEFAULT_OPEN_RUN_AGE,
 ) -> List[Finding]:
     """Audit every artifact a warehouse holds (optionally narrowed).
 
@@ -367,6 +380,9 @@ def lint_warehouse(
         findings.extend(
             lint_shard_topology(warehouse, skew_factor=shard_skew_factor)
         )
+        findings.extend(
+            lint_stream_states(warehouse, open_run_age=open_run_age)
+        )
     return findings
 
 
@@ -427,6 +443,78 @@ def lint_ingest_journal(warehouse: ProvenanceWarehouse) -> List[Finding]:
         for entry in entries
         if entry.run_id not in present
     ]
+
+
+def lint_stream_states(
+    warehouse: ProvenanceWarehouse,
+    open_run_age: float = DEFAULT_OPEN_RUN_AGE,
+    now: Optional[float] = None,
+) -> List[Finding]:
+    """``WH046``/``WH047``: open streaming runs and trailing index deltas.
+
+    ``WH046`` (warning) fires for every run still open for streaming
+    appends whose ``opened_at`` is at least ``open_run_age`` seconds old
+    — at rest that means the producer died (or forgot to finalize): the
+    stored rows are a consistent prefix, but the run will never converge
+    on its own.  Resume the stream (``open_run(resume=True)``) or
+    finalize it.
+
+    ``WH047`` (error) fires when a run's ``delta_epoch`` watermark
+    trails its committed epoch while a lineage or label index is
+    materialised: the epoch's rows committed but the crash hit before
+    the incremental index maintenance ran, so the indexes answer with
+    the previous epoch's closure.  ``recover()`` settles this by
+    dropping the stale indexes for lazy rebuild.
+    """
+    stream_states = getattr(warehouse, "stream_states", None)
+    if not callable(stream_states):
+        return []
+    try:
+        states = stream_states()
+    except ZoomError:
+        return []
+    if not states:
+        return []
+    if now is None:
+        import time
+
+        now = time.time()
+    findings: List[Finding] = []
+    for run_id, state in sorted(states.items()):
+        age = (
+            now - state.opened_at if state.opened_at is not None else None
+        )
+        if age is None or age >= open_run_age:
+            since = (
+                "" if age is None else ", open for %.0f s" % max(age, 0.0)
+            )
+            findings.append(RULES.finding(
+                "WH046", run_id,
+                "run %r is open for streaming appends at epoch %d%s —"
+                " its producer is gone or never finalized"
+                % (run_id, state.epoch, since),
+                hint="resume the stream (StreamingIngestor.open_run(...,"
+                     " resume=True)) and finalize it, or raise"
+                     " --open-run-age when producers are live",
+            ))
+        if state.delta_epoch < state.epoch:
+            try:
+                indexed = (
+                    warehouse.has_lineage_index(run_id)
+                    or warehouse.has_label_index(run_id)
+                )
+            except ZoomError:
+                indexed = False
+            if indexed:
+                findings.append(RULES.finding(
+                    "WH047", run_id,
+                    "run %r committed epoch %d but its indexes were last"
+                    " maintained at epoch %d — lineage/label answers are"
+                    " stale" % (run_id, state.epoch, state.delta_epoch),
+                    hint="run 'zoom recover' to drop the stale indexes"
+                         " (they rebuild lazily on the next query)",
+                ))
+    return findings
 
 
 def lint_shard_topology(

@@ -241,6 +241,133 @@ def compute_lineage_closure(
     )
 
 
+def closure_delta_rows(
+    run_id: str,
+    new_steps: Sequence[Tuple[str, str]],
+    new_io_rows: Sequence[Tuple[str, str, str]],
+    new_user_inputs: Sequence[str],
+    ancestor_lookup: Callable[[str], ProvenanceResult],
+) -> List[Tuple[str, str, str]]:
+    """Closure rows for one streaming epoch's *new* data objects only.
+
+    The streaming delta path: a provenance run grows append-only and each
+    data object has a unique producer, so a committed epoch never changes
+    an existing object's ancestor set — it only *adds* objects whose rows
+    can be derived from the epoch's delta subgraph plus the already-indexed
+    closures of the data it reads across the epoch boundary
+    (``ancestor_lookup``, typically
+    ``lambda d: warehouse.lineage_lookup(run_id, d)``).
+
+    One Kahn pass over the epoch's new steps, exactly mirroring
+    :func:`closure_from_rows` but seeded at the boundary: a read of
+    prior-epoch data pulls that object's full ``(step, data_in)`` row set
+    and lineage user inputs out of the index in a single lookup, after
+    which the frontier propagates forward without ever touching old rows.
+    Returns the sorted ``(data_id, step_id, data_in)`` /
+    ``(data_id, INPUT_MARKER, user_input)`` rows to append via
+    :meth:`~repro.warehouse.base.ProvenanceWarehouse.extend_lineage_index`.
+
+    Raises :class:`~repro.core.errors.WarehouseError` when the epoch is
+    not frontier-shaped — an io row referencing a step declared in an
+    earlier epoch (its input set may still be growing), multiple
+    producers, or a cycle — and lets ``ancestor_lookup`` errors propagate;
+    the streaming ingestor treats either as the signal to fall back to a
+    full rebuild (the ``stream.rebuild`` counter).
+    """
+    from ..warehouse.schema import DIR_OUT
+
+    modules: Dict[str, str] = dict(new_steps)
+    producer: Dict[str, str] = {d: INPUT for d in new_user_inputs}
+    inputs: Dict[str, List[str]] = {step_id: [] for step_id in modules}
+    outputs: Dict[str, List[str]] = {step_id: [] for step_id in modules}
+    for step_id, data_id, direction in new_io_rows:
+        if step_id not in modules:
+            raise WarehouseError(
+                "epoch io row (%r, %r) references a step declared in an"
+                " earlier epoch; the delta is not frontier-shaped"
+                % (step_id, data_id)
+            )
+        if direction == DIR_OUT:
+            if data_id in producer and producer[data_id] != step_id:
+                raise WarehouseError(
+                    "data %r written by both %r and %r"
+                    % (data_id, producer[data_id], step_id)
+                )
+            producer[data_id] = step_id
+            outputs[step_id].append(data_id)
+        else:
+            inputs[step_id].append(data_id)
+    step_inputs = {s: tuple(sorted(set(inputs[s]))) for s in modules}
+
+    # Ancestor (step, data_in) pairs and lineage user inputs per object;
+    # seeded from the epoch's user inputs and, lazily, from the index for
+    # data flowing in across the epoch boundary.
+    pairs: Dict[str, FrozenSet[Tuple[str, str]]] = {}
+    lineage_inputs: Dict[str, FrozenSet[str]] = {}
+    for data_id in new_user_inputs:
+        pairs[data_id] = frozenset()
+        lineage_inputs[data_id] = frozenset([data_id])
+
+    def resolve_boundary(data_id: str) -> None:
+        if data_id in pairs:
+            return
+        prior = ancestor_lookup(data_id)
+        pairs[data_id] = frozenset(
+            (row.step_id, row.data_in) for row in prior.rows
+        )
+        lineage_inputs[data_id] = frozenset(prior.user_inputs)
+
+    upstream: Dict[str, Set[str]] = {}
+    downstream: Dict[str, Set[str]] = {s: set() for s in modules}
+    for step_id in modules:
+        sources: Set[str] = set()
+        for data_id in step_inputs[step_id]:
+            source = producer.get(data_id)
+            if source is None:
+                resolve_boundary(data_id)
+            elif source != INPUT and source != step_id:
+                sources.add(source)
+        upstream[step_id] = sources
+        for source in sources:
+            downstream[source].add(step_id)
+
+    ready: Deque[str] = deque(sorted(s for s in modules if not upstream[s]))
+    processed = 0
+    while ready:
+        step_id = ready.popleft()
+        processed += 1
+        own = frozenset((step_id, d) for d in step_inputs[step_id])
+        pairs_here = own.union(
+            *(pairs[d] for d in step_inputs[step_id])
+        )
+        input_sets = [lineage_inputs[d] for d in step_inputs[step_id]]
+        inputs_here = (
+            frozenset().union(*input_sets) if input_sets else frozenset()
+        )
+        for data_id in outputs[step_id]:
+            pairs[data_id] = pairs_here
+            lineage_inputs[data_id] = inputs_here
+        for successor in sorted(downstream[step_id]):
+            upstream[successor].discard(step_id)
+            if not upstream[successor]:
+                ready.append(successor)
+    if processed != len(modules):
+        raise WarehouseError(
+            "epoch delta of run %r has a cyclic io dependency" % run_id
+        )
+
+    rows: Set[Tuple[str, str, str]] = set()
+    new_data = set(new_user_inputs)
+    for step_id in modules:
+        new_data.update(outputs[step_id])
+    for data_id in new_data:
+        for step_id, data_in in pairs[data_id]:
+            rows.add((data_id, step_id, data_in))
+        for user_input in lineage_inputs[data_id]:
+            rows.add((data_id, INPUT_MARKER, user_input))
+    return sorted(rows)
+
+
 def closure_table_rows(
     run_id: str,
     steps: Sequence[Tuple[str, str]],

@@ -85,6 +85,11 @@ class ReexecutionPlanner:
             self._run_cache[run_id] = run
         return run
 
+    def invalidate_run(self, run_id: str) -> None:
+        """Forget the memoised run, e.g. after a streamed epoch extended
+        it; the next plan re-materialises the current rows."""
+        self._run_cache.pop(run_id, None)
+
     def plan(self, run_id: str, changed_inputs: Iterable[str]) -> ReexecutionPlan:
         """Plan the re-execution caused by changing some user inputs."""
         run = self._run(run_id)

@@ -208,6 +208,30 @@ class ProvenanceReasoner:
         for listener in list(self._invalidation_listeners):
             listener(run_id)
 
+    def refresh_run(self, run_id: str) -> None:
+        """Flip one run's cached state to the next generation, gently.
+
+        The streaming counterpart of :meth:`invalidate_run`: a committed
+        epoch *extended* the run's rows — it did not corrupt them — so
+        the in-process memos (run, composites, closures) are stale and
+        must go, but the warehouse's persistent lineage/label indexes
+        were already advanced by the streaming ingestor's delta path and
+        MUST survive.  Generations are bumped first for the same
+        stale-publish race :meth:`invalidate_run` documents; the
+        ``_indexed_runs`` / ``_labeled_runs`` memos are kept because the
+        persistent indexes are still valid.  Registered invalidation
+        listeners fire last so the serve layer drops its derived results
+        for the run in the same stroke.
+        """
+        for cache in self._caches():
+            cache.bump_generation(run_id)
+        if not self._run_cache.invalidate(run_id):
+            self._on_run_removed(run_id, None, "refreshed")  # type: ignore[arg-type]
+        self._auto_choice.pop(run_id, None)
+        get_registry().counter("reasoner.refreshes").increment()
+        for listener in list(self._invalidation_listeners):
+            listener(run_id)
+
     def stats(self) -> Dict[str, Dict[str, object]]:
         """Per-cache hit/miss/eviction/size counters, by cache name."""
         return {

@@ -314,6 +314,23 @@ class QueryService:
         """
         self.reasoner.invalidate_run(run_id)
 
+    def refresh_run(self, run_id: str) -> None:
+        """Flip one run's cached answers to its next generation.
+
+        The streaming counterpart of :meth:`invalidate_run`: a committed
+        epoch grew the run, so cached answers are stale but the
+        persistent lineage/label indexes — which the streaming ingestor
+        already advanced — survive.  Safe from any thread: nothing here
+        writes to the warehouse.  Readers racing the refresh get either
+        the previous epoch's answer or the new one, never a torn mix —
+        the generation bump stops a slow in-flight build from publishing
+        a stale result after the refresh.
+        """
+        self.reasoner.refresh_run(run_id)
+        self._metrics.current().registry.counter(
+            "serve.refreshes"
+        ).increment()
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

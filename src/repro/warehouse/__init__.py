@@ -6,7 +6,7 @@ recursive common table expression (the stdlib analogue of the Oracle
 ``CONNECT BY`` queries in the paper's prototype).
 """
 
-from .base import ProvenanceWarehouse
+from .base import ProvenanceWarehouse, StreamState
 from .jsonfile import (
     dump_warehouse,
     load_warehouse,
@@ -43,6 +43,7 @@ from .sharded import (
     spec_router,
 )
 from .sqlite import SqliteWarehouse
+from .streaming import StreamingIngestor, chunk_log, stream_log
 from .stats import (
     RunStats,
     WarehouseReport,
@@ -74,9 +75,12 @@ __all__ = [
     "SQLITE_DEEP_PROVENANCE",
     "ShardedWarehouse",
     "SqliteWarehouse",
+    "StreamState",
+    "StreamingIngestor",
     "WarehouseReport",
     "build_lineage_indexes",
     "checksum_stored_run",
+    "chunk_log",
     "dump_warehouse",
     "hash_router",
     "hottest_modules",
@@ -95,5 +99,6 @@ __all__ = [
     "runs_executing_module",
     "save_warehouse",
     "spec_router",
+    "stream_log",
     "warehouse_report",
 ]

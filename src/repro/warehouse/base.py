@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Container,
@@ -48,6 +49,29 @@ if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids an import cycl
     from ..provenance.labels import LineageLabels
     from .pipeline import PreparedRun
     from .recovery import JournalEntry, QuarantineRecord
+
+
+@dataclass(frozen=True)
+class StreamState:
+    """The durable open-run marker of a streaming ingestion.
+
+    One record per run currently being appended to
+    (:mod:`repro.warehouse.streaming`).  ``epoch`` counts committed
+    appends; ``checksum`` is the cumulative
+    :func:`~repro.warehouse.recovery.run_checksum` as of that epoch — the
+    consistent prefix a torn append is truncated back to.  ``delta_epoch``
+    is the epoch through which the lineage/label indexes were maintained;
+    it trailing ``epoch`` means the indexes are stale (lint rule
+    ``WH047``).  The record's *presence* is the open marker: finalize
+    deletes it.
+    """
+
+    run_id: str
+    spec_id: str
+    epoch: int
+    delta_epoch: int
+    checksum: str
+    opened_at: Optional[float] = None
 
 
 class ProvenanceWarehouse(ABC):
@@ -217,6 +241,82 @@ class ProvenanceWarehouse(ABC):
         """
         return {"ok": True, "missing_indexes": [], "repaired": []}
 
+    # ------------------------------------------------------------------
+    # Streaming appends (open runs; repro.warehouse.streaming)
+    # ------------------------------------------------------------------
+
+    def stream_begin(
+        self,
+        run_id: str,
+        spec_id: str,
+        *,
+        checksum: str,
+        opened_at: Optional[float] = None,
+    ) -> None:
+        """Open a run for streaming appends.
+
+        Atomically creates the (empty) run and its open-run state record
+        (epoch 0, ``checksum`` of the empty prefix).  Backends without
+        streaming support refuse, so ``open_run`` never silently degrades
+        to a non-resumable append.
+        """
+        raise NotImplementedError(
+            "%s does not implement streaming ingestion" % type(self).__name__
+        )
+
+    def stream_state(self, run_id: str) -> Optional["StreamState"]:
+        """The open-run record of ``run_id``, or ``None`` when the run is
+        not currently open for streaming (default: never open)."""
+        return None
+
+    def stream_states(self) -> Dict[str, "StreamState"]:
+        """Every open-run record, keyed by run id (default: none)."""
+        return {}
+
+    def stream_apply(
+        self,
+        run_id: str,
+        *,
+        epoch: int,
+        checksum: str,
+        step_rows: Sequence[Tuple[str, str]],
+        io_rows: Sequence[Tuple[str, str, str]],
+        user_inputs: Sequence[Tuple[str, str]],
+        final_outputs: Sequence[str],
+    ) -> None:
+        """Apply one epoch's delta rows **atomically**.
+
+        The delta rows *and* the state advance (``epoch``/``checksum``)
+        must land in one transaction — a crash anywhere inside leaves the
+        previous epoch intact, never a half-applied one.  Instrumented
+        with the ``stream.append`` fault site inside the transaction;
+        implementations wrap themselves in
+        :func:`~repro.obs.retry.with_retries` so injected lock errors on
+        the open-run row are absorbed.  ``user_inputs`` rows carry their
+        ``who`` attribution.
+        """
+        raise NotImplementedError(
+            "%s does not implement streaming ingestion" % type(self).__name__
+        )
+
+    def stream_mark_delta(self, run_id: str, epoch: int) -> None:
+        """Record that the lineage/label indexes were maintained through
+        ``epoch`` (the ``delta_epoch`` advance, after the epoch committed)."""
+        raise NotImplementedError(
+            "%s does not implement streaming ingestion" % type(self).__name__
+        )
+
+    def stream_close(self, run_id: str) -> None:
+        """Delete the open-run record: the run is finalized.
+
+        The stored rows and journal entry are left exactly as a cold
+        batch load of the same events would leave them, so the warehouse
+        fingerprint converges byte-identically.
+        """
+        raise NotImplementedError(
+            "%s does not implement streaming ingestion" % type(self).__name__
+        )
+
     @abstractmethod
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         """Ids of stored runs, optionally restricted to one specification."""
@@ -340,6 +440,23 @@ class ProvenanceWarehouse(ABC):
     @abstractmethod
     def _store_lineage_closure(self, closure: "LineageClosure") -> None:
         """Persist a freshly computed closure (internal; bulk, transactional)."""
+
+    def extend_lineage_index(
+        self, run_id: str, rows: Sequence[Tuple[str, str, str]]
+    ) -> int:
+        """Append freshly derived closure rows to an existing index.
+
+        The streaming delta path: an append-only DAG never changes an
+        existing data object's ancestor set, so a committed epoch only
+        *adds* ``(data_id, step_id, data_in)`` rows for the new frontier
+        (:func:`~repro.provenance.index.closure_delta_rows`).  Returns the
+        new total row count.  Raises :class:`WarehouseError` when the run
+        is not indexed — the caller falls back to a full build.
+        """
+        raise NotImplementedError(
+            "%s does not implement incremental lineage maintenance"
+            % type(self).__name__
+        )
 
     @abstractmethod
     def has_lineage_index(self, run_id: str) -> bool:

@@ -16,7 +16,7 @@ without its connection affinity.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Deque,
@@ -30,7 +30,7 @@ from typing import (
 )
 
 from ..core.errors import WarehouseError
-from ..core.spec import INPUT, WorkflowSpec
+from ..core.spec import INPUT, OUTPUT, WorkflowSpec
 from ..core.view import UserView
 from ..faults import FaultPlan
 from ..obs.metrics import get_registry
@@ -38,7 +38,7 @@ from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
 from ..sanitize import guard, make_lock
-from .base import ProvenanceWarehouse
+from .base import ProvenanceWarehouse, StreamState
 from .recovery import JOURNAL_COMMITTED, JournalEntry, QuarantineRecord
 from .schema import DIR_IN, DIR_OUT
 
@@ -103,6 +103,11 @@ class InMemoryWarehouse(ProvenanceWarehouse):
         #: Quarantined runs (run id -> record).
         self._quarantine: Dict[str, QuarantineRecord] = guard(
             {}, self._mutate, "memory._quarantine", mode="w"
+        )  # guarded-by: _mutate
+        #: Open streaming runs (run id -> StreamState), the in-memory
+        #: analogue of the SQLite ``_stream_state`` table.
+        self._streams: Dict[str, StreamState] = guard(
+            {}, self._mutate, "memory._streams", mode="w"
         )  # guarded-by: _mutate
         #: Build the lineage-closure index of every run at ingestion time.
         self.auto_index = auto_index
@@ -324,6 +329,125 @@ class InMemoryWarehouse(ProvenanceWarehouse):
                 raise self._missing("quarantined run", run_id)
             del self._quarantine[run_id]
 
+    # ------------------------------------------------------------------
+    # Streaming appends (open runs)
+    # ------------------------------------------------------------------
+
+    def stream_begin(
+        self,
+        run_id: str,
+        spec_id: str,
+        *,
+        checksum: str,
+        opened_at: Optional[float] = None,
+    ) -> None:
+        self.get_spec(spec_id)  # raise for unknown specs
+        with self._mutate:
+            identifier = self._fresh_id(run_id, run_id, self._runs)
+            self._runs[identifier] = _RunRecord(spec_id=spec_id)
+            self._streams[identifier] = StreamState(
+                run_id=identifier, spec_id=spec_id, epoch=0, delta_epoch=0,
+                checksum=checksum, opened_at=opened_at,
+            )
+
+    def stream_state(self, run_id: str) -> Optional[StreamState]:
+        return self._streams.get(run_id)
+
+    def stream_states(self) -> Dict[str, StreamState]:
+        return dict(self._streams)
+
+    @with_retries()
+    def stream_apply(
+        self,
+        run_id: str,
+        *,
+        epoch: int,
+        checksum: str,
+        step_rows: Sequence[Tuple[str, str]],
+        io_rows: Sequence[Tuple[str, str, str]],
+        user_inputs: Sequence[Tuple[str, str]],
+        final_outputs: Sequence[str],
+    ) -> None:
+        """Copy-on-write epoch application.
+
+        A *new* record is built from the published one, the delta is
+        applied to the copy, and only then is the run table reference
+        swapped — concurrent readers holding the old record see the
+        previous epoch in full; readers arriving after the swap see the
+        new one in full.  A crash or injected lock error at
+        ``stream.append`` fires before the swap, so nothing is ever
+        half-applied.
+        """
+        state = self._streams.get(run_id)
+        if state is None:
+            raise WarehouseError("run %r is not open for streaming" % run_id)
+        old = self._record(run_id)
+        record = _RunRecord(
+            spec_id=old.spec_id,
+            steps=dict(old.steps),
+            io=list(old.io),
+            producer=dict(old.producer),
+            inputs={step: set(data) for step, data in old.inputs.items()},
+            outputs={step: set(data) for step, data in old.outputs.items()},
+            user_inputs=set(old.user_inputs),
+            final_outputs=set(old.final_outputs),
+            input_who=dict(old.input_who),
+            annotations=old.annotations,
+            lineage_steps=old.lineage_steps,
+            lineage_inputs=old.lineage_inputs,
+            lineage_row_count=old.lineage_row_count,
+            labels=old.labels,
+        )
+        for step_id, module in step_rows:
+            record.steps[step_id] = module
+            record.inputs.setdefault(step_id, set())
+            record.outputs.setdefault(step_id, set())
+        present = set(record.io)
+        for row in io_rows:
+            if row in present:
+                continue
+            present.add(row)
+            step_id, data_id, direction = row
+            record.io.append(row)
+            if direction == DIR_OUT:
+                owner = record.producer.get(data_id)
+                if owner is not None and owner != step_id:
+                    raise WarehouseError(
+                        "data %r written by both %r and %r"
+                        % (data_id, owner, step_id)
+                    )
+                record.outputs[step_id].add(data_id)
+                record.producer[data_id] = step_id
+            else:
+                record.inputs[step_id].add(data_id)
+        for data_id, who in user_inputs:
+            record.user_inputs.add(data_id)
+            record.producer[data_id] = INPUT
+            if who != "user":
+                record.input_who[data_id] = who
+        record.final_outputs.update(final_outputs)
+        self._hit("stream.append")
+        with self._mutate:
+            self._runs[run_id] = record
+            self._streams[run_id] = replace(
+                state, epoch=epoch, checksum=checksum
+            )
+
+    def stream_mark_delta(self, run_id: str, epoch: int) -> None:
+        with self._mutate:
+            state = self._streams.get(run_id)
+            if state is None:
+                raise WarehouseError(
+                    "run %r is not open for streaming" % run_id
+                )
+            self._streams[run_id] = replace(state, delta_epoch=epoch)
+
+    def stream_close(self, run_id: str) -> None:
+        with self._mutate:
+            if run_id not in self._streams:
+                raise self._missing("open streaming run", run_id)
+            del self._streams[run_id]
+
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         return sorted(
             rid
@@ -484,6 +608,33 @@ class InMemoryWarehouse(ProvenanceWarehouse):
                 rows.add((data_id, INPUT, user_input))
         return rows
 
+    def extend_lineage_index(
+        self, run_id: str, rows: Sequence[Tuple[str, str, str]]
+    ) -> int:
+        record = self._record(run_id)
+        if record.lineage_steps is None or record.lineage_inputs is None:
+            raise WarehouseError("run %r has no lineage index" % run_id)
+        new_steps: Dict[str, Set[str]] = {}
+        new_inputs: Dict[str, Set[str]] = {}
+        for data_id, step_id, data_in in rows:
+            if step_id == INPUT:
+                new_inputs.setdefault(data_id, set()).add(data_in)
+            else:
+                new_steps.setdefault(data_id, set()).add(step_id)
+                new_inputs.setdefault(data_id, set())
+        with self._mutate:
+            for data_id in sorted(set(new_steps) | set(new_inputs)):
+                record.lineage_steps[data_id] = frozenset(
+                    record.lineage_steps.get(data_id, frozenset())
+                    | new_steps.get(data_id, set())
+                )
+                record.lineage_inputs[data_id] = frozenset(
+                    record.lineage_inputs.get(data_id, frozenset())
+                    | new_inputs.get(data_id, set())
+                )
+            record.lineage_row_count += len(set(rows))
+        return record.lineage_row_count
+
     # ------------------------------------------------------------------
     # Compact reachability labels
     # ------------------------------------------------------------------
@@ -533,6 +684,51 @@ class InMemoryWarehouse(ProvenanceWarehouse):
             del self._runs[run_id]
             self._journal.pop(run_id, None)
             self._quarantine.pop(run_id, None)
+            self._streams.pop(run_id, None)
+
+    def get_run(self, run_id: str) -> WorkflowRun:
+        """Snapshot-consistent run reconstruction.
+
+        The base implementation re-fetches the run's relations through
+        four separate accessor calls; under a concurrent streaming append
+        the record reference could change between them, tearing the
+        reconstruction across two epochs.  Records are immutable once
+        published (appends swap in a fresh copy), so reading everything
+        from ONE reference pins the snapshot.
+        """
+        record = self._record(run_id)
+        spec = self.get_spec(record.spec_id)
+        run = WorkflowRun(spec, run_id=run_id)
+        for step_id, module in sorted(record.steps.items()):
+            run.add_step(step_id, module)
+        writer: Dict[str, str] = {d: INPUT for d in record.user_inputs}
+        reads: List[Tuple[str, str]] = []
+        for step_id, data_id, direction in record.io:
+            if direction == DIR_OUT:
+                if data_id in writer and writer[data_id] != step_id:
+                    raise WarehouseError(
+                        "data %r written by both %r and %r"
+                        % (data_id, writer[data_id], step_id)
+                    )
+                writer[data_id] = step_id
+            else:
+                reads.append((step_id, data_id))
+        for step_id, data_id in reads:
+            source = writer.get(data_id)
+            if source is None:
+                raise WarehouseError(
+                    "step %r read %r which nothing produced"
+                    % (step_id, data_id)
+                )
+            run.add_edge(source, step_id, [data_id])
+        for data_id in sorted(record.final_outputs):
+            source = writer.get(data_id)
+            if source is None:
+                raise WarehouseError(
+                    "final output %r never produced" % data_id
+                )
+            run.add_edge(source, OUTPUT, [data_id])
+        return run
 
     # ------------------------------------------------------------------
     # Recursive closure (BFS; served from the index when built)

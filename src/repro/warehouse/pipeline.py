@@ -398,12 +398,17 @@ def ingest_dataset(
     plan = faults if faults is not None else getattr(warehouse, "faults", None)
 
     already: frozenset = frozenset()
+    open_streams: frozenset = frozenset()
     if resume:
         recover(warehouse)
         # After recovery every stored run is verified (journal-committed
         # or checksum-matched), so presence alone is the skip criterion —
         # it also covers runs a serial, journal-less path loaded.
         already = frozenset(warehouse.list_runs())
+        # A run still open for streaming appends is mid-flight under the
+        # other ingestion protocol: its rows are a valid prefix, not the
+        # finished run, so neither skipping nor re-storing it is right.
+        open_streams = frozenset(warehouse.stream_states())
 
     records: List[LoadedSpec] = []
     tasks: List[_PrepareTask] = []
@@ -428,6 +433,12 @@ def ingest_dataset(
                     % (run.run_id, record.spec_id)
                 )
             run_id = "%s/run%d" % (record.spec_id, number)
+            if run_id in open_streams:
+                raise WarehouseError(
+                    "cannot resume over run %r: it is open for streaming"
+                    " appends — finalize it (or let the streaming ingestor"
+                    " resume it) instead of re-ingesting the batch" % run_id
+                )
             if run_id in already:
                 record.run_ids.append(run_id)
                 registry.counter("ingest.skipped").increment()

@@ -150,13 +150,24 @@ class QuarantineRecord:
 
 @dataclass
 class RecoveryReport:
-    """What :func:`recover` found and fixed."""
+    """What :func:`recover` found and fixed.
+
+    The ``stream_*`` lists cover runs that were *open for streaming*
+    (:meth:`~repro.warehouse.base.ProvenanceWarehouse.stream_states`)
+    when the crash hit: an epoch rolled forward by checksum, an append
+    truncated back to the last committed epoch, or a run whose
+    lineage/label indexes trailed its committed epoch and were dropped
+    for lazy rebuild.
+    """
 
     integrity_ok: bool = True
     repaired_indexes: List[str] = field(default_factory=list)
     marked_committed: List[str] = field(default_factory=list)
     rolled_back: List[str] = field(default_factory=list)
     torn_journal: List[str] = field(default_factory=list)
+    stream_rolled_forward: List[str] = field(default_factory=list)
+    stream_truncated: List[str] = field(default_factory=list)
+    stream_desynced: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -167,6 +178,9 @@ class RecoveryReport:
             and not self.marked_committed
             and not self.rolled_back
             and not self.torn_journal
+            and not self.stream_rolled_forward
+            and not self.stream_truncated
+            and not self.stream_desynced
         )
 
     def summary(self) -> str:
@@ -190,6 +204,21 @@ class RecoveryReport:
             lines.append(
                 "torn journal (re-load with --resume): %s"
                 % ", ".join(self.torn_journal)
+            )
+        if self.stream_rolled_forward:
+            lines.append(
+                "stream epochs rolled forward: %s"
+                % ", ".join(self.stream_rolled_forward)
+            )
+        if self.stream_truncated:
+            lines.append(
+                "stream appends truncated (resume re-sends): %s"
+                % ", ".join(self.stream_truncated)
+            )
+        if self.stream_desynced:
+            lines.append(
+                "stream indexes dropped (delta_epoch trailed): %s"
+                % ", ".join(self.stream_desynced)
             )
         if self.clean:
             lines.append("journal: clean")
@@ -247,35 +276,132 @@ def event_index_of(exc: BaseException) -> Optional[int]:
     return int(match.group(1)) if match else None
 
 
+def _recover_streams(
+    warehouse: ProvenanceWarehouse, report: RecoveryReport
+) -> frozenset:
+    """Settle every open streaming run; returns their run ids.
+
+    A streaming run holds exactly one journal entry, re-written
+    ``pending`` at the start of each epoch and ``committed`` after the
+    epoch's rows landed; the ``_stream_state`` row — updated *in the same
+    transaction* as the rows — is the last-committed watermark.  Per run:
+
+    * pending entry whose checksum matches the stored rows → the crash
+      hit between the atomic apply and the journal mark; roll the epoch
+      **forward** (mark committed).
+    * pending entry, stored rows matching the *state* checksum instead →
+      the epoch never (durably) applied; **truncate** by re-journalling
+      the last committed epoch, leaving a resumed append to re-send it.
+    * stored rows matching neither checksum → corrupt; the run (and its
+      state row) is deleted outright.
+    * no journal entry at all → the crash hit inside ``open_run`` before
+      its first journal write; re-journal the committed open state.
+
+    After the journal settles, a run whose ``delta_epoch`` trails its
+    committed epoch (crash between epoch commit and index delta — lint
+    rule ``WH047``) has its lineage/label indexes dropped and the
+    watermark advanced: queries rebuild lazily rather than read a stale
+    index.
+    """
+    registry = get_registry()
+    states = warehouse.stream_states()
+    if not states:
+        return frozenset()
+    entries = {e.run_id: e for e in warehouse.journal_entries()}
+    present = set(warehouse.list_runs())
+    for run_id in sorted(states):
+        state = states[run_id]
+        if run_id not in present:  # pragma: no cover — state row is
+            # written in the same transaction as the run definition, so
+            # this needs external vandalism; settle it defensively.
+            warehouse.stream_close(run_id)
+            if run_id in entries:
+                warehouse.journal_discard([run_id])
+            report.rolled_back.append(run_id)
+            continue
+        entry = entries.get(run_id)
+        stored = checksum_stored_run(warehouse, run_id)
+        if entry is not None and entry.state == JOURNAL_COMMITTED:
+            pass  # journal already settled; only the delta check remains
+        elif entry is not None and stored == entry.checksum:
+            warehouse.journal_commit([run_id])
+            registry.counter("recovery.stream_rolled_forward").increment()
+            report.stream_rolled_forward.append(run_id)
+        elif stored == state.checksum:
+            # Also covers entry=None: a kill between open_run's state
+            # transaction and its journal write leaves epoch 0 committed
+            # but unjournalled.
+            warehouse.journal_begin([JournalEntry(
+                run_id=run_id, spec_id=state.spec_id,
+                checksum=state.checksum, batch=state.epoch,
+            )])
+            warehouse.journal_commit([run_id])
+            registry.counter("recovery.stream_truncated").increment()
+            report.stream_truncated.append(run_id)
+        else:
+            # Matches neither the in-flight epoch nor the last committed
+            # one: the stored rows are garbage.  delete_run clears the
+            # journal row and the stream state with it.
+            warehouse.delete_run(run_id)
+            registry.counter("recovery.rolled_back").increment()
+            report.rolled_back.append(run_id)
+            continue
+        state = warehouse.stream_state(run_id)
+        if state is not None and state.delta_epoch < state.epoch:
+            if warehouse.has_lineage_index(run_id):
+                warehouse.drop_lineage_index(run_id)
+            if warehouse.has_label_index(run_id):
+                warehouse.drop_label_index(run_id)
+            warehouse.stream_mark_delta(run_id, state.epoch)
+            registry.counter("recovery.stream_desynced").increment()
+            report.stream_desynced.append(run_id)
+    return frozenset(states)
+
+
 def recover(warehouse: ProvenanceWarehouse) -> RecoveryReport:
     """Repair a warehouse after a crashed (or killed) ingestion.
 
     Safe to run any time — on a healthy warehouse it is a cheap no-op
-    audit.  Three passes:
+    audit.  Four passes:
 
     1. **Integrity**: the backend's :meth:`integrity_report` with
        ``repair=True`` — ``PRAGMA quick_check`` plus recreation of any
        expected index a kill inside ``bulk_load`` left dropped.
-    2. **Roll forward**: every ``pending`` journal entry whose run is
+    2. **Streams**: every run open for streaming appends is settled
+       epoch-wise — rolled forward, truncated to its last committed
+       epoch, or (when its rows match no checksum) deleted; stale index
+       deltas are dropped.  See :func:`_recover_streams`.
+    3. **Roll forward**: every ``pending`` journal entry whose run is
        stored with rows hashing to the journalled checksum is marked
        ``committed`` (the crash hit after the batch commit, before the
        journal mark).
-    3. **Roll back**: a ``pending`` run stored with *mismatching* rows is
+    4. **Roll back**: a ``pending`` run stored with *mismatching* rows is
        half-applied garbage — it is deleted and its journal entry
        re-written as ``pending``, so a resumed load re-ingests it.
 
     Pending entries whose run is absent (torn journal, lint rule
     ``WH041``) are reported but left in place: they are precisely the
     work-list ``load_dataset(resume=True)`` needs.
+
+    A warehouse exposing ``recover_shards`` (the sharded federation)
+    takes over the whole procedure: each shard runs this function
+    locally on its own writer thread, in parallel, and the reports merge
+    into one.
     """
+    recover_shards = getattr(warehouse, "recover_shards", None)
+    if recover_shards is not None:
+        return recover_shards()
     registry = get_registry()
     integrity = warehouse.integrity_report(repair=True)
     report = RecoveryReport(
         integrity_ok=bool(integrity.get("ok", True)),
         repaired_indexes=[str(n) for n in integrity.get("repaired", [])],
     )
+    streaming = _recover_streams(warehouse, report)
     present = set(warehouse.list_runs())
     for entry in warehouse.journal_entries(state=JOURNAL_PENDING):
+        if entry.run_id in streaming:
+            continue
         if entry.run_id not in present:
             report.torn_journal.append(entry.run_id)
             continue

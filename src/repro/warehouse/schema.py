@@ -226,6 +226,25 @@ SQLITE_DDL: Tuple[str, ...] = (
         payload     TEXT NOT NULL
     )
     """,
+    # Streaming open-run state (repro.warehouse.streaming): one row per
+    # run currently being appended to.  ``epoch`` counts committed
+    # appends, ``checksum`` is the cumulative run checksum *as of* that
+    # epoch (what a torn append is truncated back to), ``delta_epoch``
+    # is the epoch through which the lineage/label indexes were
+    # incrementally maintained (lint rule WH047 reports it trailing),
+    # and ``opened_at`` feeds the WH046 staleness threshold.  The row is
+    # deleted by finalize_run — its presence *is* the open-run marker.
+    """
+    CREATE TABLE IF NOT EXISTS _stream_state (
+        run_id      TEXT PRIMARY KEY,
+        spec_id     TEXT NOT NULL,
+        epoch       INTEGER NOT NULL,
+        delta_epoch INTEGER NOT NULL,
+        checksum    TEXT NOT NULL,
+        opened_at   REAL,
+        state       TEXT NOT NULL CHECK (state IN ('open'))
+    )
+    """,
 )
 
 #: Every secondary index the warehouse is expected to hold when healthy —

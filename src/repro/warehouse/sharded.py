@@ -77,17 +77,18 @@ from ..core.spec import WorkflowSpec
 from ..core.view import UserView
 from ..faults import FaultPlan
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult
 from ..run.run import WorkflowRun
 from ..sanitize import make_lock
-from .base import ProvenanceWarehouse
+from .base import ProvenanceWarehouse, StreamState
 from .sqlite import SqliteWarehouse
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only
     from ..provenance.index import LineageClosure
     from ..provenance.labels import LineageLabels
     from .pipeline import PreparedRun
-    from .recovery import JournalEntry, QuarantineRecord
+    from .recovery import JournalEntry, QuarantineRecord, RecoveryReport
 
 T = TypeVar("T")
 
@@ -293,6 +294,10 @@ class ShardedWarehouse(ProvenanceWarehouse):
             if not os.path.exists(p)
         ] if preexisting else []
 
+        #: The shared fault plan, also handed to every shard backend, so
+        #: protocol layers (e.g. the streaming ingestor) can pick it up
+        #: from the facade exactly as they do from a single-file backend.
+        self.faults = faults
         self._writers: List[_ShardWriter] = []
         for i, path in enumerate(self._shard_paths):
             factory = self._shard_factory(path, timing, auto_index, bulk, faults)
@@ -470,14 +475,19 @@ class ShardedWarehouse(ProvenanceWarehouse):
         """Run a read over every shard; results in shard order.
 
         Single-shard federations skip the pool — the facade then costs
-        one extra function call over the raw backend.
+        one extra function call over the raw backend.  Each per-shard
+        probe is wrapped in :func:`~repro.obs.retry.with_retries`: a
+        shard momentarily locked by its writer thread (checkpoint, bulk
+        bracket, streaming append) costs a backed-off retry on that one
+        shard instead of failing the whole gather.
         """
+        resilient = with_retries()(fn)
         if self._count == 1:
-            return [fn(self._warehouses[0])]
+            return [resilient(self._warehouses[0])]
         registry = get_registry()
         registry.counter("shard.scatter.ops").increment()
         with registry.time("shard.scatter"):
-            return list(self._scatter_pool().map(fn, self._warehouses))
+            return list(self._scatter_pool().map(resilient, self._warehouses))
 
     def _fan_out_writers(
         self, fn: Callable[[SqliteWarehouse], T]
@@ -587,6 +597,7 @@ class ShardedWarehouse(ProvenanceWarehouse):
             metrics.counter("ingest.batches").increment()
             metrics.counter("ingest.runs").increment(len(group))
 
+            @with_retries()
             def commit(
                 wh: SqliteWarehouse = wh,
                 group: List["PreparedRun"] = group,
@@ -889,6 +900,111 @@ class ShardedWarehouse(ProvenanceWarehouse):
             ],
         }
         return merged
+
+    def recover_shards(self) -> "RecoveryReport":
+        """Run shard-local recovery on every writer thread, in parallel.
+
+        :func:`repro.warehouse.recovery.recover` delegates here when the
+        warehouse exposes this method, so ``zoom recover`` and
+        ``zoom load --resume`` settle an N-shard federation in the time
+        of its slowest shard instead of N sequential passes.  Each shard
+        recovers through its own writer thread (recovery mutates: journal
+        marks, deletions, index repair) and the per-shard
+        :class:`~repro.warehouse.recovery.RecoveryReport` objects are
+        merged — run-level lists concatenate sorted (run ids are unique
+        to their owning shard), repaired indexes keep the
+        ``shard-<i>:`` prefix idiom of :meth:`integrity_report`.
+        """
+        from .recovery import RecoveryReport, recover
+
+        futures = [
+            writer.submit(lambda wh=writer.warehouse: recover(wh))
+            for writer in self._writers
+        ]
+        wait(futures)
+        reports = [f.result() for f in futures]
+        merged = RecoveryReport(
+            integrity_ok=all(r.integrity_ok for r in reports),
+            repaired_indexes=[
+                "shard-%d:%s" % (i, name)
+                for i, r in enumerate(reports)
+                for name in r.repaired_indexes
+            ],
+        )
+        for attr in (
+            "marked_committed",
+            "rolled_back",
+            "torn_journal",
+            "stream_rolled_forward",
+            "stream_truncated",
+            "stream_desynced",
+        ):
+            getattr(merged, attr).extend(sorted(
+                run_id for r in reports for run_id in getattr(r, attr)
+            ))
+        return merged
+
+    # ------------------------------------------------------------------
+    # Streaming appends (routed to the owning shard's writer thread)
+    # ------------------------------------------------------------------
+
+    def stream_begin(
+        self,
+        run_id: str,
+        spec_id: str,
+        *,
+        checksum: str,
+        opened_at: Optional[float] = None,
+    ) -> None:
+        writer = self._owner_writer(run_id)
+        writer.call(lambda: writer.warehouse.stream_begin(
+            run_id, spec_id, checksum=checksum, opened_at=opened_at
+        ))
+
+    def stream_state(self, run_id: str) -> Optional[StreamState]:
+        return self._owner(run_id).stream_state(run_id)
+
+    def stream_states(self) -> Dict[str, StreamState]:
+        merged: Dict[str, StreamState] = {}
+        for part in self._scatter(lambda wh: wh.stream_states()):
+            merged.update(part)
+        return dict(sorted(merged.items()))
+
+    def stream_apply(
+        self,
+        run_id: str,
+        *,
+        epoch: int,
+        checksum: str,
+        step_rows: Sequence[Tuple[str, str]],
+        io_rows: Sequence[Tuple[str, str, str]],
+        user_inputs: Sequence[Tuple[str, str]],
+        final_outputs: Sequence[str],
+    ) -> None:
+        writer = self._owner_writer(run_id)
+        writer.call(lambda: writer.warehouse.stream_apply(
+            run_id, epoch=epoch, checksum=checksum,
+            step_rows=step_rows, io_rows=io_rows,
+            user_inputs=user_inputs, final_outputs=final_outputs,
+        ))
+
+    def stream_mark_delta(self, run_id: str, epoch: int) -> None:
+        writer = self._owner_writer(run_id)
+        writer.call(
+            lambda: writer.warehouse.stream_mark_delta(run_id, epoch)
+        )
+
+    def stream_close(self, run_id: str) -> None:
+        writer = self._owner_writer(run_id)
+        writer.call(lambda: writer.warehouse.stream_close(run_id))
+
+    def extend_lineage_index(
+        self, run_id: str, rows: Sequence[Tuple[str, str, str]]
+    ) -> int:
+        writer = self._owner_writer(run_id)
+        return writer.call(
+            lambda: writer.warehouse.extend_lineage_index(run_id, rows)
+        )
 
     # ------------------------------------------------------------------
     # Health and observability

@@ -39,7 +39,7 @@ from ..obs.retry import with_retries
 from ..provenance.result import ProvenanceResult, ProvenanceRow
 from ..run.run import WorkflowRun
 from ..sanitize import guard, make_lock
-from .base import ProvenanceWarehouse
+from .base import ProvenanceWarehouse, StreamState
 from .recovery import JOURNAL_COMMITTED, JOURNAL_PENDING, JournalEntry, QuarantineRecord
 from .schema import (
     DIR_IN,
@@ -391,6 +391,34 @@ class SqliteWarehouse(ProvenanceWarehouse):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def _snapshot(self) -> Iterator[None]:
+        """Pin one WAL snapshot across a multi-statement read.
+
+        A reader reconstructing a run issues several SELECTs; under a
+        concurrent streaming append an epoch could commit between them and
+        tear the reconstruction across two prefixes.  Wrapping the reads
+        in an explicit deferred transaction pins the per-thread reader
+        connection to the snapshot its first SELECT sees.  On the owner
+        thread (where writes are serialized with reads by construction)
+        and inside an already-open transaction this is a no-op.
+        """
+        conn = self._conn
+        # Identity comparison only, no use of the connection — safe from
+        # any thread.  # provlint: ignore=SRC050
+        if conn is self._write_conn or conn.in_transaction:
+            yield
+            return
+        conn.execute("BEGIN")
+        try:
+            yield
+        finally:
+            conn.execute("COMMIT")
+
+    def get_run(self, run_id: str) -> WorkflowRun:
+        with self._snapshot():
+            return super().get_run(run_id)
 
     def _exists(self, table: str, key: str, value: str) -> bool:
         cursor = self._conn.execute(
@@ -843,6 +871,126 @@ class SqliteWarehouse(ProvenanceWarehouse):
             if deleted.rowcount == 0:
                 raise self._missing("quarantined run", run_id)
 
+    # ------------------------------------------------------------------
+    # Streaming appends (open runs)
+    # ------------------------------------------------------------------
+
+    def stream_begin(
+        self,
+        run_id: str,
+        spec_id: str,
+        *,
+        checksum: str,
+        opened_at: Optional[float] = None,
+    ) -> None:
+        self.get_spec(spec_id)  # raise for unknown specs
+        if self._exists("run_def", "run_id", run_id):
+            raise WarehouseError("identifier %r already stored" % run_id)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO run_def (run_id, spec_id) VALUES (?, ?)",
+                (run_id, spec_id),
+            )
+            self._conn.execute(
+                "INSERT INTO _stream_state"
+                " (run_id, spec_id, epoch, delta_epoch, checksum, opened_at,"
+                "  state) VALUES (?, ?, 0, 0, ?, ?, 'open')",
+                (run_id, spec_id, checksum, opened_at),
+            )
+
+    def stream_state(self, run_id: str) -> Optional[StreamState]:
+        row = self._conn.execute(
+            "SELECT run_id, spec_id, epoch, delta_epoch, checksum, opened_at"
+            " FROM _stream_state WHERE run_id = ?",
+            (run_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return StreamState(*row)
+
+    def stream_states(self) -> Dict[str, StreamState]:
+        return {
+            row[0]: StreamState(*row)
+            for row in self._conn.execute(
+                "SELECT run_id, spec_id, epoch, delta_epoch, checksum,"
+                " opened_at FROM _stream_state ORDER BY run_id"
+            )
+        }
+
+    @with_retries()
+    def stream_apply(
+        self,
+        run_id: str,
+        *,
+        epoch: int,
+        checksum: str,
+        step_rows: Sequence[Tuple[str, str]],
+        io_rows: Sequence[Tuple[str, str, str]],
+        user_inputs: Sequence[Tuple[str, str]],
+        final_outputs: Sequence[str],
+    ) -> None:
+        """Apply one epoch's delta in a single transaction.
+
+        The delta rows and the ``_stream_state`` advance commit together,
+        so a crash anywhere inside — including the instrumented
+        ``stream.append`` site — rolls the whole epoch back to the
+        previous consistent prefix.  An injected lock error at the same
+        site aborts the transaction and is retried whole by
+        :func:`~repro.obs.retry.with_retries`; ``INSERT OR IGNORE`` keeps
+        replayed rows idempotent.
+        """
+        if self.stream_state(run_id) is None:
+            raise WarehouseError("run %r is not open for streaming" % run_id)
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO step (run_id, step_id, module)"
+                " VALUES (?, ?, ?)",
+                [(run_id, step_id, module) for step_id, module in step_rows],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO io"
+                " (run_id, step_id, data_id, direction) VALUES (?, ?, ?, ?)",
+                [(run_id, step_id, data_id, direction)
+                 for step_id, data_id, direction in io_rows],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO user_input (run_id, data_id, who)"
+                " VALUES (?, ?, ?)",
+                [(run_id, data_id, who) for data_id, who in user_inputs],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO final_output (run_id, data_id)"
+                " VALUES (?, ?)",
+                [(run_id, data_id) for data_id in final_outputs],
+            )
+            self._hit("stream.append")
+            self._conn.execute(
+                "UPDATE _stream_state SET epoch = ?, checksum = ?"
+                " WHERE run_id = ?",
+                (epoch, checksum, run_id),
+            )
+
+    @with_retries()
+    def stream_mark_delta(self, run_id: str, epoch: int) -> None:
+        with self._conn:
+            updated = self._conn.execute(
+                "UPDATE _stream_state SET delta_epoch = ? WHERE run_id = ?",
+                (epoch, run_id),
+            )
+            if updated.rowcount == 0:
+                raise WarehouseError(
+                    "run %r is not open for streaming" % run_id
+                )
+
+    @with_retries()
+    def stream_close(self, run_id: str) -> None:
+        with self._conn:
+            deleted = self._conn.execute(
+                "DELETE FROM _stream_state WHERE run_id = ?", (run_id,)
+            )
+            if deleted.rowcount == 0:
+                raise self._missing("open streaming run", run_id)
+
     def list_runs(self, spec_id: Optional[str] = None) -> List[str]:
         if spec_id is None:
             cursor = self._conn.execute("SELECT run_id FROM run_def ORDER BY run_id")
@@ -1090,24 +1238,27 @@ class SqliteWarehouse(ProvenanceWarehouse):
         return targets
 
     def lineage_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
-        if not self.has_lineage_index(run_id):
-            raise WarehouseError("run %r has no lineage index" % run_id)
-        # Validate the data id first; a range scan over an unknown object
-        # would silently return an empty lineage.
-        self.producer_of(run_id, data_id)
-        params = {"run_id": run_id, "data_id": data_id, "input": INPUT}
-        result = ProvenanceResult(target=data_id, view_name="UAdmin")
-        for step_id, module, data_in in self._conn.execute(
-            SQLITE_LINEAGE_LOOKUP, params
-        ):
-            result.rows.append(
-                ProvenanceRow(step_id=step_id, module=module, data_in=data_in)
-            )
-        for (user_input,) in self._conn.execute(
-            SQLITE_LINEAGE_LOOKUP_INPUTS, params
-        ):
-            result.user_inputs.add(user_input)
-        return result
+        with self._snapshot():
+            if not self.has_lineage_index(run_id):
+                raise WarehouseError("run %r has no lineage index" % run_id)
+            # Validate the data id first; a range scan over an unknown
+            # object would silently return an empty lineage.
+            self.producer_of(run_id, data_id)
+            params = {"run_id": run_id, "data_id": data_id, "input": INPUT}
+            result = ProvenanceResult(target=data_id, view_name="UAdmin")
+            for step_id, module, data_in in self._conn.execute(
+                SQLITE_LINEAGE_LOOKUP, params
+            ):
+                result.rows.append(
+                    ProvenanceRow(
+                        step_id=step_id, module=module, data_in=data_in
+                    )
+                )
+            for (user_input,) in self._conn.execute(
+                SQLITE_LINEAGE_LOOKUP_INPUTS, params
+            ):
+                result.user_inputs.add(user_input)
+            return result
 
     def lineage_rows_raw(self, run_id: str) -> Set[Tuple[str, str, str]]:
         self._require("run_def", "run_id", run_id, "run")
@@ -1119,6 +1270,28 @@ class SqliteWarehouse(ProvenanceWarehouse):
                 (run_id,),
             )
         }
+
+    @with_retries()
+    def extend_lineage_index(
+        self, run_id: str, rows: Sequence[Tuple[str, str, str]]
+    ) -> int:
+        if not self.has_lineage_index(run_id):
+            raise WarehouseError("run %r has no lineage index" % run_id)
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO lineage"
+                " (run_id, data_id, step_id, data_in) VALUES (?, ?, ?, ?)",
+                [(run_id, data_id, step_id, data_in)
+                 for data_id, step_id, data_in in rows],
+            )
+            self._conn.execute(
+                "UPDATE lineage_meta SET row_count ="
+                " (SELECT COUNT(*) FROM lineage WHERE run_id = ?)"
+                " WHERE run_id = ?",
+                (run_id, run_id),
+            )
+        count = self.lineage_row_count(run_id)
+        return 0 if count is None else count
 
     # ------------------------------------------------------------------
     # Compact reachability labels
@@ -1189,28 +1362,31 @@ class SqliteWarehouse(ProvenanceWarehouse):
     def label_lookup(self, run_id: str, data_id: str) -> ProvenanceResult:
         from ..provenance.labels import labels_from_stored
 
-        version = self.label_index_version(run_id)
-        if version is None:
-            raise WarehouseError("run %r has no label index" % run_id)
-        # Validate the data id first; rehydration would otherwise report
-        # an unknown object as "not covered" instead of unknown.
-        self.producer_of(run_id, data_id)
-        label_rows = [
-            (step_id, pre, post, parent, remainder)
-            for step_id, pre, post, parent, remainder in self._conn.execute(
-                "SELECT step_id, pre, post, tree_parent, remainder"
-                " FROM lineage_labels WHERE run_id = ?",
-                (run_id,),
+        with self._snapshot():
+            version = self.label_index_version(run_id)
+            if version is None:
+                raise WarehouseError("run %r has no label index" % run_id)
+            # Validate the data id first; rehydration would otherwise
+            # report an unknown object as "not covered" instead of
+            # unknown.
+            self.producer_of(run_id, data_id)
+            label_rows = [
+                (step_id, pre, post, parent, remainder)
+                for step_id, pre, post, parent, remainder
+                in self._conn.execute(
+                    "SELECT step_id, pre, post, tree_parent, remainder"
+                    " FROM lineage_labels WHERE run_id = ?",
+                    (run_id,),
+                )
+            ]
+            labels = labels_from_stored(
+                run_id,
+                label_rows,
+                self.steps_of_run(run_id),
+                self.io_rows(run_id),
+                sorted(self.user_inputs(run_id)),
+                version=version,
             )
-        ]
-        labels = labels_from_stored(
-            run_id,
-            label_rows,
-            self.steps_of_run(run_id),
-            self.io_rows(run_id),
-            sorted(self.user_inputs(run_id)),
-            version=version,
-        )
         return labels.result_for(data_id)
 
     def label_rows_raw(self, run_id: str) -> Set[Tuple[str, int, int, str, str]]:
@@ -1243,6 +1419,7 @@ class SqliteWarehouse(ProvenanceWarehouse):
                 "run_def",
                 "_ingest_journal",
                 "_ingest_quarantine",
+                "_stream_state",
             ):
                 self._conn.execute(
                     "DELETE FROM %s WHERE run_id = ?" % table, (run_id,)
@@ -1253,23 +1430,26 @@ class SqliteWarehouse(ProvenanceWarehouse):
     # ------------------------------------------------------------------
 
     def admin_deep_provenance(self, run_id: str, data_id: str) -> ProvenanceResult:
-        if self._exists("lineage_meta", "run_id", run_id):
-            get_registry().counter("index.hit").increment()
-            return self.lineage_lookup(run_id, data_id)
-        get_registry().counter("index.miss").increment()
-        # Validate the data id first; the recursive query would silently
-        # return an empty lineage for an unknown object.
-        self.producer_of(run_id, data_id)
-        params = {"run_id": run_id, "data_id": data_id}
-        result = ProvenanceResult(target=data_id, view_name="UAdmin")
-        for step_id, module, data_in in self._conn.execute(
-            SQLITE_DEEP_PROVENANCE, params
-        ):
-            result.rows.append(
-                ProvenanceRow(step_id=step_id, module=module, data_in=data_in)
-            )
-        for (lineage_data,) in self._conn.execute(
-            SQLITE_LINEAGE_USER_INPUTS, params
-        ):
-            result.user_inputs.add(lineage_data)
-        return result
+        with self._snapshot():
+            if self._exists("lineage_meta", "run_id", run_id):
+                get_registry().counter("index.hit").increment()
+                return self.lineage_lookup(run_id, data_id)
+            get_registry().counter("index.miss").increment()
+            # Validate the data id first; the recursive query would
+            # silently return an empty lineage for an unknown object.
+            self.producer_of(run_id, data_id)
+            params = {"run_id": run_id, "data_id": data_id}
+            result = ProvenanceResult(target=data_id, view_name="UAdmin")
+            for step_id, module, data_in in self._conn.execute(
+                SQLITE_DEEP_PROVENANCE, params
+            ):
+                result.rows.append(
+                    ProvenanceRow(
+                        step_id=step_id, module=module, data_in=data_in
+                    )
+                )
+            for (lineage_data,) in self._conn.execute(
+                SQLITE_LINEAGE_USER_INPUTS, params
+            ):
+                result.user_inputs.add(lineage_data)
+            return result

@@ -18,14 +18,16 @@ from .report import (
     provenance_report,
     reverse_report,
 )
-from .session import Session
+from .session import RunWatch, Session, WatchUpdate
 
 __all__ = [
     "AccessDenied",
     "AuditRecord",
     "GuardedWarehouse",
+    "RunWatch",
     "Session",
     "ViewPolicy",
+    "WatchUpdate",
     "composite_run_to_dot",
     "compress_ids",
     "data_with_in_provenance",

@@ -33,6 +33,7 @@ import json
 import os
 import random
 import sys
+import time
 from typing import List, Optional
 
 from ..core.builder import build_user_view
@@ -493,6 +494,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         linter.closure_row_threshold = args.closure_threshold
     if args.shard_skew is not None:
         linter.shard_skew_factor = args.shard_skew
+    if args.open_run_age is not None:
+        linter.open_run_age = args.open_run_age
     report = LintReport()
     if args.spec:
         with open(args.spec) as handle:
@@ -524,6 +527,25 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         report = recover(warehouse)
         print(report.summary())
         return 0 if report.integrity_ok else 1
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Inspect runs open for streaming appends."""
+    with _open_warehouse(args.db) as warehouse:
+        states = warehouse.stream_states()
+        if not states:
+            print("no open streams")
+            return 0
+        now = time.time()
+        for run_id, state in sorted(states.items()):
+            age = ("?" if state.opened_at is None
+                   else "%.0f" % max(now - state.opened_at, 0.0))
+            trailing = ("" if state.delta_epoch >= state.epoch
+                        else " (indexes trail at epoch %d)"
+                        % state.delta_epoch)
+            print("%s: spec %s, epoch %d, open %s s%s"
+                  % (run_id, state.spec_id, state.epoch, age, trailing))
+        return 0
 
 
 def _cmd_quarantine(args: argparse.Namespace) -> int:
@@ -904,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="WH045 threshold: warn when the busiest shard"
                            " holds more than FACTOR times the mean runs"
                            " per shard")
+    lint.add_argument("--open-run-age", type=float, default=None,
+                      metavar="SECONDS",
+                      help="WH046 threshold: flag streaming runs open for"
+                           " at least this many seconds (default 0 — every"
+                           " open run; raise it when producers are live)")
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.add_argument("--strict", action="store_true",
                       help="exit nonzero when error-severity findings exist")
@@ -924,6 +951,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="repair a warehouse after a crashed load (journal + indexes)",
     )
     recov.add_argument("--db", required=True)
+
+    stream = sub.add_parser(
+        "stream",
+        help="inspect runs open for streaming appends",
+    )
+    stream.add_argument("action", choices=["status"])
+    stream.add_argument("--db", required=True)
 
     quarantine = sub.add_parser(
         "quarantine",
@@ -1016,6 +1050,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "lint": _cmd_lint,
     "recover": _cmd_recover,
+    "stream": _cmd_stream,
     "quarantine": _cmd_quarantine,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,

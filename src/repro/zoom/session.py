@@ -10,7 +10,9 @@ is what makes it interactive (the paper's 13 ms average switch).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.builder import RelevUserViewBuilder
 from ..core.errors import ViewError
@@ -21,6 +23,88 @@ from ..provenance.reasoner import ProvenanceReasoner
 from ..provenance.result import ProvenanceResult, ReverseProvenanceResult
 from ..warehouse.base import ProvenanceWarehouse
 from .dot import composite_run_to_dot, provenance_to_dot, spec_to_dot
+
+
+@dataclass(frozen=True)
+class WatchUpdate:
+    """One observed advance of a streaming run.
+
+    ``final=True`` marks the last update: the producer finalized the run
+    and the stored rows are complete.  ``steps`` / ``data_objects`` count
+    what the committed prefix makes visible — stale-but-consistent, per
+    the streaming protocol's degraded-read guarantee.
+    """
+
+    run_id: str
+    epoch: int
+    steps: int
+    data_objects: int
+    final: bool
+
+
+class RunWatch:
+    """Follows a streaming run's convergence from the reader's side.
+
+    Built by :meth:`Session.watch`.  Each :meth:`poll` compares the
+    warehouse's open-run row against the last epoch seen; when the run
+    advanced (or finalized) the session's reasoner is refreshed — caches
+    flip to the new generation, persistent indexes survive — and a
+    :class:`WatchUpdate` is returned.  ``None`` means nothing changed.
+    """
+
+    def __init__(self, session: "Session", run_id: str) -> None:
+        self._session = session
+        self.run_id = run_id
+        self.last_epoch = -1
+        self._final_seen = False
+
+    def converged(self) -> bool:
+        """True once the run was observed finalized."""
+        return self._final_seen
+
+    def poll(self) -> Optional[WatchUpdate]:
+        """One non-blocking convergence check; returns the advance, if any."""
+        if self._final_seen:
+            return None
+        warehouse = self._session.warehouse
+        state = warehouse.stream_state(self.run_id)
+        if state is None:
+            # Not open (anymore): either finalized, or it was never a
+            # stream.  Both mean the stored rows are complete.
+            self._final_seen = True
+            epoch = max(self.last_epoch, 0)
+            if self.last_epoch >= 0:
+                # We saw it open earlier — the finalize is an advance.
+                self._session.reasoner.refresh_run(self.run_id)
+            return self._update(epoch, final=True)
+        if state.epoch == self.last_epoch:
+            return None
+        self._session.reasoner.refresh_run(self.run_id)
+        self.last_epoch = state.epoch
+        return self._update(state.epoch, final=False)
+
+    def updates(
+        self, interval: float = 0.05, max_polls: int = 10_000
+    ) -> Iterator[WatchUpdate]:
+        """Yield advances until the run converges (or ``max_polls``)."""
+        for _ in range(max_polls):
+            update = self.poll()
+            if update is not None:
+                yield update
+                if update.final:
+                    return
+            else:
+                time.sleep(interval)
+
+    def _update(self, epoch: int, final: bool) -> WatchUpdate:
+        warehouse = self._session.warehouse
+        steps = len(warehouse.steps_of_run(self.run_id))
+        data = {d for _s, d, _dir in warehouse.io_rows(self.run_id)}
+        data.update(warehouse.user_inputs(self.run_id))
+        return WatchUpdate(
+            run_id=self.run_id, epoch=epoch, steps=steps,
+            data_objects=len(data), final=final,
+        )
 
 
 class Session:
@@ -203,6 +287,24 @@ class Session:
         change (re-ingestion, annotation rewrites, streaming appends).
         """
         self.reasoner.invalidate_run(run_id)
+
+    def refresh_run(self, run_id: str) -> None:
+        """Flip one run's cached state after a streamed epoch extended it.
+
+        Unlike :meth:`invalidate_run`, the run's persistent lineage and
+        label indexes survive — the streaming ingestor already advanced
+        them incrementally; only the in-process memos go stale.
+        """
+        self.reasoner.refresh_run(run_id)
+
+    def watch(self, run_id: str) -> RunWatch:
+        """Follow a streaming run's convergence (see :class:`RunWatch`).
+
+        Each observed epoch advance refreshes this session's reasoner, so
+        queries in between serve the committed prefix — stale, never
+        torn.  The watch ends when the producer finalizes the run.
+        """
+        return RunWatch(self, run_id)
 
     def serve(self, **kwargs) -> "object":
         """A :class:`~repro.serve.QueryService` sharing this session's reasoner.

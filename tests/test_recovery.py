@@ -517,6 +517,8 @@ class TestFaultPlan:
         assert set(SITES) == {
             "store_many.begin", "store_many.mid", "journal.pending",
             "journal.mark", "bulk_load.rebuild",
+            "stream.epoch.pending", "stream.append", "stream.epoch.mark",
+            "stream.delta", "stream.finalize",
         }
 
     def test_pending_reports_unfired_faults(self):
